@@ -1,0 +1,60 @@
+// Ablation (§6 Broader Impact): the augmentation-budget inflection point.
+// "There is generally an inflection point in terms of the number of data
+// points added where the cost to overall model performance starts to
+// outweigh the improvement in MRA." Sweeps q and reports MRA / outside-F1 /
+// J̄ per budget, locating the J̄-maximising budget per model.
+#include <iostream>
+
+#include "common.hpp"
+#include "frote/core/inflection.hpp"
+#include "frote/data/split.hpp"
+#include "frote/rules/perturb.hpp"
+
+int main() {
+  using namespace frote;
+  const auto& e = bench::env();
+  bench::print_banner(
+      "Ablation — augmentation budget inflection point (q sweep)",
+      "MRA rises with budget while outside-F1 eventually pays; J̄ peaks at "
+      "a model- and dataset-dependent budget");
+
+  const auto& ctx = bench::context(UciDataset::kContraceptive);
+  const std::vector<double> budgets =
+      e.full ? std::vector<double>{0.0, 0.1, 0.25, 0.5, 1.0, 2.0}
+             : std::vector<double>{0.0, 0.25, 0.5, 1.0};
+
+  for (LearnerKind learner_kind : all_learners()) {
+    Rng rng(derive_seed(900, static_cast<std::uint64_t>(learner_kind)));
+    FeedbackRuleSet frs =
+        sample_conflict_free_frs(ctx.pool, 3, ctx.data.schema(), rng);
+    if (frs.empty()) continue;
+    const auto cov = frs.coverage_union(ctx.data);
+    auto split = coverage_split(ctx.data, cov, 0.1, 0.8, rng);
+
+    const auto learner = make_learner(learner_kind, 901, !e.full);
+    FroteConfig config;
+    config.tau = e.tau;
+    config.eta = ctx.default_eta;
+    const auto analysis = sweep_budget(split.train, split.test, *learner,
+                                       frs, config, budgets);
+
+    std::cout << "\n--- " << learner_name(learner_kind) << " ---\n";
+    TextTable table({"q", "N added", "MRA", "outside-F1", "J"});
+    for (const auto& point : analysis.points) {
+      table.add_row({TextTable::fmt(point.q, 2),
+                     std::to_string(point.instances_added),
+                     TextTable::fmt(point.mra), TextTable::fmt(point.outside_f1),
+                     TextTable::fmt(point.j_bar)});
+    }
+    table.print(std::cout);
+    std::cout << "J-maximising budget: q = "
+              << analysis.points[analysis.best_index].q
+              << (analysis.inflection_found
+                      ? "  (inflection: larger budgets decline)"
+                      : "  (flat or rising beyond this budget)")
+              << "\n";
+  }
+  std::cout << "\nShape check: MRA is non-decreasing in q while J̄ peaks "
+               "and flattens/declines — the §6 inflection behaviour.\n";
+  return 0;
+}

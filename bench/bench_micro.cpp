@@ -1,0 +1,177 @@
+// Microbenchmarks (google-benchmark) for the library's hot paths, plus the
+// ablations DESIGN.md calls out: ball-tree vs brute-force kNN, rule coverage
+// evaluation, SMOTE-NC generation, model training, the base-instance IP,
+// and the per-iteration FROTE objective evaluation.
+#include <benchmark/benchmark.h>
+
+#include "frote/core/frote.hpp"
+#include "frote/core/generate.hpp"
+#include "frote/data/generators.hpp"
+#include "frote/exp/learners.hpp"
+#include "frote/metrics/metrics.hpp"
+#include "frote/opt/ip.hpp"
+#include "frote/smote/smote.hpp"
+
+namespace {
+
+using namespace frote;
+
+const Dataset& adult(std::size_t n) {
+  static std::map<std::size_t, Dataset> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, make_dataset(UciDataset::kAdult, n)).first;
+  }
+  return it->second;
+}
+
+FeedbackRule adult_rule(const Dataset& data) {
+  // age > median AND education_num > median: deterministic class 1.
+  const auto age = data.numeric_column_stats(0);
+  return FeedbackRule::deterministic(
+      Clause({Predicate{0, Op::kGt, age.mean},
+              Predicate{1, Op::kGt, 10.0}}),
+      1, data.num_classes());
+}
+
+void BM_CoverageEval(benchmark::State& state) {
+  const auto& data = adult(static_cast<std::size_t>(state.range(0)));
+  const auto rule = adult_rule(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coverage(rule, data).size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_CoverageEval)->Arg(1000)->Arg(4000);
+
+void BM_KnnBrute(benchmark::State& state) {
+  const auto& data = adult(static_cast<std::size_t>(state.range(0)));
+  const BruteKnn knn(data, MixedDistance::fit(data));
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.query(data.row(q++ % data.size()), 5));
+  }
+}
+BENCHMARK(BM_KnnBrute)->Arg(1000)->Arg(4000);
+
+void BM_KnnBallTree(benchmark::State& state) {
+  const auto& data = adult(static_cast<std::size_t>(state.range(0)));
+  const BallTreeKnn knn(data, MixedDistance::fit(data));
+  std::size_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.query(data.row(q++ % data.size()), 5));
+  }
+}
+BENCHMARK(BM_KnnBallTree)->Arg(1000)->Arg(4000);
+
+void BM_BallTreeBuild(benchmark::State& state) {
+  const auto& data = adult(static_cast<std::size_t>(state.range(0)));
+  const auto distance = MixedDistance::fit(data);
+  for (auto _ : state) {
+    BallTreeKnn knn(data, distance);
+    benchmark::DoNotOptimize(knn.size());
+  }
+}
+BENCHMARK(BM_BallTreeBuild)->Arg(1000);
+
+void BM_SmoteNcGenerate(benchmark::State& state) {
+  const auto& data = adult(2000);
+  const auto rule = adult_rule(data);
+  FeedbackRuleSet frs({rule});
+  const auto bp = preselect_base_population(data, frs, 5);
+  const auto distance = MixedDistance::fit(data);
+  RuleConstrainedGenerator gen(data, rule, bp.per_rule[0], distance, {});
+  Rng rng(1);
+  std::vector<double> row;
+  int label = 0;
+  std::size_t slot = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gen.generate(slot++ % bp.per_rule[0].indices.size(), rng, row,
+                     label));
+  }
+}
+BENCHMARK(BM_SmoteNcGenerate);
+
+void BM_TrainModel(benchmark::State& state) {
+  const auto& data = adult(1000);
+  const auto kind = static_cast<LearnerKind>(state.range(0));
+  const auto learner = make_learner(kind, 42, /*fast=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(learner->train(data));
+  }
+  state.SetLabel(learner_name(kind));
+}
+BENCHMARK(BM_TrainModel)
+    ->Arg(static_cast<int>(LearnerKind::kLR))
+    ->Arg(static_cast<int>(LearnerKind::kRF))
+    ->Arg(static_cast<int>(LearnerKind::kLGBM));
+
+void BM_ObjectiveEval(benchmark::State& state) {
+  const auto& data = adult(2000);
+  FeedbackRuleSet frs({adult_rule(data)});
+  const auto learner = make_learner(LearnerKind::kRF, 42, true);
+  const auto model = learner->train(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(train_j_hat_bar(*model, frs, data));
+  }
+}
+BENCHMARK(BM_ObjectiveEval);
+
+void BM_IpSelection(benchmark::State& state) {
+  const auto& data = adult(2000);
+  FeedbackRuleSet frs({adult_rule(data)});
+  const auto bp = preselect_base_population(data, frs, 5);
+  const auto learner = make_learner(LearnerKind::kRF, 42, true);
+  const auto model = learner->train(data);
+  IpSelector selector;
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select(data, bp, *model, 50, rng));
+  }
+}
+BENCHMARK(BM_IpSelection);
+
+void BM_RandomSelection(benchmark::State& state) {
+  const auto& data = adult(2000);
+  FeedbackRuleSet frs({adult_rule(data)});
+  const auto bp = preselect_base_population(data, frs, 5);
+  const auto learner = make_learner(LearnerKind::kRF, 42, true);
+  const auto model = learner->train(data);
+  RandomSelector selector;
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select(data, bp, *model, 50, rng));
+  }
+}
+BENCHMARK(BM_RandomSelection);
+
+void BM_ClassicSmote(benchmark::State& state) {
+  const auto& data = adult(2000);
+  SmoteConfig config;
+  config.amount_percent = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smote_oversample(data, 1, config).size());
+  }
+}
+BENCHMARK(BM_ClassicSmote);
+
+void BM_FroteIteration(benchmark::State& state) {
+  // One full FROTE edit at τ = 2 — the end-to-end per-iteration cost.
+  const auto& data = adult(1000);
+  FeedbackRuleSet frs({adult_rule(data)});
+  const auto learner = make_learner(LearnerKind::kRF, 42, true);
+  FroteConfig config;
+  config.tau = 2;
+  config.eta = 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        frote_edit(data, *learner, frs, config).instances_added);
+  }
+}
+BENCHMARK(BM_FroteIteration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Overlay patches vs FROTE edits (§2, §5.2).
+//
+// Overlay (Daly et al. 2021) patches predictions at inference time; FROTE
+// bakes the feedback into the model by editing its training data. This
+// example reproduces the qualitative Table 2 comparison on one Mushroom-like
+// run and shows the failure mode of hard-constraint patching when the rule
+// diverges from the model.
+//
+// Build & run:  ./build/examples/example_overlay_vs_frote
+#include <iostream>
+
+#include "frote/baselines/overlay.hpp"
+#include "frote/core/frote.hpp"
+#include "frote/data/generators.hpp"
+#include "frote/data/split.hpp"
+#include "frote/exp/harness.hpp"
+#include "frote/ml/random_forest.hpp"
+#include "frote/rules/induction.hpp"
+#include "frote/rules/perturb.hpp"
+#include "frote/util/table.hpp"
+
+using namespace frote;
+
+int main() {
+  // Build the paper's protocol by hand: dataset -> initial model ->
+  // explanation rules -> perturbed feedback rules that DIVERGE from the
+  // model (the user disagrees with what the model learned).
+  Dataset data = make_dataset(UciDataset::kMushroom, 1500);
+  Rng rng(5);
+
+  RandomForestLearner learner;
+  auto explainer_model = learner.train(data);
+  const auto seeds = induce_rules(data, *explainer_model);
+  PerturbConfig perturb;
+  perturb.pool_size = 30;
+  const auto pool = generate_feedback_pool(data, seeds, perturb, rng);
+  FeedbackRuleSet frs =
+      sample_conflict_free_frs(pool, 3, data.schema(), rng);
+  if (frs.empty()) {
+    std::cout << "No conflict-free FRS found; rerun with another seed.\n";
+    return 1;
+  }
+  std::cout << "Feedback rules (perturbed explanations):\n";
+  for (const auto& rule : frs.rules()) {
+    std::cout << "  " << rule.to_string(data.schema()) << "\n";
+  }
+
+  const auto cov = frs.coverage_union(data);
+  auto split = coverage_split(data, cov, 0.5, 0.5, rng);
+  auto model = learner.train(split.train);
+
+  // Overlay patches.
+  const OverlayModel soft(*model, frs, OverlayMode::kSoft, data.schema());
+  const OverlayModel hard(*model, frs, OverlayMode::kHard, data.schema());
+
+  // FROTE edit.
+  FroteConfig config;
+  config.tau = 20;
+  config.q = 0.5;
+  config.eta = 30;
+  auto edited = frote_edit(split.train, learner, frs, config);
+
+  auto report = [&](const char* name, const Model& m) {
+    const auto e = evaluate_model(m, frs, split.test);
+    std::cout << "  " << name << ": J-bar=" << TextTable::fmt(e.j_bar)
+              << "  MRA=" << TextTable::fmt(e.mra)
+              << "  outside-F1=" << TextTable::fmt(e.f1)
+              << "  true-label agreement in coverage="
+              << TextTable::fmt(e.mra_true) << "\n";
+  };
+  std::cout << "\nHeld-out comparison:\n";
+  report("initial      ", *model);
+  report("Overlay-Soft ", soft);
+  report("Overlay-Hard ", hard);
+  report("FROTE        ", *edited.model);
+
+  std::cout << "\nNote the Overlay-Hard row: MRA is 1 by construction, but "
+               "agreement with the true labels inside coverage collapses — "
+               "the paper's observed failure mode when feedback diverges "
+               "from the model. FROTE raises MRA while keeping the rest of "
+               "the model intact, and the edit persists after retraining.\n";
+  return 0;
+}

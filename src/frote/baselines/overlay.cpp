@@ -1,0 +1,117 @@
+#include "frote/baselines/overlay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace frote {
+
+OverlayModel::OverlayModel(const Model& base, FeedbackRuleSet frs,
+                           OverlayMode mode, const Schema& schema)
+    : Model(base.num_classes()), base_(&base), frs_(std::move(frs)),
+      mode_(mode), schema_(&schema) {}
+
+std::vector<double> OverlayModel::transform_into(std::span<const double> row,
+                                                 const Clause& target) const {
+  std::vector<double> out(row.begin(), row.end());
+  for (std::size_t f = 0; f < out.size(); ++f) {
+    if (!target.mentions(f)) continue;
+    const auto c = target.constraint_for(f, *schema_);
+    if (schema_->feature(f).is_categorical()) {
+      const auto code = static_cast<std::size_t>(out[f]);
+      const bool denied =
+          std::find(c.denied.begin(), c.denied.end(), code) != c.denied.end();
+      if (c.allowed.has_value()) {
+        out[f] = static_cast<double>(*c.allowed);
+      } else if (denied) {
+        // Smallest permitted code (deterministic minimal edit).
+        for (std::size_t alt = 0; alt < schema_->feature(f).cardinality();
+             ++alt) {
+          if (std::find(c.denied.begin(), c.denied.end(), alt) ==
+              c.denied.end()) {
+            out[f] = static_cast<double>(alt);
+            break;
+          }
+        }
+      }
+    } else {
+      if (c.pinned.has_value()) {
+        out[f] = *c.pinned;
+        continue;
+      }
+      double lo = c.lo, hi = c.hi;
+      const double span =
+          (std::isfinite(lo) && std::isfinite(hi)) ? hi - lo : 1.0;
+      const double eps = std::max(1e-9, std::abs(span) * 1e-6);
+      if (std::isfinite(lo) && c.lo_open) lo += eps;
+      if (std::isfinite(hi) && c.hi_open) hi -= eps;
+      if (std::isfinite(lo) && out[f] < lo) out[f] = lo;
+      if (std::isfinite(hi) && out[f] > hi) out[f] = hi;
+    }
+  }
+  return out;
+}
+
+int OverlayModel::patch_rule(std::span<const double> row) const {
+  // Feedback clauses take precedence over provenance (retraction) regions:
+  // a row covered by any feedback rule must get that rule's outcome even if
+  // another rule's provenance also matches.
+  for (std::size_t r = 0; r < frs_.size(); ++r) {
+    if (frs_.rule(r).covers(row)) return static_cast<int>(r);
+  }
+  if (mode_ == OverlayMode::kHard) {
+    for (std::size_t r = 0; r < frs_.size(); ++r) {
+      const auto& rule = frs_.rule(r);
+      if (rule.provenance.has_value() && rule.provenance->satisfies(row)) {
+        return static_cast<int>(r);
+      }
+    }
+  }
+  return -1;
+}
+
+int OverlayModel::retracted_class(std::span<const double> row,
+                                  int rule_class) const {
+  // The original rule's outcome no longer applies here: for binary problems
+  // the complement; for multiclass, the model's best class other than the
+  // rule's (Overlay itself is presented for binary classification).
+  if (num_classes() == 2) return 1 - rule_class;
+  auto proba = base_->predict_proba(row);
+  proba[static_cast<std::size_t>(rule_class)] = -1.0;
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+int OverlayModel::predict(std::span<const double> row) const {
+  const int covering = patch_rule(row);
+  if (covering < 0) return base_->predict(row);
+  const auto& rule = frs_.rule(static_cast<std::size_t>(covering));
+  if (mode_ == OverlayMode::kHard) {
+    // Hard constraints: the modified rule set is enforced verbatim.
+    if (rule.covers(row)) return rule.pi.mode();
+    // Provenance-only region: the old rule was retracted.
+    return retracted_class(row, rule.pi.mode());
+  }
+  // Soft constraints: predict on the instance mapped into the original-rule
+  // region. Without provenance there is no transformation to apply.
+  if (!rule.provenance.has_value()) return base_->predict(row);
+  const auto transformed = transform_into(row, *rule.provenance);
+  return base_->predict(transformed);
+}
+
+std::vector<double> OverlayModel::predict_proba(
+    std::span<const double> row) const {
+  const int covering = patch_rule(row);
+  if (covering < 0) return base_->predict_proba(row);
+  const auto& rule = frs_.rule(static_cast<std::size_t>(covering));
+  if (mode_ == OverlayMode::kHard) {
+    if (rule.covers(row)) return rule.pi.probs();
+    std::vector<double> proba(num_classes(), 0.0);
+    proba[static_cast<std::size_t>(retracted_class(row, rule.pi.mode()))] =
+        1.0;
+    return proba;
+  }
+  if (!rule.provenance.has_value()) return base_->predict_proba(row);
+  return base_->predict_proba(transform_into(row, *rule.provenance));
+}
+
+}  // namespace frote

@@ -1,0 +1,59 @@
+// Overlay (Daly et al. 2021) — the state-of-the-art post-processing baseline
+// FROTE is compared against (§5.2, Tables 2/7/8).
+//
+// Overlay leaves the underlying model untouched and patches predictions.
+// Each feedback rule carries a provenance clause (the original model-
+// explanation rule the user modified); Overlay's patch is the transformation
+// between that original region and the feedback region:
+//  - Hard Constraints: the modified rule set is enforced verbatim on the
+//    whole transformation pair region. Instances satisfying the feedback
+//    clause get the rule's class; instances that satisfy the ORIGINAL
+//    (provenance) clause but no longer satisfy the modified rule have had
+//    their old outcome *retracted* — they get the complementary outcome
+//    (binary datasets; Overlay is presented for binary classification).
+//    Because that retraction region lies outside cov(F), hard patching
+//    performs "very poorly on the outside coverage population" when the
+//    feedback diverges from the model — the failure mode of Tables 2/7/8.
+//  - Soft Constraints: instances covered by a feedback clause are
+//    *transformed* into the provenance region — where the model already
+//    behaves as the user intends — and the model prediction on the
+//    transformed instance is returned. Instances outside feedback coverage
+//    are untouched, so soft patching cannot hurt outside-coverage F1.
+// Instances covered by no rule get the plain model prediction.
+#pragma once
+
+#include "frote/ml/model.hpp"
+#include "frote/rules/ruleset.hpp"
+
+namespace frote {
+
+enum class OverlayMode { kSoft, kHard };
+
+class OverlayModel : public Model {
+ public:
+  /// Wraps `base` (not owned; must outlive the overlay).
+  OverlayModel(const Model& base, FeedbackRuleSet frs, OverlayMode mode,
+               const Schema& schema);
+
+  std::vector<double> predict_proba(std::span<const double> row) const override;
+  int predict(std::span<const double> row) const override;
+
+ private:
+  /// Index of the first rule whose patch applies to `row`, or -1.
+  int patch_rule(std::span<const double> row) const;
+
+  /// Outcome for a provenance-only instance whose old rule was retracted.
+  int retracted_class(std::span<const double> row, int rule_class) const;
+
+  /// Project `row` into the region of `target` (minimal per-feature edits:
+  /// pin '=' values, clamp into numeric windows, remap denied categories).
+  std::vector<double> transform_into(std::span<const double> row,
+                                     const Clause& target) const;
+
+  const Model* base_;
+  FeedbackRuleSet frs_;
+  OverlayMode mode_;
+  const Schema* schema_;
+};
+
+}  // namespace frote

@@ -1,0 +1,54 @@
+// Audit trail for model edits (§6, Broader Impact).
+//
+// The paper argues FROTE fits governance frameworks (Arnold et al. 2019)
+// because the feedback is interpretable and "clear auditing of the original
+// data, the feedback rules and the newly created dataset can be stored to
+// transparently log the updates to the model and capture the lineage of the
+// data". This module records exactly that: the rules applied, the mod
+// strategy, per-iteration accept/reject decisions, and the provenance of
+// every synthetic row, serialised to a human-readable report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "frote/core/frote.hpp"
+
+namespace frote {
+
+struct AuditRecord {
+  /// Where the edit started.
+  std::size_t original_rows = 0;
+  std::size_t relabelled_rows = 0;
+  std::size_t dropped_rows = 0;
+  ModStrategy mod_strategy = ModStrategy::kRelabel;
+  /// The rules, as re-parsable text (see rules/parser.hpp).
+  std::vector<std::string> rules;
+  /// Per-iteration decisions copied from the FROTE trace.
+  std::vector<ProgressPoint> trace;
+  /// Where the edit ended.
+  std::size_t final_rows = 0;
+  std::size_t synthetic_rows = 0;
+  std::size_t iterations_run = 0;
+  std::size_t iterations_accepted = 0;
+  /// Configuration snapshot for reproducibility.
+  std::size_t tau = 0;
+  double q = 0.0;
+  std::size_t k = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Build the audit record for a completed edit. `input` is the dataset FROTE
+/// was invoked on (pre-modification).
+AuditRecord build_audit_record(const Dataset& input,
+                               const FeedbackRuleSet& frs,
+                               const FroteConfig& config,
+                               const FroteResult& result);
+
+/// Render the record as a human-readable report (one block per section:
+/// CONFIG, RULES, MODIFICATION, ITERATIONS, RESULT).
+void write_audit_report(const AuditRecord& record, std::ostream& os);
+std::string audit_report_string(const AuditRecord& record);
+
+}  // namespace frote

@@ -1,0 +1,52 @@
+#include "frote/core/base_population.hpp"
+
+#include <algorithm>
+
+namespace frote {
+
+std::vector<std::size_t> BasePopulation::all_indices() const {
+  std::vector<std::size_t> out;
+  for (const auto& rule_bp : per_rule) {
+    out.insert(out.end(), rule_bp.indices.begin(), rule_bp.indices.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t BasePopulation::total_slots() const {
+  std::size_t total = 0;
+  for (const auto& rule_bp : per_rule) total += rule_bp.indices.size();
+  return total;
+}
+
+BasePopulation preselect_base_population(const Dataset& data,
+                                         const FeedbackRuleSet& frs,
+                                         std::size_t k) {
+  BasePopulation bp;
+  const std::size_t min_support = k + 1;
+  for (std::size_t r = 0; r < frs.size(); ++r) {
+    const FeedbackRule& rule = frs.rule(r);
+    RuleBasePopulation rule_bp;
+    rule_bp.rule_index = r;
+
+    // Lines 4–24: relax the clause when coverage < L. Relaxation works on
+    // the bare clause; exclusions are respected for strong coverage below.
+    const RelaxationResult relax = relax_rule(rule.clause, data, min_support);
+    rule_bp.effective_clause = relax.relaxed;
+    rule_bp.relaxed = relax.removed_conditions > 0;
+    rule_bp.removed_conditions = relax.removed_conditions;
+
+    // Line 25: BP ← BP ∪ cov(R, D) with the (possibly relaxed) rule.
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const auto row = data.row(i);
+      if (!rule_bp.effective_clause.satisfies(row)) continue;
+      rule_bp.indices.push_back(i);
+      rule_bp.strongly_covered.push_back(rule.covers(row));
+    }
+    bp.per_rule.push_back(std::move(rule_bp));
+  }
+  return bp;
+}
+
+}  // namespace frote

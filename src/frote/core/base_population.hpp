@@ -1,0 +1,45 @@
+// Base population pre-selection — Algorithm 2 (PreSelectBP).
+//
+// FROTE keeps a per-rule base population P[r]. Initially P[r] = cov(s_r, D̂);
+// when a rule's coverage is below L = k+1 its clause is relaxed (maximal
+// partial rule, BFS condition deletion) until the relaxed coverage reaches L.
+// Instances matching the rule exactly are *strongly covered*; instances that
+// only match the relaxed clause are *weakly covered*.
+#pragma once
+
+#include <vector>
+
+#include "frote/data/dataset.hpp"
+#include "frote/rules/relax.hpp"
+#include "frote/rules/ruleset.hpp"
+
+namespace frote {
+
+struct RuleBasePopulation {
+  std::size_t rule_index = 0;
+  /// The clause actually used for membership (possibly relaxed).
+  Clause effective_clause;
+  bool relaxed = false;
+  std::size_t removed_conditions = 0;
+  /// Row indices of the base population in the active dataset D̂.
+  std::vector<std::size_t> indices;
+  /// indices[i] is strongly covered iff it matches the *unrelaxed* rule.
+  std::vector<bool> strongly_covered;
+};
+
+struct BasePopulation {
+  std::vector<RuleBasePopulation> per_rule;
+
+  /// Union of all per-rule indices (sorted, deduplicated).
+  std::vector<std::size_t> all_indices() const;
+  /// Total number of (rule, instance) slots.
+  std::size_t total_slots() const;
+};
+
+/// Algorithm 2: build per-rule base populations over `data` with
+/// min support L = k + 1.
+BasePopulation preselect_base_population(const Dataset& data,
+                                         const FeedbackRuleSet& frs,
+                                         std::size_t k);
+
+}  // namespace frote

@@ -1,0 +1,89 @@
+// FROTE — Feedback Rule-Based Oversampling Technique (Algorithm 1).
+//
+// Given an input dataset D, a black-box training algorithm A and a
+// conflict-free feedback rule set F, produce an augmented dataset D̂ such
+// that retraining A on D̂ aligns the model with F (minimises objective (3))
+// without degrading outside-coverage performance.
+//
+// Usage:
+//   FroteConfig config;                      // τ, q, k, strategy...
+//   auto result = frote_edit(train, learner, frs, config);
+//   const Model& edited = *result.model;     // retrained on result.augmented
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "frote/core/selection.hpp"
+#include "frote/metrics/metrics.hpp"
+#include "frote/ml/model.hpp"
+#include "frote/rules/ruleset.hpp"
+
+namespace frote {
+
+/// Input-dataset modification applied before augmentation (§5.1): covered
+/// instances whose label disagrees with their covering rule are kept
+/// (kNone), relabelled to the rule's class (kRelabel) or removed (kDrop).
+enum class ModStrategy { kNone, kRelabel, kDrop };
+
+struct FroteConfig {
+  /// Iteration limit τ: the number of times the user is willing to retrain.
+  std::size_t tau = 200;
+  /// Oversampling fraction q: allowed augmentation relative to |D|.
+  double q = 0.5;
+  /// Nearest neighbours for generation and the BP support threshold (k+1).
+  std::size_t k = 5;
+  /// Instances generated per iteration; 0 ⇒ the paper's q·|D|/τ default.
+  std::size_t eta = 0;
+  SelectionStrategy selection = SelectionStrategy::kRandom;
+  /// When set, overrides `selection` with a caller-provided strategy (e.g.
+  /// the supplement's online-learning proxy, core/online_proxy.hpp). Must
+  /// outlive the frote_edit call.
+  std::shared_ptr<const BaseInstanceSelector> custom_selector;
+  ModStrategy mod_strategy = ModStrategy::kRelabel;
+  /// Probability of following the rule's label during generation; < 1
+  /// activates the probabilistic-rule scheme of supplement B (Table 6).
+  double rule_confidence = 1.0;
+  /// Accept every batch regardless of Ĵ (ablation; Algorithm 1 uses false).
+  bool accept_always = false;
+  std::uint64_t seed = 42;
+};
+
+/// A point of the augmentation trace (used by the Fig 9 reproduction).
+struct ProgressPoint {
+  std::size_t iteration = 0;
+  std::size_t instances_added = 0;  // cumulative N
+  double train_j_hat_bar = 0.0;     // Ĵ̄ of the *accepted* model on D̂
+  bool accepted = false;
+};
+
+struct FroteResult {
+  /// The output dataset D̂ (input after modification + accepted synthetics).
+  Dataset augmented;
+  /// Model retrained on `augmented` (the edited model M_D̂).
+  std::unique_ptr<Model> model;
+  std::size_t instances_added = 0;
+  std::size_t iterations_run = 0;
+  std::size_t iterations_accepted = 0;
+  std::vector<ProgressPoint> trace;
+};
+
+/// Apply the mod strategy to `data` in place: every instance covered by a
+/// rule of `frs` whose label has zero probability under the rule's π is
+/// relabelled to the rule's mode class or dropped. Returns #rows affected.
+std::size_t apply_mod_strategy(Dataset& data, const FeedbackRuleSet& frs,
+                               ModStrategy strategy);
+
+/// Optional per-acceptance hook (model retrained on the accepted D′ and the
+/// cumulative instance count) — lets experiments trace test-set J̄ growth.
+using AcceptCallback =
+    std::function<void(const Model& model, std::size_t instances_added)>;
+
+/// Run Algorithm 1. `data` is the input dataset D (already mod-applied if
+/// the caller wants a strategy other than config.mod_strategy == kNone; this
+/// function applies config.mod_strategy itself first).
+FroteResult frote_edit(const Dataset& data, const Learner& learner,
+                       const FeedbackRuleSet& frs, const FroteConfig& config,
+                       const AcceptCallback& on_accept = {});
+
+}  // namespace frote

@@ -1,0 +1,47 @@
+// Online-learning proxy for base instance scoring (supplement A, eq. 7).
+//
+// Evaluating J(A(D̂ ∪ Generate(B)), F) exactly requires running the black-box
+// trainer A per candidate. The supplement's alternative: distill the current
+// model M_D̂ into a parametric M̂ (online logistic regression), approximate
+// the retrained model by OL(M̂, Generate({i})) — one online update per
+// singleton — and score candidates with Ĵ of the updated proxy. The paper
+// found even this too slow to experiment with at Ĵ's O(|D̂|²) total cost; we
+// implement it with a subsampled Ĵ estimate so it is actually usable, and
+// expose it as a third selection strategy for ablation.
+#pragma once
+
+#include "frote/core/selection.hpp"
+#include "frote/rules/ruleset.hpp"
+
+namespace frote {
+
+struct OnlineProxyConfig {
+  std::size_t k = 5;
+  /// Rows of D̂ sampled for the Ĵ estimate (caps the quadratic cost the
+  /// supplement flags as the bottleneck).
+  std::size_t eval_sample = 200;
+  /// Online updates applied per candidate singleton.
+  std::size_t updates_per_candidate = 3;
+  /// Candidates scored per rule (top-η/m by proxy score are selected).
+  std::size_t candidates_per_rule = 40;
+};
+
+/// Scores singleton candidates with the online proxy and picks the highest
+/// scoring ones per rule, subject to the same per-rule budget as IP.
+class OnlineProxySelector : public BaseInstanceSelector {
+ public:
+  OnlineProxySelector(const FeedbackRuleSet& frs,
+                      OnlineProxyConfig config = {})
+      : frs_(&frs), config_(config) {}
+
+  std::vector<SelectedInstance> select(const Dataset& data,
+                                       const BasePopulation& bp,
+                                       const Model& model, std::size_t eta,
+                                       Rng& rng) const override;
+
+ private:
+  const FeedbackRuleSet* frs_;
+  OnlineProxyConfig config_;
+};
+
+}  // namespace frote

@@ -1,0 +1,200 @@
+#include "frote/core/selection.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "frote/knn/knn.hpp"
+
+namespace frote {
+
+std::vector<SelectedInstance> RandomSelector::select(const Dataset& data,
+                                                     const BasePopulation& bp,
+                                                     const Model& model,
+                                                     std::size_t eta,
+                                                     Rng& rng) const {
+  (void)data;
+  (void)model;
+  std::vector<SelectedInstance> out;
+  std::vector<std::size_t> usable;
+  for (std::size_t r = 0; r < bp.per_rule.size(); ++r) {
+    if (bp.per_rule[r].indices.size() >= 2) usable.push_back(r);
+  }
+  if (usable.empty() || eta == 0) return out;
+
+  // Spread η evenly over rules; remainder round-robin.
+  const std::size_t per_rule = eta / usable.size();
+  std::size_t remainder = eta % usable.size();
+  for (std::size_t r : usable) {
+    std::size_t quota = per_rule + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+    const auto& pool = bp.per_rule[r];
+    for (std::size_t i = 0; i < quota; ++i) {
+      out.push_back({r, rng.index(pool.indices.size())});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Borderline weights for a subset of rows (supplement A): weight 3 when the
+/// k-NN predicted-label split is near-even, 1 for safe/noisy instances.
+std::vector<double> subset_weights(const Dataset& data, const Model& model,
+                                   const std::vector<std::size_t>& rows,
+                                   const IpSelectorConfig& config) {
+  const MixedDistance distance = MixedDistance::fit(data);
+  const BallTreeKnn knn(data, distance);
+  const std::size_t k = std::min(config.borderline_k, data.size() - 1);
+  std::vector<double> weights(rows.size(), config.other_weight);
+  if (k == 0) return weights;
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    const std::size_t i = rows[s];
+    const int own = model.predict(data.row(i));
+    auto neighbors = knn.query(data.row(i), k + 1);
+    std::size_t same = 0, diff = 0;
+    for (const auto& nb : neighbors) {
+      const std::size_t j = knn.dataset_index(nb.index);
+      if (j == i) continue;
+      if (same + diff == k) break;
+      (model.predict(data.row(j)) == own ? same : diff) += 1;
+    }
+    const std::size_t total = same + diff;
+    if (total > 0 && diff < total && 2 * diff >= total) {
+      weights[s] = config.borderline_weight;  // p ≈ q: borderline
+    }
+  }
+  return weights;
+}
+
+}  // namespace
+
+std::vector<SelectedInstance> IpSelector::select(const Dataset& data,
+                                                 const BasePopulation& bp,
+                                                 const Model& model,
+                                                 std::size_t eta,
+                                                 Rng& rng) const {
+  std::vector<SelectedInstance> out;
+  const std::size_t m = bp.per_rule.size();
+  if (m == 0 || eta == 0) return out;
+
+  // Unique base-population instances become the binary variables z_i.
+  std::map<std::size_t, std::size_t> var_of_row;  // dataset row -> var index
+  std::vector<std::size_t> row_of_var;
+  for (const auto& rule_bp : bp.per_rule) {
+    for (std::size_t idx : rule_bp.indices) {
+      if (var_of_row.emplace(idx, row_of_var.size()).second) {
+        row_of_var.push_back(idx);
+      }
+    }
+  }
+  const std::size_t p = row_of_var.size();
+  if (p == 0) return out;
+
+  const std::vector<double> weights =
+      subset_weights(data, model, row_of_var, config_);
+
+  // Per-rule bounds: k+1 ≤ Σ a_ji z_i ≤ max(k+1, η/m); a rule whose BP is
+  // smaller than k+1 gets its lower bound clipped to the BP size.
+  std::vector<double> lower_bound(m), upper_bound(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const double bp_size = static_cast<double>(bp.per_rule[j].indices.size());
+    lower_bound[j] = std::min(static_cast<double>(config_.k + 1), bp_size);
+    upper_bound[j] = std::max(
+        lower_bound[j],
+        std::floor(static_cast<double>(eta) / static_cast<double>(m)));
+    upper_bound[j] = std::min(upper_bound[j], bp_size);
+  }
+
+  // LP: variables = p binaries + m slacks; rows: Σ a_ji z_i + s_j = u_j,
+  // 0 ≤ s_j ≤ u_j − l_j.
+  LpProblem lp;
+  lp.num_vars = p + m;
+  lp.num_rows = m;
+  lp.c.assign(lp.num_vars, 0.0);
+  lp.lo.assign(lp.num_vars, 0.0);
+  lp.hi.assign(lp.num_vars, 1.0);
+  lp.a.assign(lp.num_rows * lp.num_vars, 0.0);
+  lp.b.assign(m, 0.0);
+  for (std::size_t i = 0; i < p; ++i) lp.c[i] = weights[i];
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t idx : bp.per_rule[j].indices) {
+      lp.set_coeff(j, var_of_row.at(idx), 1.0);
+    }
+    lp.hi[p + j] = std::max(0.0, upper_bound[j] - lower_bound[j]);
+    lp.b[j] = upper_bound[j];
+  }
+
+  std::vector<std::size_t> binaries(p);
+  for (std::size_t i = 0; i < p; ++i) binaries[i] = i;
+  const IpResult ip = solve_binary_ip(lp, binaries, config_.ip);
+
+  std::vector<bool> selected_rows(p, false);
+  if (ip.feasible) {
+    for (std::size_t i = 0; i < p; ++i) selected_rows[i] = ip.x[i] > 0.5;
+  } else {
+    // Greedy bound repair: satisfy lower bounds with the heaviest instances
+    // per rule, then fill toward the upper bounds by weight.
+    for (std::size_t j = 0; j < m; ++j) {
+      std::vector<std::size_t> vars;
+      for (std::size_t idx : bp.per_rule[j].indices) {
+        vars.push_back(var_of_row.at(idx));
+      }
+      std::sort(vars.begin(), vars.end(), [&](std::size_t a, std::size_t b) {
+        if (weights[a] != weights[b]) return weights[a] > weights[b];
+        return a < b;
+      });
+      std::size_t taken = 0;
+      for (std::size_t v : vars) {
+        if (taken >= static_cast<std::size_t>(upper_bound[j])) break;
+        if (!selected_rows[v] &&
+            taken < static_cast<std::size_t>(lower_bound[j])) {
+          selected_rows[v] = true;
+        }
+        if (selected_rows[v]) ++taken;
+      }
+    }
+  }
+
+  // Map selected instances back to (rule, slot) pairs, balancing rules whose
+  // populations overlap. Randomised rule order keeps the assignment fair.
+  std::vector<std::size_t> per_rule_assigned(m, 0);
+  std::vector<std::size_t> rule_order(m);
+  for (std::size_t j = 0; j < m; ++j) rule_order[j] = j;
+  for (std::size_t i = 0; i < p; ++i) {
+    if (!selected_rows[i]) continue;
+    const std::size_t row = row_of_var[i];
+    rng.shuffle(rule_order);
+    std::size_t best_rule = m;
+    std::size_t best_slot = 0;
+    std::size_t best_load = static_cast<std::size_t>(-1);
+    for (std::size_t j : rule_order) {
+      const auto& pool = bp.per_rule[j].indices;
+      const auto it = std::find(pool.begin(), pool.end(), row);
+      if (it == pool.end()) continue;
+      if (per_rule_assigned[j] < best_load) {
+        best_load = per_rule_assigned[j];
+        best_rule = j;
+        best_slot = static_cast<std::size_t>(it - pool.begin());
+      }
+    }
+    if (best_rule < m) {
+      out.push_back({best_rule, best_slot});
+      per_rule_assigned[best_rule]++;
+    }
+  }
+  // Respect the per-iteration budget.
+  if (out.size() > eta) out.resize(eta);
+  return out;
+}
+
+std::unique_ptr<BaseInstanceSelector> make_selector(SelectionStrategy strategy,
+                                                    std::size_t k) {
+  if (strategy == SelectionStrategy::kRandom) {
+    return std::make_unique<RandomSelector>();
+  }
+  IpSelectorConfig config;
+  config.k = k;
+  return std::make_unique<IpSelector>(config);
+}
+
+}  // namespace frote

@@ -1,0 +1,74 @@
+// Base instance selection strategies (§4.1): `random` — per-rule uniform
+// draws from the base population — and `IP` — the integer program (5) that
+// prefers borderline instances while keeping per-rule lower/upper bounds.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "frote/core/base_population.hpp"
+#include "frote/ml/model.hpp"
+#include "frote/opt/ip.hpp"
+#include "frote/util/rng.hpp"
+
+namespace frote {
+
+/// One selected base instance: which rule it augments and the slot within
+/// that rule's base population.
+struct SelectedInstance {
+  std::size_t rule_index = 0;
+  std::size_t bp_slot = 0;
+};
+
+enum class SelectionStrategy { kRandom, kIp };
+
+class BaseInstanceSelector {
+ public:
+  virtual ~BaseInstanceSelector() = default;
+  /// Select up to `eta` base instances for this iteration. `model` is the
+  /// current M_D̂ (used by IP; ignored by random).
+  virtual std::vector<SelectedInstance> select(const Dataset& data,
+                                               const BasePopulation& bp,
+                                               const Model& model,
+                                               std::size_t eta,
+                                               Rng& rng) const = 0;
+};
+
+/// Uniform per-rule selection: η is spread evenly over rules; instances are
+/// drawn with replacement from each rule's base population.
+class RandomSelector : public BaseInstanceSelector {
+ public:
+  std::vector<SelectedInstance> select(const Dataset& data,
+                                       const BasePopulation& bp,
+                                       const Model& model, std::size_t eta,
+                                       Rng& rng) const override;
+};
+
+struct IpSelectorConfig {
+  std::size_t k = 5;               // lower bound per rule: k + 1
+  std::size_t borderline_k = 10;   // neighbours for the weight computation
+  double borderline_weight = 3.0;
+  double other_weight = 1.0;
+  IpConfig ip;
+};
+
+/// Integer-program selection (eq. 5) with borderline weights; falls back to
+/// a greedy bound-repair heuristic when the IP is infeasible or the node
+/// budget is exhausted.
+class IpSelector : public BaseInstanceSelector {
+ public:
+  explicit IpSelector(IpSelectorConfig config = {}) : config_(config) {}
+
+  std::vector<SelectedInstance> select(const Dataset& data,
+                                       const BasePopulation& bp,
+                                       const Model& model, std::size_t eta,
+                                       Rng& rng) const override;
+
+ private:
+  IpSelectorConfig config_;
+};
+
+std::unique_ptr<BaseInstanceSelector> make_selector(
+    SelectionStrategy strategy, std::size_t k = 5);
+
+}  // namespace frote

@@ -1,0 +1,152 @@
+#include "frote/data/csv.hpp"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "frote/util/error.hpp"
+
+namespace frote {
+
+namespace {
+
+std::vector<std::string> split_on(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : s) {
+    if (ch == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.push_back(sep);
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+void save_csv(const Dataset& data, std::ostream& os) {
+  const Schema& schema = data.schema();
+  // Schema line.
+  os << "#schema,";
+  std::vector<std::string> specs;
+  for (const auto& f : schema.features()) {
+    if (f.is_categorical()) {
+      specs.push_back(f.name + ":cat{" + join(f.categories, '|') + "}");
+    } else {
+      specs.push_back(f.name + ":num");
+    }
+  }
+  specs.push_back("label{" + join(schema.class_names(), '|') + "}");
+  os << join(specs, ',') << '\n';
+  // Header row.
+  std::vector<std::string> header;
+  for (const auto& f : schema.features()) header.push_back(f.name);
+  header.push_back("label");
+  os << join(header, ',') << '\n';
+  // Data rows.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    auto row = data.row(i);
+    std::vector<std::string> cells;
+    for (std::size_t f = 0; f < row.size(); ++f) {
+      const auto& spec = schema.feature(f);
+      if (spec.is_categorical()) {
+        cells.push_back(spec.categories[static_cast<std::size_t>(row[f])]);
+      } else {
+        std::ostringstream cell;
+        cell.precision(17);
+        cell << row[f];
+        cells.push_back(cell.str());
+      }
+    }
+    cells.push_back(
+        schema.class_names()[static_cast<std::size_t>(data.label(i))]);
+    os << join(cells, ',') << '\n';
+  }
+}
+
+void save_csv(const Dataset& data, const std::string& path) {
+  std::ofstream os(path);
+  FROTE_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  save_csv(data, os);
+}
+
+Dataset load_csv(std::istream& is) {
+  std::string line;
+  FROTE_CHECK_MSG(std::getline(is, line), "empty CSV stream");
+  FROTE_CHECK_MSG(line.rfind("#schema,", 0) == 0, "missing #schema line");
+  const auto specs = split_on(line.substr(8), ',');
+  FROTE_CHECK(specs.size() >= 2);
+
+  std::vector<FeatureSpec> features;
+  std::vector<std::string> classes;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::string& spec = specs[i];
+    if (i + 1 == specs.size()) {
+      FROTE_CHECK_MSG(spec.rfind("label{", 0) == 0 && spec.back() == '}',
+                      "bad label spec: " << spec);
+      classes = split_on(spec.substr(6, spec.size() - 7), '|');
+      break;
+    }
+    const auto colon = spec.find(':');
+    FROTE_CHECK_MSG(colon != std::string::npos, "bad feature spec: " << spec);
+    const std::string name = spec.substr(0, colon);
+    const std::string kind = spec.substr(colon + 1);
+    if (kind == "num") {
+      features.push_back(FeatureSpec::numeric(name));
+    } else {
+      FROTE_CHECK_MSG(kind.rfind("cat{", 0) == 0 && kind.back() == '}',
+                      "bad feature spec: " << spec);
+      features.push_back(FeatureSpec::categorical(
+          name, split_on(kind.substr(4, kind.size() - 5), '|')));
+    }
+  }
+  auto schema = std::make_shared<Schema>(std::move(features), std::move(classes));
+
+  FROTE_CHECK_MSG(std::getline(is, line), "missing header row");
+  Dataset data(schema);
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_on(line, ',');
+    FROTE_CHECK_MSG(cells.size() == schema->num_features() + 1,
+                    "bad row width: " << line);
+    std::vector<double> row(schema->num_features());
+    for (std::size_t f = 0; f < schema->num_features(); ++f) {
+      const auto& spec = schema->feature(f);
+      if (spec.is_categorical()) {
+        row[f] = static_cast<double>(schema->category_code(f, cells[f]));
+      } else {
+        row[f] = std::stod(cells[f]);
+      }
+    }
+    int label = -1;
+    for (std::size_t c = 0; c < schema->num_classes(); ++c) {
+      if (schema->class_names()[c] == cells.back()) {
+        label = static_cast<int>(c);
+        break;
+      }
+    }
+    FROTE_CHECK_MSG(label >= 0, "unknown class: " << cells.back());
+    data.add_row(row, label);
+  }
+  return data;
+}
+
+Dataset load_csv(const std::string& path) {
+  std::ifstream is(path);
+  FROTE_CHECK_MSG(is.good(), "cannot open " << path);
+  return load_csv(is);
+}
+
+}  // namespace frote

@@ -1,0 +1,23 @@
+// CSV persistence for datasets: save/load with a schema header line so that
+// augmented datasets produced by FROTE can be inspected or round-tripped
+// into other tools. Format:
+//
+//   #schema,<feat>:num | <feat>:cat{a|b|c},...,label{c0|c1}
+//   <header row with feature names and "label">
+//   <data rows; categorical cells are written as category names>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "frote/data/dataset.hpp"
+
+namespace frote {
+
+void save_csv(const Dataset& data, std::ostream& os);
+void save_csv(const Dataset& data, const std::string& path);
+
+Dataset load_csv(std::istream& is);
+Dataset load_csv(const std::string& path);
+
+}  // namespace frote

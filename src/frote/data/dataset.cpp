@@ -1,0 +1,112 @@
+#include "frote/data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "frote/util/stats.hpp"
+
+namespace frote {
+
+Dataset::Dataset(std::shared_ptr<const Schema> schema)
+    : schema_(std::move(schema)) {
+  FROTE_CHECK(schema_ != nullptr);
+}
+
+void Dataset::set_label(std::size_t i, int label) {
+  FROTE_CHECK_MSG(i < size(), "row " << i << " out of " << size());
+  FROTE_CHECK_MSG(label >= 0 && static_cast<std::size_t>(label) <
+                                    schema().num_classes(),
+                  "label " << label);
+  labels_[i] = label;
+}
+
+void Dataset::add_row(const std::vector<double>& features, int label) {
+  schema().validate_row(features);
+  FROTE_CHECK_MSG(label >= 0 && static_cast<std::size_t>(label) <
+                                    schema().num_classes(),
+                  "label " << label);
+  values_.insert(values_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+void Dataset::add_row(std::span<const double> features, int label) {
+  add_row(std::vector<double>(features.begin(), features.end()), label);
+}
+
+void Dataset::append(const Dataset& other) {
+  FROTE_CHECK_MSG(schema() == other.schema(), "schema mismatch in append");
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out(schema_);
+  const std::size_t w = schema().num_features();
+  out.values_.reserve(indices.size() * w);
+  out.labels_.reserve(indices.size());
+  for (std::size_t idx : indices) {
+    FROTE_CHECK_MSG(idx < size(), "subset index " << idx);
+    out.values_.insert(out.values_.end(), values_.begin() + idx * w,
+                       values_.begin() + (idx + 1) * w);
+    out.labels_.push_back(labels_[idx]);
+  }
+  return out;
+}
+
+void Dataset::remove_rows(std::vector<std::size_t> indices) {
+  if (indices.empty()) return;
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  FROTE_CHECK(indices.back() < size());
+  const std::size_t w = schema().num_features();
+  std::vector<double> new_values;
+  std::vector<int> new_labels;
+  new_values.reserve(values_.size());
+  new_labels.reserve(labels_.size());
+  std::size_t next_removed = 0;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (next_removed < indices.size() && indices[next_removed] == i) {
+      ++next_removed;
+      continue;
+    }
+    new_values.insert(new_values.end(), values_.begin() + i * w,
+                      values_.begin() + (i + 1) * w);
+    new_labels.push_back(labels_[i]);
+  }
+  values_ = std::move(new_values);
+  labels_ = std::move(new_labels);
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(schema().num_classes(), 0);
+  for (int y : labels_) counts[static_cast<std::size_t>(y)]++;
+  return counts;
+}
+
+Dataset::ColumnStats Dataset::numeric_column_stats(std::size_t feature) const {
+  FROTE_CHECK(feature < num_features());
+  FROTE_CHECK_MSG(!schema().feature(feature).is_categorical(),
+                  "stats requested on categorical column");
+  RunningStats s;
+  for (std::size_t i = 0; i < size(); ++i) s.add(row(i)[feature]);
+  ColumnStats out;
+  if (s.count() > 0) {
+    out.mean = s.mean();
+    out.stddev = s.stddev();
+    out.min = s.min();
+    out.max = s.max();
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::category_counts(std::size_t feature) const {
+  const auto& spec = schema().feature(feature);
+  FROTE_CHECK_MSG(spec.is_categorical(), "category_counts on numeric column");
+  std::vector<std::size_t> counts(spec.cardinality(), 0);
+  for (std::size_t i = 0; i < size(); ++i) {
+    counts[static_cast<std::size_t>(row(i)[feature])]++;
+  }
+  return counts;
+}
+
+}  // namespace frote

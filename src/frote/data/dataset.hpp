@@ -1,0 +1,77 @@
+// Tabular dataset container: a shared schema plus row-major feature values
+// and integer class labels. All FROTE operations (coverage, relabel/drop,
+// augmentation) work on this type.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "frote/data/schema.hpp"
+
+namespace frote {
+
+/// Immutable-schema, mutable-rows dataset. Rows are stored contiguously.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::shared_ptr<const Schema> schema);
+
+  const Schema& schema() const {
+    FROTE_CHECK(schema_ != nullptr);
+    return *schema_;
+  }
+  std::shared_ptr<const Schema> schema_ptr() const { return schema_; }
+
+  std::size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+  std::size_t num_features() const { return schema().num_features(); }
+  std::size_t num_classes() const { return schema().num_classes(); }
+
+  /// Feature vector of row i as a span over contiguous storage.
+  std::span<const double> row(std::size_t i) const {
+    FROTE_CHECK_MSG(i < size(), "row " << i << " out of " << size());
+    const std::size_t w = schema().num_features();
+    return {values_.data() + i * w, w};
+  }
+
+  int label(std::size_t i) const {
+    FROTE_CHECK_MSG(i < size(), "row " << i << " out of " << size());
+    return labels_[i];
+  }
+
+  void set_label(std::size_t i, int label);
+
+  /// Append a row (validated against the schema).
+  void add_row(const std::vector<double>& features, int label);
+  void add_row(std::span<const double> features, int label);
+
+  /// Append every row of `other` (schemas must match).
+  void append(const Dataset& other);
+
+  /// New dataset containing the rows at `indices` (order preserved).
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// Remove the rows at `indices` (need not be sorted; duplicates ignored).
+  void remove_rows(std::vector<std::size_t> indices);
+
+  /// Per-class row counts.
+  std::vector<std::size_t> class_counts() const;
+
+  /// Mean / sample-std / min / max of a numeric feature column.
+  struct ColumnStats {
+    double mean = 0.0, stddev = 0.0, min = 0.0, max = 0.0;
+  };
+  ColumnStats numeric_column_stats(std::size_t feature) const;
+
+  /// Distinct category code counts of a categorical feature column.
+  std::vector<std::size_t> category_counts(std::size_t feature) const;
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::vector<double> values_;  // row-major, size() * num_features()
+  std::vector<int> labels_;
+};
+
+}  // namespace frote

@@ -1,0 +1,60 @@
+#include "frote/data/encoder.hpp"
+
+#include <cmath>
+
+namespace frote {
+
+Encoder Encoder::fit(const Dataset& data) {
+  FROTE_CHECK_MSG(!data.empty(), "cannot fit encoder on empty dataset");
+  Encoder enc;
+  std::size_t offset = 0;
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    const auto& spec = data.schema().feature(f);
+    ColumnPlan plan;
+    plan.offset = offset;
+    if (spec.is_categorical()) {
+      plan.categorical = true;
+      plan.cardinality = spec.cardinality();
+      offset += plan.cardinality;
+    } else {
+      const auto stats = data.numeric_column_stats(f);
+      plan.mean = stats.mean;
+      plan.inv_std = stats.stddev > 1e-12 ? 1.0 / stats.stddev : 1.0;
+      offset += 1;
+    }
+    enc.plans_.push_back(plan);
+  }
+  enc.width_ = offset;
+  return enc;
+}
+
+std::vector<double> Encoder::transform(std::span<const double> row) const {
+  FROTE_CHECK_MSG(row.size() == plans_.size(),
+                  "row width " << row.size() << " != " << plans_.size());
+  std::vector<double> out(width_, 0.0);
+  for (std::size_t f = 0; f < plans_.size(); ++f) {
+    const auto& plan = plans_[f];
+    if (plan.categorical) {
+      auto code = static_cast<std::size_t>(row[f]);
+      // Codes outside the fitted cardinality encode as all-zeros: unseen
+      // category. Coverage logic elsewhere guarantees valid codes, but the
+      // encoder stays total for robustness.
+      if (code < plan.cardinality) out[plan.offset + code] = 1.0;
+    } else {
+      out[plan.offset] = (row[f] - plan.mean) * plan.inv_std;
+    }
+  }
+  return out;
+}
+
+std::vector<double> Encoder::transform_all(const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.size() * width_);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    auto enc = transform(data.row(i));
+    out.insert(out.end(), enc.begin(), enc.end());
+  }
+  return out;
+}
+
+}  // namespace frote

@@ -1,0 +1,44 @@
+// Feature encoding for numeric models (logistic regression, online LR):
+// standardizes numeric columns and one-hot encodes categorical columns,
+// matching the preprocessing the paper's scikit-learn pipeline applies.
+// Tree models consume raw rows and do not use this.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "frote/data/dataset.hpp"
+
+namespace frote {
+
+/// Fitted one-hot + standardization transform.
+class Encoder {
+ public:
+  Encoder() = default;
+
+  /// Fit scaling parameters and the one-hot layout on `data`.
+  static Encoder fit(const Dataset& data);
+
+  /// Width of the encoded vector.
+  std::size_t encoded_width() const { return width_; }
+
+  /// Encode one raw row.
+  std::vector<double> transform(std::span<const double> row) const;
+
+  /// Encode the whole dataset (row-major, size() x encoded_width()).
+  std::vector<double> transform_all(const Dataset& data) const;
+
+ private:
+  struct ColumnPlan {
+    bool categorical = false;
+    std::size_t offset = 0;       // first output slot for this column
+    std::size_t cardinality = 0;  // categorical only
+    double mean = 0.0;            // numeric only
+    double inv_std = 1.0;         // numeric only (1 when std ~ 0)
+  };
+  std::vector<ColumnPlan> plans_;
+  std::size_t width_ = 0;
+};
+
+}  // namespace frote

@@ -1,0 +1,489 @@
+#include "frote/data/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "frote/util/rng.hpp"
+
+namespace frote {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Feature blueprints
+// ---------------------------------------------------------------------------
+
+enum class NumDist { kNormal, kLogNormal, kUniform };
+
+struct NumBlueprint {
+  std::string name;
+  NumDist dist = NumDist::kNormal;
+  double a = 0.0;  // Normal: mean; LogNormal: mu; Uniform: lo
+  double b = 1.0;  // Normal: std;  LogNormal: sigma; Uniform: hi
+};
+
+struct CatBlueprint {
+  std::string name;
+  std::vector<std::string> values;
+  /// Unnormalised category prior; empty ⇒ uniform.
+  std::vector<double> weights;
+};
+
+struct DatasetBlueprint {
+  std::vector<NumBlueprint> numeric;
+  std::vector<CatBlueprint> categorical;
+  std::vector<std::string> classes;
+  /// Target class proportions (unnormalised); empty ⇒ uniform.
+  std::vector<double> class_weights;
+  double label_noise = 0.06;
+  std::uint64_t structure_seed = 1;  // seed stream for the latent labeler
+};
+
+std::vector<std::string> generic_values(const std::string& prefix,
+                                        std::size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(prefix + std::to_string(i));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Latent labeler: per-class linear scores over standardized numerics,
+// per-category effects and a few numeric×numeric interactions, with biases
+// calibrated to the target class proportions.
+// ---------------------------------------------------------------------------
+
+class LatentLabeler {
+ public:
+  LatentLabeler(const DatasetBlueprint& bp, const Schema& schema,
+                std::uint64_t seed)
+      : bp_(bp), schema_(schema), rng_(seed) {
+    const std::size_t classes = schema.num_classes();
+    const std::size_t d = schema.num_features();
+    weights_.assign(classes, std::vector<double>(d, 0.0));
+    cat_effects_.assign(classes, {});
+    for (std::size_t c = 0; c < classes; ++c) {
+      cat_effects_[c].resize(d);
+      for (std::size_t f = 0; f < d; ++f) {
+        const auto& spec = schema.feature(f);
+        if (spec.is_categorical()) {
+          cat_effects_[c][f].resize(spec.cardinality());
+          for (auto& e : cat_effects_[c][f]) e = rng_.normal(0.0, 1.0);
+        } else {
+          weights_[c][f] = rng_.normal(0.0, 1.0);
+        }
+      }
+    }
+    // A few pairwise numeric interactions for non-linearity.
+    std::vector<std::size_t> numeric_features;
+    for (std::size_t f = 0; f < d; ++f) {
+      if (!schema.feature(f).is_categorical()) numeric_features.push_back(f);
+    }
+    const std::size_t n_inter =
+        std::min<std::size_t>(3, numeric_features.size() / 2);
+    for (std::size_t i = 0; i < n_inter; ++i) {
+      Interaction inter;
+      inter.f1 = numeric_features[rng_.index(numeric_features.size())];
+      inter.f2 = numeric_features[rng_.index(numeric_features.size())];
+      inter.coef.resize(classes);
+      for (auto& c : inter.coef) c = rng_.normal(0.0, 0.6);
+      interactions_.push_back(inter);
+    }
+    biases_.assign(classes, 0.0);
+  }
+
+  /// Calibrate class biases on a pilot sample so argmax labels roughly hit
+  /// the target proportions.
+  void calibrate(const std::vector<std::vector<double>>& pilot_rows,
+                 const std::vector<double>& standardizers_mean,
+                 const std::vector<double>& standardizers_inv_std) {
+    means_ = standardizers_mean;
+    inv_stds_ = standardizers_inv_std;
+    std::vector<double> target(schema_.num_classes(),
+                               1.0 / static_cast<double>(schema_.num_classes()));
+    if (!bp_.class_weights.empty()) {
+      double total = 0.0;
+      for (double w : bp_.class_weights) total += w;
+      for (std::size_t c = 0; c < target.size(); ++c) {
+        target[c] = bp_.class_weights[c] / total;
+      }
+    }
+    for (int round = 0; round < 12; ++round) {
+      std::vector<double> counts(schema_.num_classes(), 0.0);
+      for (const auto& row : pilot_rows) {
+        counts[static_cast<std::size_t>(argmax_label(row))] += 1.0;
+      }
+      for (std::size_t c = 0; c < counts.size(); ++c) {
+        const double observed =
+            std::max(counts[c] / static_cast<double>(pilot_rows.size()), 1e-3);
+        biases_[c] += 0.5 * std::log(target[c] / observed);
+      }
+    }
+  }
+
+  int label(const std::vector<double>& row, Rng& noise_rng) const {
+    int y = argmax_label(row);
+    if (noise_rng.bernoulli(bp_.label_noise)) {
+      // Flip to a uniformly random *other* class.
+      std::size_t draw = noise_rng.index(schema_.num_classes() - 1);
+      if (draw >= static_cast<std::size_t>(y)) ++draw;
+      y = static_cast<int>(draw);
+    }
+    return y;
+  }
+
+ private:
+  int argmax_label(const std::vector<double>& row) const {
+    double best = -1e300;
+    int best_c = 0;
+    for (std::size_t c = 0; c < weights_.size(); ++c) {
+      double score = biases_[c];
+      for (std::size_t f = 0; f < row.size(); ++f) {
+        const auto& spec = schema_.feature(f);
+        if (spec.is_categorical()) {
+          score += cat_effects_[c][f][static_cast<std::size_t>(row[f])];
+        } else {
+          score += weights_[c][f] * (row[f] - means_[f]) * inv_stds_[f];
+        }
+      }
+      for (const auto& inter : interactions_) {
+        const double z1 = (row[inter.f1] - means_[inter.f1]) *
+                          inv_stds_[inter.f1];
+        const double z2 = (row[inter.f2] - means_[inter.f2]) *
+                          inv_stds_[inter.f2];
+        score += inter.coef[c] * z1 * z2;
+      }
+      if (score > best) {
+        best = score;
+        best_c = static_cast<int>(c);
+      }
+    }
+    return best_c;
+  }
+
+  struct Interaction {
+    std::size_t f1 = 0, f2 = 0;
+    std::vector<double> coef;
+  };
+
+  const DatasetBlueprint& bp_;
+  const Schema& schema_;
+  Rng rng_;
+  std::vector<std::vector<double>> weights_;  // class x feature (numeric)
+  std::vector<std::vector<std::vector<double>>> cat_effects_;  // class x feat x code
+  std::vector<Interaction> interactions_;
+  std::vector<double> biases_;
+  std::vector<double> means_, inv_stds_;
+};
+
+double sample_numeric(const NumBlueprint& nb, Rng& rng) {
+  switch (nb.dist) {
+    case NumDist::kNormal: return rng.normal(nb.a, nb.b);
+    case NumDist::kLogNormal: return std::exp(rng.normal(nb.a, nb.b));
+    case NumDist::kUniform: return rng.uniform(nb.a, nb.b);
+  }
+  return 0.0;
+}
+
+Dataset generate(const DatasetBlueprint& bp, std::size_t size,
+                 std::uint64_t seed) {
+  FROTE_CHECK(size > 0);
+  std::vector<FeatureSpec> specs;
+  for (const auto& nb : bp.numeric) specs.push_back(FeatureSpec::numeric(nb.name));
+  for (const auto& cb : bp.categorical) {
+    specs.push_back(FeatureSpec::categorical(cb.name, cb.values));
+  }
+  auto schema = std::make_shared<Schema>(std::move(specs), bp.classes);
+
+  Rng rng(derive_seed(seed, 0));
+  // Sample raw feature rows.
+  std::vector<std::vector<double>> rows(size);
+  for (auto& row : rows) {
+    row.reserve(schema->num_features());
+    for (const auto& nb : bp.numeric) row.push_back(sample_numeric(nb, rng));
+    for (const auto& cb : bp.categorical) {
+      std::size_t code;
+      if (cb.weights.empty()) {
+        code = rng.index(cb.values.size());
+      } else {
+        code = rng.categorical(cb.weights);
+      }
+      row.push_back(static_cast<double>(code));
+    }
+  }
+
+  // Standardizers for the labeler (population moments of the sample).
+  std::vector<double> means(schema->num_features(), 0.0);
+  std::vector<double> inv_stds(schema->num_features(), 1.0);
+  for (std::size_t f = 0; f < bp.numeric.size(); ++f) {
+    double mean = 0.0;
+    for (const auto& row : rows) mean += row[f];
+    mean /= static_cast<double>(size);
+    double var = 0.0;
+    for (const auto& row : rows) var += (row[f] - mean) * (row[f] - mean);
+    var /= static_cast<double>(size);
+    means[f] = mean;
+    inv_stds[f] = var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0;
+  }
+
+  LatentLabeler labeler(bp, *schema, derive_seed(bp.structure_seed, 7));
+  // Calibrate on (up to) the first 2000 rows.
+  std::vector<std::vector<double>> pilot(
+      rows.begin(), rows.begin() + std::min<std::size_t>(size, 2000));
+  labeler.calibrate(pilot, means, inv_stds);
+
+  Rng noise_rng(derive_seed(seed, 1));
+  Dataset data(schema);
+  for (const auto& row : rows) {
+    data.add_row(row, labeler.label(row, noise_rng));
+  }
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// Per-dataset blueprints (Table 1 schemas)
+// ---------------------------------------------------------------------------
+
+DatasetBlueprint adult_blueprint() {
+  DatasetBlueprint bp;
+  bp.numeric = {
+      {"age", NumDist::kNormal, 38.6, 13.2},
+      {"education_num", NumDist::kNormal, 10.1, 2.5},
+      {"capital_gain", NumDist::kLogNormal, 2.0, 2.5},
+      {"hours_per_week", NumDist::kNormal, 40.9, 12.0},
+  };
+  bp.categorical = {
+      {"workclass",
+       {"private", "self_emp", "government", "unemployed"},
+       {0.70, 0.11, 0.13, 0.06}},
+      {"education",
+       {"hs_or_less", "some_college", "bachelors", "advanced"},
+       {0.45, 0.25, 0.20, 0.10}},
+      {"marital_status", {"married", "single", "divorced"}, {0.47, 0.33, 0.20}},
+      {"occupation",
+       generic_values("occ", 6),
+       {0.2, 0.2, 0.18, 0.16, 0.14, 0.12}},
+      {"relationship", {"husband", "wife", "own_child", "not_in_family"},
+       {0.4, 0.05, 0.15, 0.4}},
+      {"race", {"white", "black", "asian", "other"}, {0.85, 0.09, 0.03, 0.03}},
+      {"sex", {"male", "female"}, {0.67, 0.33}},
+      {"native_country", {"us", "latin_america", "asia", "europe"},
+       {0.90, 0.05, 0.03, 0.02}},
+  };
+  bp.classes = {"<=50K", ">50K"};
+  bp.class_weights = {0.75, 0.25};
+  bp.structure_seed = 101;
+  return bp;
+}
+
+DatasetBlueprint breast_cancer_blueprint() {
+  DatasetBlueprint bp;
+  // Paper's Table 1 lists 32 numeric features (WDBC's 30 + id-derived cols).
+  static const char* kStems[] = {"radius", "texture", "perimeter", "area",
+                                 "smoothness", "compactness", "concavity",
+                                 "concave_points", "symmetry", "fractal_dim"};
+  static const char* kSuffixes[] = {"_mean", "_se", "_worst"};
+  std::size_t produced = 0;
+  for (const char* suffix : kSuffixes) {
+    for (const char* stem : kStems) {
+      if (produced == 30) break;
+      bp.numeric.push_back({std::string(stem) + suffix, NumDist::kLogNormal,
+                            0.5, 0.6});
+      ++produced;
+    }
+  }
+  bp.numeric.push_back({"cell_count", NumDist::kNormal, 50.0, 12.0});
+  bp.numeric.push_back({"slide_density", NumDist::kUniform, 0.0, 1.0});
+  bp.classes = {"benign", "malignant"};
+  bp.class_weights = {0.63, 0.37};
+  bp.label_noise = 0.04;
+  bp.structure_seed = 102;
+  return bp;
+}
+
+DatasetBlueprint nursery_blueprint() {
+  DatasetBlueprint bp;
+  bp.categorical = {
+      {"parents", {"usual", "pretentious", "great_pret"}, {}},
+      {"has_nurs", generic_values("nurs", 5), {}},
+      {"form", {"complete", "completed", "incomplete", "foster"}, {}},
+      {"children", {"one", "two", "three", "more"}, {}},
+      {"housing", {"convenient", "less_conv", "critical"}, {}},
+      {"finance", {"convenient", "inconv"}, {}},
+      {"social", {"nonprob", "slightly_prob", "problematic"}, {}},
+      {"health", {"recommended", "priority", "not_recom"}, {}},
+  };
+  bp.classes = {"not_recom", "priority", "spec_prior", "very_recom"};
+  bp.class_weights = {0.33, 0.33, 0.31, 0.03};
+  bp.structure_seed = 103;
+  return bp;
+}
+
+DatasetBlueprint wine_blueprint() {
+  DatasetBlueprint bp;
+  bp.numeric = {
+      {"fixed_acidity", NumDist::kNormal, 6.85, 0.84},
+      {"volatile_acidity", NumDist::kLogNormal, -1.3, 0.35},
+      {"citric_acid", NumDist::kNormal, 0.33, 0.12},
+      {"residual_sugar", NumDist::kLogNormal, 1.2, 0.9},
+      {"chlorides", NumDist::kLogNormal, -3.1, 0.35},
+      {"free_so2", NumDist::kNormal, 35.3, 17.0},
+      {"total_so2", NumDist::kNormal, 138.4, 42.5},
+      {"density", NumDist::kNormal, 0.994, 0.003},
+      {"ph", NumDist::kNormal, 3.19, 0.15},
+      {"sulphates", NumDist::kLogNormal, -0.75, 0.23},
+      {"alcohol", NumDist::kNormal, 10.5, 1.23},
+  };
+  bp.classes = {"q3", "q4", "q5", "q6", "q7", "q8", "q9"};
+  bp.class_weights = {0.004, 0.033, 0.297, 0.449, 0.180, 0.036, 0.001};
+  bp.structure_seed = 104;
+  return bp;
+}
+
+DatasetBlueprint mushroom_blueprint() {
+  DatasetBlueprint bp;
+  static const struct {
+    const char* name;
+    std::size_t cardinality;
+  } kFeatures[] = {
+      {"cap_shape", 6},       {"cap_surface", 4}, {"cap_color", 10},
+      {"bruises", 2},         {"odor", 9},        {"gill_attachment", 2},
+      {"gill_spacing", 2},    {"gill_size", 2},   {"gill_color", 12},
+      {"stalk_shape", 2},     {"stalk_root", 5},  {"stalk_surface_above", 4},
+      {"stalk_surface_below", 4}, {"stalk_color_above", 9},
+      {"stalk_color_below", 9},   {"veil_color", 4},
+      {"ring_number", 3},     {"ring_type", 5},   {"spore_print_color", 9},
+      {"population", 6},      {"habitat", 7},
+  };
+  for (const auto& f : kFeatures) {
+    bp.categorical.push_back({f.name, generic_values("v", f.cardinality), {}});
+  }
+  bp.classes = {"edible", "poisonous"};
+  bp.class_weights = {0.52, 0.48};
+  bp.label_noise = 0.02;  // mushroom is near-separable
+  bp.structure_seed = 105;
+  return bp;
+}
+
+DatasetBlueprint contraceptive_blueprint() {
+  DatasetBlueprint bp;
+  bp.numeric = {
+      {"wife_age", NumDist::kNormal, 32.5, 8.2},
+      {"num_children", NumDist::kLogNormal, 1.0, 0.65},
+  };
+  bp.categorical = {
+      {"wife_education", generic_values("edu", 4), {0.2, 0.25, 0.25, 0.3}},
+      {"husband_education", generic_values("edu", 4), {0.1, 0.2, 0.3, 0.4}},
+      {"wife_religion", {"non_islam", "islam"}, {0.15, 0.85}},
+      {"wife_working", {"yes", "no"}, {0.25, 0.75}},
+      {"husband_occupation", generic_values("occ", 4), {}},
+      {"living_standard", generic_values("std", 4), {0.1, 0.2, 0.3, 0.4}},
+      {"media_exposure", {"good", "not_good"}, {0.92, 0.08}},
+  };
+  bp.classes = {"no_use", "long_term", "short_term"};
+  bp.class_weights = {0.43, 0.23, 0.34};
+  bp.label_noise = 0.12;  // contraceptive is a noisy dataset
+  bp.structure_seed = 106;
+  return bp;
+}
+
+DatasetBlueprint car_blueprint() {
+  DatasetBlueprint bp;
+  bp.categorical = {
+      {"buying", {"vhigh", "high", "med", "low"}, {}},
+      {"maint", {"vhigh", "high", "med", "low"}, {}},
+      {"doors", {"two", "three", "four", "more"}, {}},
+      {"persons", {"two", "four", "more"}, {}},
+      {"lug_boot", {"small", "med", "big"}, {}},
+      {"safety", {"low", "med", "high"}, {}},
+  };
+  bp.classes = {"unacc", "acc", "good", "vgood"};
+  bp.class_weights = {0.70, 0.22, 0.04, 0.04};
+  bp.structure_seed = 107;
+  return bp;
+}
+
+DatasetBlueprint splice_blueprint() {
+  DatasetBlueprint bp;
+  for (std::size_t pos = 0; pos < 60; ++pos) {
+    bp.categorical.push_back({"base_" + std::to_string(pos),
+                              {"A", "C", "G", "T"},
+                              {}});
+  }
+  bp.classes = {"EI", "IE", "N"};
+  bp.class_weights = {0.24, 0.24, 0.52};
+  bp.structure_seed = 108;
+  return bp;
+}
+
+const DatasetBlueprint& blueprint_for(UciDataset id) {
+  static const DatasetBlueprint kAdult = adult_blueprint();
+  static const DatasetBlueprint kBreast = breast_cancer_blueprint();
+  static const DatasetBlueprint kNursery = nursery_blueprint();
+  static const DatasetBlueprint kWine = wine_blueprint();
+  static const DatasetBlueprint kMushroom = mushroom_blueprint();
+  static const DatasetBlueprint kContraceptive = contraceptive_blueprint();
+  static const DatasetBlueprint kCar = car_blueprint();
+  static const DatasetBlueprint kSplice = splice_blueprint();
+  switch (id) {
+    case UciDataset::kAdult: return kAdult;
+    case UciDataset::kBreastCancer: return kBreast;
+    case UciDataset::kNursery: return kNursery;
+    case UciDataset::kWineQuality: return kWine;
+    case UciDataset::kMushroom: return kMushroom;
+    case UciDataset::kContraceptive: return kContraceptive;
+    case UciDataset::kCar: return kCar;
+    case UciDataset::kSplice: return kSplice;
+  }
+  throw Error("unknown dataset id");
+}
+
+}  // namespace
+
+const std::vector<DatasetInfo>& all_datasets() {
+  static const std::vector<DatasetInfo> kInfos = {
+      {UciDataset::kAdult, "Adult", 45222, 4, 8, 2},
+      {UciDataset::kBreastCancer, "Breast Cancer", 569, 32, 0, 2},
+      {UciDataset::kNursery, "Nursery", 12958, 0, 8, 4},
+      {UciDataset::kWineQuality, "Wine Quality (white)", 4898, 11, 0, 7},
+      {UciDataset::kMushroom, "Mushroom", 8124, 0, 21, 2},
+      {UciDataset::kContraceptive, "Contraceptive", 1473, 2, 7, 3},
+      {UciDataset::kCar, "Car", 1728, 0, 6, 4},
+      {UciDataset::kSplice, "Splice", 3190, 0, 60, 3},
+  };
+  return kInfos;
+}
+
+const DatasetInfo& dataset_info(UciDataset id) {
+  for (const auto& info : all_datasets()) {
+    if (info.id == id) return info;
+  }
+  throw Error("unknown dataset id");
+}
+
+UciDataset dataset_by_name(const std::string& name) {
+  for (const auto& info : all_datasets()) {
+    if (info.name == name) return info.id;
+  }
+  throw Error("unknown dataset name: " + name);
+}
+
+Dataset make_dataset(UciDataset id, std::size_t size, std::uint64_t seed) {
+  const auto& info = dataset_info(id);
+  const std::size_t n = size == 0 ? info.paper_size : size;
+  Dataset data = generate(blueprint_for(id), n, seed);
+  // Invariants promised by Table 1.
+  FROTE_CHECK(data.schema().num_numeric() == info.num_numeric);
+  FROTE_CHECK(data.schema().num_categorical() == info.num_categorical);
+  FROTE_CHECK(data.num_classes() == info.num_classes);
+  return data;
+}
+
+std::vector<UciDataset> binary_datasets() {
+  return {UciDataset::kBreastCancer, UciDataset::kMushroom, UciDataset::kAdult};
+}
+
+}  // namespace frote

@@ -1,0 +1,67 @@
+#include "frote/data/schema.hpp"
+
+#include <cmath>
+
+namespace frote {
+
+Schema::Schema(std::vector<FeatureSpec> features,
+               std::vector<std::string> classes)
+    : features_(std::move(features)), classes_(std::move(classes)) {
+  FROTE_CHECK(!features_.empty());
+  FROTE_CHECK_MSG(classes_.size() >= 2, "need at least two classes");
+  for (const auto& f : features_) {
+    if (!f.is_categorical()) ++num_numeric_;
+  }
+}
+
+const FeatureSpec& Schema::feature(std::size_t i) const {
+  FROTE_CHECK_MSG(i < features_.size(), "feature index " << i);
+  return features_[i];
+}
+
+std::size_t Schema::feature_index(const std::string& name) const {
+  for (std::size_t i = 0; i < features_.size(); ++i) {
+    if (features_[i].name == name) return i;
+  }
+  throw Error("unknown feature: " + name);
+}
+
+std::size_t Schema::category_code(std::size_t f,
+                                  const std::string& value) const {
+  const auto& spec = feature(f);
+  FROTE_CHECK_MSG(spec.is_categorical(), spec.name << " is numeric");
+  for (std::size_t c = 0; c < spec.categories.size(); ++c) {
+    if (spec.categories[c] == value) return c;
+  }
+  throw Error("unknown category '" + value + "' for feature " + spec.name);
+}
+
+void Schema::validate_row(const std::vector<double>& row) const {
+  FROTE_CHECK_MSG(row.size() == features_.size(),
+                  "row width " << row.size() << " != " << features_.size());
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const auto& spec = features_[i];
+    FROTE_CHECK_MSG(std::isfinite(row[i]),
+                    "non-finite value in feature " << spec.name);
+    if (spec.is_categorical()) {
+      const double code = row[i];
+      FROTE_CHECK_MSG(code >= 0.0 && code == std::floor(code) &&
+                          static_cast<std::size_t>(code) < spec.cardinality(),
+                      "bad category code " << code << " for " << spec.name);
+    }
+  }
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (classes_ != other.classes_) return false;
+  if (features_.size() != other.features_.size()) return false;
+  for (std::size_t i = 0; i < features_.size(); ++i) {
+    const auto& a = features_[i];
+    const auto& b = other.features_[i];
+    if (a.name != b.name || a.type != b.type || a.categories != b.categories)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace frote

@@ -1,0 +1,76 @@
+// Feature schema for mixed-type tabular data.
+//
+// Cells are stored as doubles everywhere (row-major); the schema layer is
+// what gives categorical columns their meaning: a categorical cell holds a
+// non-negative integer category code, and the schema maps codes back to
+// category names. This mirrors the encoded-categorical convention of the
+// Python tabular stack the paper uses, without a tagged union per cell.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "frote/util/error.hpp"
+
+namespace frote {
+
+enum class FeatureType { kNumeric, kCategorical };
+
+/// One column of the table: name, type and (for categoricals) category names.
+struct FeatureSpec {
+  std::string name;
+  FeatureType type = FeatureType::kNumeric;
+  /// Category names; size() is the cardinality. Empty for numeric features.
+  std::vector<std::string> categories;
+
+  bool is_categorical() const { return type == FeatureType::kCategorical; }
+  std::size_t cardinality() const { return categories.size(); }
+
+  static FeatureSpec numeric(std::string name) {
+    return FeatureSpec{std::move(name), FeatureType::kNumeric, {}};
+  }
+  static FeatureSpec categorical(std::string name,
+                                 std::vector<std::string> categories) {
+    FROTE_CHECK(!categories.empty());
+    return FeatureSpec{std::move(name), FeatureType::kCategorical,
+                       std::move(categories)};
+  }
+};
+
+/// Schema: ordered feature specs plus the label's class names.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::vector<FeatureSpec> features, std::vector<std::string> classes);
+
+  std::size_t num_features() const { return features_.size(); }
+  std::size_t num_classes() const { return classes_.size(); }
+  const FeatureSpec& feature(std::size_t i) const;
+  const std::vector<FeatureSpec>& features() const { return features_; }
+  const std::vector<std::string>& class_names() const { return classes_; }
+
+  /// Index of the feature with the given name; throws if absent.
+  std::size_t feature_index(const std::string& name) const;
+
+  /// Category code of `value` in feature `f`; throws if absent.
+  std::size_t category_code(std::size_t f, const std::string& value) const;
+
+  std::size_t num_numeric() const { return num_numeric_; }
+  std::size_t num_categorical() const {
+    return features_.size() - num_numeric_;
+  }
+
+  /// Validate a raw row against this schema (category codes in range,
+  /// numerics finite). Throws on violation.
+  void validate_row(const std::vector<double>& row) const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<FeatureSpec> features_;
+  std::vector<std::string> classes_;
+  std::size_t num_numeric_ = 0;
+};
+
+}  // namespace frote

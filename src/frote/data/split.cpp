@@ -1,0 +1,56 @@
+#include "frote/data/split.hpp"
+
+#include <algorithm>
+
+namespace frote {
+
+TrainTestSplit random_split(const Dataset& data, double train_fraction,
+                            Rng& rng) {
+  FROTE_CHECK(train_fraction >= 0.0 && train_fraction <= 1.0);
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  const auto n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(data.size()));
+  std::vector<std::size_t> train_idx(order.begin(), order.begin() + n_train);
+  std::vector<std::size_t> test_idx(order.begin() + n_train, order.end());
+  return {data.subset(train_idx), data.subset(test_idx)};
+}
+
+TrainTestSplit coverage_split(const Dataset& data,
+                              const std::vector<std::size_t>& coverage_indices,
+                              double tcf, double outside_train_fraction,
+                              Rng& rng) {
+  FROTE_CHECK(tcf >= 0.0 && tcf <= 1.0);
+  FROTE_CHECK(outside_train_fraction >= 0.0 && outside_train_fraction <= 1.0);
+  std::vector<bool> covered(data.size(), false);
+  for (std::size_t idx : coverage_indices) {
+    FROTE_CHECK(idx < data.size());
+    covered[idx] = true;
+  }
+  std::vector<std::size_t> cov, outside;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    (covered[i] ? cov : outside).push_back(i);
+  }
+  rng.shuffle(cov);
+  rng.shuffle(outside);
+
+  const auto n_cov_train =
+      static_cast<std::size_t>(tcf * static_cast<double>(cov.size()));
+  const auto n_out_train = static_cast<std::size_t>(
+      outside_train_fraction * static_cast<double>(outside.size()));
+
+  std::vector<std::size_t> train_idx, test_idx;
+  train_idx.insert(train_idx.end(), outside.begin(),
+                   outside.begin() + n_out_train);
+  test_idx.insert(test_idx.end(), outside.begin() + n_out_train,
+                  outside.end());
+  train_idx.insert(train_idx.end(), cov.begin(), cov.begin() + n_cov_train);
+  test_idx.insert(test_idx.end(), cov.begin() + n_cov_train, cov.end());
+  // Shuffle so training row order carries no coverage signal.
+  rng.shuffle(train_idx);
+  rng.shuffle(test_idx);
+  return {data.subset(train_idx), data.subset(test_idx)};
+}
+
+}  // namespace frote

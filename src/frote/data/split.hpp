@@ -1,0 +1,35 @@
+// Train/test splitting, including the paper's coverage-aware split (§5.1):
+// the dataset is partitioned into rule coverage and outside-coverage parts;
+// outside-coverage is split 80/20 (or a given ratio), and a *training
+// coverage fraction* (tcf) of the coverage set goes to training, the rest to
+// test. tcf = 0 models a brand-new rule with no support in training data.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "frote/data/dataset.hpp"
+#include "frote/util/rng.hpp"
+
+namespace frote {
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Plain random split: `train_fraction` of rows to train, rest to test.
+TrainTestSplit random_split(const Dataset& data, double train_fraction,
+                            Rng& rng);
+
+/// Coverage-aware split per §5.1. `coverage_indices` are the rows covered by
+/// the feedback rule set; they are sent to train with probability controlled
+/// by `tcf` (exactly ⌊tcf·|cov|⌋ random covered rows go to train). Rows
+/// outside coverage are split by `outside_train_fraction` (0.8 in Fig 2,
+/// 0.5 in the Overlay comparison).
+TrainTestSplit coverage_split(const Dataset& data,
+                              const std::vector<std::size_t>& coverage_indices,
+                              double tcf, double outside_train_fraction,
+                              Rng& rng);
+
+}  // namespace frote

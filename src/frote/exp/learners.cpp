@@ -1,0 +1,48 @@
+#include "frote/exp/learners.hpp"
+
+#include "frote/ml/gbdt.hpp"
+#include "frote/ml/logistic_regression.hpp"
+#include "frote/ml/random_forest.hpp"
+#include "frote/util/error.hpp"
+
+namespace frote {
+
+const char* learner_name(LearnerKind kind) {
+  switch (kind) {
+    case LearnerKind::kLR: return "LR";
+    case LearnerKind::kRF: return "RF";
+    case LearnerKind::kLGBM: return "LGBM";
+  }
+  return "?";
+}
+
+std::vector<LearnerKind> all_learners() {
+  return {LearnerKind::kLR, LearnerKind::kRF, LearnerKind::kLGBM};
+}
+
+std::unique_ptr<Learner> make_learner(LearnerKind kind, std::uint64_t seed,
+                                      bool fast) {
+  switch (kind) {
+    case LearnerKind::kLR: {
+      LogisticRegressionConfig config;
+      config.max_iter = fast ? 120 : 500;  // paper: max_iter = 500
+      return std::make_unique<LogisticRegressionLearner>(config);
+    }
+    case LearnerKind::kRF: {
+      RandomForestConfig config;
+      config.max_depth = 3;  // paper's setting
+      config.num_trees = fast ? 15 : 50;
+      config.seed = seed;
+      return std::make_unique<RandomForestLearner>(config);
+    }
+    case LearnerKind::kLGBM: {
+      GbdtConfig config;
+      config.num_rounds = fast ? 15 : 60;
+      config.seed = seed;
+      return std::make_unique<GbdtLearner>(config);
+    }
+  }
+  throw Error("unknown learner kind");
+}
+
+}  // namespace frote

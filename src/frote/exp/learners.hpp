@@ -1,0 +1,22 @@
+// Learner factory for the experiment harness: the paper's three
+// classification algorithms (§5.1) — scikit-learn RF (max_depth=3) and LR
+// (max_iter=500), and LightGBM — mapped to this library's implementations.
+// `fast` selects reduced capacities for smoke tests (FROTE_FAST).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "frote/ml/model.hpp"
+
+namespace frote {
+
+enum class LearnerKind { kLR, kRF, kLGBM };
+
+const char* learner_name(LearnerKind kind);
+std::vector<LearnerKind> all_learners();
+
+std::unique_ptr<Learner> make_learner(LearnerKind kind, std::uint64_t seed,
+                                      bool fast = false);
+
+}  // namespace frote

@@ -1,0 +1,62 @@
+#include "frote/knn/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "frote/util/error.hpp"
+
+namespace frote {
+
+MixedDistance MixedDistance::fit(const Dataset& data) {
+  FROTE_CHECK(!data.empty());
+  MixedDistance d;
+  std::vector<double> numeric_stds;
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    Column col;
+    if (data.schema().feature(f).is_categorical()) {
+      col.categorical = true;
+    } else {
+      const auto stats = data.numeric_column_stats(f);
+      numeric_stds.push_back(stats.stddev);
+      col.inv_std = stats.stddev > 1e-12 ? 1.0 / stats.stddev : 1.0;
+    }
+    d.columns_.push_back(col);
+  }
+  if (!numeric_stds.empty()) {
+    // SMOTE-NC: nominal mismatch cost = median of numeric feature σ's,
+    // measured in the *standardized* space — since we divide numeric diffs
+    // by σ, the standardized mismatch cost is median(σ)·(1/σ_f) per feature;
+    // the original SMOTE-NC applies it in raw space. We keep raw-space
+    // semantics: numeric diffs are raw/σ (unit variance), and the mismatch
+    // cost is the median σ divided by the same median σ = 1. To stay closer
+    // to the SMOTE-NC paper's behaviour (mismatch comparable to one σ of a
+    // typical numeric feature), use 1.0 in standardized space.
+    d.nominal_diff_ = 1.0;
+  } else {
+    d.nominal_diff_ = 1.0;
+  }
+  return d;
+}
+
+double MixedDistance::squared(std::span<const double> a,
+                              std::span<const double> b) const {
+  FROTE_CHECK(a.size() == columns_.size() && b.size() == columns_.size());
+  double acc = 0.0;
+  for (std::size_t f = 0; f < columns_.size(); ++f) {
+    const auto& col = columns_[f];
+    if (col.categorical) {
+      if (a[f] != b[f]) acc += nominal_diff_ * nominal_diff_;
+    } else {
+      const double diff = (a[f] - b[f]) * col.inv_std;
+      acc += diff * diff;
+    }
+  }
+  return acc;
+}
+
+double MixedDistance::operator()(std::span<const double> a,
+                                 std::span<const double> b) const {
+  return std::sqrt(squared(a, b));
+}
+
+}  // namespace frote

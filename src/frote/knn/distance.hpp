@@ -1,0 +1,44 @@
+// Mixed numeric/categorical distance for nearest-neighbour search, following
+// SMOTE-NC (Chawla et al. 2002): numeric coordinates contribute squared
+// differences after standardization; each categorical mismatch contributes
+// the square of the *median of the numeric features' standard deviations*.
+// This is a proper metric (it embeds categories as orthogonal simplex
+// corners), so a ball tree over it is valid.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "frote/data/dataset.hpp"
+
+namespace frote {
+
+/// Fitted SMOTE-NC distance over a dataset's schema and scale.
+class MixedDistance {
+ public:
+  MixedDistance() = default;
+
+  /// Fit per-feature scales on `data`. For a pure-categorical dataset the
+  /// mismatch cost is 1 (there is no numeric σ to take the median of).
+  static MixedDistance fit(const Dataset& data);
+
+  /// Squared distance between two raw rows.
+  double squared(std::span<const double> a, std::span<const double> b) const;
+
+  /// Distance (sqrt of squared).
+  double operator()(std::span<const double> a,
+                    std::span<const double> b) const;
+
+  double categorical_penalty() const { return nominal_diff_; }
+
+ private:
+  struct Column {
+    bool categorical = false;
+    double inv_std = 1.0;  // numeric: 1/σ (1 when σ ≈ 0)
+  };
+  std::vector<Column> columns_;
+  double nominal_diff_ = 1.0;  // per-mismatch distance contribution
+};
+
+}  // namespace frote

@@ -1,0 +1,171 @@
+#include "frote/knn/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace frote {
+
+namespace {
+
+std::vector<std::size_t> all_indices(const Dataset& data) {
+  std::vector<std::size_t> idx(data.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  return idx;
+}
+
+/// Keep a bounded max-heap of the k best neighbours (worst on top).
+struct NeighborCmp {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.index < b.index;  // deterministic tie-break
+  }
+};
+
+void heap_offer(std::vector<Neighbor>& heap, std::size_t k, Neighbor cand) {
+  if (heap.size() < k) {
+    heap.push_back(cand);
+    std::push_heap(heap.begin(), heap.end(), NeighborCmp{});
+  } else if (NeighborCmp{}(cand, heap.front())) {
+    std::pop_heap(heap.begin(), heap.end(), NeighborCmp{});
+    heap.back() = cand;
+    std::push_heap(heap.begin(), heap.end(), NeighborCmp{});
+  }
+}
+
+std::vector<Neighbor> heap_finish(std::vector<Neighbor> heap) {
+  std::sort_heap(heap.begin(), heap.end(), NeighborCmp{});
+  return heap;
+}
+
+}  // namespace
+
+BruteKnn::BruteKnn(const Dataset& data, MixedDistance distance,
+                   std::vector<std::size_t> indices)
+    : distance_(std::move(distance)) {
+  row_ids_ = indices.empty() ? all_indices(data) : std::move(indices);
+  rows_.reserve(row_ids_.size());
+  for (std::size_t id : row_ids_) {
+    auto row = data.row(id);
+    rows_.emplace_back(row.begin(), row.end());
+  }
+}
+
+std::vector<Neighbor> BruteKnn::query(std::span<const double> query,
+                                      std::size_t k) const {
+  std::vector<Neighbor> heap;
+  heap.reserve(k + 1);
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    heap_offer(heap, k, {i, std::sqrt(distance_.squared(rows_[i], query))});
+  }
+  return heap_finish(std::move(heap));
+}
+
+BallTreeKnn::BallTreeKnn(const Dataset& data, MixedDistance distance,
+                         std::vector<std::size_t> indices,
+                         std::size_t leaf_size)
+    : distance_(std::move(distance)), leaf_size_(std::max<std::size_t>(1, leaf_size)) {
+  row_ids_ = indices.empty() ? all_indices(data) : std::move(indices);
+  rows_.reserve(row_ids_.size());
+  for (std::size_t id : row_ids_) {
+    auto row = data.row(id);
+    rows_.emplace_back(row.begin(), row.end());
+  }
+  order_.resize(rows_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  if (!rows_.empty()) build(0, rows_.size());
+}
+
+int BallTreeKnn::build(std::size_t begin, std::size_t end) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back({});
+  Node node;
+  node.begin = begin;
+  node.end = end;
+  // Pivot: first point of the range; radius covers the whole range.
+  node.center = order_[begin];
+  node.radius = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    node.radius =
+        std::max(node.radius, (distance_)(rows_[node.center], rows_[order_[i]]));
+  }
+  if (end - begin > leaf_size_) {
+    // Furthest-point split: pick the point furthest from the pivot as the
+    // left pole, and the point furthest from the left pole as the right pole.
+    std::size_t left_pole = order_[begin];
+    double best = -1.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const double d = distance_(rows_[node.center], rows_[order_[i]]);
+      if (d > best) {
+        best = d;
+        left_pole = order_[i];
+      }
+    }
+    std::size_t right_pole = left_pole;
+    best = -1.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const double d = distance_(rows_[left_pole], rows_[order_[i]]);
+      if (d > best) {
+        best = d;
+        right_pole = order_[i];
+      }
+    }
+    // Partition by nearer pole (ties to the left) around the median.
+    std::vector<std::pair<double, std::size_t>> keyed;
+    keyed.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      const double dl = distance_(rows_[left_pole], rows_[order_[i]]);
+      const double dr = distance_(rows_[right_pole], rows_[order_[i]]);
+      keyed.emplace_back(dl - dr, order_[i]);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    for (std::size_t i = 0; i < keyed.size(); ++i) {
+      order_[begin + i] = keyed[i].second;
+    }
+    const std::size_t mid = begin + (end - begin) / 2;
+    if (mid > begin && mid < end) {
+      node.left = build(begin, mid);
+      node.right = build(mid, end);
+    }
+  }
+  nodes_[static_cast<std::size_t>(node_id)] = node;
+  return node_id;
+}
+
+void BallTreeKnn::search(int node_id, std::span<const double> query,
+                         std::size_t k, std::vector<Neighbor>& heap) const {
+  const Node& node = nodes_[static_cast<std::size_t>(node_id)];
+  const double center_dist = distance_(rows_[node.center], query);
+  // Prune: nothing in this ball can beat the current worst.
+  if (heap.size() == k && center_dist - node.radius > heap.front().distance) {
+    return;
+  }
+  if (node.left < 0) {
+    for (std::size_t i = node.begin; i < node.end; ++i) {
+      const std::size_t row = order_[i];
+      heap_offer(heap, k, {row, distance_(rows_[row], query)});
+    }
+    return;
+  }
+  // Visit the child whose pivot is nearer first for better pruning.
+  const Node& l = nodes_[static_cast<std::size_t>(node.left)];
+  const Node& r = nodes_[static_cast<std::size_t>(node.right)];
+  const double dl = distance_(rows_[l.center], query);
+  const double dr = distance_(rows_[r.center], query);
+  if (dl <= dr) {
+    search(node.left, query, k, heap);
+    search(node.right, query, k, heap);
+  } else {
+    search(node.right, query, k, heap);
+    search(node.left, query, k, heap);
+  }
+}
+
+std::vector<Neighbor> BallTreeKnn::query(std::span<const double> query,
+                                         std::size_t k) const {
+  std::vector<Neighbor> heap;
+  heap.reserve(k + 1);
+  if (!rows_.empty() && k > 0) search(0, query, k, heap);
+  return heap_finish(std::move(heap));
+}
+
+}  // namespace frote

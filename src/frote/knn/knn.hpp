@@ -1,0 +1,84 @@
+// k-nearest-neighbour search over a fixed set of rows with the SMOTE-NC
+// mixed distance. Two engines with identical results:
+//  - BruteKnn: O(n) per query;
+//  - BallTreeKnn: metric ball tree (the paper uses sklearn's ball_tree).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "frote/data/dataset.hpp"
+#include "frote/knn/distance.hpp"
+
+namespace frote {
+
+struct Neighbor {
+  std::size_t index = 0;  // index into the indexed row set
+  double distance = 0.0;
+};
+
+/// Common interface for kNN engines.
+class KnnIndex {
+ public:
+  virtual ~KnnIndex() = default;
+  /// The k nearest indexed rows to `query`, ascending by distance. Ties are
+  /// broken by row index so both engines agree exactly.
+  virtual std::vector<Neighbor> query(std::span<const double> query,
+                                      std::size_t k) const = 0;
+  virtual std::size_t size() const = 0;
+};
+
+/// Exhaustive scan.
+class BruteKnn : public KnnIndex {
+ public:
+  /// Index the rows of `data` at `indices` (or all rows when empty).
+  BruteKnn(const Dataset& data, MixedDistance distance,
+           std::vector<std::size_t> indices = {});
+
+  std::vector<Neighbor> query(std::span<const double> query,
+                              std::size_t k) const override;
+  std::size_t size() const override { return rows_.size(); }
+
+  /// Row-set index -> original dataset row index.
+  std::size_t dataset_index(std::size_t i) const { return row_ids_[i]; }
+
+ private:
+  std::vector<std::vector<double>> rows_;
+  std::vector<std::size_t> row_ids_;
+  MixedDistance distance_;
+};
+
+/// Metric ball tree (furthest-point split).
+class BallTreeKnn : public KnnIndex {
+ public:
+  BallTreeKnn(const Dataset& data, MixedDistance distance,
+              std::vector<std::size_t> indices = {}, std::size_t leaf_size = 16);
+
+  std::vector<Neighbor> query(std::span<const double> query,
+                              std::size_t k) const override;
+  std::size_t size() const override { return rows_.size(); }
+  std::size_t dataset_index(std::size_t i) const { return row_ids_[i]; }
+
+ private:
+  struct Node {
+    std::size_t begin = 0, end = 0;  // range into order_
+    std::size_t center = 0;          // index into rows_ of the pivot row
+    double radius = 0.0;
+    int left = -1, right = -1;       // children node ids; -1 for leaf
+  };
+
+  int build(std::size_t begin, std::size_t end);
+  void search(int node, std::span<const double> query, std::size_t k,
+              std::vector<Neighbor>& heap) const;
+
+  std::vector<std::vector<double>> rows_;
+  std::vector<std::size_t> row_ids_;
+  std::vector<std::size_t> order_;  // permutation of row-set indices
+  std::vector<Node> nodes_;
+  MixedDistance distance_;
+  std::size_t leaf_size_;
+};
+
+}  // namespace frote

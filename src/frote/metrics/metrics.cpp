@@ -1,0 +1,151 @@
+#include "frote/metrics/metrics.hpp"
+
+namespace frote {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : classes_(num_classes), counts_(num_classes * num_classes, 0) {
+  FROTE_CHECK(num_classes >= 2);
+}
+
+void ConfusionMatrix::add(int true_label, int predicted_label) {
+  FROTE_CHECK(true_label >= 0 &&
+              static_cast<std::size_t>(true_label) < classes_);
+  FROTE_CHECK(predicted_label >= 0 &&
+              static_cast<std::size_t>(predicted_label) < classes_);
+  counts_[static_cast<std::size_t>(true_label) * classes_ +
+          static_cast<std::size_t>(predicted_label)]++;
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(int true_label, int predicted_label) const {
+  return counts_[static_cast<std::size_t>(true_label) * classes_ +
+                 static_cast<std::size_t>(predicted_label)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    correct += counts_[c * classes_ + c];
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::f1(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  std::size_t tp = counts_[c * classes_ + c];
+  std::size_t fp = 0, fn = 0;
+  for (std::size_t other = 0; other < classes_; ++other) {
+    if (other == c) continue;
+    fp += counts_[other * classes_ + c];
+    fn += counts_[c * classes_ + other];
+  }
+  const double denom = static_cast<double>(2 * tp + fp + fn);
+  if (denom == 0.0) return 0.0;
+  return 2.0 * static_cast<double>(tp) / denom;
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double acc = 0.0;
+  std::size_t present = 0;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    std::size_t support = 0;
+    for (std::size_t p = 0; p < classes_; ++p) support += counts_[c * classes_ + p];
+    if (support == 0) continue;
+    acc += f1(static_cast<int>(c));
+    ++present;
+  }
+  return present > 0 ? acc / static_cast<double>(present) : 0.0;
+}
+
+double ConfusionMatrix::weighted_f1() const {
+  double acc = 0.0;
+  std::size_t total_support = 0;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    std::size_t support = 0;
+    for (std::size_t p = 0; p < classes_; ++p) support += counts_[c * classes_ + p];
+    acc += static_cast<double>(support) * f1(static_cast<int>(c));
+    total_support += support;
+  }
+  return total_support > 0 ? acc / static_cast<double>(total_support) : 0.0;
+}
+
+RuleAgreement rule_agreement(const Model& model, const FeedbackRule& rule,
+                             const Dataset& data) {
+  RuleAgreement out;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    if (!rule.covers(row)) continue;
+    ++out.covered;
+    // E_{Y~π}[1 − L1(M(x), Y)] with 0-1 loss = π(M(x)).
+    acc += rule.pi.prob(model.predict(row));
+  }
+  if (out.covered > 0) out.mra = acc / static_cast<double>(out.covered);
+  return out;
+}
+
+ObjectiveBreakdown evaluate_objective(const Model& model,
+                                      const FeedbackRuleSet& frs,
+                                      const Dataset& data) {
+  ObjectiveBreakdown out;
+  if (data.empty()) return out;
+
+  // Membership in cov(F, D) and, per rule, the agreement accumulators.
+  std::vector<bool> covered(data.size(), false);
+  double mra_weighted = 0.0;
+  std::size_t cover_weights = 0;
+  for (const auto& rule : frs.rules()) {
+    double acc = 0.0;
+    std::size_t cov = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const auto row = data.row(i);
+      if (!rule.covers(row)) continue;
+      covered[i] = true;
+      ++cov;
+      acc += rule.pi.prob(model.predict(row));
+    }
+    mra_weighted += acc;  // Σ_covered π(M(x)); per-rule weight = coverage
+    cover_weights += cov;
+  }
+  out.mra = cover_weights > 0
+                ? mra_weighted / static_cast<double>(cover_weights)
+                : 1.0;  // vacuously satisfied FRS
+
+  ConfusionMatrix cm(data.num_classes());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (covered[i]) {
+      ++out.covered;
+    } else {
+      ++out.outside;
+      cm.add(data.label(i), model.predict(data.row(i)));
+    }
+  }
+  // Support-weighted F1: robust when a class is absent from the outside
+  // population (positive-class binary F1 degenerates to 0 there even for a
+  // perfect model, so we use the weighted average for all class counts).
+  out.outside_f1 = out.outside > 0 ? cm.weighted_f1() : 1.0;
+  out.coverage_prob =
+      static_cast<double>(out.covered) / static_cast<double>(data.size());
+  return out;
+}
+
+double test_j_bar(const Model& model, const FeedbackRuleSet& frs,
+                  const Dataset& data) {
+  const auto b = evaluate_objective(model, frs, data);
+  return b.j_bar(b.coverage_prob);
+}
+
+double train_j_hat_bar(const Model& model, const FeedbackRuleSet& frs,
+                       const Dataset& data) {
+  auto b = evaluate_objective(model, frs, data);
+  // Pessimistic vacuous MRA: with no covered instance in the evaluation
+  // dataset the model has demonstrated no rule agreement at all. This is
+  // what lets Algorithm 1 bootstrap in the tcf = 0 regime — the first
+  // accepted batch of synthetic instances creates coverage and flips the
+  // MRA term from 0 toward 1.
+  if (!frs.empty() && b.covered == 0) b.mra = 0.0;
+  return b.j_bar(0.5);
+}
+
+}  // namespace frote

@@ -1,0 +1,85 @@
+// Evaluation metrics: confusion matrix, F1, model-rule agreement (MRA) and
+// the paper's objective J / J̄ (eq. 3).
+//
+// Test-time J̄ (§5.1 "Metrics"): a weighted average where each rule's MRA
+// term is weighted by the rule's empirical coverage probability on the test
+// set, and the outside-coverage term — measured as F1 — is weighted by the
+// outside-coverage probability. Training-time Ĵ uses a fixed 0.5/0.5 MRA/F1
+// weighting because FROTE does not know the test coverage probabilities.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "frote/data/dataset.hpp"
+#include "frote/ml/model.hpp"
+#include "frote/rules/ruleset.hpp"
+
+namespace frote {
+
+/// counts[t][p] = #instances with true class t predicted as p.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(int true_label, int predicted_label);
+  std::size_t count(int true_label, int predicted_label) const;
+  std::size_t total() const { return total_; }
+  std::size_t num_classes() const { return classes_; }
+
+  double accuracy() const;
+  /// Per-class F1 (harmonic mean of precision/recall; 0 when undefined).
+  double f1(int cls) const;
+  /// Unweighted mean of per-class F1 over classes present in the data
+  /// (sklearn's f1_score(average="macro") restricted to observed classes).
+  double macro_f1() const;
+  /// Support-weighted mean of per-class F1 (sklearn average="weighted").
+  double weighted_f1() const;
+
+ private:
+  std::size_t classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  // classes x classes
+};
+
+/// Model-rule agreement of `model` on the rows of `data` covered by `rule`:
+/// the expectation over Y~π of 1 − L1(M(X), Y) with 0-1 loss, i.e. the mean
+/// of π(M(x)) over covered x. Returns the agreement and the cover size.
+struct RuleAgreement {
+  double mra = 0.0;      // meaningful only when covered > 0
+  std::size_t covered = 0;
+};
+RuleAgreement rule_agreement(const Model& model, const FeedbackRule& rule,
+                             const Dataset& data);
+
+/// Components of the objective on a dataset.
+struct ObjectiveBreakdown {
+  double mra = 0.0;          // coverage-weighted mean over rules
+  double outside_f1 = 0.0;   // F1 on rows outside cov(F, D)
+  double coverage_prob = 0.0;  // |cov(F,D)| / |D|
+  std::size_t covered = 0;
+  std::size_t outside = 0;
+  /// J̄ = 1 − J with the given MRA weight (coverage-probability weighting
+  /// for test evaluation; 0.5 for FROTE's internal Ĵ).
+  double j_bar(double mra_weight) const {
+    return mra_weight * mra + (1.0 - mra_weight) * outside_f1;
+  }
+};
+
+/// Evaluate MRA / outside-coverage F1 of `model` against `frs` on `data`.
+/// Per-rule MRA terms are weighted by empirical per-rule coverage within the
+/// covered population (eq. 3's Pr(X ∈ cov(s_r)) normalised over the FRS).
+ObjectiveBreakdown evaluate_objective(const Model& model,
+                                      const FeedbackRuleSet& frs,
+                                      const Dataset& data);
+
+/// Test-set J̄ per §5.1: MRA term weighted by the empirical coverage
+/// probability of the FRS in `data`, F1 term by its complement.
+double test_j_bar(const Model& model, const FeedbackRuleSet& frs,
+                  const Dataset& data);
+
+/// FROTE's internal training objective Ĵ's complement: 0.5·MRA + 0.5·F1.
+double train_j_hat_bar(const Model& model, const FeedbackRuleSet& frs,
+                       const Dataset& data);
+
+}  // namespace frote

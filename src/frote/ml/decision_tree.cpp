@@ -1,0 +1,269 @@
+#include "frote/ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace frote {
+
+std::vector<double> DecisionTreeModel::predict_proba(
+    std::span<const double> row) const {
+  FROTE_CHECK(!nodes_.empty());
+  int cur = 0;
+  while (nodes_[static_cast<std::size_t>(cur)].left >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    const double x = row[n.feature];
+    const bool go_left = n.categorical ? (x == n.threshold)
+                                       : (x <= n.threshold);
+    cur = go_left ? n.left : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(cur)].distribution;
+}
+
+std::size_t DecisionTreeModel::depth() const {
+  // Iterative depth computation over the implicit tree.
+  std::size_t max_depth = 0;
+  std::vector<std::pair<int, std::size_t>> stack{{0, 0}};
+  while (!stack.empty()) {
+    auto [id, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const Node& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.left >= 0) {
+      stack.push_back({n.left, d + 1});
+      stack.push_back({n.right, d + 1});
+    }
+  }
+  return max_depth;
+}
+
+namespace {
+
+struct SplitCandidate {
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  bool categorical = false;
+  double gini_gain = 0.0;
+  bool valid = false;
+};
+
+double gini_impurity(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double acc = 1.0;
+  for (double c : counts) {
+    const double p = c / total;
+    acc -= p * p;
+  }
+  return acc;
+}
+
+class TreeBuilder {
+ public:
+  TreeBuilder(const Dataset& data, const DecisionTreeConfig& config, Rng& rng)
+      : data_(data), config_(config), rng_(rng) {}
+
+  std::vector<DecisionTreeModel::Node> build(
+      const std::vector<std::size_t>& indices) {
+    nodes_.clear();
+    build_node(indices, 0);
+    return std::move(nodes_);
+  }
+
+ private:
+  int build_node(const std::vector<std::size_t>& indices, std::size_t depth) {
+    const int node_id = static_cast<int>(nodes_.size());
+    nodes_.push_back({});
+
+    std::vector<double> counts(data_.num_classes(), 0.0);
+    for (std::size_t idx : indices) {
+      counts[static_cast<std::size_t>(data_.label(idx))] += 1.0;
+    }
+    const auto total = static_cast<double>(indices.size());
+
+    const bool pure = std::any_of(counts.begin(), counts.end(), [&](double c) {
+      return c == total;
+    });
+    SplitCandidate split;
+    if (!pure && depth < config_.max_depth &&
+        indices.size() >= config_.min_samples_split) {
+      split = best_split(indices, counts, total);
+    }
+
+    if (!split.valid) {
+      make_leaf(node_id, counts, total);
+      return node_id;
+    }
+
+    std::vector<std::size_t> left_idx, right_idx;
+    for (std::size_t idx : indices) {
+      const double x = data_.row(idx)[split.feature];
+      const bool go_left = split.categorical ? (x == split.threshold)
+                                             : (x <= split.threshold);
+      (go_left ? left_idx : right_idx).push_back(idx);
+    }
+    if (left_idx.size() < config_.min_samples_leaf ||
+        right_idx.size() < config_.min_samples_leaf) {
+      make_leaf(node_id, counts, total);
+      return node_id;
+    }
+
+    nodes_[static_cast<std::size_t>(node_id)].feature = split.feature;
+    nodes_[static_cast<std::size_t>(node_id)].threshold = split.threshold;
+    nodes_[static_cast<std::size_t>(node_id)].categorical = split.categorical;
+    const int left = build_node(left_idx, depth + 1);
+    const int right = build_node(right_idx, depth + 1);
+    nodes_[static_cast<std::size_t>(node_id)].left = left;
+    nodes_[static_cast<std::size_t>(node_id)].right = right;
+    return node_id;
+  }
+
+  void make_leaf(int node_id, const std::vector<double>& counts,
+                 double total) {
+    auto& node = nodes_[static_cast<std::size_t>(node_id)];
+    node.left = node.right = -1;
+    node.distribution.resize(counts.size());
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      node.distribution[c] = total > 0.0
+                                 ? counts[c] / total
+                                 : 1.0 / static_cast<double>(counts.size());
+    }
+  }
+
+  std::vector<std::size_t> feature_subset() {
+    const std::size_t d = data_.num_features();
+    std::size_t m = config_.max_features == 0
+                        ? d
+                        : std::min(config_.max_features, d);
+    return rng_.sample_without_replacement(d, m);
+  }
+
+  SplitCandidate best_split(const std::vector<std::size_t>& indices,
+                            const std::vector<double>& parent_counts,
+                            double total) {
+    SplitCandidate best;
+    const double parent_gini = gini_impurity(parent_counts, total);
+    for (std::size_t f : feature_subset()) {
+      const auto& spec = data_.schema().feature(f);
+      if (spec.is_categorical()) {
+        eval_categorical(f, spec.cardinality(), indices, parent_gini, total,
+                         best);
+      } else {
+        eval_numeric(f, indices, parent_gini, total, best);
+      }
+    }
+    return best;
+  }
+
+  void eval_categorical(std::size_t f, std::size_t cardinality,
+                        const std::vector<std::size_t>& indices,
+                        double parent_gini, double total,
+                        SplitCandidate& best) {
+    // One-vs-rest on each category value present at the node.
+    std::vector<std::vector<double>> per_code(
+        cardinality, std::vector<double>(data_.num_classes(), 0.0));
+    std::vector<double> code_totals(cardinality, 0.0);
+    for (std::size_t idx : indices) {
+      const auto code = static_cast<std::size_t>(data_.row(idx)[f]);
+      per_code[code][static_cast<std::size_t>(data_.label(idx))] += 1.0;
+      code_totals[code] += 1.0;
+    }
+    std::vector<double> rest(data_.num_classes());
+    for (std::size_t code = 0; code < cardinality; ++code) {
+      if (code_totals[code] == 0.0 || code_totals[code] == total) continue;
+      for (std::size_t c = 0; c < rest.size(); ++c) {
+        rest[c] = 0.0;
+      }
+      for (std::size_t other = 0; other < cardinality; ++other) {
+        if (other == code) continue;
+        for (std::size_t c = 0; c < rest.size(); ++c) {
+          rest[c] += per_code[other][c];
+        }
+      }
+      const double rest_total = total - code_totals[code];
+      const double gain =
+          parent_gini -
+          (code_totals[code] / total) * gini_impurity(per_code[code],
+                                                      code_totals[code]) -
+          (rest_total / total) * gini_impurity(rest, rest_total);
+      if (gain > best.gini_gain + 1e-12) {
+        best = {f, static_cast<double>(code), true, gain, true};
+      }
+    }
+  }
+
+  void eval_numeric(std::size_t f, const std::vector<std::size_t>& indices,
+                    double parent_gini, double total, SplitCandidate& best) {
+    std::vector<double> values;
+    values.reserve(indices.size());
+    for (std::size_t idx : indices) values.push_back(data_.row(idx)[f]);
+    std::sort(values.begin(), values.end());
+    if (values.front() == values.back()) return;
+    // Quantile thresholds (midpoints between adjacent distinct quantiles).
+    std::set<double> cuts;
+    const std::size_t k = std::min(config_.numeric_cuts, values.size() - 1);
+    for (std::size_t t = 1; t <= k; ++t) {
+      const std::size_t pos =
+          t * (values.size() - 1) / (k + 1);
+      if (values[pos] != values[pos + 1]) {
+        cuts.insert(0.5 * (values[pos] + values[pos + 1]));
+      } else {
+        cuts.insert(values[pos]);
+      }
+    }
+    std::vector<double> left(data_.num_classes());
+    for (double cut : cuts) {
+      std::fill(left.begin(), left.end(), 0.0);
+      double left_total = 0.0;
+      for (std::size_t idx : indices) {
+        if (data_.row(idx)[f] <= cut) {
+          left[static_cast<std::size_t>(data_.label(idx))] += 1.0;
+          left_total += 1.0;
+        }
+      }
+      if (left_total == 0.0 || left_total == total) continue;
+      std::vector<double> right(data_.num_classes());
+      double right_total = total - left_total;
+      for (std::size_t c = 0; c < right.size(); ++c) {
+        // counts at the node = left + right; recover right from parent.
+        right[c] = -left[c];
+      }
+      for (std::size_t idx : indices) {
+        right[static_cast<std::size_t>(data_.label(idx))] += 1.0;
+      }
+      const double gain =
+          parent_gini -
+          (left_total / total) * gini_impurity(left, left_total) -
+          (right_total / total) * gini_impurity(right, right_total);
+      if (gain > best.gini_gain + 1e-12) {
+        best = {f, cut, false, gain, true};
+      }
+    }
+  }
+
+  const Dataset& data_;
+  const DecisionTreeConfig& config_;
+  Rng& rng_;
+  std::vector<DecisionTreeModel::Node> nodes_;
+};
+
+}  // namespace
+
+std::unique_ptr<Model> DecisionTreeLearner::train(const Dataset& data) const {
+  FROTE_CHECK_MSG(!data.empty(), "cannot train on empty dataset");
+  std::vector<std::size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  Rng rng(config_.seed);
+  return train_weighted(data, indices, rng);
+}
+
+std::unique_ptr<DecisionTreeModel> DecisionTreeLearner::train_weighted(
+    const Dataset& data, const std::vector<std::size_t>& indices,
+    Rng& rng) const {
+  FROTE_CHECK(!indices.empty());
+  TreeBuilder builder(data, config_, rng);
+  return std::make_unique<DecisionTreeModel>(builder.build(indices),
+                                             data.num_classes());
+}
+
+}  // namespace frote

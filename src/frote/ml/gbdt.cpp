@@ -1,0 +1,297 @@
+#include "frote/ml/gbdt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+
+#include "frote/ml/logistic_regression.hpp"  // softmax_inplace
+
+namespace frote {
+
+double GbdtTree::predict(std::span<const double> row) const {
+  if (nodes.empty()) return 0.0;
+  int cur = 0;
+  while (nodes[static_cast<std::size_t>(cur)].left >= 0) {
+    const Node& n = nodes[static_cast<std::size_t>(cur)];
+    const double x = row[n.feature];
+    const bool go_left = n.categorical ? (x == n.threshold)
+                                       : (x <= n.threshold);
+    cur = go_left ? n.left : n.right;
+  }
+  return nodes[static_cast<std::size_t>(cur)].value;
+}
+
+GbdtModel::GbdtModel(std::vector<GbdtTree> trees, std::size_t num_classes,
+                     std::size_t score_dims, double base_score)
+    : Model(num_classes), trees_(std::move(trees)), score_dims_(score_dims),
+      base_score_(base_score) {
+  FROTE_CHECK(score_dims_ >= 1);
+  FROTE_CHECK(trees_.size() % score_dims_ == 0);
+}
+
+std::vector<double> GbdtModel::predict_proba(
+    std::span<const double> row) const {
+  std::vector<double> scores(score_dims_, base_score_);
+  const std::size_t rounds = trees_.size() / score_dims_;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t k = 0; k < score_dims_; ++k) {
+      scores[k] += trees_[r * score_dims_ + k].predict(row);
+    }
+  }
+  if (score_dims_ == 1) {
+    const double p1 = 1.0 / (1.0 + std::exp(-scores[0]));
+    return {1.0 - p1, p1};
+  }
+  softmax_inplace(scores);
+  return scores;
+}
+
+namespace {
+
+struct SplitChoice {
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  bool categorical = false;
+  double gain = 0.0;
+  bool valid = false;
+};
+
+/// Leaf under construction during leaf-wise growth.
+struct Leaf {
+  int node_id = 0;
+  std::size_t depth = 0;
+  std::vector<std::size_t> indices;
+  double sum_g = 0.0, sum_h = 0.0;
+  SplitChoice split;
+};
+
+struct LeafGainCmp {
+  bool operator()(const Leaf* a, const Leaf* b) const {
+    return a->split.gain < b->split.gain;
+  }
+};
+
+class TreeGrower {
+ public:
+  TreeGrower(const Dataset& data, const std::vector<double>& g,
+             const std::vector<double>& h, const GbdtConfig& config)
+      : data_(data), g_(g), h_(h), config_(config) {}
+
+  GbdtTree grow() {
+    GbdtTree tree;
+    auto root = std::make_unique<Leaf>();
+    root->node_id = 0;
+    tree.nodes.push_back({});
+    root->indices.resize(data_.size());
+    for (std::size_t i = 0; i < data_.size(); ++i) root->indices[i] = i;
+    accumulate(*root);
+    find_split(*root);
+
+    std::vector<std::unique_ptr<Leaf>> leaves;
+    std::priority_queue<Leaf*, std::vector<Leaf*>, LeafGainCmp> frontier;
+    leaves.push_back(std::move(root));
+    frontier.push(leaves.back().get());
+
+    std::size_t num_leaves = 1;
+    while (num_leaves < config_.max_leaves && !frontier.empty()) {
+      Leaf* leaf = frontier.top();
+      frontier.pop();
+      if (!leaf->split.valid || leaf->split.gain <= 0.0) continue;
+
+      auto left = std::make_unique<Leaf>();
+      auto right = std::make_unique<Leaf>();
+      left->depth = right->depth = leaf->depth + 1;
+      for (std::size_t idx : leaf->indices) {
+        const double x = data_.row(idx)[leaf->split.feature];
+        const bool go_left = leaf->split.categorical
+                                 ? (x == leaf->split.threshold)
+                                 : (x <= leaf->split.threshold);
+        (go_left ? left : right)->indices.push_back(idx);
+      }
+      if (left->indices.size() < config_.min_samples_leaf ||
+          right->indices.size() < config_.min_samples_leaf) {
+        continue;
+      }
+      accumulate(*left);
+      accumulate(*right);
+
+      left->node_id = static_cast<int>(tree.nodes.size());
+      tree.nodes.push_back({});
+      right->node_id = static_cast<int>(tree.nodes.size());
+      tree.nodes.push_back({});
+      // Take the parent reference only after the push_backs above: they can
+      // reallocate the node vector.
+      auto& parent = tree.nodes[static_cast<std::size_t>(leaf->node_id)];
+      parent.feature = leaf->split.feature;
+      parent.threshold = leaf->split.threshold;
+      parent.categorical = leaf->split.categorical;
+      parent.left = left->node_id;
+      parent.right = right->node_id;
+
+      if (left->depth < config_.max_depth) find_split(*left);
+      if (right->depth < config_.max_depth) find_split(*right);
+      frontier.push(left.get());
+      frontier.push(right.get());
+      leaves.push_back(std::move(left));
+      leaves.push_back(std::move(right));
+      ++num_leaves;
+    }
+
+    // Finalize leaf values: -G/(H+λ), damped by the learning rate.
+    for (const auto& leaf : leaves) {
+      auto& node = tree.nodes[static_cast<std::size_t>(leaf->node_id)];
+      if (node.left < 0) {
+        node.value = -config_.learning_rate * leaf->sum_g /
+                     (leaf->sum_h + config_.lambda);
+      }
+    }
+    return tree;
+  }
+
+ private:
+  void accumulate(Leaf& leaf) {
+    leaf.sum_g = leaf.sum_h = 0.0;
+    for (std::size_t idx : leaf.indices) {
+      leaf.sum_g += g_[idx];
+      leaf.sum_h += h_[idx];
+    }
+  }
+
+  double leaf_score(double g, double h) const {
+    return g * g / (h + config_.lambda);
+  }
+
+  void find_split(Leaf& leaf) {
+    leaf.split = {};
+    if (leaf.indices.size() < 2 * config_.min_samples_leaf) return;
+    const double parent_score = leaf_score(leaf.sum_g, leaf.sum_h);
+    for (std::size_t f = 0; f < data_.num_features(); ++f) {
+      if (data_.schema().feature(f).is_categorical()) {
+        eval_categorical(leaf, f, parent_score);
+      } else {
+        eval_numeric(leaf, f, parent_score);
+      }
+    }
+  }
+
+  void try_update(Leaf& leaf, std::size_t feature, double threshold,
+                  bool categorical, double gl, double hl,
+                  double parent_score) {
+    const double gr = leaf.sum_g - gl;
+    const double hr = leaf.sum_h - hl;
+    if (hl < config_.min_child_weight || hr < config_.min_child_weight) return;
+    const double gain =
+        0.5 * (leaf_score(gl, hl) + leaf_score(gr, hr) - parent_score);
+    if (gain > leaf.split.gain + 1e-12) {
+      leaf.split = {feature, threshold, categorical, gain, true};
+    }
+  }
+
+  void eval_categorical(Leaf& leaf, std::size_t f, double parent_score) {
+    const std::size_t cardinality =
+        data_.schema().feature(f).cardinality();
+    std::vector<double> gs(cardinality, 0.0), hs(cardinality, 0.0);
+    std::vector<std::size_t> counts(cardinality, 0);
+    for (std::size_t idx : leaf.indices) {
+      const auto code = static_cast<std::size_t>(data_.row(idx)[f]);
+      gs[code] += g_[idx];
+      hs[code] += h_[idx];
+      counts[code]++;
+    }
+    for (std::size_t code = 0; code < cardinality; ++code) {
+      if (counts[code] < config_.min_samples_leaf ||
+          leaf.indices.size() - counts[code] < config_.min_samples_leaf) {
+        continue;
+      }
+      try_update(leaf, f, static_cast<double>(code), true, gs[code], hs[code],
+                 parent_score);
+    }
+  }
+
+  void eval_numeric(Leaf& leaf, std::size_t f, double parent_score) {
+    std::vector<double> values;
+    values.reserve(leaf.indices.size());
+    for (std::size_t idx : leaf.indices) values.push_back(data_.row(idx)[f]);
+    std::sort(values.begin(), values.end());
+    if (values.front() == values.back()) return;
+    std::set<double> cuts;
+    const std::size_t k =
+        std::min(config_.numeric_cuts, values.size() - 1);
+    for (std::size_t t = 1; t <= k; ++t) {
+      const std::size_t pos = t * (values.size() - 1) / (k + 1);
+      cuts.insert(values[pos] != values[pos + 1]
+                      ? 0.5 * (values[pos] + values[pos + 1])
+                      : values[pos]);
+    }
+    for (double cut : cuts) {
+      double gl = 0.0, hl = 0.0;
+      std::size_t nl = 0;
+      for (std::size_t idx : leaf.indices) {
+        if (data_.row(idx)[f] <= cut) {
+          gl += g_[idx];
+          hl += h_[idx];
+          ++nl;
+        }
+      }
+      if (nl < config_.min_samples_leaf ||
+          leaf.indices.size() - nl < config_.min_samples_leaf) {
+        continue;
+      }
+      try_update(leaf, f, cut, false, gl, hl, parent_score);
+    }
+  }
+
+  const Dataset& data_;
+  const std::vector<double>& g_;
+  const std::vector<double>& h_;
+  const GbdtConfig& config_;
+};
+
+}  // namespace
+
+std::unique_ptr<Model> GbdtLearner::train(const Dataset& data) const {
+  FROTE_CHECK_MSG(!data.empty(), "cannot train on empty dataset");
+  const std::size_t n = data.size();
+  const std::size_t classes = data.num_classes();
+  const std::size_t dims = classes == 2 ? 1 : classes;
+
+  std::vector<double> scores(n * dims, 0.0);
+  std::vector<GbdtTree> trees;
+  trees.reserve(config_.num_rounds * dims);
+
+  std::vector<double> g(n), h(n);
+  std::vector<double> probs(dims);
+  for (std::size_t round = 0; round < config_.num_rounds; ++round) {
+    for (std::size_t k = 0; k < dims; ++k) {
+      // Gradients/hessians of logistic (binary) or softmax (multiclass) loss.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (dims == 1) {
+          const double p = 1.0 / (1.0 + std::exp(-scores[i]));
+          const double target = data.label(i) == 1 ? 1.0 : 0.0;
+          g[i] = p - target;
+          h[i] = std::max(p * (1.0 - p), 1e-9);
+        } else {
+          for (std::size_t c = 0; c < dims; ++c) {
+            probs[c] = scores[i * dims + c];
+          }
+          softmax_inplace(probs);
+          const double p = probs[k];
+          const double target =
+              static_cast<std::size_t>(data.label(i)) == k ? 1.0 : 0.0;
+          g[i] = p - target;
+          h[i] = std::max(p * (1.0 - p), 1e-9);
+        }
+      }
+      TreeGrower grower(data, g, h, config_);
+      GbdtTree tree = grower.grow();
+      for (std::size_t i = 0; i < n; ++i) {
+        scores[i * dims + k] += tree.predict(data.row(i));
+      }
+      trees.push_back(std::move(tree));
+    }
+  }
+  return std::make_unique<GbdtModel>(std::move(trees), classes, dims, 0.0);
+}
+
+}  // namespace frote

@@ -1,0 +1,143 @@
+#include "frote/ml/logistic_regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace frote {
+
+void softmax_inplace(std::vector<double>& logits) {
+  const double m = *std::max_element(logits.begin(), logits.end());
+  double total = 0.0;
+  for (double& v : logits) {
+    v = std::exp(v - m);
+    total += v;
+  }
+  for (double& v : logits) v /= total;
+}
+
+LogisticRegressionModel::LogisticRegressionModel(Encoder encoder,
+                                                 std::vector<double> weights,
+                                                 std::size_t num_classes,
+                                                 std::size_t width)
+    : Model(num_classes), encoder_(std::move(encoder)),
+      weights_(std::move(weights)), width_(width) {
+  FROTE_CHECK(weights_.size() == num_classes * (width_ + 1));
+}
+
+std::vector<double> LogisticRegressionModel::predict_proba(
+    std::span<const double> row) const {
+  const auto x = encoder_.transform(row);
+  std::vector<double> logits(num_classes(), 0.0);
+  for (std::size_t c = 0; c < num_classes(); ++c) {
+    const double* w = weights_.data() + c * (width_ + 1);
+    double acc = w[width_];  // intercept
+    for (std::size_t j = 0; j < width_; ++j) acc += w[j] * x[j];
+    logits[c] = acc;
+  }
+  softmax_inplace(logits);
+  return logits;
+}
+
+double LogisticRegressionModel::weight(std::size_t c, std::size_t j) const {
+  FROTE_CHECK(c < num_classes() && j <= width_);
+  return weights_[c * (width_ + 1) + j];
+}
+
+namespace {
+
+/// Full-batch objective and gradient of the L2-penalised multinomial NLL.
+struct Objective {
+  const std::vector<double>& x;  // n x width, row-major (encoded)
+  const std::vector<int>& y;
+  std::size_t n, width, classes;
+  double inv_c;  // 1/C
+
+  double value_and_grad(const std::vector<double>& w,
+                        std::vector<double>& grad) const {
+    const std::size_t stride = width + 1;
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double nll = 0.0;
+    std::vector<double> logits(classes);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* xi = x.data() + i * width;
+      for (std::size_t c = 0; c < classes; ++c) {
+        const double* wc = w.data() + c * stride;
+        double acc = wc[width];
+        for (std::size_t j = 0; j < width; ++j) acc += wc[j] * xi[j];
+        logits[c] = acc;
+      }
+      softmax_inplace(logits);
+      const auto yi = static_cast<std::size_t>(y[i]);
+      nll -= std::log(std::max(logits[yi], 1e-300));
+      for (std::size_t c = 0; c < classes; ++c) {
+        const double err = logits[c] - (c == yi ? 1.0 : 0.0);
+        double* gc = grad.data() + c * stride;
+        for (std::size_t j = 0; j < width; ++j) gc[j] += err * xi[j];
+        gc[width] += err;
+      }
+    }
+    // L2 penalty on non-intercept weights (sklearn convention).
+    double penalty = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double* wc = w.data() + c * stride;
+      double* gc = grad.data() + c * stride;
+      for (std::size_t j = 0; j < width; ++j) {
+        penalty += 0.5 * inv_c * wc[j] * wc[j];
+        gc[j] += inv_c * wc[j];
+      }
+    }
+    return nll + penalty;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Model> LogisticRegressionLearner::train(
+    const Dataset& data) const {
+  FROTE_CHECK_MSG(!data.empty(), "cannot train on empty dataset");
+  Encoder encoder = Encoder::fit(data);
+  const std::size_t width = encoder.encoded_width();
+  const std::size_t classes = data.num_classes();
+  const std::size_t n = data.size();
+
+  const std::vector<double> x = encoder.transform_all(data);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = data.label(i);
+
+  Objective objective{x, y, n, width, classes, 1.0 / config_.c};
+  const std::size_t dim = classes * (width + 1);
+  std::vector<double> w(dim, 0.0), grad(dim, 0.0), trial(dim, 0.0),
+      trial_grad(dim, 0.0);
+  double value = objective.value_and_grad(w, grad);
+
+  double step = 1.0 / static_cast<double>(std::max<std::size_t>(n, 1));
+  for (std::size_t iter = 0; iter < config_.max_iter; ++iter) {
+    double grad_norm2 = 0.0;
+    for (double g : grad) grad_norm2 += g * g;
+    if (std::sqrt(grad_norm2) < config_.tolerance * static_cast<double>(n)) {
+      break;
+    }
+    // Backtracking line search on the descent direction -grad.
+    bool accepted = false;
+    for (int bt = 0; bt < 30; ++bt) {
+      for (std::size_t j = 0; j < dim; ++j) trial[j] = w[j] - step * grad[j];
+      const double trial_value = objective.value_and_grad(trial, trial_grad);
+      if (trial_value < value - 1e-4 * step * grad_norm2) {
+        w.swap(trial);
+        grad.swap(trial_grad);
+        value = trial_value;
+        step *= 1.3;  // optimistic growth for the next iteration
+        accepted = true;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!accepted) break;  // line search stalled: (near-)stationary point
+  }
+
+  return std::make_unique<LogisticRegressionModel>(std::move(encoder),
+                                                   std::move(w), classes,
+                                                   width);
+}
+
+}  // namespace frote

@@ -1,0 +1,22 @@
+#include "frote/ml/model.hpp"
+
+#include <algorithm>
+
+namespace frote {
+
+int Model::predict(std::span<const double> row) const {
+  const auto proba = predict_proba(row);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+std::vector<int> Model::predict_all(const Dataset& data) const {
+  std::vector<int> out;
+  out.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.push_back(predict(data.row(i)));
+  }
+  return out;
+}
+
+}  // namespace frote

@@ -1,0 +1,51 @@
+// Black-box classification interfaces.
+//
+// FROTE treats the training algorithm A as a black box (§1): anything that
+// maps a Dataset to a Model can be edited. `Learner` is A; `Model` is M_D.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "frote/data/dataset.hpp"
+
+namespace frote {
+
+/// A trained classifier over raw (schema-typed) rows.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Predicted class label for one row.
+  virtual int predict(std::span<const double> row) const;
+
+  /// Class-probability vector (sums to 1) for one row.
+  virtual std::vector<double> predict_proba(
+      std::span<const double> row) const = 0;
+
+  std::size_t num_classes() const { return num_classes_; }
+
+  /// Predicted labels for every row of a dataset.
+  std::vector<int> predict_all(const Dataset& data) const;
+
+ protected:
+  explicit Model(std::size_t num_classes) : num_classes_(num_classes) {}
+
+ private:
+  std::size_t num_classes_;
+};
+
+/// A training algorithm: Dataset -> Model. Implementations must be
+/// deterministic given their constructor-time seed.
+class Learner {
+ public:
+  virtual ~Learner() = default;
+  virtual std::unique_ptr<Model> train(const Dataset& data) const = 0;
+  /// Short name used in experiment tables ("LR", "RF", "GBDT").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace frote

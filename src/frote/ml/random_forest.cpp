@@ -1,0 +1,47 @@
+#include "frote/ml/random_forest.hpp"
+
+#include <cmath>
+
+namespace frote {
+
+std::vector<double> RandomForestModel::predict_proba(
+    std::span<const double> row) const {
+  FROTE_CHECK(!trees_.empty());
+  std::vector<double> acc(num_classes(), 0.0);
+  for (const auto& tree : trees_) {
+    const auto p = tree->predict_proba(row);
+    for (std::size_t c = 0; c < acc.size(); ++c) acc[c] += p[c];
+  }
+  const double inv = 1.0 / static_cast<double>(trees_.size());
+  for (double& v : acc) v *= inv;
+  return acc;
+}
+
+std::unique_ptr<Model> RandomForestLearner::train(const Dataset& data) const {
+  FROTE_CHECK_MSG(!data.empty(), "cannot train on empty dataset");
+  DecisionTreeConfig tree_config;
+  tree_config.max_depth = config_.max_depth;
+  tree_config.min_samples_leaf = config_.min_samples_leaf;
+  tree_config.numeric_cuts = config_.numeric_cuts;
+  tree_config.max_features =
+      config_.max_features != 0
+          ? config_.max_features
+          : std::max<std::size_t>(
+                1, static_cast<std::size_t>(std::sqrt(
+                       static_cast<double>(data.num_features()))));
+  DecisionTreeLearner tree_learner(tree_config);
+
+  Rng rng(config_.seed);
+  std::vector<std::unique_ptr<DecisionTreeModel>> trees;
+  trees.reserve(config_.num_trees);
+  for (std::size_t t = 0; t < config_.num_trees; ++t) {
+    // Bootstrap sample of size n.
+    std::vector<std::size_t> sample(data.size());
+    for (auto& idx : sample) idx = rng.index(data.size());
+    trees.push_back(tree_learner.train_weighted(data, sample, rng));
+  }
+  return std::make_unique<RandomForestModel>(std::move(trees),
+                                             data.num_classes());
+}
+
+}  // namespace frote

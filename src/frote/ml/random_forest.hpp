@@ -1,0 +1,47 @@
+// Random forest: bagged CART trees with sqrt-feature subsampling.
+// The paper uses scikit-learn's RandomForestClassifier with default
+// parameters except max_depth = 3 (§5.1).
+#pragma once
+
+#include "frote/ml/decision_tree.hpp"
+
+namespace frote {
+
+struct RandomForestConfig {
+  std::size_t num_trees = 50;
+  std::size_t max_depth = 3;  // the paper's setting
+  std::size_t min_samples_leaf = 1;
+  /// 0 ⇒ sqrt(num_features), sklearn's default for classification.
+  std::size_t max_features = 0;
+  std::size_t numeric_cuts = 24;
+  std::uint64_t seed = 42;
+};
+
+class RandomForestModel : public Model {
+ public:
+  RandomForestModel(std::vector<std::unique_ptr<DecisionTreeModel>> trees,
+                    std::size_t num_classes)
+      : Model(num_classes), trees_(std::move(trees)) {}
+
+  /// Soft vote: mean of the trees' leaf distributions.
+  std::vector<double> predict_proba(std::span<const double> row) const override;
+
+  std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<DecisionTreeModel>> trees_;
+};
+
+class RandomForestLearner : public Learner {
+ public:
+  explicit RandomForestLearner(RandomForestConfig config = {})
+      : config_(config) {}
+
+  std::unique_ptr<Model> train(const Dataset& data) const override;
+  std::string name() const override { return "RF"; }
+
+ private:
+  RandomForestConfig config_;
+};
+
+}  // namespace frote

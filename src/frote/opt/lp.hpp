@@ -1,0 +1,49 @@
+// Dense bounded-variable primal simplex.
+//
+// FROTE's IP (5) is tiny — one row per feedback rule (m ≤ 20), one column
+// per base-population instance (p ≤ a few hundred) — so a textbook dense
+// simplex with explicit basis refactorisation each iteration is both simple
+// and fast. Range constraints l ≤ a'z ≤ u are pre-converted by the caller
+// into equalities with bounded slacks. Artificial variables with Big-M costs
+// provide the initial basis.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace frote {
+
+/// maximize c'x  subject to  A x = b,  lo ≤ x ≤ hi  (hi may be +inf).
+struct LpProblem {
+  std::size_t num_vars = 0;
+  std::size_t num_rows = 0;
+  std::vector<double> c;   // num_vars
+  std::vector<double> lo;  // num_vars
+  std::vector<double> hi;  // num_vars
+  std::vector<double> a;   // row-major, num_rows x num_vars
+  std::vector<double> b;   // num_rows
+
+  double coeff(std::size_t row, std::size_t var) const {
+    return a[row * num_vars + var];
+  }
+  void set_coeff(std::size_t row, std::size_t var, double value) {
+    a[row * num_vars + var] = value;
+  }
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kIterationLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Solve with the bounded-variable simplex. `max_iterations` guards against
+/// cycling (Bland's rule is applied when progress stalls).
+LpResult solve_lp(const LpProblem& problem, std::size_t max_iterations = 5000);
+
+constexpr double kLpInfinity = std::numeric_limits<double>::infinity();
+
+}  // namespace frote

@@ -1,0 +1,191 @@
+#include "frote/rules/clause.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace frote {
+
+bool FeatureConstraint::numeric_feasible() const {
+  if (pinned.has_value()) {
+    const double v = *pinned;
+    if (v < lo || (lo_open && v == lo)) return false;
+    if (v > hi || (hi_open && v == hi)) return false;
+    return true;
+  }
+  if (lo > hi) return false;
+  if (lo == hi && (lo_open || hi_open)) return false;
+  return true;
+}
+
+bool FeatureConstraint::categorical_feasible(std::size_t cardinality) const {
+  if (allowed.has_value()) {
+    return std::find(denied.begin(), denied.end(), *allowed) == denied.end();
+  }
+  // Without an equality pin, feasible iff some code is not denied.
+  std::vector<bool> is_denied(cardinality, false);
+  for (std::size_t d : denied) {
+    if (d < cardinality) is_denied[d] = true;
+  }
+  return std::any_of(is_denied.begin(), is_denied.end(),
+                     [](bool b) { return !b; }) ||
+         cardinality == 0;
+}
+
+Clause Clause::without(std::size_t idx) const {
+  FROTE_CHECK(idx < predicates_.size());
+  std::vector<Predicate> preds;
+  preds.reserve(predicates_.size() - 1);
+  for (std::size_t i = 0; i < predicates_.size(); ++i) {
+    if (i != idx) preds.push_back(predicates_[i]);
+  }
+  return Clause(std::move(preds));
+}
+
+bool Clause::mentions(std::size_t f) const {
+  return std::any_of(predicates_.begin(), predicates_.end(),
+                     [f](const Predicate& p) { return p.feature == f; });
+}
+
+FeatureConstraint Clause::constraint_for(std::size_t f,
+                                         const Schema& schema) const {
+  FeatureConstraint c;
+  const bool categorical = schema.feature(f).is_categorical();
+  for (const auto& p : predicates_) {
+    if (p.feature != f) continue;
+    if (categorical) {
+      const auto code = static_cast<std::size_t>(p.value);
+      if (p.op == Op::kEq) {
+        if (c.allowed.has_value() && *c.allowed != code) {
+          // Two different pins: mark infeasible by denying the pin.
+          c.denied.push_back(*c.allowed);
+        }
+        c.allowed = code;
+      } else if (p.op == Op::kNe) {
+        c.denied.push_back(code);
+      }
+    } else {
+      switch (p.op) {
+        case Op::kEq:
+          if (c.pinned.has_value() && *c.pinned != p.value) {
+            // Contradictory pins: empty interval.
+            c.lo = 1.0;
+            c.hi = 0.0;
+          }
+          c.pinned = p.value;
+          break;
+        case Op::kGt:
+          if (p.value > c.lo || (p.value == c.lo && !c.lo_open)) {
+            c.lo = p.value;
+            c.lo_open = true;
+          }
+          break;
+        case Op::kGe:
+          if (p.value > c.lo) {
+            c.lo = p.value;
+            c.lo_open = false;
+          }
+          break;
+        case Op::kLt:
+          if (p.value < c.hi || (p.value == c.hi && !c.hi_open)) {
+            c.hi = p.value;
+            c.hi_open = true;
+          }
+          break;
+        case Op::kLe:
+          if (p.value < c.hi) {
+            c.hi = p.value;
+            c.hi_open = false;
+          }
+          break;
+        case Op::kNe:
+          break;  // not allowed on numerics per §3.1; ignore defensively
+      }
+    }
+  }
+  return c;
+}
+
+bool Clause::satisfiable(const Schema& schema) const {
+  for (std::size_t f = 0; f < schema.num_features(); ++f) {
+    if (!mentions(f)) continue;
+    const auto c = constraint_for(f, schema);
+    const auto& spec = schema.feature(f);
+    if (spec.is_categorical()) {
+      if (!c.categorical_feasible(spec.cardinality())) return false;
+    } else {
+      if (!c.numeric_feasible()) return false;
+    }
+  }
+  return true;
+}
+
+bool Clause::intersects(const Clause& other, const Schema& schema) const {
+  return conjoin(*this, other).satisfiable(schema);
+}
+
+bool Clause::implies(const Clause& other, const Schema& schema) const {
+  // An unsatisfiable antecedent implies everything.
+  if (!satisfiable(schema)) return true;
+  for (const auto& p : other.predicates()) {
+    const auto c = constraint_for(p.feature, schema);
+    const bool categorical = schema.feature(p.feature).is_categorical();
+    bool proven = false;
+    if (categorical) {
+      const auto code = static_cast<std::size_t>(p.value);
+      const bool denied =
+          std::find(c.denied.begin(), c.denied.end(), code) != c.denied.end();
+      if (p.op == Op::kEq) {
+        proven = c.allowed.has_value() && *c.allowed == code;
+      } else if (p.op == Op::kNe) {
+        proven = (c.allowed.has_value() && *c.allowed != code) || denied;
+      }
+    } else {
+      const bool pinned = c.pinned.has_value();
+      switch (p.op) {
+        case Op::kEq:
+          proven = pinned && *c.pinned == p.value;
+          break;
+        case Op::kGt:
+          proven = pinned ? *c.pinned > p.value
+                          : (c.lo > p.value ||
+                             (c.lo == p.value && c.lo_open));
+          break;
+        case Op::kGe:
+          proven = pinned ? *c.pinned >= p.value : c.lo >= p.value;
+          break;
+        case Op::kLt:
+          proven = pinned ? *c.pinned < p.value
+                          : (c.hi < p.value ||
+                             (c.hi == p.value && c.hi_open));
+          break;
+        case Op::kLe:
+          proven = pinned ? *c.pinned <= p.value : c.hi <= p.value;
+          break;
+        case Op::kNe:
+          proven = pinned && *c.pinned != p.value;
+          break;
+      }
+    }
+    if (!proven) return false;
+  }
+  return true;
+}
+
+std::string Clause::to_string(const Schema& schema) const {
+  if (predicates_.empty()) return "TRUE";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < predicates_.size(); ++i) {
+    if (i > 0) os << " AND ";
+    os << predicates_[i].to_string(schema);
+  }
+  return os.str();
+}
+
+Clause conjoin(const Clause& a, const Clause& b) {
+  std::vector<Predicate> preds = a.predicates();
+  preds.insert(preds.end(), b.predicates().begin(), b.predicates().end());
+  return Clause(std::move(preds));
+}
+
+}  // namespace frote

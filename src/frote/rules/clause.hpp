@@ -1,0 +1,95 @@
+// Clauses: conjunctions of predicates (§3.1), plus the per-feature constraint
+// summary used for symbolic satisfiability (conflict detection) and for the
+// rule-constrained instance generation windows (supplement A).
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "frote/rules/predicate.hpp"
+
+namespace frote {
+
+/// Per-feature admissible set implied by a conjunction of predicates.
+/// Numeric features get an interval (with open/closed endpoints and an
+/// optional pinned equality); categorical features get an allow/deny set.
+struct FeatureConstraint {
+  // Numeric interval. lo/hi are -inf/+inf when unbounded.
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool lo_open = false;  // true: x > lo; false: x >= lo
+  bool hi_open = false;  // true: x < hi; false: x <= hi
+  std::optional<double> pinned;  // from an '=' predicate
+
+  // Categorical sets (codes). If `allowed` is set, only that code passes;
+  // `denied` lists codes excluded by '!=' predicates.
+  std::optional<std::size_t> allowed;
+  std::vector<std::size_t> denied;
+
+  /// Whether the numeric interval/pin is non-empty.
+  bool numeric_feasible() const;
+  /// Whether the categorical constraint admits any of `cardinality` codes.
+  bool categorical_feasible(std::size_t cardinality) const;
+};
+
+/// A conjunction of predicates. An empty clause covers everything.
+class Clause {
+ public:
+  Clause() = default;
+  explicit Clause(std::vector<Predicate> predicates)
+      : predicates_(std::move(predicates)) {}
+
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+  std::size_t size() const { return predicates_.size(); }
+  bool empty() const { return predicates_.empty(); }
+
+  void add(Predicate p) { predicates_.push_back(p); }
+
+  /// True iff every predicate holds on `row`.
+  bool satisfies(std::span<const double> row) const {
+    for (const auto& p : predicates_) {
+      if (!p.evaluate(row)) return false;
+    }
+    return true;
+  }
+
+  /// Clause with predicate `idx` removed (rule relaxation step).
+  Clause without(std::size_t idx) const;
+
+  /// Whether this clause constrains feature `f` at all.
+  bool mentions(std::size_t f) const;
+
+  /// Combined per-feature constraint for feature `f` (identity constraint if
+  /// the clause does not mention `f`). Requires schema to know the type.
+  FeatureConstraint constraint_for(std::size_t f, const Schema& schema) const;
+
+  /// Symbolic satisfiability of this clause over the domain described by
+  /// `schema` (every feature's combined constraint non-empty).
+  bool satisfiable(const Schema& schema) const;
+
+  /// Symbolic satisfiability of (this AND other): used for conflict
+  /// detection, cov(s1) ∩ cov(s2) ≠ ∅ over the feature domain (§3.1).
+  bool intersects(const Clause& other, const Schema& schema) const;
+
+  /// Whether every point satisfying this clause also satisfies `other`
+  /// (this ⇒ other). Conservative: returns false when implication cannot be
+  /// proven from per-feature constraints.
+  bool implies(const Clause& other, const Schema& schema) const;
+
+  std::string to_string(const Schema& schema) const;
+
+  bool operator==(const Clause& other) const {
+    return predicates_ == other.predicates_;
+  }
+
+ private:
+  std::vector<Predicate> predicates_;
+};
+
+/// Conjunction of two clauses (concatenated predicates).
+Clause conjoin(const Clause& a, const Clause& b);
+
+}  // namespace frote

@@ -1,0 +1,249 @@
+#include "frote/rules/parser.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace frote {
+
+namespace {
+
+/// Minimal recursive-descent tokenizer/parser over one rule line.
+class RuleParser {
+ public:
+  RuleParser(const std::string& text, const Schema& schema)
+      : text_(text), schema_(schema) {}
+
+  FeedbackRule parse() {
+    expect_keyword("IF");
+    FeedbackRule rule;
+    rule.clause = parse_clause();
+    // Optional exclusions: AND NOT ( clause ) ...
+    while (try_keyword("AND")) {
+      if (try_keyword("NOT")) {
+        expect_symbol("(");
+        rule.exclusions.push_back(parse_clause());
+        expect_symbol(")");
+      } else {
+        // Plain AND continues the main clause (parse_clause stops before
+        // AND NOT so this only happens after an exclusion block).
+        fail("expected NOT after AND at exclusion position");
+      }
+    }
+    expect_keyword("THEN");
+    rule.pi = parse_outcome();
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing input after rule");
+    return rule;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::ostringstream os;
+    os << "rule parse error at column " << pos_ + 1 << ": " << message
+       << " in \"" << text_ << "\"";
+    throw Error(os.str());
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool try_keyword(const std::string& keyword) {
+    skip_space();
+    const std::size_t saved = pos_;
+    if (text_.compare(pos_, keyword.size(), keyword) != 0) return false;
+    const std::size_t end = pos_ + keyword.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      pos_ = saved;
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  void expect_keyword(const std::string& keyword) {
+    if (!try_keyword(keyword)) fail("expected '" + keyword + "'");
+  }
+
+  bool try_symbol(const std::string& symbol) {
+    skip_space();
+    if (text_.compare(pos_, symbol.size(), symbol) != 0) return false;
+    pos_ += symbol.size();
+    return true;
+  }
+
+  void expect_symbol(const std::string& symbol) {
+    if (!try_symbol(symbol)) fail("expected '" + symbol + "'");
+  }
+
+  std::string parse_identifier() {
+    skip_space();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-' || text_[pos_] == '.' ||
+            text_[pos_] == '(' || text_[pos_] == ')')) {
+      // Identifiers may contain (), -, . to cover names like
+      // "Wine Quality (white)"-style class labels without spaces.
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected identifier");
+    return text_.substr(start, pos_ - start);
+  }
+
+  double parse_number() {
+    skip_space();
+    const std::size_t start = pos_;
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(text_.substr(start), &consumed);
+    } catch (const std::exception&) {
+      fail("expected number");
+    }
+    pos_ = start + consumed;
+    return value;
+  }
+
+  std::string parse_quoted() {
+    skip_space();
+    if (pos_ >= text_.size() || text_[pos_] != '\'') fail("expected quote");
+    ++pos_;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '\'') ++pos_;
+    if (pos_ >= text_.size()) fail("unterminated category literal");
+    const std::string value = text_.substr(start, pos_ - start);
+    ++pos_;  // closing quote
+    return value;
+  }
+
+  Op parse_op() {
+    skip_space();
+    // Two-character operators first.
+    if (try_symbol("!=")) return Op::kNe;
+    if (try_symbol(">=")) return Op::kGe;
+    if (try_symbol("<=")) return Op::kLe;
+    if (try_symbol(">")) return Op::kGt;
+    if (try_symbol("<")) return Op::kLt;
+    if (try_symbol("=")) return Op::kEq;
+    fail("expected comparison operator");
+  }
+
+  Predicate parse_predicate() {
+    const std::string name = parse_identifier();
+    const std::size_t feature = schema_.feature_index(name);
+    const Op op = parse_op();
+    const auto& spec = schema_.feature(feature);
+    if (!op_valid_for(op, spec.type)) {
+      fail("operator " + op_symbol(op) + " not allowed on " +
+           (spec.is_categorical() ? "categorical" : "numeric") + " feature " +
+           name);
+    }
+    double value = 0.0;
+    if (spec.is_categorical()) {
+      value = static_cast<double>(
+          schema_.category_code(feature, parse_quoted()));
+    } else {
+      value = parse_number();
+    }
+    return Predicate{feature, op, value};
+  }
+
+  Clause parse_clause() {
+    Clause clause;
+    clause.add(parse_predicate());
+    while (true) {
+      skip_space();
+      const std::size_t saved = pos_;
+      if (!try_keyword("AND")) break;
+      if (try_keyword("NOT")) {
+        pos_ = saved;  // exclusion block: caller handles it
+        break;
+      }
+      clause.add(parse_predicate());
+    }
+    return clause;
+  }
+
+  /// Class names may contain symbols identifiers cannot (Adult's ">50K"),
+  /// so they lex as any run of non-space characters excluding the outcome
+  /// grammar's delimiters.
+  std::string parse_class_name() {
+    skip_space();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(ch)) || ch == ':' ||
+          ch == ',' || ch == ']') {
+        break;
+      }
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected class name");
+    return text_.substr(start, pos_ - start);
+  }
+
+  int class_index(const std::string& name) {
+    for (std::size_t c = 0; c < schema_.num_classes(); ++c) {
+      if (schema_.class_names()[c] == name) return static_cast<int>(c);
+    }
+    fail("unknown class '" + name + "'");
+  }
+
+  LabelDistribution parse_outcome() {
+    skip_space();
+    if (try_keyword("class")) {
+      expect_symbol("=");
+      const int target = class_index(parse_class_name());
+      return LabelDistribution::deterministic(target, schema_.num_classes());
+    }
+    expect_keyword("Y");
+    expect_symbol("~");
+    expect_symbol("[");
+    std::vector<double> probs(schema_.num_classes(), 0.0);
+    while (true) {
+      const int cls = class_index(parse_class_name());
+      expect_symbol(":");
+      probs[static_cast<std::size_t>(cls)] = parse_number();
+      if (try_symbol("]")) break;
+      expect_symbol(",");
+    }
+    return LabelDistribution::from_probs(std::move(probs));
+  }
+
+  const std::string& text_;
+  const Schema& schema_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+FeedbackRule parse_rule(const std::string& text, const Schema& schema) {
+  return RuleParser(text, schema).parse();
+}
+
+std::vector<FeedbackRule> parse_rules(const std::string& text,
+                                      const Schema& schema) {
+  std::vector<FeedbackRule> rules;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    // Trim leading whitespace to detect comments/blank lines.
+    std::size_t start = 0;
+    while (start < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[start]))) {
+      ++start;
+    }
+    if (start == line.size() || line[start] == '#') continue;
+    rules.push_back(parse_rule(line.substr(start), schema));
+  }
+  return rules;
+}
+
+}  // namespace frote

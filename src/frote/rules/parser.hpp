@@ -1,0 +1,40 @@
+// Textual rule format: parsing and serialization.
+//
+// The paper argues rules are the natural medium for expert feedback because
+// "they semantically resemble natural language" (§3.1); a production system
+// therefore needs a textual round-trip so experts can author rules directly
+// and audits can store them (§6's governance discussion). Grammar:
+//
+//   rule        := "IF" clause ["AND NOT" "(" clause ")"]* "THEN" outcome
+//   clause      := predicate ("AND" predicate)*
+//   predicate   := ident op value
+//   op          := "=" | "!=" | ">" | ">=" | "<" | "<="
+//   value       := number | "'" category "'"
+//   outcome     := "class" "=" class-name
+//                | "Y" "~" "[" class ":" prob ("," class ":" prob)* "]"
+//
+// Examples:
+//   IF age < 29 AND marital_status = 'single' THEN class = approve
+//   IF score > 7 THEN Y ~ [decline: 0.8, approve: 0.2]
+//
+// `FeedbackRule::to_string` emits exactly this format, so parse/print is a
+// round-trip (tested).
+#pragma once
+
+#include <string>
+
+#include "frote/rules/rule.hpp"
+
+namespace frote {
+
+/// Parse one rule; throws frote::Error with a position-annotated message on
+/// malformed input, unknown features/categories/classes, or operators not
+/// allowed for the feature type (§3.1).
+FeedbackRule parse_rule(const std::string& text, const Schema& schema);
+
+/// Parse a newline-separated list of rules (blank lines and lines starting
+/// with '#' are skipped).
+std::vector<FeedbackRule> parse_rules(const std::string& text,
+                                      const Schema& schema);
+
+}  // namespace frote

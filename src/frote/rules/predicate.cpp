@@ -1,0 +1,50 @@
+#include "frote/rules/predicate.hpp"
+
+#include <sstream>
+
+namespace frote {
+
+std::string op_symbol(Op op) {
+  switch (op) {
+    case Op::kEq: return "=";
+    case Op::kNe: return "!=";
+    case Op::kGt: return ">";
+    case Op::kGe: return ">=";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+  }
+  return "?";
+}
+
+Op reverse_op(Op op) {
+  switch (op) {
+    case Op::kEq: return Op::kNe;
+    case Op::kNe: return Op::kEq;
+    case Op::kGt: return Op::kLt;
+    case Op::kGe: return Op::kLe;
+    case Op::kLt: return Op::kGt;
+    case Op::kLe: return Op::kGe;
+  }
+  return op;
+}
+
+bool op_valid_for(Op op, FeatureType type) {
+  if (type == FeatureType::kCategorical) {
+    return op == Op::kEq || op == Op::kNe;
+  }
+  return op != Op::kNe;  // numeric: {=, >, >=, <, <=} per §3.1
+}
+
+std::string Predicate::to_string(const Schema& schema) const {
+  const auto& spec = schema.feature(feature);
+  std::ostringstream os;
+  os << spec.name << ' ' << op_symbol(op) << ' ';
+  if (spec.is_categorical()) {
+    os << '\'' << spec.categories[static_cast<std::size_t>(value)] << '\'';
+  } else {
+    os << value;
+  }
+  return os.str();
+}
+
+}  // namespace frote

@@ -1,0 +1,51 @@
+// Predicates: (attribute, operator, value) triples, the atoms of feedback
+// rules (§3.1). Categorical attributes allow {=, ≠}; numeric attributes
+// allow {=, >, ≥, <, ≤}.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "frote/data/schema.hpp"
+
+namespace frote {
+
+enum class Op { kEq, kNe, kGt, kGe, kLt, kLe };
+
+/// Printable operator symbol.
+std::string op_symbol(Op op);
+
+/// Reverse an operator per the paper's perturbation 1 (§5.1): = ↔ ≠ for
+/// categoricals; > ↔ <, ≥ ↔ ≤ for numerics (= maps to ≠ and back).
+Op reverse_op(Op op);
+
+/// Whether `op` is allowed on the given feature type.
+bool op_valid_for(Op op, FeatureType type);
+
+struct Predicate {
+  std::size_t feature = 0;
+  Op op = Op::kEq;
+  /// Threshold for numeric features; category code for categorical ones.
+  double value = 0.0;
+
+  bool evaluate(std::span<const double> row) const {
+    const double x = row[feature];
+    switch (op) {
+      case Op::kEq: return x == value;
+      case Op::kNe: return x != value;
+      case Op::kGt: return x > value;
+      case Op::kGe: return x >= value;
+      case Op::kLt: return x < value;
+      case Op::kLe: return x <= value;
+    }
+    return false;
+  }
+
+  bool operator==(const Predicate& other) const {
+    return feature == other.feature && op == other.op && value == other.value;
+  }
+
+  std::string to_string(const Schema& schema) const;
+};
+
+}  // namespace frote

@@ -1,0 +1,55 @@
+#include "frote/rules/relax.hpp"
+
+#include "frote/rules/ruleset.hpp"
+
+namespace frote {
+
+namespace {
+std::size_t support_of(const Clause& clause, const Dataset& data) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (clause.satisfies(data.row(i))) ++n;
+  }
+  return n;
+}
+}  // namespace
+
+RelaxationResult relax_rule(const Clause& clause, const Dataset& data,
+                            std::size_t min_support) {
+  RelaxationResult result;
+  result.relaxed = clause;
+  result.support = support_of(clause, data);
+  // Algorithm 2: relax only while coverage < L.
+  while (result.support < min_support) {
+    if (result.relaxed.empty()) {
+      // Empty clause covers everything; if that is still below min_support
+      // the dataset itself is too small — caller must handle.
+      result.fully_relaxed = true;
+      break;
+    }
+    // One BFS level: try removing each remaining condition, keep the removal
+    // with maximum coverage (lines 8–21). Removing the last condition gives
+    // the empty clause with coverage |D| (lines 11–14).
+    std::size_t best_support = 0;
+    std::size_t best_idx = 0;
+    for (std::size_t c = 0; c < result.relaxed.size(); ++c) {
+      const Clause candidate = result.relaxed.without(c);
+      const std::size_t sup =
+          candidate.empty() ? data.size() : support_of(candidate, data);
+      if (sup > best_support) {
+        best_support = sup;
+        best_idx = c;
+      }
+    }
+    result.relaxed = result.relaxed.without(best_idx);
+    result.support = best_support;
+    ++result.removed_conditions;
+    if (result.relaxed.empty()) {
+      result.fully_relaxed = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace frote

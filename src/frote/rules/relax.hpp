@@ -1,0 +1,33 @@
+// Rule relaxation (Algorithm 2): when a feedback rule has dataset coverage
+// below L = k+1, find a *maximal partial rule* — the version of the rule
+// with the fewest conditions removed that attains the largest coverage —
+// via greedy breadth-first condition deletion.
+#pragma once
+
+#include <cstddef>
+
+#include "frote/data/dataset.hpp"
+#include "frote/rules/rule.hpp"
+
+namespace frote {
+
+struct RelaxationResult {
+  /// Relaxed clause (equal to the input clause when no relaxation needed).
+  Clause relaxed;
+  /// Number of predicates deleted.
+  std::size_t removed_conditions = 0;
+  /// Coverage of the relaxed clause in the dataset.
+  std::size_t support = 0;
+  /// True when even the empty clause was reached (rule had to be fully
+  /// relaxed; support is then |D|).
+  bool fully_relaxed = false;
+};
+
+/// Relax `clause` against `data` until its coverage is at least
+/// `min_support` (Algorithm 2, lines 7–22). At each level the condition
+/// whose removal yields maximum coverage is deleted. If the clause becomes
+/// empty, coverage is |D| and the loop stops.
+RelaxationResult relax_rule(const Clause& clause, const Dataset& data,
+                            std::size_t min_support);
+
+}  // namespace frote

@@ -1,0 +1,87 @@
+#include "frote/rules/rule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace frote {
+
+LabelDistribution LabelDistribution::deterministic(int target,
+                                                   std::size_t num_classes) {
+  FROTE_CHECK_MSG(target >= 0 &&
+                      static_cast<std::size_t>(target) < num_classes,
+                  "target " << target << " vs " << num_classes << " classes");
+  LabelDistribution d;
+  d.probs_.assign(num_classes, 0.0);
+  d.probs_[static_cast<std::size_t>(target)] = 1.0;
+  return d;
+}
+
+LabelDistribution LabelDistribution::from_probs(std::vector<double> probs) {
+  FROTE_CHECK(!probs.empty());
+  double total = 0.0;
+  for (double p : probs) {
+    FROTE_CHECK_MSG(p >= 0.0, "negative probability " << p);
+    total += p;
+  }
+  FROTE_CHECK_MSG(std::abs(total - 1.0) < 1e-6,
+                  "probabilities sum to " << total);
+  LabelDistribution d;
+  d.probs_ = std::move(probs);
+  return d;
+}
+
+LabelDistribution LabelDistribution::mixture(const LabelDistribution& a,
+                                             const LabelDistribution& b) {
+  FROTE_CHECK(a.num_classes() == b.num_classes());
+  std::vector<double> probs(a.num_classes());
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    probs[i] = 0.5 * (a.probs_[i] + b.probs_[i]);
+  }
+  return from_probs(std::move(probs));
+}
+
+double LabelDistribution::prob(int label) const {
+  FROTE_CHECK(label >= 0 && static_cast<std::size_t>(label) < probs_.size());
+  return probs_[static_cast<std::size_t>(label)];
+}
+
+bool LabelDistribution::is_deterministic() const {
+  return std::any_of(probs_.begin(), probs_.end(),
+                     [](double p) { return p == 1.0; });
+}
+
+int LabelDistribution::mode() const {
+  FROTE_CHECK(!probs_.empty());
+  return static_cast<int>(
+      std::max_element(probs_.begin(), probs_.end()) - probs_.begin());
+}
+
+int LabelDistribution::sample(Rng& rng) const {
+  FROTE_CHECK(!probs_.empty());
+  return static_cast<int>(rng.categorical(probs_));
+}
+
+std::string FeedbackRule::to_string(const Schema& schema) const {
+  std::ostringstream os;
+  os << "IF " << clause.to_string(schema);
+  for (const auto& ex : exclusions) {
+    os << " AND NOT (" << ex.to_string(schema) << ")";
+  }
+  os << " THEN ";
+  if (pi.is_deterministic()) {
+    os << "class = " << schema.class_names()[static_cast<std::size_t>(
+        pi.mode())];
+  } else {
+    os << "Y ~ [";
+    for (std::size_t c = 0; c < pi.num_classes(); ++c) {
+      if (c > 0) os << ", ";
+      os << schema.class_names()[c] << ":" << pi.probs()[c];
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+}  // namespace frote

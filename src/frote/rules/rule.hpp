@@ -1,0 +1,86 @@
+// Feedback rules R = (s, π): IF clause s THEN Y ~ π (§3.1).
+//
+// π is a distribution over class labels; the common deterministic case is a
+// Kronecker delta on a target class. Conflict resolution can attach
+// *exclusion clauses* to a rule (the "s1 AND NOT s2" construction of §3.1,
+// option 1), so coverage is: clause holds AND no exclusion holds.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frote/rules/clause.hpp"
+#include "frote/util/rng.hpp"
+
+namespace frote {
+
+/// Label distribution π over l classes.
+class LabelDistribution {
+ public:
+  LabelDistribution() = default;
+
+  /// Kronecker delta on `target` (the deterministic case).
+  static LabelDistribution deterministic(int target, std::size_t num_classes);
+  /// Arbitrary distribution; probabilities must be non-negative, sum ~ 1.
+  static LabelDistribution from_probs(std::vector<double> probs);
+  /// Uniform mixture (π1 + π2)/2 used by conflict resolution option 2.
+  static LabelDistribution mixture(const LabelDistribution& a,
+                                   const LabelDistribution& b);
+
+  std::size_t num_classes() const { return probs_.size(); }
+  double prob(int label) const;
+  const std::vector<double>& probs() const { return probs_; }
+
+  bool is_deterministic() const;
+  /// Most probable class (ties broken toward the smaller label).
+  int mode() const;
+
+  /// Sample a label from π.
+  int sample(Rng& rng) const;
+
+  bool operator==(const LabelDistribution& other) const {
+    return probs_ == other.probs_;
+  }
+
+ private:
+  std::vector<double> probs_;
+};
+
+/// A feedback rule with optional exclusions and perturbation provenance.
+struct FeedbackRule {
+  Clause clause;
+  LabelDistribution pi;
+  /// Regions carved out by conflict resolution (covered iff clause holds and
+  /// no exclusion clause holds).
+  std::vector<Clause> exclusions;
+  /// The clause this rule was perturbed from (the model-explanation rule),
+  /// when known. Overlay-Soft needs this original↔feedback mapping.
+  std::optional<Clause> provenance;
+
+  FeedbackRule() = default;
+  FeedbackRule(Clause c, LabelDistribution dist)
+      : clause(std::move(c)), pi(std::move(dist)) {}
+
+  /// Convenience: deterministic rule IF clause THEN class = target.
+  static FeedbackRule deterministic(Clause c, int target,
+                                    std::size_t num_classes) {
+    return FeedbackRule(std::move(c),
+                        LabelDistribution::deterministic(target, num_classes));
+  }
+
+  bool covers(std::span<const double> row) const {
+    if (!clause.satisfies(row)) return false;
+    for (const auto& ex : exclusions) {
+      if (ex.satisfies(row)) return false;
+    }
+    return true;
+  }
+
+  /// Target class for deterministic rules; mode of π otherwise.
+  int target_class() const { return pi.mode(); }
+
+  std::string to_string(const Schema& schema) const;
+};
+
+}  // namespace frote

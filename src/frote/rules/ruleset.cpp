@@ -1,0 +1,109 @@
+#include "frote/rules/ruleset.hpp"
+
+#include <algorithm>
+
+namespace frote {
+
+std::vector<std::size_t> coverage(const FeedbackRule& rule,
+                                  const Dataset& data) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (rule.covers(data.row(i))) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> coverage(const Clause& clause, const Dataset& data) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (clause.satisfies(data.row(i))) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> FeedbackRuleSet::coverage_union(
+    const Dataset& data) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (const auto& rule : rules_) {
+      if (rule.covers(data.row(i))) {
+        out.push_back(i);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> FeedbackRuleSet::coverage_per_rule(
+    const Dataset& data) const {
+  std::vector<std::vector<std::size_t>> out(rules_.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (std::size_t r = 0; r < rules_.size(); ++r) {
+      if (rules_[r].covers(data.row(i))) out[r].push_back(i);
+    }
+  }
+  return out;
+}
+
+int FeedbackRuleSet::first_covering_rule(std::span<const double> row) const {
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    if (rules_[r].covers(row)) return static_cast<int>(r);
+  }
+  return -1;
+}
+
+bool rules_conflict(const FeedbackRule& a, const FeedbackRule& b,
+                    const Schema& schema) {
+  if (a.pi == b.pi) return false;
+  const Clause overlap = conjoin(a.clause, b.clause);
+  if (!overlap.satisfiable(schema)) return false;
+  // The base clauses intersect; the pair is still conflict-free if either
+  // rule's exclusions provably carve the whole overlap region out
+  // (overlap ⇒ exclusion). This covers both resolution option 1 (each rule
+  // excludes the other's clause) and the mixture rule of option 2 (whose
+  // clause is the overlap itself).
+  auto carved = [&](const FeedbackRule& r) {
+    return std::any_of(
+        r.exclusions.begin(), r.exclusions.end(),
+        [&](const Clause& ex) { return overlap.implies(ex, schema); });
+  };
+  if (carved(a) || carved(b)) return false;
+  return true;
+}
+
+bool has_conflicts(const FeedbackRuleSet& frs, const Schema& schema) {
+  for (std::size_t i = 0; i < frs.size(); ++i) {
+    for (std::size_t j = i + 1; j < frs.size(); ++j) {
+      if (rules_conflict(frs.rule(i), frs.rule(j), schema)) return true;
+    }
+  }
+  return false;
+}
+
+void resolve_by_exclusion(FeedbackRule& a, FeedbackRule& b) {
+  a.exclusions.push_back(b.clause);
+  b.exclusions.push_back(a.clause);
+}
+
+FeedbackRule resolve_by_mixture(FeedbackRule& a, FeedbackRule& b) {
+  FeedbackRule mid(conjoin(a.clause, b.clause),
+                   LabelDistribution::mixture(a.pi, b.pi));
+  resolve_by_exclusion(a, b);
+  return mid;
+}
+
+std::size_t resolve_all_conflicts(FeedbackRuleSet& frs, const Schema& schema) {
+  std::size_t resolved = 0;
+  for (std::size_t i = 0; i < frs.size(); ++i) {
+    for (std::size_t j = i + 1; j < frs.size(); ++j) {
+      if (rules_conflict(frs.rule(i), frs.rule(j), schema)) {
+        resolve_by_exclusion(frs.rule(i), frs.rule(j));
+        ++resolved;
+      }
+    }
+  }
+  return resolved;
+}
+
+}  // namespace frote

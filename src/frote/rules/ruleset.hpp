@@ -1,0 +1,77 @@
+// Feedback rule sets and dataset coverage (eq. 1–2), plus conflict detection
+// and the three resolution strategies of §3.1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "frote/data/dataset.hpp"
+#include "frote/rules/rule.hpp"
+
+namespace frote {
+
+/// cov(s, D): indices of rows in D covered by the rule (eq. 1).
+std::vector<std::size_t> coverage(const FeedbackRule& rule,
+                                  const Dataset& data);
+
+/// cov(s, D) for a bare clause (no exclusions).
+std::vector<std::size_t> coverage(const Clause& clause, const Dataset& data);
+
+/// An ordered set of feedback rules F = {(s_r, π_r)}.
+class FeedbackRuleSet {
+ public:
+  FeedbackRuleSet() = default;
+  explicit FeedbackRuleSet(std::vector<FeedbackRule> rules)
+      : rules_(std::move(rules)) {}
+
+  std::size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+  const FeedbackRule& rule(std::size_t r) const {
+    FROTE_CHECK(r < rules_.size());
+    return rules_[r];
+  }
+  FeedbackRule& rule(std::size_t r) {
+    FROTE_CHECK(r < rules_.size());
+    return rules_[r];
+  }
+  const std::vector<FeedbackRule>& rules() const { return rules_; }
+  void add(FeedbackRule rule) { rules_.push_back(std::move(rule)); }
+
+  /// cov(F, D): union of per-rule coverages (eq. 2), sorted, deduplicated.
+  std::vector<std::size_t> coverage_union(const Dataset& data) const;
+
+  /// Per-rule coverage lists.
+  std::vector<std::vector<std::size_t>> coverage_per_rule(
+      const Dataset& data) const;
+
+  /// Index of the first rule covering `row`, or -1.
+  int first_covering_rule(std::span<const double> row) const;
+
+ private:
+  std::vector<FeedbackRule> rules_;
+};
+
+/// Two rules conflict iff their coverages intersect over the feature domain
+/// and their label distributions differ (§3.1). Exclusion clauses are taken
+/// into account conservatively (a pair is non-conflicting if either rule
+/// excludes the other's clause entirely — we check the carved clause pair).
+bool rules_conflict(const FeedbackRule& a, const FeedbackRule& b,
+                    const Schema& schema);
+
+/// Whether any pair of rules in F conflicts.
+bool has_conflicts(const FeedbackRuleSet& frs, const Schema& schema);
+
+/// Conflict resolution option 1 (§3.1): carve the intersection out of both
+/// rules by adding each other's clause as an exclusion.
+void resolve_by_exclusion(FeedbackRule& a, FeedbackRule& b);
+
+/// Conflict resolution option 2 (§3.1): produce a third rule covering the
+/// intersection with the mixture (π_a + π_b)/2, and exclude the intersection
+/// from both originals.
+FeedbackRule resolve_by_mixture(FeedbackRule& a, FeedbackRule& b);
+
+/// Resolve all pairwise conflicts in-place using option 1 (repeatedly, as
+/// §3.1 prescribes). Returns the number of pairs resolved.
+std::size_t resolve_all_conflicts(FeedbackRuleSet& frs, const Schema& schema);
+
+}  // namespace frote

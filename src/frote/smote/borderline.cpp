@@ -1,0 +1,50 @@
+#include "frote/smote/borderline.hpp"
+
+namespace frote {
+
+std::vector<InstanceKind> categorize_instances(const Dataset& data,
+                                               const Model& model,
+                                               const BorderlineConfig& config) {
+  FROTE_CHECK(!data.empty());
+  const auto pred = model.predict_all(data);
+  const MixedDistance distance = MixedDistance::fit(data);
+  const BallTreeKnn knn(data, distance);
+
+  std::vector<InstanceKind> kinds(data.size(), InstanceKind::kSafe);
+  const std::size_t k = std::min(config.k, data.size() - 1);
+  if (k == 0) return kinds;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    auto neighbors = knn.query(data.row(i), k + 1);
+    std::size_t same = 0, diff = 0;
+    for (const auto& nb : neighbors) {
+      const std::size_t j = knn.dataset_index(nb.index);
+      if (j == i) continue;  // skip self
+      if (same + diff == k) break;
+      (pred[j] == pred[i] ? same : diff) += 1;
+    }
+    // Han et al. thresholds: noisy when (almost) all neighbours disagree,
+    // borderline when the split is near-even, safe otherwise.
+    if (diff == same + diff) {
+      kinds[i] = InstanceKind::kNoisy;
+    } else if (2 * diff >= same + diff) {  // q ≈ p or q > p (but not all)
+      kinds[i] = InstanceKind::kBorderline;
+    } else {
+      kinds[i] = InstanceKind::kSafe;
+    }
+  }
+  return kinds;
+}
+
+std::vector<double> borderline_weights(const Dataset& data, const Model& model,
+                                       const BorderlineConfig& config) {
+  const auto kinds = categorize_instances(data, model, config);
+  std::vector<double> weights(kinds.size());
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    weights[i] = kinds[i] == InstanceKind::kBorderline
+                     ? config.borderline_weight
+                     : config.other_weight;
+  }
+  return weights;
+}
+
+}  // namespace frote

@@ -1,0 +1,81 @@
+#include "frote/smote/smote.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace frote {
+
+std::vector<double> smote_nc_interpolate(
+    std::span<const double> base, std::span<const double> neighbor,
+    const std::vector<std::span<const double>>& neighbor_rows,
+    const Schema& schema, Rng& rng) {
+  std::vector<double> out(base.size());
+  for (std::size_t f = 0; f < base.size(); ++f) {
+    const auto& spec = schema.feature(f);
+    if (spec.is_categorical()) {
+      // Majority value among the neighbours (ties: smallest code, which
+      // makes the operation deterministic given the neighbour set).
+      std::map<double, std::size_t> votes;
+      for (const auto& row : neighbor_rows) votes[row[f]]++;
+      double best_value = base[f];
+      std::size_t best_count = 0;
+      for (const auto& [value, count] : votes) {
+        if (count > best_count) {
+          best_count = count;
+          best_value = value;
+        }
+      }
+      out[f] = best_value;
+    } else {
+      // f_v = x_i + (x_j − x_i)·ω(0,1)  (eq. 6)
+      out[f] = base[f] + (neighbor[f] - base[f]) * rng.uniform();
+    }
+  }
+  return out;
+}
+
+Dataset smote_oversample(const Dataset& data, int minority_class,
+                         const SmoteConfig& config) {
+  FROTE_CHECK(!data.empty());
+  std::vector<std::size_t> minority;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data.label(i) == minority_class) minority.push_back(i);
+  }
+  FROTE_CHECK_MSG(minority.size() > config.k,
+                  "need more than k minority instances");
+
+  const MixedDistance distance = MixedDistance::fit(data);
+  BruteKnn knn(data, distance, minority);
+
+  Rng rng(config.seed);
+  Dataset synthetic(data.schema_ptr());
+  const std::size_t per_instance = config.amount_percent / 100;
+  const double frac =
+      static_cast<double>(config.amount_percent % 100) / 100.0;
+  for (std::size_t m = 0; m < minority.size(); ++m) {
+    std::size_t count = per_instance + (rng.bernoulli(frac) ? 1 : 0);
+    if (count == 0) continue;
+    const auto base = data.row(minority[m]);
+    // k+1 because the base instance is its own nearest neighbour.
+    auto neighbors = knn.query(base, config.k + 1);
+    std::vector<std::span<const double>> neighbor_rows;
+    std::vector<std::size_t> neighbor_ids;
+    for (const auto& nb : neighbors) {
+      const std::size_t ds_idx = knn.dataset_index(nb.index);
+      if (ds_idx == minority[m]) continue;
+      neighbor_rows.push_back(data.row(ds_idx));
+      neighbor_ids.push_back(ds_idx);
+      if (neighbor_rows.size() == config.k) break;
+    }
+    if (neighbor_rows.empty()) continue;
+    for (std::size_t c = 0; c < count; ++c) {
+      const std::size_t pick = rng.index(neighbor_rows.size());
+      auto row = smote_nc_interpolate(base, neighbor_rows[pick],
+                                      neighbor_rows, data.schema(), rng);
+      synthetic.add_row(row, minority_class);
+    }
+  }
+  return synthetic;
+}
+
+}  // namespace frote

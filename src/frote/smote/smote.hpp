@@ -1,0 +1,39 @@
+// Classic SMOTE / SMOTE-NC oversampling (Chawla et al. 2002).
+//
+// Included both as the historical baseline FROTE builds on and as a usable
+// imbalance tool: minority base instances are combined with one of their k
+// nearest minority neighbours; numeric attributes interpolate uniformly
+// along the segment (eq. 6), categorical attributes take the majority value
+// among the neighbours (SMOTE-NC).
+#pragma once
+
+#include "frote/data/dataset.hpp"
+#include "frote/knn/knn.hpp"
+#include "frote/util/rng.hpp"
+
+namespace frote {
+
+struct SmoteConfig {
+  std::size_t k = 5;  // the paper's setting (following Chawla/Han)
+  /// Oversampling amount in percent of the minority class size (SMOTE's N):
+  /// 200 ⇒ two synthetic instances per minority instance.
+  std::size_t amount_percent = 100;
+  std::uint64_t seed = 42;
+};
+
+/// One SMOTE-NC interpolation between `base` and `neighbor` (no rule
+/// constraints — FROTE's constrained variant lives in core/generate.*).
+/// `neighbor_rows` are the k neighbour rows used for categorical majority
+/// votes.
+std::vector<double> smote_nc_interpolate(
+    std::span<const double> base,
+    std::span<const double> neighbor,
+    const std::vector<std::span<const double>>& neighbor_rows,
+    const Schema& schema, Rng& rng);
+
+/// Oversample class `minority_class` of `data`; returns only the synthetic
+/// instances (label = minority_class).
+Dataset smote_oversample(const Dataset& data, int minority_class,
+                         const SmoteConfig& config = {});
+
+}  // namespace frote

@@ -1,0 +1,45 @@
+#include "frote/util/env.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace frote {
+
+namespace {
+const char* raw(const char* name) { return std::getenv(name); }
+}  // namespace
+
+int env_int(const char* name, int fallback) {
+  const char* v = raw(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  try {
+    return std::stoi(v);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = raw(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+bool env_flag(const char* name) {
+  const char* v = raw(name);
+  if (v == nullptr || *v == '\0') return false;
+  const std::string s(v);
+  return s != "0" && s != "false" && s != "FALSE" && s != "no";
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = raw(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+}  // namespace frote

@@ -1,0 +1,30 @@
+// Environment-variable configuration for the benchmark harness.
+//
+// The paper's full protocol (30–50 runs per setting, full UCI dataset sizes,
+// τ = 200 retraining iterations) takes hours; the bench binaries default to a
+// scaled-down protocol that preserves the result *shapes* and can be dialed
+// back up:
+//   FROTE_RUNS   — runs per experimental setting (default: per-bench)
+//   FROTE_SCALE  — dataset size multiplier in (0, 1]         (default 1.0
+//                  for unit tests; benches pass their own default)
+//   FROTE_TAU    — iteration limit override
+//   FROTE_FAST=1 — aggressive downscale for smoke-testing everything
+#pragma once
+
+#include <string>
+
+namespace frote {
+
+/// Read an env var as int; returns `fallback` when unset or unparsable.
+int env_int(const char* name, int fallback);
+
+/// Read an env var as double; returns `fallback` when unset or unparsable.
+double env_double(const char* name, double fallback);
+
+/// True when the env var is set to a non-empty value other than "0"/"false".
+bool env_flag(const char* name);
+
+/// Read an env var as string; returns `fallback` when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace frote

@@ -1,0 +1,48 @@
+// Error handling helpers used across the library.
+//
+// We follow the C++ Core Guidelines: exceptions for error reporting, with a
+// single macro for precondition/invariant checks so call sites stay terse and
+// the thrown message always carries the failing expression and location.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace frote {
+
+/// Exception type thrown by all FROTE_CHECK failures and library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FROTE_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace frote
+
+/// Precondition / invariant check: throws frote::Error on failure.
+#define FROTE_CHECK(expr)                                                   \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::frote::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Check with a streamed message: FROTE_CHECK_MSG(x > 0, "x=" << x).
+#define FROTE_CHECK_MSG(expr, msg_stream)                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << msg_stream;                                                   \
+      ::frote::detail::throw_check_failure(#expr, __FILE__, __LINE__,      \
+                                           os_.str());                     \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,36 @@
+#include "frote/util/rng.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace frote {
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  FROTE_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    FROTE_CHECK_MSG(w >= 0.0, "negative weight " << w);
+    total += w;
+  }
+  FROTE_CHECK_MSG(total > 0.0, "all categorical weights are zero");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: return last positive slot
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t count) {
+  FROTE_CHECK_MSG(count <= n, "cannot sample " << count << " from " << n);
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < count; ++i) {
+    std::swap(pool[i], pool[i + index(n - i)]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+}  // namespace frote

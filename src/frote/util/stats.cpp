@@ -1,0 +1,92 @@
+#include "frote/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "frote/util/error.hpp"
+
+namespace frote {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  FROTE_CHECK(n_ > 0);
+  return mean_;
+}
+
+double RunningStats::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+double percentile(std::vector<double> values, double q) {
+  FROTE_CHECK(!values.empty());
+  FROTE_CHECK(q >= 0.0 && q <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double pos = q / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+BoxStats box_stats(std::vector<double> values) {
+  FROTE_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  BoxStats b;
+  b.n = values.size();
+  auto interp = [&](double q) {
+    const double pos = q / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+  };
+  b.median = interp(50.0);
+  b.q1 = interp(25.0);
+  b.q3 = interp(75.0);
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+  b.whisker_lo = values.back();
+  b.whisker_hi = values.front();
+  for (double v : values) {
+    if (v >= lo_fence) {
+      b.whisker_lo = v;
+      break;
+    }
+  }
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    if (*it <= hi_fence) {
+      b.whisker_hi = *it;
+      break;
+    }
+  }
+  return b;
+}
+
+double mean_of(const std::vector<double>& values) {
+  RunningStats s;
+  for (double v : values) s.add(v);
+  return s.mean();
+}
+
+double stddev_of(const std::vector<double>& values) {
+  RunningStats s;
+  for (double v : values) s.add(v);
+  return s.stddev();
+}
+
+}  // namespace frote

@@ -1,0 +1,51 @@
+// Summary statistics used by the experiment harness: mean ± std for the
+// paper's tables, and box-plot statistics (median, IQR, 1.5×IQR whiskers)
+// for its figures.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace frote {
+
+/// Numerically stable (Welford) accumulator for mean / sample std.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 when n < 2.
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Box-plot summary matching matplotlib's default convention used in the
+/// paper's figures: quartiles by linear interpolation, whiskers at the most
+/// extreme data points within 1.5×IQR of the box.
+struct BoxStats {
+  double median = 0.0;
+  double q1 = 0.0;
+  double q3 = 0.0;
+  double whisker_lo = 0.0;
+  double whisker_hi = 0.0;
+  std::size_t n = 0;
+};
+
+/// Linear-interpolation percentile (q in [0,100]) of an unsorted sample.
+double percentile(std::vector<double> values, double q);
+
+/// Compute box-plot stats of an unsorted sample. Requires non-empty input.
+BoxStats box_stats(std::vector<double> values);
+
+double mean_of(const std::vector<double>& values);
+double stddev_of(const std::vector<double>& values);
+
+}  // namespace frote

@@ -1,0 +1,44 @@
+// Fixed-width ASCII table printer + CSV writer used by the benchmark
+// harness to emit paper-style table rows and figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace frote {
+
+/// Accumulates rows of strings and prints them column-aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with a header underline and two-space column gaps.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Format helper: fixed-precision double.
+  static std::string fmt(double v, int precision = 3);
+  /// Format helper: "mean ± std" cell, the paper's table convention.
+  static std::string fmt_pm(double mean, double std, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer (quotes fields containing separators/quotes).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace frote

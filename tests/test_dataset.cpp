@@ -1,0 +1,182 @@
+#include "frote/data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "frote/data/csv.hpp"
+#include "frote/data/encoder.hpp"
+#include "test_util.hpp"
+
+namespace frote {
+namespace {
+
+using testing::mixed_schema;
+
+TEST(Schema, BasicProperties) {
+  auto schema = mixed_schema();
+  EXPECT_EQ(schema->num_features(), 3u);
+  EXPECT_EQ(schema->num_numeric(), 2u);
+  EXPECT_EQ(schema->num_categorical(), 1u);
+  EXPECT_EQ(schema->num_classes(), 2u);
+  EXPECT_EQ(schema->feature_index("color"), 2u);
+  EXPECT_EQ(schema->category_code(2, "green"), 1u);
+}
+
+TEST(Schema, UnknownFeatureThrows) {
+  auto schema = mixed_schema();
+  EXPECT_THROW(schema->feature_index("nope"), Error);
+  EXPECT_THROW(schema->category_code(2, "purple"), Error);
+}
+
+TEST(Schema, ValidateRowCatchesBadCategoryCode) {
+  auto schema = mixed_schema();
+  EXPECT_NO_THROW(schema->validate_row({1.0, 2.0, 2.0}));
+  EXPECT_THROW(schema->validate_row({1.0, 2.0, 3.0}), Error);   // code 3
+  EXPECT_THROW(schema->validate_row({1.0, 2.0, 0.5}), Error);   // non-integer
+  EXPECT_THROW(schema->validate_row({1.0, 2.0}), Error);        // width
+}
+
+TEST(Schema, ValidateRowCatchesNonFinite) {
+  auto schema = mixed_schema();
+  EXPECT_THROW(
+      schema->validate_row({std::numeric_limits<double>::infinity(), 0.0, 0.0}),
+      Error);
+}
+
+TEST(Dataset, AddAndAccess) {
+  Dataset data(mixed_schema());
+  data.add_row({1.0, 2.0, 0.0}, 0);
+  data.add_row({3.0, 4.0, 1.0}, 1);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.row(1)[0], 3.0);
+  EXPECT_EQ(data.label(0), 0);
+  EXPECT_EQ(data.label(1), 1);
+}
+
+TEST(Dataset, BadLabelRejected) {
+  Dataset data(mixed_schema());
+  EXPECT_THROW(data.add_row({1.0, 2.0, 0.0}, 2), Error);
+  EXPECT_THROW(data.add_row({1.0, 2.0, 0.0}, -1), Error);
+}
+
+TEST(Dataset, SubsetPreservesOrder) {
+  auto data = testing::threshold_dataset(20);
+  auto sub = data.subset({5, 1, 9});
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub.row(0)[0], data.row(5)[0]);
+  EXPECT_DOUBLE_EQ(sub.row(1)[0], data.row(1)[0]);
+  EXPECT_EQ(sub.label(2), data.label(9));
+}
+
+TEST(Dataset, RemoveRows) {
+  auto data = testing::threshold_dataset(10);
+  const double kept_x = data.row(3)[0];
+  data.remove_rows({0, 1, 2});
+  EXPECT_EQ(data.size(), 7u);
+  EXPECT_DOUBLE_EQ(data.row(0)[0], kept_x);
+}
+
+TEST(Dataset, RemoveRowsHandlesDuplicatesAndUnsorted) {
+  auto data = testing::threshold_dataset(10);
+  data.remove_rows({5, 2, 5, 2});
+  EXPECT_EQ(data.size(), 8u);
+}
+
+TEST(Dataset, AppendRequiresSameSchema) {
+  auto a = testing::threshold_dataset(5);
+  auto b = testing::blobs_dataset(3);
+  EXPECT_THROW(a.append(b), Error);
+}
+
+TEST(Dataset, AppendConcatenates) {
+  auto a = testing::threshold_dataset(5);
+  auto b = testing::threshold_dataset(7, 5.0, 99);
+  a.append(b);
+  EXPECT_EQ(a.size(), 12u);
+}
+
+TEST(Dataset, ClassCounts) {
+  Dataset data(mixed_schema());
+  data.add_row({1.0, 0.0, 0.0}, 0);
+  data.add_row({2.0, 0.0, 0.0}, 1);
+  data.add_row({3.0, 0.0, 0.0}, 1);
+  const auto counts = data.class_counts();
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+TEST(Dataset, NumericColumnStats) {
+  Dataset data(mixed_schema());
+  data.add_row({1.0, 10.0, 0.0}, 0);
+  data.add_row({3.0, 20.0, 0.0}, 1);
+  const auto stats = data.numeric_column_stats(0);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 3.0);
+  EXPECT_THROW(data.numeric_column_stats(2), Error);  // categorical column
+}
+
+TEST(Dataset, CategoryCounts) {
+  Dataset data(mixed_schema());
+  data.add_row({0.0, 0.0, 1.0}, 0);
+  data.add_row({0.0, 0.0, 1.0}, 0);
+  data.add_row({0.0, 0.0, 2.0}, 0);
+  const auto counts = data.category_counts(2);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_THROW(data.category_counts(0), Error);  // numeric column
+}
+
+TEST(Csv, RoundTrip) {
+  auto data = testing::threshold_dataset(25);
+  std::stringstream ss;
+  save_csv(data, ss);
+  const Dataset loaded = load_csv(ss);
+  ASSERT_EQ(loaded.size(), data.size());
+  EXPECT_TRUE(loaded.schema() == data.schema());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(loaded.label(i), data.label(i));
+    for (std::size_t f = 0; f < data.num_features(); ++f) {
+      EXPECT_DOUBLE_EQ(loaded.row(i)[f], data.row(i)[f]);
+    }
+  }
+}
+
+TEST(Csv, RejectsGarbage) {
+  std::stringstream ss("not a csv");
+  EXPECT_THROW(load_csv(ss), Error);
+}
+
+TEST(Encoder, WidthCountsOneHotSlots) {
+  auto data = testing::threshold_dataset(10);
+  const auto enc = Encoder::fit(data);
+  // 2 numeric + 3 one-hot slots for color.
+  EXPECT_EQ(enc.encoded_width(), 5u);
+}
+
+TEST(Encoder, OneHotSetsExactlyOneSlot) {
+  auto data = testing::threshold_dataset(10);
+  const auto enc = Encoder::fit(data);
+  const auto x = enc.transform(data.row(0));
+  double onehot_sum = x[2] + x[3] + x[4];
+  EXPECT_DOUBLE_EQ(onehot_sum, 1.0);
+}
+
+TEST(Encoder, StandardizesNumerics) {
+  auto data = testing::threshold_dataset(500);
+  const auto enc = Encoder::fit(data);
+  double sum = 0.0, sum2 = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto x = enc.transform(data.row(i));
+    sum += x[0];
+    sum2 += x[0] * x[0];
+  }
+  const double n = static_cast<double>(data.size());
+  EXPECT_NEAR(sum / n, 0.0, 1e-9);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);  // sample-vs-population std slack
+}
+
+}  // namespace
+}  // namespace frote

@@ -1,0 +1,131 @@
+#include "frote/data/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frote/ml/random_forest.hpp"
+
+namespace frote {
+namespace {
+
+/// Every generated dataset must match its Table 1 row exactly.
+class GeneratorSchema : public ::testing::TestWithParam<UciDataset> {};
+
+TEST_P(GeneratorSchema, MatchesTable1) {
+  const auto& info = dataset_info(GetParam());
+  const auto data = make_dataset(GetParam(), 400);
+  EXPECT_EQ(data.size(), 400u);
+  EXPECT_EQ(data.schema().num_numeric(), info.num_numeric);
+  EXPECT_EQ(data.schema().num_categorical(), info.num_categorical);
+  EXPECT_EQ(data.num_classes(), info.num_classes);
+  EXPECT_EQ(data.num_features(), info.num_numeric + info.num_categorical);
+}
+
+TEST_P(GeneratorSchema, DeterministicForSeed) {
+  const auto a = make_dataset(GetParam(), 150, 42);
+  const auto b = make_dataset(GetParam(), 150, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    for (std::size_t f = 0; f < a.num_features(); ++f) {
+      EXPECT_DOUBLE_EQ(a.row(i)[f], b.row(i)[f]);
+    }
+  }
+}
+
+TEST_P(GeneratorSchema, SeedChangesData) {
+  const auto a = make_dataset(GetParam(), 150, 1);
+  const auto b = make_dataset(GetParam(), 150, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size() && !any_diff; ++i) {
+    if (a.label(i) != b.label(i)) any_diff = true;
+    for (std::size_t f = 0; f < a.num_features(); ++f) {
+      if (a.row(i)[f] != b.row(i)[f]) any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_P(GeneratorSchema, AllClassesPresent) {
+  const auto data = make_dataset(GetParam(), 2000);
+  const auto counts = data.class_counts();
+  std::size_t present = 0;
+  for (auto c : counts) present += c > 0 ? 1 : 0;
+  // Wine's extreme quality classes (paper proportions < 0.5%) may legally be
+  // empty at n = 2000; all others must appear.
+  if (GetParam() == UciDataset::kWineQuality) {
+    EXPECT_GE(present, 4u);
+  } else {
+    EXPECT_EQ(present, counts.size());
+  }
+}
+
+TEST_P(GeneratorSchema, StructureIsLearnable) {
+  // A forest must beat the majority-class baseline by a clear margin,
+  // otherwise the dataset carries no learnable signal for FROTE to edit.
+  const auto data = make_dataset(GetParam(), 1500);
+  RandomForestConfig config;
+  config.num_trees = 20;
+  config.max_depth = 6;
+  const auto model = RandomForestLearner(config).train(data);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    correct += model->predict(data.row(i)) == data.label(i) ? 1 : 0;
+  }
+  const double accuracy =
+      static_cast<double>(correct) / static_cast<double>(data.size());
+  const auto counts = data.class_counts();
+  const double majority =
+      static_cast<double>(*std::max_element(counts.begin(), counts.end())) /
+      static_cast<double>(data.size());
+  EXPECT_GT(accuracy, std::min(majority + 0.05, 0.98))
+      << dataset_info(GetParam()).name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, GeneratorSchema,
+    ::testing::Values(UciDataset::kAdult, UciDataset::kBreastCancer,
+                      UciDataset::kNursery, UciDataset::kWineQuality,
+                      UciDataset::kMushroom, UciDataset::kContraceptive,
+                      UciDataset::kCar, UciDataset::kSplice),
+    [](const auto& info) {
+      std::string name = dataset_info(info.param).name;
+      std::string out;
+      for (char ch : name) {
+        if (std::isalnum(static_cast<unsigned char>(ch))) out.push_back(ch);
+      }
+      return out;
+    });
+
+TEST(Generators, DefaultSizeIsPaperSize) {
+  const auto data = make_dataset(UciDataset::kBreastCancer);
+  EXPECT_EQ(data.size(), dataset_info(UciDataset::kBreastCancer).paper_size);
+}
+
+TEST(Generators, AdultClassImbalanceRoughlyMatches) {
+  const auto data = make_dataset(UciDataset::kAdult, 4000);
+  const auto counts = data.class_counts();
+  const double frac_low = static_cast<double>(counts[0]) / 4000.0;
+  EXPECT_NEAR(frac_low, 0.75, 0.08);  // Adult is ~75/25
+}
+
+TEST(Generators, LookupByName) {
+  EXPECT_EQ(dataset_by_name("Adult"), UciDataset::kAdult);
+  EXPECT_EQ(dataset_by_name("Wine Quality (white)"),
+            UciDataset::kWineQuality);
+  EXPECT_THROW(dataset_by_name("nope"), Error);
+}
+
+TEST(Generators, BinaryListMatchesPaper) {
+  const auto binaries = binary_datasets();
+  ASSERT_EQ(binaries.size(), 3u);
+  for (auto id : binaries) {
+    EXPECT_EQ(dataset_info(id).num_classes, 2u);
+  }
+}
+
+TEST(Generators, AllDatasetsTableHasEightRows) {
+  EXPECT_EQ(all_datasets().size(), 8u);
+}
+
+}  // namespace
+}  // namespace frote

@@ -1,0 +1,128 @@
+#include "frote/knn/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace frote {
+namespace {
+
+TEST(MixedDistance, ZeroForIdenticalRows) {
+  auto data = testing::threshold_dataset(50);
+  const auto d = MixedDistance::fit(data);
+  EXPECT_DOUBLE_EQ(d(data.row(3), data.row(3)), 0.0);
+}
+
+TEST(MixedDistance, SymmetricAndNonNegative) {
+  auto data = testing::threshold_dataset(50);
+  const auto d = MixedDistance::fit(data);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      const double dij = d(data.row(i), data.row(j));
+      EXPECT_GE(dij, 0.0);
+      EXPECT_DOUBLE_EQ(dij, d(data.row(j), data.row(i)));
+    }
+  }
+}
+
+TEST(MixedDistance, TriangleInequalityHolds) {
+  auto data = testing::threshold_dataset(30);
+  const auto d = MixedDistance::fit(data);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      for (std::size_t k = 0; k < 10; ++k) {
+        EXPECT_LE(d(data.row(i), data.row(k)),
+                  d(data.row(i), data.row(j)) + d(data.row(j), data.row(k)) +
+                      1e-9);
+      }
+    }
+  }
+}
+
+TEST(MixedDistance, CategoricalMismatchAddsPenalty) {
+  auto data = testing::threshold_dataset(50);
+  const auto d = MixedDistance::fit(data);
+  std::vector<double> a = {5.0, 5.0, 0.0};
+  std::vector<double> b = {5.0, 5.0, 1.0};
+  EXPECT_DOUBLE_EQ(d(a, b), d.categorical_penalty());
+}
+
+TEST(BruteKnn, FindsSelfFirst) {
+  auto data = testing::threshold_dataset(60);
+  const BruteKnn knn(data, MixedDistance::fit(data));
+  const auto nb = knn.query(data.row(17), 1);
+  ASSERT_EQ(nb.size(), 1u);
+  EXPECT_EQ(knn.dataset_index(nb[0].index), 17u);
+  EXPECT_DOUBLE_EQ(nb[0].distance, 0.0);
+}
+
+TEST(BruteKnn, ResultsSortedByDistance) {
+  auto data = testing::threshold_dataset(60);
+  const BruteKnn knn(data, MixedDistance::fit(data));
+  const auto nb = knn.query(data.row(0), 10);
+  for (std::size_t i = 1; i < nb.size(); ++i) {
+    EXPECT_LE(nb[i - 1].distance, nb[i].distance);
+  }
+}
+
+TEST(BruteKnn, SubsetIndexingMapsBack) {
+  auto data = testing::threshold_dataset(60);
+  std::vector<std::size_t> subset = {5, 10, 15, 20, 25};
+  const BruteKnn knn(data, MixedDistance::fit(data), subset);
+  EXPECT_EQ(knn.size(), 5u);
+  const auto nb = knn.query(data.row(10), 1);
+  EXPECT_EQ(knn.dataset_index(nb[0].index), 10u);
+}
+
+TEST(BruteKnn, KLargerThanSetReturnsAll) {
+  auto data = testing::threshold_dataset(5);
+  const BruteKnn knn(data, MixedDistance::fit(data));
+  EXPECT_EQ(knn.query(data.row(0), 50).size(), 5u);
+}
+
+/// Property: ball tree and brute force agree exactly on every query, for a
+/// sweep of dataset sizes and k values.
+class BallTreeAgreement
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(BallTreeAgreement, MatchesBruteForce) {
+  const auto [n, k] = GetParam();
+  auto data = testing::threshold_dataset(n, 5.0, /*seed=*/n * 31 + k);
+  const auto distance = MixedDistance::fit(data);
+  const BruteKnn brute(data, distance);
+  const BallTreeKnn tree(data, distance, {}, /*leaf_size=*/4);
+  for (std::size_t q = 0; q < std::min<std::size_t>(n, 25); ++q) {
+    const auto expected = brute.query(data.row(q), k);
+    const auto actual = tree.query(data.row(q), k);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(tree.dataset_index(actual[i].index),
+                brute.dataset_index(expected[i].index))
+          << "n=" << n << " k=" << k << " query=" << q << " rank=" << i;
+      EXPECT_DOUBLE_EQ(actual[i].distance, expected[i].distance);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BallTreeAgreement,
+    ::testing::Combine(::testing::Values<std::size_t>(3, 10, 50, 200, 500),
+                       ::testing::Values<std::size_t>(1, 3, 5, 11)));
+
+TEST(BallTreeKnn, EmptyQueryOnZeroK) {
+  auto data = testing::threshold_dataset(20);
+  const BallTreeKnn tree(data, MixedDistance::fit(data));
+  EXPECT_TRUE(tree.query(data.row(0), 0).empty());
+}
+
+TEST(BallTreeKnn, SubsetIndexing) {
+  auto data = testing::threshold_dataset(60);
+  std::vector<std::size_t> subset = {2, 4, 6, 8, 10, 12, 14};
+  const BallTreeKnn tree(data, MixedDistance::fit(data), subset);
+  EXPECT_EQ(tree.size(), 7u);
+  const auto nb = tree.query(data.row(8), 1);
+  EXPECT_EQ(tree.dataset_index(nb[0].index), 8u);
+}
+
+}  // namespace
+}  // namespace frote

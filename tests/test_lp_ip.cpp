@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "frote/opt/ip.hpp"
+#include "frote/opt/lp.hpp"
+
+namespace frote {
+namespace {
+
+/// max x0 + x1 s.t. x0 + x1 + s = 1 (s >= 0): a simplex on the unit simplex.
+TEST(Lp, SimpleBudget) {
+  LpProblem lp;
+  lp.num_vars = 3;
+  lp.num_rows = 1;
+  lp.c = {1.0, 1.0, 0.0};
+  lp.lo = {0.0, 0.0, 0.0};
+  lp.hi = {1.0, 1.0, kLpInfinity};
+  lp.a = {1.0, 1.0, 1.0};
+  lp.b = {1.0};
+  const auto r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, 1e-9);
+  EXPECT_NEAR(r.x[0] + r.x[1], 1.0, 1e-9);
+}
+
+/// Weighted selection: prefer the heavier variable under a budget of one.
+TEST(Lp, PrefersHeavierWeight) {
+  LpProblem lp;
+  lp.num_vars = 3;
+  lp.num_rows = 1;
+  lp.c = {1.0, 3.0, 0.0};
+  lp.lo = {0.0, 0.0, 0.0};
+  lp.hi = {1.0, 1.0, kLpInfinity};
+  lp.a = {1.0, 1.0, 1.0};
+  lp.b = {1.0};
+  const auto r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 3.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-9);
+}
+
+/// Range constraint via bounded slack: 2 ≤ x0+x1+x2 ≤ 3 maximizing -x's
+/// forces the lower bound to bind.
+TEST(Lp, LowerBoundBinds) {
+  LpProblem lp;
+  lp.num_vars = 4;  // 3 binaries + slack
+  lp.num_rows = 1;
+  lp.c = {-1.0, -2.0, -3.0, 0.0};
+  lp.lo = {0.0, 0.0, 0.0, 0.0};
+  lp.hi = {1.0, 1.0, 1.0, 1.0};  // slack range = u - l = 1
+  lp.a = {1.0, 1.0, 1.0, 1.0};
+  lp.b = {3.0};  // u = 3
+  const auto r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  // Cheapest way to reach the lower bound 2: x0 = x1 = 1.
+  EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[2], 0.0, 1e-9);
+  EXPECT_NEAR(r.objective, -3.0, 1e-9);
+}
+
+TEST(Lp, DetectsInfeasible) {
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.num_rows = 1;
+  lp.c = {1.0};
+  lp.lo = {0.0};
+  lp.hi = {1.0};
+  lp.a = {1.0};
+  lp.b = {5.0};  // x = 5 impossible with x ≤ 1 and no slack
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Lp, EqualityWithNegativeRhs) {
+  // x0 - x1 = -1, maximize x0: optimal x0 = 0? With x ∈ [0,1]: x0 - x1 = -1
+  // forces x1 = x0 + 1, so x0 = 0, x1 = 1.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.num_rows = 1;
+  lp.c = {1.0, 0.0};
+  lp.lo = {0.0, 0.0};
+  lp.hi = {1.0, 1.0};
+  lp.a = {1.0, -1.0};
+  lp.b = {-1.0};
+  const auto r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 0.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+}
+
+/// Fractional LP optimum forces actual branching.
+TEST(Ip, BranchesOnFractionalOptimum) {
+  // max 2x0 + 3x1 + 2x2, x0+x1+x2 + s = 2 with slack range 0 (equality 2).
+  LpProblem lp;
+  lp.num_vars = 4;
+  lp.num_rows = 1;
+  lp.c = {2.0, 3.0, 2.0, 0.0};
+  lp.lo = {0.0, 0.0, 0.0, 0.0};
+  lp.hi = {1.0, 1.0, 1.0, 0.0};
+  lp.a = {1.0, 1.0, 1.0, 1.0};
+  lp.b = {2.0};
+  const auto r = solve_binary_ip(lp, {0, 1, 2});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.objective, 5.0, 1e-9);  // x1 plus one of x0/x2
+  EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+}
+
+TEST(Ip, KnapsackWithRanges) {
+  // Two groups with bounds 1 ≤ Σ ≤ 2 each; weights prefer group-specific
+  // items. Variables: g1 = {0,1,2}, g2 = {2,3,4} (item 2 shared).
+  LpProblem lp;
+  lp.num_vars = 5 + 2;  // 5 binaries + 2 slacks
+  lp.num_rows = 2;
+  lp.c = {5.0, 1.0, 4.0, 1.0, 3.0, 0.0, 0.0};
+  lp.lo.assign(7, 0.0);
+  lp.hi = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};  // slack ranges 2-1 = 1
+  lp.a.assign(2 * 7, 0.0);
+  lp.b = {2.0, 2.0};
+  for (std::size_t i : {0u, 1u, 2u}) lp.set_coeff(0, i, 1.0);
+  for (std::size_t i : {2u, 3u, 4u}) lp.set_coeff(1, i, 1.0);
+  lp.set_coeff(0, 5, 1.0);
+  lp.set_coeff(1, 6, 1.0);
+  const auto r = solve_binary_ip(lp, {0, 1, 2, 3, 4});
+  ASSERT_TRUE(r.feasible);
+  // Best: x0 (5) + x2 (4, shared) + x4 (3) = 12, group counts 2 and 2.
+  EXPECT_NEAR(r.objective, 12.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[2], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[4], 1.0, 1e-9);
+}
+
+TEST(Ip, InfeasibleReported) {
+  // Need Σ of one binary = 2: impossible.
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.num_rows = 1;
+  lp.c = {1.0};
+  lp.lo = {0.0};
+  lp.hi = {1.0};
+  lp.a = {1.0};
+  lp.b = {2.0};
+  EXPECT_FALSE(solve_binary_ip(lp, {0}).feasible);
+}
+
+TEST(Ip, IntegralRelaxationFlagged) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.num_rows = 1;
+  lp.c = {2.0, 1.0};
+  lp.lo = {0.0, 0.0};
+  lp.hi = {1.0, 1.0};
+  lp.a = {1.0, 1.0};
+  lp.b = {1.0};
+  const auto r = solve_binary_ip(lp, {0, 1});
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.relaxation_was_integral);
+  EXPECT_NEAR(r.objective, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace frote

@@ -1,0 +1,164 @@
+#include "frote/metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace frote {
+namespace {
+
+/// Trivial model that always predicts a fixed class.
+class ConstantModel : public Model {
+ public:
+  ConstantModel(int cls, std::size_t num_classes)
+      : Model(num_classes), cls_(cls) {}
+  std::vector<double> predict_proba(std::span<const double>) const override {
+    std::vector<double> p(num_classes(), 0.0);
+    p[static_cast<std::size_t>(cls_)] = 1.0;
+    return p;
+  }
+
+ private:
+  int cls_;
+};
+
+/// Model that reproduces the threshold ground truth: x > t ⇒ class 1.
+class ThresholdModel : public Model {
+ public:
+  explicit ThresholdModel(double threshold)
+      : Model(2), threshold_(threshold) {}
+  std::vector<double> predict_proba(
+      std::span<const double> row) const override {
+    return row[0] > threshold_ ? std::vector<double>{0.0, 1.0}
+                               : std::vector<double>{1.0, 0.0};
+  }
+
+ private:
+  double threshold_;
+};
+
+TEST(ConfusionMatrix, AccuracyAndCounts) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(1, 1);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, PerClassF1) {
+  ConfusionMatrix cm(2);
+  // class 1: tp=2, fp=1, fn=1 -> f1 = 2*2/(4+1+1) = 2/3.
+  cm.add(1, 1);
+  cm.add(1, 1);
+  cm.add(1, 0);
+  cm.add(0, 1);
+  cm.add(0, 0);
+  EXPECT_NEAR(cm.f1(1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, PerfectPredictionsGiveF1One) {
+  ConfusionMatrix cm(3);
+  for (int c = 0; c < 3; ++c) {
+    cm.add(c, c);
+    cm.add(c, c);
+  }
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.weighted_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, MacroIgnoresAbsentClasses) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  // Class 2 never appears as a true label: macro averages over 2 classes.
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, WeightedF1WeighsBySupport) {
+  ConfusionMatrix cm(2);
+  // Class 0: 9 correct. Class 1: 1 wrong (predicted 0).
+  for (int i = 0; i < 9; ++i) cm.add(0, 0);
+  cm.add(1, 0);
+  const double f1_class0 = 2.0 * 9 / (18 + 1 + 0);
+  EXPECT_NEAR(cm.weighted_f1(), 0.9 * f1_class0 + 0.1 * 0.0, 1e-12);
+}
+
+TEST(RuleAgreement, PerfectWhenModelMatchesRule) {
+  auto data = testing::threshold_dataset(200, 5.0);
+  const auto rule = testing::x_gt_rule(5.0, 1);
+  const ThresholdModel model(5.0);
+  const auto agreement = rule_agreement(model, rule, data);
+  EXPECT_GT(agreement.covered, 0u);
+  EXPECT_DOUBLE_EQ(agreement.mra, 1.0);
+}
+
+TEST(RuleAgreement, ZeroWhenModelContradictsRule) {
+  auto data = testing::threshold_dataset(200, 5.0);
+  const auto rule = testing::x_gt_rule(5.0, 1);
+  const ConstantModel model(0, 2);
+  const auto agreement = rule_agreement(model, rule, data);
+  EXPECT_DOUBLE_EQ(agreement.mra, 0.0);
+}
+
+TEST(RuleAgreement, ProbabilisticRuleExpectation) {
+  auto data = testing::threshold_dataset(200, 5.0);
+  FeedbackRule rule(Clause({Predicate{0, Op::kGt, 5.0}}),
+                    LabelDistribution::from_probs({0.3, 0.7}));
+  const ConstantModel model(1, 2);
+  const auto agreement = rule_agreement(model, rule, data);
+  EXPECT_NEAR(agreement.mra, 0.7, 1e-12);
+}
+
+TEST(Objective, VacuousFrsGivesMraOne) {
+  auto data = testing::threshold_dataset(100);
+  const ThresholdModel model(5.0);
+  const auto breakdown = evaluate_objective(model, FeedbackRuleSet{}, data);
+  EXPECT_DOUBLE_EQ(breakdown.mra, 1.0);
+  EXPECT_EQ(breakdown.covered, 0u);
+  EXPECT_EQ(breakdown.outside, data.size());
+}
+
+TEST(Objective, PerfectModelScoresNearOne) {
+  auto data = testing::threshold_dataset(300, 5.0);
+  FeedbackRuleSet frs({testing::x_gt_rule(5.0, 1)});
+  const ThresholdModel model(5.0);
+  EXPECT_NEAR(test_j_bar(model, frs, data), 1.0, 1e-9);
+  EXPECT_NEAR(train_j_hat_bar(model, frs, data), 1.0, 1e-9);
+}
+
+TEST(Objective, CoverageProbWeightsMraTerm) {
+  auto data = testing::threshold_dataset(400, 5.0);
+  FeedbackRuleSet frs({testing::x_gt_rule(5.0, 1)});
+  // Model that matches the rule inside coverage but is wrong outside.
+  const ConstantModel model(1, 2);
+  const auto b = evaluate_objective(model, frs, data);
+  EXPECT_DOUBLE_EQ(b.mra, 1.0);
+  EXPECT_LT(b.outside_f1, 0.5);
+  const double expected =
+      b.coverage_prob * 1.0 + (1.0 - b.coverage_prob) * b.outside_f1;
+  EXPECT_DOUBLE_EQ(test_j_bar(model, frs, data), expected);
+}
+
+TEST(Objective, TrainVariantUsesHalfHalfWeights) {
+  auto data = testing::threshold_dataset(400, 5.0);
+  FeedbackRuleSet frs({testing::x_gt_rule(5.0, 1)});
+  const ConstantModel model(1, 2);
+  const auto b = evaluate_objective(model, frs, data);
+  EXPECT_DOUBLE_EQ(train_j_hat_bar(model, frs, data),
+                   0.5 * b.mra + 0.5 * b.outside_f1);
+}
+
+TEST(Objective, EmptyDatasetIsZero) {
+  Dataset empty(testing::mixed_schema());
+  const ThresholdModel model(5.0);
+  FeedbackRuleSet frs({testing::x_gt_rule(5.0, 1)});
+  const auto b = evaluate_objective(model, frs, empty);
+  EXPECT_EQ(b.covered, 0u);
+  EXPECT_EQ(b.outside, 0u);
+}
+
+}  // namespace
+}  // namespace frote

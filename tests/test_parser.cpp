@@ -1,0 +1,142 @@
+#include "frote/rules/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace frote {
+namespace {
+
+using testing::mixed_schema;
+
+TEST(Parser, SimpleNumericRule) {
+  auto schema = mixed_schema();
+  const auto rule = parse_rule("IF x > 5 THEN class = pos", *schema);
+  EXPECT_EQ(rule.clause.size(), 1u);
+  EXPECT_EQ(rule.clause.predicates()[0].feature, 0u);
+  EXPECT_EQ(rule.clause.predicates()[0].op, Op::kGt);
+  EXPECT_DOUBLE_EQ(rule.clause.predicates()[0].value, 5.0);
+  EXPECT_EQ(rule.target_class(), 1);
+  EXPECT_TRUE(rule.pi.is_deterministic());
+}
+
+TEST(Parser, ConjunctionWithCategorical) {
+  auto schema = mixed_schema();
+  const auto rule = parse_rule(
+      "IF x < 29 AND color = 'green' AND y >= 1.5 THEN class = neg",
+      *schema);
+  EXPECT_EQ(rule.clause.size(), 3u);
+  EXPECT_EQ(rule.clause.predicates()[1].feature, 2u);
+  EXPECT_DOUBLE_EQ(rule.clause.predicates()[1].value, 1.0);  // green
+  EXPECT_EQ(rule.target_class(), 0);
+}
+
+TEST(Parser, ProbabilisticOutcome) {
+  auto schema = mixed_schema();
+  const auto rule =
+      parse_rule("IF x > 7 THEN Y ~ [neg: 0.8, pos: 0.2]", *schema);
+  EXPECT_FALSE(rule.pi.is_deterministic());
+  EXPECT_DOUBLE_EQ(rule.pi.prob(0), 0.8);
+  EXPECT_DOUBLE_EQ(rule.pi.prob(1), 0.2);
+}
+
+TEST(Parser, ExclusionClauses) {
+  auto schema = mixed_schema();
+  const auto rule = parse_rule(
+      "IF x > 5 AND NOT (y > 9) AND NOT (color = 'red') THEN class = pos",
+      *schema);
+  EXPECT_EQ(rule.clause.size(), 1u);
+  ASSERT_EQ(rule.exclusions.size(), 2u);
+  EXPECT_TRUE(rule.covers(std::vector<double>{6.0, 1.0, 1.0}));
+  EXPECT_FALSE(rule.covers(std::vector<double>{6.0, 9.5, 1.0}));  // excl 1
+  EXPECT_FALSE(rule.covers(std::vector<double>{6.0, 1.0, 0.0}));  // excl 2
+}
+
+TEST(Parser, NegativeAndDecimalNumbers) {
+  auto schema = mixed_schema();
+  const auto rule =
+      parse_rule("IF x <= -3.25 THEN class = neg", *schema);
+  EXPECT_DOUBLE_EQ(rule.clause.predicates()[0].value, -3.25);
+  EXPECT_EQ(rule.clause.predicates()[0].op, Op::kLe);
+}
+
+TEST(Parser, RoundTripsToString) {
+  auto schema = mixed_schema();
+  const std::vector<std::string> inputs = {
+      "IF x > 5 THEN class = pos",
+      "IF x < 29 AND color != 'red' THEN class = neg",
+      "IF x > 5 AND NOT (y > 9) THEN class = pos",
+  };
+  for (const auto& text : inputs) {
+    const auto rule = parse_rule(text, *schema);
+    const auto printed = rule.to_string(*schema);
+    const auto reparsed = parse_rule(printed, *schema);
+    EXPECT_TRUE(reparsed.clause == rule.clause) << text;
+    EXPECT_TRUE(reparsed.pi == rule.pi) << text;
+    EXPECT_EQ(reparsed.exclusions.size(), rule.exclusions.size()) << text;
+  }
+}
+
+TEST(Parser, RejectsUnknownFeature) {
+  auto schema = mixed_schema();
+  EXPECT_THROW(parse_rule("IF banana > 5 THEN class = pos", *schema), Error);
+}
+
+TEST(Parser, RejectsUnknownClass) {
+  auto schema = mixed_schema();
+  EXPECT_THROW(parse_rule("IF x > 5 THEN class = maybe", *schema), Error);
+}
+
+TEST(Parser, RejectsUnknownCategory) {
+  auto schema = mixed_schema();
+  EXPECT_THROW(parse_rule("IF color = 'purple' THEN class = pos", *schema),
+               Error);
+}
+
+TEST(Parser, RejectsInvalidOperatorForType) {
+  auto schema = mixed_schema();
+  // '>' on a categorical feature.
+  EXPECT_THROW(parse_rule("IF color > 'red' THEN class = pos", *schema),
+               Error);
+  // '!=' on a numeric feature (§3.1 allows only {=, >, >=, <, <=}).
+  EXPECT_THROW(parse_rule("IF x != 5 THEN class = pos", *schema), Error);
+}
+
+TEST(Parser, RejectsTrailingGarbage) {
+  auto schema = mixed_schema();
+  EXPECT_THROW(parse_rule("IF x > 5 THEN class = pos banana", *schema),
+               Error);
+}
+
+TEST(Parser, RejectsMalformedProbabilities) {
+  auto schema = mixed_schema();
+  EXPECT_THROW(
+      parse_rule("IF x > 5 THEN Y ~ [neg: 0.8, pos: 0.8]", *schema), Error);
+}
+
+TEST(Parser, MultiRuleTextSkipsCommentsAndBlanks) {
+  auto schema = mixed_schema();
+  const auto rules = parse_rules(
+      "# policy update 2026-06\n"
+      "IF x > 7 THEN class = neg\n"
+      "\n"
+      "  # another comment\n"
+      "IF color = 'blue' THEN class = pos\n",
+      *schema);
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].target_class(), 0);
+  EXPECT_EQ(rules[1].target_class(), 1);
+}
+
+TEST(Parser, ErrorMessagesCarryColumn) {
+  auto schema = mixed_schema();
+  try {
+    parse_rule("IF x >> 5 THEN class = pos", *schema);
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("column"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace frote

@@ -1,0 +1,190 @@
+// Property-based tests: randomized invariants checked across seeds via
+// parameterized suites.
+//  - the branch & bound IP matches brute-force enumeration on random
+//    instances;
+//  - clause implication is sound (implies ⇒ pointwise subset on samples);
+//  - the coverage-aware split partitions exactly and honours tcf;
+//  - rule-constrained generation always satisfies the rule across random
+//    rule shapes.
+#include <gtest/gtest.h>
+
+#include "frote/core/generate.hpp"
+#include "frote/data/split.hpp"
+#include "frote/opt/ip.hpp"
+#include "test_util.hpp"
+
+namespace frote {
+namespace {
+
+class IpVsEnumeration : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IpVsEnumeration, BranchAndBoundIsOptimal) {
+  Rng rng(GetParam());
+  // Random instance: n binaries, m range rows with random 0/1 coverage.
+  const std::size_t n = 4 + rng.index(6);   // 4..9 binaries
+  const std::size_t m = 1 + rng.index(3);   // 1..3 rows
+  LpProblem lp;
+  lp.num_vars = n + m;  // binaries + slacks
+  lp.num_rows = m;
+  lp.c.assign(lp.num_vars, 0.0);
+  lp.lo.assign(lp.num_vars, 0.0);
+  lp.hi.assign(lp.num_vars, 1.0);
+  lp.a.assign(lp.num_rows * lp.num_vars, 0.0);
+  lp.b.assign(m, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    lp.c[j] = 1.0 + static_cast<double>(rng.index(5));
+  }
+  std::vector<std::vector<bool>> member(m, std::vector<bool>(n));
+  for (std::size_t i = 0; i < m; ++i) {
+    std::size_t count = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      member[i][j] = rng.bernoulli(0.6);
+      if (member[i][j]) {
+        lp.set_coeff(i, j, 1.0);
+        ++count;
+      }
+    }
+    // Bounds l..u with l ≤ count so feasibility is possible.
+    const double l = count == 0 ? 0.0 : static_cast<double>(rng.index(count));
+    const double u =
+        l + static_cast<double>(rng.index(static_cast<std::size_t>(
+                static_cast<double>(count) - l + 1.0)));
+    lp.set_coeff(i, n + i, 1.0);
+    lp.hi[n + i] = u - l;
+    lp.b[i] = u;
+  }
+  std::vector<std::size_t> binaries(n);
+  for (std::size_t j = 0; j < n; ++j) binaries[j] = j;
+  const auto ip = solve_binary_ip(lp, binaries);
+
+  // Brute force over all 2^n assignments.
+  double best = -1.0;
+  bool any_feasible = false;
+  for (std::size_t mask = 0; mask < (1u << n); ++mask) {
+    bool feasible = true;
+    for (std::size_t i = 0; i < m && feasible; ++i) {
+      std::size_t total = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (member[i][j] && ((mask >> j) & 1u)) ++total;
+      }
+      const double lo = lp.b[i] - lp.hi[n + i];
+      if (static_cast<double>(total) < lo - 1e-9 ||
+          static_cast<double>(total) > lp.b[i] + 1e-9) {
+        feasible = false;
+      }
+    }
+    if (!feasible) continue;
+    any_feasible = true;
+    double value = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if ((mask >> j) & 1u) value += lp.c[j];
+    }
+    best = std::max(best, value);
+  }
+
+  ASSERT_EQ(ip.feasible, any_feasible) << "seed " << GetParam();
+  if (any_feasible) {
+    EXPECT_NEAR(ip.objective, best, 1e-6) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, IpVsEnumeration,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+class ImplicationSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ImplicationSoundness, ImpliesMeansPointwiseSubset) {
+  Rng rng(GetParam() * 131);
+  auto schema = testing::mixed_schema();
+  auto random_clause = [&]() {
+    Clause clause;
+    const std::size_t preds = 1 + rng.index(3);
+    for (std::size_t i = 0; i < preds; ++i) {
+      const std::size_t f = rng.index(3);
+      if (f == 2) {
+        clause.add({f, rng.bernoulli(0.5) ? Op::kEq : Op::kNe,
+                    static_cast<double>(rng.index(3))});
+      } else {
+        static const Op kOps[] = {Op::kGt, Op::kGe, Op::kLt, Op::kLe};
+        clause.add({f, kOps[rng.index(4)], rng.uniform(0.0, 10.0)});
+      }
+    }
+    return clause;
+  };
+  const Clause a = random_clause();
+  const Clause b = random_clause();
+  if (!a.implies(b, *schema)) return;  // property only constrains "true"
+  // Sample points satisfying a; each must satisfy b.
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::vector<double> point = {rng.uniform(-2.0, 12.0),
+                                       rng.uniform(-2.0, 12.0),
+                                       static_cast<double>(rng.index(3))};
+    if (!a.satisfies(point)) continue;
+    EXPECT_TRUE(b.satisfies(point))
+        << "a=" << a.to_string(*schema) << " b=" << b.to_string(*schema);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomClauses, ImplicationSoundness,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+class SplitProperties : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitProperties, CoverageSplitPartitionsExactly) {
+  const double tcf = GetParam();
+  auto data = testing::threshold_dataset(300, 5.0, 77);
+  FeedbackRuleSet frs({testing::x_gt_rule(6.0, 0)});
+  const auto cov = frs.coverage_union(data);
+  Rng rng(78);
+  const auto split = coverage_split(data, cov, tcf, 0.8, rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), data.size());
+
+  // Covered rows in train ≈ tcf · |cov| (exact by construction).
+  std::size_t covered_in_train = 0;
+  for (std::size_t i = 0; i < split.train.size(); ++i) {
+    if (frs.rule(0).covers(split.train.row(i))) ++covered_in_train;
+  }
+  EXPECT_EQ(covered_in_train,
+            static_cast<std::size_t>(tcf * static_cast<double>(cov.size())));
+}
+
+INSTANTIATE_TEST_SUITE_P(TcfSweep, SplitProperties,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.2, 0.4, 1.0));
+
+class GenerationInvariant : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GenerationInvariant, SynthesisAlwaysSatisfiesRandomRules) {
+  Rng rng(GetParam() * 977);
+  auto data = testing::threshold_dataset(400, 5.0, GetParam());
+  // Random 1-2 predicate rule with moderate coverage.
+  Clause clause;
+  clause.add({0, rng.bernoulli(0.5) ? Op::kGt : Op::kLe,
+              rng.uniform(2.0, 8.0)});
+  if (rng.bernoulli(0.5)) {
+    clause.add({2, rng.bernoulli(0.5) ? Op::kEq : Op::kNe,
+                static_cast<double>(rng.index(3))});
+  }
+  FeedbackRule rule =
+      FeedbackRule::deterministic(clause, static_cast<int>(rng.index(2)), 2);
+  FeedbackRuleSet frs({rule});
+  const auto bp = preselect_base_population(data, frs, 5);
+  if (bp.per_rule[0].indices.size() < 2) return;
+  const auto distance = MixedDistance::fit(data);
+  RuleConstrainedGenerator gen(data, rule, bp.per_rule[0], distance, {});
+  std::vector<double> row;
+  int label = 0;
+  for (std::size_t slot = 0;
+       slot < std::min<std::size_t>(bp.per_rule[0].indices.size(), 40);
+       ++slot) {
+    if (!gen.generate(slot, rng, row, label)) continue;
+    EXPECT_TRUE(rule.covers(row)) << rule.to_string(data.schema());
+    EXPECT_EQ(label, rule.target_class());
+    data.schema().validate_row(row);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRules, GenerationInvariant,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace frote

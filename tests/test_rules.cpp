@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "frote/rules/ruleset.hpp"
+#include "test_util.hpp"
+
+namespace frote {
+namespace {
+
+using testing::mixed_schema;
+
+TEST(Predicate, NumericOperators) {
+  const std::vector<double> row = {5.0, 0.0, 0.0};
+  EXPECT_TRUE((Predicate{0, Op::kEq, 5.0}).evaluate(row));
+  EXPECT_TRUE((Predicate{0, Op::kGe, 5.0}).evaluate(row));
+  EXPECT_TRUE((Predicate{0, Op::kLe, 5.0}).evaluate(row));
+  EXPECT_FALSE((Predicate{0, Op::kGt, 5.0}).evaluate(row));
+  EXPECT_FALSE((Predicate{0, Op::kLt, 5.0}).evaluate(row));
+  EXPECT_TRUE((Predicate{0, Op::kGt, 4.9}).evaluate(row));
+}
+
+TEST(Predicate, CategoricalOperators) {
+  const std::vector<double> row = {0.0, 0.0, 2.0};  // color = blue
+  EXPECT_TRUE((Predicate{2, Op::kEq, 2.0}).evaluate(row));
+  EXPECT_FALSE((Predicate{2, Op::kNe, 2.0}).evaluate(row));
+  EXPECT_TRUE((Predicate{2, Op::kNe, 1.0}).evaluate(row));
+}
+
+TEST(Predicate, ReverseOpIsInvolution) {
+  for (Op op : {Op::kEq, Op::kNe, Op::kGt, Op::kGe, Op::kLt, Op::kLe}) {
+    EXPECT_EQ(reverse_op(reverse_op(op)), op);
+  }
+}
+
+TEST(Predicate, OpValidity) {
+  EXPECT_TRUE(op_valid_for(Op::kEq, FeatureType::kCategorical));
+  EXPECT_TRUE(op_valid_for(Op::kNe, FeatureType::kCategorical));
+  EXPECT_FALSE(op_valid_for(Op::kGt, FeatureType::kCategorical));
+  EXPECT_TRUE(op_valid_for(Op::kGt, FeatureType::kNumeric));
+  EXPECT_FALSE(op_valid_for(Op::kNe, FeatureType::kNumeric));
+}
+
+TEST(Predicate, ToStringReadable) {
+  auto schema = mixed_schema();
+  EXPECT_EQ((Predicate{0, Op::kLt, 29.0}).to_string(*schema), "x < 29");
+  EXPECT_EQ((Predicate{2, Op::kEq, 1.0}).to_string(*schema),
+            "color = 'green'");
+}
+
+TEST(Clause, EmptyClauseCoversEverything) {
+  Clause c;
+  EXPECT_TRUE(c.satisfies(std::vector<double>{1.0, 2.0, 0.0}));
+}
+
+TEST(Clause, ConjunctionSemantics) {
+  Clause c({Predicate{0, Op::kGt, 2.0}, Predicate{2, Op::kEq, 1.0}});
+  EXPECT_TRUE(c.satisfies(std::vector<double>{3.0, 0.0, 1.0}));
+  EXPECT_FALSE(c.satisfies(std::vector<double>{1.0, 0.0, 1.0}));
+  EXPECT_FALSE(c.satisfies(std::vector<double>{3.0, 0.0, 2.0}));
+}
+
+TEST(Clause, WithoutRemovesOnePredicate) {
+  Clause c({Predicate{0, Op::kGt, 2.0}, Predicate{2, Op::kEq, 1.0}});
+  const Clause relaxed = c.without(0);
+  EXPECT_EQ(relaxed.size(), 1u);
+  EXPECT_TRUE(relaxed.satisfies(std::vector<double>{0.0, 0.0, 1.0}));
+}
+
+TEST(Clause, ConstraintForNumericInterval) {
+  auto schema = mixed_schema();
+  Clause c({Predicate{0, Op::kGt, 2.0}, Predicate{0, Op::kLe, 8.0}});
+  const auto fc = c.constraint_for(0, *schema);
+  EXPECT_DOUBLE_EQ(fc.lo, 2.0);
+  EXPECT_TRUE(fc.lo_open);
+  EXPECT_DOUBLE_EQ(fc.hi, 8.0);
+  EXPECT_FALSE(fc.hi_open);
+  EXPECT_TRUE(fc.numeric_feasible());
+}
+
+TEST(Clause, ContradictoryIntervalInfeasible) {
+  auto schema = mixed_schema();
+  Clause c({Predicate{0, Op::kGt, 8.0}, Predicate{0, Op::kLt, 2.0}});
+  EXPECT_FALSE(c.satisfiable(*schema));
+}
+
+TEST(Clause, PinnedOutsideIntervalInfeasible) {
+  auto schema = mixed_schema();
+  Clause c({Predicate{0, Op::kEq, 1.0}, Predicate{0, Op::kGt, 5.0}});
+  EXPECT_FALSE(c.satisfiable(*schema));
+}
+
+TEST(Clause, CategoricalAllDeniedInfeasible) {
+  auto schema = mixed_schema();
+  Clause c({Predicate{2, Op::kNe, 0.0}, Predicate{2, Op::kNe, 1.0},
+            Predicate{2, Op::kNe, 2.0}});
+  EXPECT_FALSE(c.satisfiable(*schema));
+}
+
+TEST(Clause, CategoricalEqAndNeSameValueInfeasible) {
+  auto schema = mixed_schema();
+  Clause c({Predicate{2, Op::kEq, 1.0}, Predicate{2, Op::kNe, 1.0}});
+  EXPECT_FALSE(c.satisfiable(*schema));
+}
+
+TEST(Clause, IntersectsDetectsOverlap) {
+  auto schema = mixed_schema();
+  Clause a({Predicate{0, Op::kGt, 2.0}});
+  Clause b({Predicate{0, Op::kLt, 5.0}});
+  Clause c({Predicate{0, Op::kGt, 7.0}});
+  EXPECT_TRUE(a.intersects(b, *schema));
+  EXPECT_FALSE(b.intersects(c, *schema));
+}
+
+TEST(Clause, ImpliesNumericIntervals) {
+  auto schema = mixed_schema();
+  Clause narrow({Predicate{0, Op::kGt, 5.0}, Predicate{0, Op::kLe, 6.0}});
+  Clause wide({Predicate{0, Op::kGt, 3.0}});
+  EXPECT_TRUE(narrow.implies(wide, *schema));
+  EXPECT_FALSE(wide.implies(narrow, *schema));
+}
+
+TEST(Clause, ImpliesCategoricalPins) {
+  auto schema = mixed_schema();
+  Clause pinned({Predicate{2, Op::kEq, 1.0}});
+  Clause not_red({Predicate{2, Op::kNe, 0.0}});
+  EXPECT_TRUE(pinned.implies(not_red, *schema));
+  EXPECT_FALSE(not_red.implies(pinned, *schema));
+}
+
+TEST(Clause, ImpliesSelfAndEmpty) {
+  auto schema = mixed_schema();
+  Clause c({Predicate{0, Op::kGt, 2.0}});
+  EXPECT_TRUE(c.implies(c, *schema));
+  EXPECT_TRUE(c.implies(Clause{}, *schema));  // everything implies TRUE
+  EXPECT_FALSE(Clause{}.implies(c, *schema));
+}
+
+TEST(Clause, UnsatisfiableImpliesAnything) {
+  auto schema = mixed_schema();
+  Clause absurd({Predicate{0, Op::kGt, 9.0}, Predicate{0, Op::kLt, 1.0}});
+  Clause anything({Predicate{2, Op::kEq, 0.0}});
+  EXPECT_TRUE(absurd.implies(anything, *schema));
+}
+
+TEST(Conflicts, MixtureRuleDoesNotConflictWithResolvedOriginals) {
+  auto schema = mixed_schema();
+  auto a = testing::x_gt_rule(5.0, 1);
+  auto b = testing::x_gt_rule(6.0, 0);
+  const auto mid = resolve_by_mixture(a, b);
+  FeedbackRuleSet frs({a, b, mid});
+  EXPECT_FALSE(has_conflicts(frs, *schema));
+}
+
+TEST(LabelDistribution, DeterministicDelta) {
+  const auto d = LabelDistribution::deterministic(1, 3);
+  EXPECT_TRUE(d.is_deterministic());
+  EXPECT_EQ(d.mode(), 1);
+  EXPECT_DOUBLE_EQ(d.prob(1), 1.0);
+  EXPECT_DOUBLE_EQ(d.prob(0), 0.0);
+}
+
+TEST(LabelDistribution, FromProbsValidates) {
+  EXPECT_THROW(LabelDistribution::from_probs({0.5, 0.6}), Error);
+  EXPECT_THROW(LabelDistribution::from_probs({-0.1, 1.1}), Error);
+  EXPECT_NO_THROW(LabelDistribution::from_probs({0.25, 0.75}));
+}
+
+TEST(LabelDistribution, MixtureAverages) {
+  const auto a = LabelDistribution::deterministic(0, 2);
+  const auto b = LabelDistribution::deterministic(1, 2);
+  const auto mix = LabelDistribution::mixture(a, b);
+  EXPECT_DOUBLE_EQ(mix.prob(0), 0.5);
+  EXPECT_DOUBLE_EQ(mix.prob(1), 0.5);
+  EXPECT_FALSE(mix.is_deterministic());
+}
+
+TEST(LabelDistribution, SampleFollowsDistribution) {
+  const auto d = LabelDistribution::from_probs({0.2, 0.8});
+  Rng rng(3);
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ones += d.sample(rng);
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.8, 0.02);
+}
+
+TEST(FeedbackRule, CoversRespectsExclusions) {
+  auto rule = testing::x_gt_rule(5.0);
+  rule.exclusions.push_back(Clause({Predicate{1, Op::kGt, 9.0}}));
+  EXPECT_TRUE(rule.covers(std::vector<double>{6.0, 1.0, 0.0}));
+  EXPECT_FALSE(rule.covers(std::vector<double>{6.0, 9.5, 0.0}));
+  EXPECT_FALSE(rule.covers(std::vector<double>{4.0, 1.0, 0.0}));
+}
+
+TEST(Coverage, MatchesManualScan) {
+  auto data = testing::threshold_dataset(100);
+  const auto rule = testing::x_gt_rule(5.0);
+  const auto cov = coverage(rule, data);
+  for (std::size_t idx : cov) EXPECT_GT(data.row(idx)[0], 5.0);
+  std::size_t manual = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data.row(i)[0] > 5.0) ++manual;
+  }
+  EXPECT_EQ(cov.size(), manual);
+}
+
+TEST(RuleSet, CoverageUnionDeduplicates) {
+  auto data = testing::threshold_dataset(100);
+  FeedbackRuleSet frs({testing::x_gt_rule(5.0), testing::x_gt_rule(7.0)});
+  const auto uni = frs.coverage_union(data);
+  const auto first = coverage(frs.rule(0), data);
+  EXPECT_EQ(uni.size(), first.size());  // second rule ⊂ first
+}
+
+TEST(RuleSet, FirstCoveringRule) {
+  FeedbackRuleSet frs({testing::x_gt_rule(7.0), testing::x_gt_rule(3.0)});
+  EXPECT_EQ(frs.first_covering_rule(std::vector<double>{8.0, 0.0, 0.0}), 0);
+  EXPECT_EQ(frs.first_covering_rule(std::vector<double>{5.0, 0.0, 0.0}), 1);
+  EXPECT_EQ(frs.first_covering_rule(std::vector<double>{1.0, 0.0, 0.0}), -1);
+}
+
+TEST(Conflicts, SameDistributionNeverConflicts) {
+  auto schema = mixed_schema();
+  const auto a = testing::x_gt_rule(5.0, 1);
+  const auto b = testing::x_gt_rule(6.0, 1);
+  EXPECT_FALSE(rules_conflict(a, b, *schema));
+}
+
+TEST(Conflicts, OverlappingDifferentLabelsConflict) {
+  auto schema = mixed_schema();
+  const auto a = testing::x_gt_rule(5.0, 1);
+  const auto b = testing::x_gt_rule(6.0, 0);
+  EXPECT_TRUE(rules_conflict(a, b, *schema));
+}
+
+TEST(Conflicts, DisjointClausesDoNotConflict) {
+  auto schema = mixed_schema();
+  FeedbackRule a = FeedbackRule::deterministic(
+      Clause({Predicate{0, Op::kGt, 8.0}}), 1, 2);
+  FeedbackRule b = FeedbackRule::deterministic(
+      Clause({Predicate{0, Op::kLt, 2.0}}), 0, 2);
+  EXPECT_FALSE(rules_conflict(a, b, *schema));
+}
+
+TEST(Conflicts, ResolutionByExclusionRemovesConflict) {
+  auto schema = mixed_schema();
+  auto a = testing::x_gt_rule(5.0, 1);
+  auto b = testing::x_gt_rule(6.0, 0);
+  resolve_by_exclusion(a, b);
+  EXPECT_FALSE(rules_conflict(a, b, *schema));
+  // Point in the overlap is now covered by neither... it is excluded from
+  // both (the paper's option 1 carves the intersection out of both rules).
+  const std::vector<double> overlap = {7.0, 0.0, 0.0};
+  EXPECT_FALSE(a.covers(overlap));
+  EXPECT_FALSE(b.covers(overlap));
+  // Points exclusive to one rule remain covered.
+  EXPECT_TRUE(a.covers(std::vector<double>{5.5, 0.0, 0.0}));
+}
+
+TEST(Conflicts, ResolutionByMixtureCreatesMidRule) {
+  auto a = testing::x_gt_rule(5.0, 1);
+  auto b = testing::x_gt_rule(6.0, 0);
+  const auto mid = resolve_by_mixture(a, b);
+  EXPECT_TRUE(mid.covers(std::vector<double>{7.0, 0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(mid.pi.prob(0), 0.5);
+  EXPECT_DOUBLE_EQ(mid.pi.prob(1), 0.5);
+}
+
+TEST(Conflicts, ResolveAllLeavesSetConflictFree) {
+  auto schema = mixed_schema();
+  FeedbackRuleSet frs({testing::x_gt_rule(5.0, 1), testing::x_gt_rule(6.0, 0),
+                       testing::x_gt_rule(7.0, 1)});
+  EXPECT_TRUE(has_conflicts(frs, *schema));
+  resolve_all_conflicts(frs, *schema);
+  EXPECT_FALSE(has_conflicts(frs, *schema));
+}
+
+TEST(FeedbackRule, ToStringReadable) {
+  auto schema = mixed_schema();
+  const auto rule = testing::x_gt_rule(5.0);
+  EXPECT_EQ(rule.to_string(*schema), "IF x > 5 THEN class = pos");
+}
+
+}  // namespace
+}  // namespace frote

@@ -1,0 +1,74 @@
+#include "frote/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frote/util/error.hpp"
+
+namespace frote {
+namespace {
+
+TEST(RunningStats, MeanAndStd) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);  // sample std (n-1)
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStats, SingleValueHasZeroStd) {
+  RunningStats s;
+  s.add(3.14);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.14);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, EmptyMeanThrows) {
+  RunningStats s;
+  EXPECT_THROW(s.mean(), Error);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  // Values 10,20,30,40: 25th percentile at pos 0.75 -> 17.5.
+  EXPECT_DOUBLE_EQ(percentile({10.0, 20.0, 30.0, 40.0}, 25.0), 17.5);
+}
+
+TEST(Percentile, Extremes) {
+  std::vector<double> v = {5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 9.0);
+}
+
+TEST(BoxStats, QuartilesAndWhiskers) {
+  std::vector<double> v;
+  for (int i = 1; i <= 9; ++i) v.push_back(static_cast<double>(i));
+  const auto b = box_stats(v);
+  EXPECT_DOUBLE_EQ(b.median, 5.0);
+  EXPECT_DOUBLE_EQ(b.q1, 3.0);
+  EXPECT_DOUBLE_EQ(b.q3, 7.0);
+  // No outliers: whiskers at the extremes.
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 1.0);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 9.0);
+}
+
+TEST(BoxStats, OutlierExcludedFromWhisker) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0, 100.0};
+  const auto b = box_stats(v);
+  EXPECT_LT(b.whisker_hi, 100.0);
+}
+
+TEST(BoxStats, EmptyThrows) { EXPECT_THROW(box_stats({}), Error); }
+
+TEST(MeanStd, HelpersMatchRunningStats) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(v), 2.5);
+  EXPECT_NEAR(stddev_of(v), 1.29099, 1e-4);
+}
+
+}  // namespace
+}  // namespace frote

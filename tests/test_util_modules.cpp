@@ -1,0 +1,97 @@
+// Tests for the small utility modules: table rendering, CSV writer, env
+// parsing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "frote/util/env.hpp"
+#include "frote/util/error.hpp"
+#include "frote/util/table.hpp"
+
+namespace frote {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"a", "long_header", "c"});
+  table.add_row({"1", "2", "3"});
+  table.add_row({"wide_cell", "x", "y"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  // Header row, underline, two data rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // The underline matches the padded header width.
+  std::istringstream lines(out);
+  std::string header, underline;
+  std::getline(lines, header);
+  std::getline(lines, underline);
+  EXPECT_EQ(header.size(), underline.size());
+  EXPECT_NE(out.find("wide_cell"), std::string::npos);
+}
+
+TEST(TextTable, RejectsAridityMismatch) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 3), "1.235");
+  EXPECT_EQ(TextTable::fmt(-0.5, 1), "-0.5");
+  EXPECT_EQ(TextTable::fmt_pm(0.1, 0.02, 2), "0.10 ± 0.02");
+}
+
+TEST(CsvWriter, QuotesSpecialFields) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  EXPECT_EQ(os.str(),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(CsvWriter, EmptyFieldsPreserved) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.write_row({"", "b", ""});
+  EXPECT_EQ(os.str(), ",b,\n");
+}
+
+TEST(Env, IntParsesAndFallsBack) {
+  ::setenv("FROTE_TEST_INT", "17", 1);
+  EXPECT_EQ(env_int("FROTE_TEST_INT", 3), 17);
+  ::setenv("FROTE_TEST_INT", "garbage", 1);
+  EXPECT_EQ(env_int("FROTE_TEST_INT", 3), 3);
+  ::unsetenv("FROTE_TEST_INT");
+  EXPECT_EQ(env_int("FROTE_TEST_INT", 3), 3);
+}
+
+TEST(Env, DoubleParsesAndFallsBack) {
+  ::setenv("FROTE_TEST_DBL", "0.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("FROTE_TEST_DBL", 1.0), 0.25);
+  ::unsetenv("FROTE_TEST_DBL");
+  EXPECT_DOUBLE_EQ(env_double("FROTE_TEST_DBL", 1.0), 1.0);
+}
+
+TEST(Env, FlagSemantics) {
+  ::setenv("FROTE_TEST_FLAG", "1", 1);
+  EXPECT_TRUE(env_flag("FROTE_TEST_FLAG"));
+  ::setenv("FROTE_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(env_flag("FROTE_TEST_FLAG"));
+  ::setenv("FROTE_TEST_FLAG", "false", 1);
+  EXPECT_FALSE(env_flag("FROTE_TEST_FLAG"));
+  ::setenv("FROTE_TEST_FLAG", "yes", 1);
+  EXPECT_TRUE(env_flag("FROTE_TEST_FLAG"));
+  ::unsetenv("FROTE_TEST_FLAG");
+  EXPECT_FALSE(env_flag("FROTE_TEST_FLAG"));
+}
+
+TEST(Env, StringFallback) {
+  ::unsetenv("FROTE_TEST_STR");
+  EXPECT_EQ(env_string("FROTE_TEST_STR", "dflt"), "dflt");
+  ::setenv("FROTE_TEST_STR", "value", 1);
+  EXPECT_EQ(env_string("FROTE_TEST_STR", "dflt"), "value");
+  ::unsetenv("FROTE_TEST_STR");
+}
+
+}  // namespace
+}  // namespace frote

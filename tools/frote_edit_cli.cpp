@@ -1,0 +1,190 @@
+// frote_edit — command-line model editing.
+//
+// Reads a dataset CSV (schema header format, see data/csv.hpp) and a rule
+// file (one rule per line, grammar in rules/parser.hpp), runs the FROTE edit
+// and writes the augmented dataset plus an audit report.
+//
+// Usage:
+//   frote_edit --data in.csv --rules rules.txt --out edited.csv
+//              [--audit audit.txt] [--model rf|lr|gbdt|nb|knn]
+//              [--mod relabel|drop|none] [--select random|ip]
+//              [--tau N] [--q F] [--k N] [--eta N] [--seed N]
+//
+// Exit codes: 0 success, 1 usage error, 2 runtime error (bad data/rules).
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "frote/core/audit.hpp"
+#include "frote/core/frote.hpp"
+#include "frote/data/csv.hpp"
+#include "frote/ml/gbdt.hpp"
+#include "frote/ml/knn_classifier.hpp"
+#include "frote/ml/logistic_regression.hpp"
+#include "frote/ml/naive_bayes.hpp"
+#include "frote/ml/random_forest.hpp"
+#include "frote/rules/parser.hpp"
+
+namespace {
+
+using namespace frote;
+
+struct Options {
+  std::string data_path;
+  std::string rules_path;
+  std::string out_path;
+  std::string audit_path;
+  std::string model = "rf";
+  std::string mod = "relabel";
+  std::string select = "random";
+  std::size_t tau = 200;
+  double q = 0.5;
+  std::size_t k = 5;
+  std::size_t eta = 0;
+  std::uint64_t seed = 42;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: frote_edit --data in.csv --rules rules.txt --out edited.csv\n"
+        "                  [--audit audit.txt] [--model rf|lr|gbdt|nb|knn]\n"
+        "                  [--mod relabel|drop|none] [--select random|ip]\n"
+        "                  [--tau N] [--q F] [--k N] [--eta N] [--seed N]\n";
+}
+
+bool parse_args(int argc, char** argv, Options& options) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) return false;
+    args[key.substr(2)] = argv[i + 1];
+  }
+  if ((argc - 1) % 2 != 0) return false;
+  auto take = [&](const char* name, std::string& out) {
+    auto it = args.find(name);
+    if (it != args.end()) {
+      out = it->second;
+      args.erase(it);
+    }
+  };
+  take("data", options.data_path);
+  take("rules", options.rules_path);
+  take("out", options.out_path);
+  take("audit", options.audit_path);
+  take("model", options.model);
+  take("mod", options.mod);
+  take("select", options.select);
+  std::string value;
+  take("tau", value);
+  if (!value.empty()) options.tau = std::stoul(value);
+  value.clear();
+  take("q", value);
+  if (!value.empty()) options.q = std::stod(value);
+  value.clear();
+  take("k", value);
+  if (!value.empty()) options.k = std::stoul(value);
+  value.clear();
+  take("eta", value);
+  if (!value.empty()) options.eta = std::stoul(value);
+  value.clear();
+  take("seed", value);
+  if (!value.empty()) options.seed = std::stoull(value);
+  if (!args.empty()) {
+    std::cerr << "unknown option: --" << args.begin()->first << "\n";
+    return false;
+  }
+  return !options.data_path.empty() && !options.rules_path.empty() &&
+         !options.out_path.empty();
+}
+
+std::unique_ptr<Learner> make_model(const std::string& name) {
+  if (name == "rf") return std::make_unique<RandomForestLearner>();
+  if (name == "lr") return std::make_unique<LogisticRegressionLearner>();
+  if (name == "gbdt") return std::make_unique<GbdtLearner>();
+  if (name == "nb") return std::make_unique<NaiveBayesLearner>();
+  if (name == "knn") return std::make_unique<KnnClassifierLearner>();
+  throw Error("unknown model '" + name + "'");
+}
+
+ModStrategy parse_mod(const std::string& name) {
+  if (name == "relabel") return ModStrategy::kRelabel;
+  if (name == "drop") return ModStrategy::kDrop;
+  if (name == "none") return ModStrategy::kNone;
+  throw Error("unknown mod strategy '" + name + "'");
+}
+
+SelectionStrategy parse_select(const std::string& name) {
+  if (name == "random") return SelectionStrategy::kRandom;
+  if (name == "ip") return SelectionStrategy::kIp;
+  throw Error("unknown selection strategy '" + name + "'");
+}
+
+int run(const Options& options) {
+  const Dataset data = load_csv(options.data_path);
+  std::cerr << "loaded " << data.size() << " rows, "
+            << data.num_features() << " features, " << data.num_classes()
+            << " classes from " << options.data_path << "\n";
+
+  std::ifstream rules_file(options.rules_path);
+  if (!rules_file.good()) {
+    throw Error("cannot open rules file " + options.rules_path);
+  }
+  std::stringstream rules_text;
+  rules_text << rules_file.rdbuf();
+  auto parsed = parse_rules(rules_text.str(), data.schema());
+  if (parsed.empty()) throw Error("no rules found in " + options.rules_path);
+  FeedbackRuleSet frs(std::move(parsed));
+  const std::size_t resolved = resolve_all_conflicts(frs, data.schema());
+  std::cerr << "parsed " << frs.size() << " rule(s), resolved " << resolved
+            << " conflict pair(s)\n";
+
+  const auto learner = make_model(options.model);
+  FroteConfig config;
+  config.tau = options.tau;
+  config.q = options.q;
+  config.k = options.k;
+  config.eta = options.eta;
+  config.seed = options.seed;
+  config.mod_strategy = parse_mod(options.mod);
+  config.selection = parse_select(options.select);
+
+  std::cerr << "running FROTE (model=" << options.model
+            << ", tau=" << config.tau << ", q=" << config.q << ")...\n";
+  const auto result = frote_edit(data, *learner, frs, config);
+  std::cerr << "added " << result.instances_added << " synthetic rows over "
+            << result.iterations_accepted << " accepted iterations\n";
+
+  save_csv(result.augmented, options.out_path);
+  std::cerr << "wrote " << result.augmented.size() << " rows to "
+            << options.out_path << "\n";
+
+  const auto record = build_audit_record(data, frs, config, result);
+  if (options.audit_path.empty()) {
+    write_audit_report(record, std::cout);
+  } else {
+    std::ofstream audit(options.audit_path);
+    if (!audit.good()) {
+      throw Error("cannot open audit file " + options.audit_path);
+    }
+    write_audit_report(record, audit);
+    std::cerr << "audit report written to " << options.audit_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) {
+    print_usage(std::cerr);
+    return 1;
+  }
+  try {
+    return run(options);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
