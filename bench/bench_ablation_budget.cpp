@@ -3,7 +3,9 @@
 // points added where the cost to overall model performance starts to
 // outweigh the improvement in MRA." Sweeps q and reports MRA / outside-F1 /
 // J̄ per budget, locating the J̄-maximising budget per model.
+#include <cstdint>
 #include <iostream>
+#include <vector>
 
 #include "common.hpp"
 #include "frote/core/inflection.hpp"

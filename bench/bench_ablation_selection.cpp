@@ -3,6 +3,8 @@
 // learning proxy (eq. 7), and the accept-always switch that disables
 // Algorithm 1's accept/reject gate.
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
 #include "frote/core/online_proxy.hpp"

@@ -4,6 +4,7 @@
 // Expected shape: as Figure 3 — improvements persist for large |F|; for
 // some datasets no conflict-free FRS of size 15/20 exists.
 #include <iostream>
+#include <vector>
 
 #include "common.hpp"
 

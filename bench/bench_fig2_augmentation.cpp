@@ -4,7 +4,9 @@
 //
 // Expected shape (paper §5.2): final ≥ relabel ≥ initial; the final-vs-
 // relabel gap is largest at small tcf (especially tcf = 0) and for LR.
+#include <cstdint>
 #include <iostream>
+#include <vector>
 
 #include "common.hpp"
 

@@ -6,6 +6,7 @@
 // maintained up to 20 rules; for some sizes a conflict-free FRS may not
 // exist (the paper reports this for |F| = 15, 20 on some datasets).
 #include <iostream>
+#include <vector>
 
 #include "common.hpp"
 

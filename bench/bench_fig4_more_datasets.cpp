@@ -4,7 +4,9 @@
 //
 // Expected shape: same as Figure 2 — augmentation helps beyond relabel,
 // most at low tcf.
+#include <cstdint>
 #include <iostream>
+#include <vector>
 
 #include "common.hpp"
 

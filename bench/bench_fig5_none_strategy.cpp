@@ -5,7 +5,9 @@
 // Expected shape: mod-imp (relabel-vs-initial improvement) is zero by
 // definition; final-imp (final vs mod) is positive but with HIGHER VARIANCE
 // than under relabel, since contradictory instances remain.
+#include <cstdint>
 #include <iostream>
+#include <vector>
 
 #include "common.hpp"
 

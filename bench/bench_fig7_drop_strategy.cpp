@@ -4,7 +4,9 @@
 //
 // Expected shape: augmentation improves J̄ as with relabel, with higher
 // variance (base instances are found via rule relaxation after the drop).
+#include <cstdint>
 #include <iostream>
+#include <vector>
 
 #include "common.hpp"
 

@@ -5,7 +5,10 @@
 // Expected shape: J̄ rises with the number of instances added; it rises
 // FASTER (and from lower) at low tcf; RF needs fewer instances to converge
 // than LR (non-linear models are cheaper to edit).
+#include <cstdint>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
 

@@ -4,6 +4,10 @@
 // and the per-iteration FROTE objective evaluation.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <map>
+#include <vector>
+
 #include "frote/core/frote.hpp"
 #include "frote/core/generate.hpp"
 #include "frote/data/generators.hpp"

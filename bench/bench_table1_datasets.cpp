@@ -2,6 +2,7 @@
 // Regenerates the table from the dataset generators and verifies the
 // generated schemas against it.
 #include <iostream>
+#include <string>
 
 #include "common.hpp"
 #include "frote/data/generators.hpp"

@@ -6,6 +6,7 @@
 // Expected shape: FROTE's ΔJ̄ > 0 for every dataset/model; Overlay-Hard's
 // ΔJ̄ < 0 (rules too divergent from the model); Overlay-Soft in between.
 #include <iostream>
+#include <vector>
 
 #include "common.hpp"
 

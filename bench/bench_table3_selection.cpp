@@ -4,7 +4,9 @@
 //
 // Expected shape: no clear winner between random and IP on ΔJ̄ (the paper's
 // "win-loss-tie 11-8-5"); both ≥ 0 on average.
+#include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "common.hpp"
 

@@ -4,6 +4,7 @@
 // Expected shape: comparable ΔJ̄, but IP generally adds FEWER instances than
 // random for the same improvement.
 #include <iostream>
+#include <vector>
 
 #include "common.hpp"
 

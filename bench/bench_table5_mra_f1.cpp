@@ -4,6 +4,7 @@
 // Expected shape: ΔJ̄ is dominated by ΔMRA — large positive MRA improvements
 // with near-zero (sometimes slightly negative) ΔF-Score.
 #include <iostream>
+#include <vector>
 
 #include "common.hpp"
 

@@ -6,7 +6,9 @@
 //
 // Expected shape: p < 1 (less confident) beats p = 1 on ΔMRA — probabilistic
 // rules mitigate over-confident expert feedback.
+#include <cstdint>
 #include <iostream>
+#include <vector>
 
 #include "common.hpp"
 

@@ -3,6 +3,7 @@
 //
 // Expected shape: FROTE ΔJ̄ > 0 for every model; Overlay-Hard ΔJ̄ < 0.
 #include <iostream>
+#include <vector>
 
 #include "common.hpp"
 

@@ -6,6 +6,7 @@
 // (here visible as a large negative ΔF when rules diverge); FROTE improves
 // MRA with ΔF ≈ 0.
 #include <iostream>
+#include <vector>
 
 #include "common.hpp"
 

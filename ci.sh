@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build everything (tests + benches + examples +
+# tools) with -Werror on the library target, and run the full CTest suite.
+# Must pass with no network access — the vendored minigtest/minibenchmark
+# fallbacks cover machines without GoogleTest/google-benchmark installed.
+#
+# Usage:
+#   ./ci.sh                 # full tier-1 verify (all labels)
+#   ./ci.sh -L unit         # extra args are forwarded to ctest
+#   FROTE_CI_VENDORED=1 ./ci.sh   # force the vendored runners (offline mode)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BUILD_DIR=${FROTE_CI_BUILD_DIR:-build-ci}
+CMAKE_ARGS=(-DFROTE_WERROR=ON)
+if [[ "${FROTE_CI_VENDORED:-0}" == "1" ]]; then
+  CMAKE_ARGS+=(-DFROTE_USE_SYSTEM_GTEST=OFF -DFROTE_USE_SYSTEM_BENCHMARK=OFF)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"

@@ -8,6 +8,8 @@
 // Build & run:  ./build/examples/example_quickstart
 #include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "frote/core/frote.hpp"
 #include "frote/ml/random_forest.hpp"

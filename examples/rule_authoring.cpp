@@ -8,6 +8,7 @@
 //
 // Build & run:  ./build/examples/example_rule_authoring
 #include <iostream>
+#include <string>
 
 #include "frote/core/audit.hpp"
 #include "frote/core/frote.hpp"

@@ -2,6 +2,9 @@
 // analysis utilities, plus the online-learning proxy selector.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "frote/core/audit.hpp"
 #include "frote/core/generate.hpp"
 #include "frote/core/inflection.hpp"

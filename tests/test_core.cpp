@@ -2,6 +2,9 @@
 // rule-constrained generation, and the mod strategies.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "frote/core/frote.hpp"
 #include "frote/core/generate.hpp"
 #include "frote/ml/decision_tree.hpp"

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "frote/data/csv.hpp"
 #include "frote/data/encoder.hpp"

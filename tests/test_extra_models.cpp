@@ -2,6 +2,9 @@
 // the model-agnosticism claim: FROTE must edit them too.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "frote/core/frote.hpp"
 #include "frote/ml/knn_classifier.hpp"
 #include "frote/ml/naive_bayes.hpp"

@@ -3,6 +3,9 @@
 // keep outside-coverage performance intact.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "frote/core/frote.hpp"
 #include "frote/ml/decision_tree.hpp"
 #include "frote/ml/logistic_regression.hpp"

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "frote/ml/random_forest.hpp"
 
 namespace frote {

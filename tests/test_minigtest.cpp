@@ -1,0 +1,132 @@
+// Self-test for the vendored minigtest runner (third_party/minigtest).
+// Exercises the macro semantics the rest of the suite depends on: fixture
+// setup, parameterized expansion (Values/Range/Combine), fatal-vs-nonfatal
+// flow, floating-point comparison contracts, and failure counting. When the
+// build selects a real GoogleTest these assertions all hold there too — the
+// suite doubles as a compatibility contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace {
+
+TEST(MiniGtest, BasicComparisons) {
+  EXPECT_EQ(2 + 2, 4);
+  EXPECT_NE(std::string("a"), std::string("b"));
+  EXPECT_GT(3, 2);
+  EXPECT_GE(3, 3);
+  EXPECT_LT(-1, 0);
+  EXPECT_LE(7, 7);
+  EXPECT_TRUE(1 == 1);
+  EXPECT_FALSE(1 == 2);
+}
+
+TEST(MiniGtest, FloatingPointContracts) {
+  // EXPECT_DOUBLE_EQ tolerates rounding in the last few ULPs...
+  EXPECT_DOUBLE_EQ(0.1 + 0.2, 0.3);
+  // ...but is strict beyond that, unlike EXPECT_NEAR with a loose tolerance.
+  EXPECT_NEAR(1.0, 1.05, 0.1);
+  EXPECT_DOUBLE_EQ(1.0, 1.0);
+  EXPECT_FLOAT_EQ(1.0f, 1.0f + 1e-8f);
+}
+
+TEST(MiniGtest, ThrowAssertions) {
+  EXPECT_THROW(throw std::runtime_error("boom"), std::runtime_error);
+  // A derived exception satisfies a base-class expectation.
+  EXPECT_THROW(throw std::out_of_range("oor"), std::logic_error);
+  EXPECT_NO_THROW((void)(1 + 1));
+}
+
+TEST(MiniGtest, AssertionsAcceptStreamedContext) {
+  const int seed = 7;
+  EXPECT_EQ(seed, 7) << "seed " << seed;
+  ASSERT_TRUE(seed > 0) << "must be positive, got " << seed;
+}
+
+// --- Fixture semantics: SetUp runs before each test body. -----------------
+
+class FixtureState : public ::testing::Test {
+ protected:
+  void SetUp() override { value_ = 41; }
+  int value_ = 0;
+};
+
+TEST_F(FixtureState, SetUpRanBeforeBody) {
+  EXPECT_EQ(value_, 41);
+  ++value_;  // must not leak into the next test: each test gets a new fixture
+  EXPECT_EQ(value_, 42);
+}
+
+TEST_F(FixtureState, EachTestGetsFreshFixture) { EXPECT_EQ(value_, 41); }
+
+// --- Parameterized expansion. ---------------------------------------------
+
+class ValuesParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValuesParam, ReceivesEachValue) {
+  const int p = GetParam();
+  EXPECT_TRUE(p == 2 || p == 3 || p == 5) << "unexpected param " << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, ValuesParam, ::testing::Values(2, 3, 5));
+
+class RangeParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RangeParam, ReceivesHalfOpenRange) {
+  // Range(1, 5) must expand to exactly {1, 2, 3, 4}.
+  EXPECT_GE(GetParam(), 1u);
+  EXPECT_LT(GetParam(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(HalfOpen, RangeParam,
+                         ::testing::Range<std::uint64_t>(1, 5));
+
+class CombineParam
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(CombineParam, ReceivesCrossProduct) {
+  const auto [a, b] = GetParam();
+  EXPECT_TRUE(a == 1 || a == 2);
+  EXPECT_TRUE(b == 10 || b == 20 || b == 30);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cross, CombineParam,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2),
+                       ::testing::Values<std::size_t>(10, 20, 30)));
+
+// Expansion-count check: every (prefix × value × pattern) combination must
+// run exactly once. Each CountingParam test contributes to a global tally;
+// the audit is itself a parameterized suite declared LAST in this file, so
+// it registers — and therefore runs — after every tally has been recorded
+// (parameterized suites expand in declaration order in both runners).
+class CountingParam : public ::testing::TestWithParam<int> {
+ public:
+  static std::multiset<int>& seen() {
+    static std::multiset<int> s;
+    return s;
+  }
+};
+
+TEST_P(CountingParam, Tally) { seen().insert(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(First, CountingParam, ::testing::Values(1, 2));
+INSTANTIATE_TEST_SUITE_P(Second, CountingParam, ::testing::Values(2));
+
+class TallyAudit : public ::testing::TestWithParam<int> {};
+
+TEST_P(TallyAudit, ParamExpansionRanOncePerInstantiationValue) {
+  const auto& seen = CountingParam::seen();
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen.count(1), 1u);
+  EXPECT_EQ(seen.count(2), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Final, TallyAudit, ::testing::Values(0));
+
+}  // namespace

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "frote/ml/decision_tree.hpp"
 #include "frote/ml/gbdt.hpp"
 #include "frote/ml/logistic_regression.hpp"

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "frote/metrics/metrics.hpp"
 #include "frote/ml/decision_tree.hpp"
 #include "test_util.hpp"

@@ -8,6 +8,9 @@
 //    rule shapes.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "frote/core/generate.hpp"
 #include "frote/data/split.hpp"
 #include "frote/opt/ip.hpp"

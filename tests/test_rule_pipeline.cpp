@@ -2,6 +2,9 @@
 // stand-in), perturbation (§5.1) and conflict-free FRS sampling.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "frote/ml/decision_tree.hpp"
 #include "frote/rules/induction.hpp"
 #include "frote/rules/perturb.hpp"

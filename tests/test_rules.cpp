@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "frote/rules/ruleset.hpp"
 #include "test_util.hpp"
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "frote/ml/decision_tree.hpp"
 #include "frote/smote/borderline.hpp"
 #include "test_util.hpp"

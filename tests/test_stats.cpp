@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "frote/util/error.hpp"
 
 namespace frote {

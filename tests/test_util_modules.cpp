@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <string>
 
 #include "frote/util/env.hpp"
 #include "frote/util/error.hpp"

@@ -1,0 +1,234 @@
+// minibenchmark — a single-header, dependency-free stand-in for the subset
+// of the Google Benchmark API used by bench/bench_micro.cpp, selected at
+// configure time when no system google-benchmark library is installed.
+//
+// Supported surface:
+//   benchmark::State (range-for timing loop, range(), iterations(),
+//                     SetItemsProcessed, SetBytesProcessed, SetLabel,
+//                     PauseTiming, ResumeTiming)
+//   benchmark::DoNotOptimize, benchmark::ClobberMemory
+//   BENCHMARK(fn)->Arg(n)->Unit(...)   (Unit/Threads/etc. accepted, ignored)
+//   BENCHMARK_MAIN()
+//
+// Timing model: each (benchmark, arg) pair is calibrated with a short probe
+// run, then iterated until ~MINIBENCH_MIN_TIME seconds (env, default 0.2)
+// elapse; mean wall-clock ns/op is reported in a google-benchmark-style
+// console table. No statistical repetitions — this is a smoke-and-trend
+// harness, not a variance-controlled lab.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace benchmark {
+
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+template <typename T>
+inline void DoNotOptimize(T&& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+inline void ClobberMemory() { asm volatile("" : : : "memory"); }
+
+class State {
+ public:
+  State(std::vector<std::int64_t> args, std::int64_t max_iterations)
+      : args_(std::move(args)), max_iterations_(max_iterations) {}
+
+  std::int64_t range(std::size_t index = 0) const {
+    return index < args_.size() ? args_[index] : 0;
+  }
+  std::int64_t iterations() const { return max_iterations_; }
+
+  void SetItemsProcessed(std::int64_t items) { items_processed_ = items; }
+  void SetBytesProcessed(std::int64_t bytes) { bytes_processed_ = bytes; }
+  void SetLabel(const std::string& label) { label_ = label; }
+  void PauseTiming() { pause_started_ = Clock::now(); }
+  void ResumeTiming() { paused_ns_ += NsSince(pause_started_); }
+
+  std::int64_t items_processed() const { return items_processed_; }
+  std::int64_t bytes_processed() const { return bytes_processed_; }
+  const std::string& label() const { return label_; }
+  /// Total measured nanoseconds (pauses excluded); valid after the loop.
+  std::int64_t elapsed_ns() const { return elapsed_ns_ - paused_ns_; }
+
+  // Range-for protocol: `for (auto _ : state)` runs max_iterations_ times
+  // and brackets the loop with wall-clock timestamps.
+  struct Item {};
+  class iterator {
+   public:
+    iterator(State* state, std::int64_t remaining)
+        : state_(state), remaining_(remaining) {}
+    Item operator*() const { return {}; }
+    iterator& operator++() {
+      --remaining_;
+      return *this;
+    }
+    bool operator!=(const iterator&) {
+      if (remaining_ > 0) return true;
+      state_->FinishTiming();
+      return false;
+    }
+
+   private:
+    State* state_;
+    std::int64_t remaining_;
+  };
+
+  iterator begin() {
+    StartTiming();
+    return iterator(this, max_iterations_);
+  }
+  iterator end() { return iterator(this, 0); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  static std::int64_t NsSince(Clock::time_point start) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start)
+        .count();
+  }
+
+  void StartTiming() {
+    paused_ns_ = 0;
+    loop_started_ = Clock::now();
+  }
+  void FinishTiming() { elapsed_ns_ = NsSince(loop_started_); }
+
+  std::vector<std::int64_t> args_;
+  std::int64_t max_iterations_;
+  std::int64_t items_processed_ = 0;
+  std::int64_t bytes_processed_ = 0;
+  std::string label_;
+  Clock::time_point loop_started_{};
+  Clock::time_point pause_started_{};
+  std::int64_t elapsed_ns_ = 0;
+  std::int64_t paused_ns_ = 0;
+};
+
+namespace internal {
+
+using Function = void(State&);
+
+class Benchmark {
+ public:
+  Benchmark(const char* name, Function* fn) : name_(name), fn_(fn) {}
+
+  Benchmark* Arg(std::int64_t value) {
+    arg_lists_.push_back({value});
+    return this;
+  }
+  Benchmark* Args(const std::vector<std::int64_t>& values) {
+    arg_lists_.push_back(values);
+    return this;
+  }
+  Benchmark* Range(std::int64_t lo, std::int64_t hi) {
+    // Multiplicative sweep that, like google-benchmark, always includes the
+    // endpoint and tolerates lo == 0.
+    std::int64_t v = lo;
+    while (v < hi) {
+      arg_lists_.push_back({v});
+      v = v <= 0 ? 1 : v * 8;
+    }
+    arg_lists_.push_back({hi});
+    return this;
+  }
+  // Accepted-and-ignored tuning knobs, for source compatibility.
+  Benchmark* Unit(TimeUnit) { return this; }
+  Benchmark* Threads(int) { return this; }
+  Benchmark* Repetitions(int) { return this; }
+  Benchmark* Iterations(std::int64_t) { return this; }
+  Benchmark* MinTime(double) { return this; }
+
+  const std::string& name() const { return name_; }
+  Function* fn() const { return fn_; }
+  /// Argument tuples to run; a benchmark with no Arg() runs once, arg-less.
+  std::vector<std::vector<std::int64_t>> runs() const {
+    return arg_lists_.empty()
+               ? std::vector<std::vector<std::int64_t>>{{}}
+               : arg_lists_;
+  }
+
+ private:
+  std::string name_;
+  Function* fn_;
+  std::vector<std::vector<std::int64_t>> arg_lists_;
+};
+
+inline std::vector<Benchmark*>& Registry() {
+  static std::vector<Benchmark*> registry;
+  return registry;
+}
+
+inline Benchmark* RegisterBenchmarkInternal(Benchmark* bench) {
+  Registry().push_back(bench);
+  return bench;
+}
+
+inline std::string RunName(const Benchmark& bench,
+                           const std::vector<std::int64_t>& args) {
+  std::string name = bench.name();
+  for (const auto arg : args) name += "/" + std::to_string(arg);
+  return name;
+}
+
+}  // namespace internal
+
+inline void Initialize(int* /*argc*/, char** /*argv*/) {}
+
+inline int RunSpecifiedBenchmarks() {
+  const char* min_time_env = std::getenv("MINIBENCH_MIN_TIME");
+  const double min_time_s = min_time_env ? std::atof(min_time_env) : 0.2;
+
+  std::printf("%-40s %15s %12s %s\n", "Benchmark", "Time/op (ns)",
+              "Iterations", "Label");
+  std::printf("%s\n", std::string(80, '-').c_str());
+  for (const auto* bench : internal::Registry()) {
+    for (const auto& args : bench->runs()) {
+      // Calibration probe: one iteration to estimate per-op cost.
+      State probe(args, 1);
+      bench->fn()(probe);
+      const double probe_ns =
+          std::max<std::int64_t>(probe.elapsed_ns(), 1);
+      const auto iterations = static_cast<std::int64_t>(std::clamp(
+          min_time_s * 1e9 / probe_ns, 1.0, 100000000.0));
+
+      State state(args, iterations);
+      bench->fn()(state);
+      const double ns_per_op =
+          static_cast<double>(state.elapsed_ns()) /
+          static_cast<double>(iterations);
+      std::printf("%-40s %15.1f %12lld %s\n",
+                  internal::RunName(*bench, args).c_str(), ns_per_op,
+                  static_cast<long long>(iterations), state.label().c_str());
+    }
+  }
+  return 0;
+}
+
+inline void Shutdown() {}
+
+}  // namespace benchmark
+
+#define BENCHMARK_PRIVATE_CONCAT_(a, b) a##b
+#define BENCHMARK_PRIVATE_CONCAT(a, b) BENCHMARK_PRIVATE_CONCAT_(a, b)
+
+#define BENCHMARK(fn)                                                     \
+  static ::benchmark::internal::Benchmark* BENCHMARK_PRIVATE_CONCAT(      \
+      minibench_reg_, __LINE__) =                                         \
+      ::benchmark::internal::RegisterBenchmarkInternal(                   \
+          new ::benchmark::internal::Benchmark(#fn, fn))
+
+#define BENCHMARK_MAIN()                          \
+  int main(int argc, char** argv) {               \
+    ::benchmark::Initialize(&argc, argv);         \
+    return ::benchmark::RunSpecifiedBenchmarks(); \
+  }

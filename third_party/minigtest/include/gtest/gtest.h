@@ -1,0 +1,840 @@
+// minigtest — a single-header, dependency-free test runner exposing the
+// subset of the GoogleTest API this repository uses, so the suite builds
+// and runs with no network access and no system gtest installation.
+//
+// Supported surface:
+//   TEST, TEST_F, TEST_P + INSTANTIATE_TEST_SUITE_P
+//   ::testing::Test, ::testing::TestWithParam<T>
+//   ::testing::Values / Range / Combine
+//   EXPECT_/ASSERT_ {EQ,NE,GT,GE,LT,LE,TRUE,FALSE,NEAR,DOUBLE_EQ,FLOAT_EQ,
+//                    THROW,NO_THROW,ANY_THROW}
+//   ADD_FAILURE, FAIL, SUCCEED, streaming `<< "context"` on all assertions
+//   RUN_ALL_TESTS, InitGoogleTest, --gtest_filter=PATTERN, --gtest_list_tests
+//
+// Failure reporting matches gtest conventions: `file:line: Failure` followed
+// by an expectation message, nonzero process exit code when any test fails.
+// The implementation is intentionally small and independent of GoogleTest's.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+class Test;
+
+namespace internal {
+
+// ---------------------------------------------------------------------------
+// Value printing: stream when possible, fall back to enum/byte dumps.
+// ---------------------------------------------------------------------------
+
+template <typename T, typename = void>
+struct IsStreamable : std::false_type {};
+template <typename T>
+struct IsStreamable<T, std::void_t<decltype(std::declval<std::ostream&>()
+                                            << std::declval<const T&>())>>
+    : std::true_type {};
+
+template <typename T>
+std::string PrintValue(const T& value) {
+  std::ostringstream os;
+  os << std::boolalpha;
+  if constexpr (std::is_same_v<T, std::nullptr_t>) {
+    os << "nullptr";
+  } else if constexpr (IsStreamable<T>::value) {
+    os << value;
+  } else if constexpr (std::is_enum_v<T>) {
+    os << static_cast<std::underlying_type_t<T>>(value);
+  } else {
+    os << "<" << sizeof(T) << "-byte object>";
+  }
+  return os.str();
+}
+
+template <typename... Ts>
+std::string PrintValue(const std::tuple<Ts...>& value) {
+  std::ostringstream os;
+  os << "(";
+  std::apply(
+      [&os](const auto&... elems) {
+        const char* sep = "";
+        ((os << sep << PrintValue(elems), sep = ", "), ...);
+      },
+      value);
+  os << ")";
+  return os.str();
+}
+
+template <typename A, typename B>
+std::string PrintValue(const std::pair<A, B>& value) {
+  return "(" + PrintValue(value.first) + ", " + PrintValue(value.second) + ")";
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Message: ostream-style accumulator streamed onto failed assertions.
+// ---------------------------------------------------------------------------
+
+class Message {
+ public:
+  Message() = default;
+  template <typename T>
+  Message& operator<<(const T& value) {
+    ss_ << internal::PrintValue(value);
+    return *this;
+  }
+  std::string GetString() const { return ss_.str(); }
+
+ private:
+  std::ostringstream ss_;
+};
+
+// ---------------------------------------------------------------------------
+// AssertionResult: carries success/failure plus an explanation.
+// ---------------------------------------------------------------------------
+
+class AssertionResult {
+ public:
+  explicit AssertionResult(bool success) : success_(success) {}
+  explicit operator bool() const { return success_; }
+  template <typename T>
+  AssertionResult& operator<<(const T& value) {
+    message_ += internal::PrintValue(value);
+    return *this;
+  }
+  const std::string& failure_message() const { return message_; }
+
+ private:
+  bool success_;
+  std::string message_;
+};
+
+inline AssertionResult AssertionSuccess() { return AssertionResult(true); }
+inline AssertionResult AssertionFailure() { return AssertionResult(false); }
+
+namespace internal {
+
+// ---------------------------------------------------------------------------
+// Global unit-test state (header-only via C++17 inline variables).
+// ---------------------------------------------------------------------------
+
+struct TestInfo {
+  std::string suite;
+  std::string name;
+  std::function<Test*()> factory;
+};
+
+struct UnitTestState {
+  std::vector<TestInfo> tests;
+  // Type-erased expanders that turn TEST_P patterns × instantiations into
+  // concrete TestInfo entries; run once at the top of RUN_ALL_TESTS.
+  std::vector<std::function<void(std::vector<TestInfo>&)>> param_expanders;
+  bool current_test_failed = false;
+  int failed_assertions = 0;
+  std::string filter = "*";
+  bool list_only = false;
+};
+
+inline UnitTestState& State() {
+  static UnitTestState state;
+  return state;
+}
+
+// Simple '*'-wildcard matcher for --gtest_filter (no ':' lists, no '-').
+inline bool WildcardMatch(const char* pattern, const char* text) {
+  if (*pattern == '\0') return *text == '\0';
+  if (*pattern == '*')
+    return WildcardMatch(pattern + 1, text) ||
+           (*text != '\0' && WildcardMatch(pattern, text + 1));
+  return *pattern == *text && WildcardMatch(pattern + 1, text + 1);
+}
+
+inline bool FilterAccepts(const std::string& full_name) {
+  const std::string& filter = State().filter;
+  // Support ':'-separated positive patterns, the common gtest subset.
+  std::size_t start = 0;
+  while (start <= filter.size()) {
+    std::size_t colon = filter.find(':', start);
+    const std::string pat = filter.substr(
+        start, colon == std::string::npos ? std::string::npos : colon - start);
+    if (!pat.empty() && WildcardMatch(pat.c_str(), full_name.c_str()))
+      return true;
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  return false;
+}
+
+// Registers a concrete (non-parameterized) test at static-init time.
+struct TestRegistrar {
+  TestRegistrar(const char* suite, const char* name,
+                std::function<Test*()> factory) {
+    State().tests.push_back({suite, name, std::move(factory)});
+  }
+};
+
+// Records one assertion failure with gtest-style location formatting.
+class AssertHelper {
+ public:
+  AssertHelper(const char* file, int line, std::string message)
+      : file_(file), line_(line), message_(std::move(message)) {}
+  void operator=(const Message& user_message) const {
+    State().current_test_failed = true;
+    ++State().failed_assertions;
+    std::cout << file_ << ":" << line_ << ": Failure\n" << message_;
+    const std::string extra = user_message.GetString();
+    if (!extra.empty()) std::cout << "\n" << extra;
+    std::cout << "\n" << std::flush;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::string message_;
+};
+
+// ---------------------------------------------------------------------------
+// Comparison helpers (return AssertionResult so macros can stream context).
+// ---------------------------------------------------------------------------
+
+#define MINIGTEST_DEFINE_CMP_(helper_name, op, op_text)                       \
+  template <typename A, typename B>                                           \
+  AssertionResult helper_name(const char* lhs_expr, const char* rhs_expr,     \
+                              const A& lhs, const B& rhs) {                   \
+    if (lhs op rhs) return AssertionSuccess();                                \
+    return AssertionFailure()                                                 \
+           << "Expected: (" << lhs_expr << ") " op_text " (" << rhs_expr      \
+           << "), actual: " << PrintValue(lhs) << " vs " << PrintValue(rhs);  \
+  }
+
+MINIGTEST_DEFINE_CMP_(CmpHelperNE, !=, "!=")
+MINIGTEST_DEFINE_CMP_(CmpHelperGT, >, ">")
+MINIGTEST_DEFINE_CMP_(CmpHelperGE, >=, ">=")
+MINIGTEST_DEFINE_CMP_(CmpHelperLT, <, "<")
+MINIGTEST_DEFINE_CMP_(CmpHelperLE, <=, "<=")
+#undef MINIGTEST_DEFINE_CMP_
+
+template <typename A, typename B>
+AssertionResult CmpHelperEQ(const char* lhs_expr, const char* rhs_expr,
+                            const A& lhs, const B& rhs) {
+  if (lhs == rhs) return AssertionSuccess();
+  return AssertionFailure() << "Expected equality of these values:\n  "
+                            << lhs_expr << "\n    Which is: " << PrintValue(lhs)
+                            << "\n  " << rhs_expr
+                            << "\n    Which is: " << PrintValue(rhs);
+}
+
+inline AssertionResult BoolHelper(const char* expr, bool value, bool expected) {
+  if (value == expected) return AssertionSuccess();
+  return AssertionFailure() << "Value of: " << expr << "\n  Actual: "
+                            << (value ? "true" : "false")
+                            << "\nExpected: " << (expected ? "true" : "false");
+}
+
+// EXPECT_TRUE(some_assertion_result) must also work.
+inline AssertionResult BoolHelper(const char* expr,
+                                  const AssertionResult& value, bool expected) {
+  if (static_cast<bool>(value) == expected) return AssertionSuccess();
+  return AssertionFailure() << "Value of: " << expr << "\n  Actual: "
+                            << (static_cast<bool>(value) ? "true" : "false")
+                            << "\nExpected: " << (expected ? "true" : "false")
+                            << (value.failure_message().empty()
+                                    ? ""
+                                    : "\n" + value.failure_message());
+}
+
+inline AssertionResult NearHelper(const char* lhs_expr, const char* rhs_expr,
+                                  const char* tol_expr, double lhs, double rhs,
+                                  double tolerance) {
+  const double diff = std::fabs(lhs - rhs);
+  if (diff <= tolerance) return AssertionSuccess();
+  return AssertionFailure()
+         << "The difference between " << lhs_expr << " and " << rhs_expr
+         << " is " << diff << ", which exceeds " << tol_expr << ", where\n"
+         << lhs_expr << " evaluates to " << lhs << ",\n"
+         << rhs_expr << " evaluates to " << rhs << ", and\n"
+         << tol_expr << " evaluates to " << tolerance << ".";
+}
+
+// 4-ULP floating-point equality, matching gtest's AlmostEquals contract.
+template <typename Float>
+bool AlmostEqual(Float lhs, Float rhs) {
+  if (std::isnan(lhs) || std::isnan(rhs)) return false;
+  if (lhs == rhs) return true;
+  using Bits = std::conditional_t<sizeof(Float) == 8, std::uint64_t,
+                                  std::uint32_t>;
+  constexpr Bits kSignBit = Bits{1} << (sizeof(Bits) * 8 - 1);
+  auto biased = [](Float f) {
+    Bits b;
+    std::memcpy(&b, &f, sizeof(Float));
+    return (b & kSignBit) ? ~b + 1 : b | kSignBit;
+  };
+  const Bits a = biased(lhs), b = biased(rhs);
+  const Bits distance = a > b ? a - b : b - a;
+  return distance <= 4;
+}
+
+template <typename Float>
+AssertionResult FloatingEqHelper(const char* lhs_expr, const char* rhs_expr,
+                                 Float lhs, Float rhs) {
+  if (AlmostEqual(lhs, rhs)) return AssertionSuccess();
+  std::ostringstream lhs_os, rhs_os;
+  lhs_os.precision(17);
+  rhs_os.precision(17);
+  lhs_os << lhs;
+  rhs_os << rhs;
+  return AssertionFailure() << "Expected equality of these values:\n  "
+                            << lhs_expr << "\n    Which is: " << lhs_os.str()
+                            << "\n  " << rhs_expr
+                            << "\n    Which is: " << rhs_os.str();
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Test base classes.
+// ---------------------------------------------------------------------------
+
+class Test {
+ public:
+  virtual ~Test() = default;
+  virtual void TestBody() = 0;
+  virtual void SetUp() {}
+  virtual void TearDown() {}
+  static void SetUpTestSuite() {}
+  static void TearDownTestSuite() {}
+};
+
+template <typename T>
+class TestWithParam : public Test {
+ public:
+  using ParamType = T;
+  // The pending-param slot is set by the parameterized-test factory
+  // immediately before construction, then copied into the instance.
+  TestWithParam() : param_(*PendingParam()) {}
+  const T& GetParam() const { return param_; }
+  static const T*& PendingParam() {
+    static const T* pending = nullptr;
+    return pending;
+  }
+
+ private:
+  T param_;
+};
+
+/// Passed to INSTANTIATE_TEST_SUITE_P name generators.
+template <typename T>
+struct TestParamInfo {
+  TestParamInfo(const T& a_param, std::size_t an_index)
+      : param(a_param), index(an_index) {}
+  T param;
+  std::size_t index;
+};
+
+namespace internal {
+
+// ---------------------------------------------------------------------------
+// Parameterized-test machinery. A ParamRegistry<Suite> collects the TEST_P
+// patterns and INSTANTIATE_TEST_SUITE_P value lists for one fixture type;
+// RUN_ALL_TESTS expands the cross product into concrete tests.
+// ---------------------------------------------------------------------------
+
+template <typename Suite>
+class ParamRegistry {
+ public:
+  using ParamType = typename Suite::ParamType;
+
+  static ParamRegistry& Instance() {
+    static ParamRegistry* registry = [] {
+      auto* r = new ParamRegistry();
+      State().param_expanders.push_back(
+          [r](std::vector<TestInfo>& out) { r->Expand(out); });
+      return r;
+    }();
+    return *registry;
+  }
+
+  int AddPattern(const char* suite_name, const char* test_name,
+                 std::function<Test*(const ParamType&)> factory) {
+    patterns_.push_back({suite_name, test_name, std::move(factory)});
+    return 0;
+  }
+
+  template <typename Generator>
+  int AddInstantiation(const char* prefix, const Generator& generator) {
+    // Generators convert lazily; the target element type is only known here.
+    std::vector<ParamType> values = generator;
+    instantiations_.push_back({prefix, std::move(values), nullptr});
+    return 0;
+  }
+
+  // Four-argument form: custom test-name generator, called with a
+  // TestParamInfo<ParamType> and returning const char* or std::string.
+  template <typename Generator, typename NameGenerator>
+  int AddInstantiation(const char* prefix, const Generator& generator,
+                       NameGenerator name_generator) {
+    std::vector<ParamType> values = generator;
+    instantiations_.push_back(
+        {prefix, std::move(values),
+         [name_generator](const TestParamInfo<ParamType>& info) {
+           return std::string(name_generator(info));
+         }});
+    return 0;
+  }
+
+ private:
+  struct Pattern {
+    std::string suite;
+    std::string name;
+    std::function<Test*(const ParamType&)> factory;
+  };
+  struct Instantiation {
+    std::string prefix;
+    std::vector<ParamType> values;
+    std::function<std::string(const TestParamInfo<ParamType>&)> namer;
+  };
+
+  void Expand(std::vector<TestInfo>& out) {
+    for (const auto& inst : instantiations_) {
+      for (std::size_t i = 0; i < inst.values.size(); ++i) {
+        const std::string param_name =
+            inst.namer ? inst.namer(TestParamInfo<ParamType>(inst.values[i], i))
+                       : std::to_string(i);
+        for (const auto& pattern : patterns_) {
+          TestInfo info;
+          info.suite = inst.prefix + "/" + pattern.suite;
+          info.name = pattern.name + "/" + param_name;
+          // The param vector outlives the run; capture a stable pointer.
+          const ParamType* param = &inst.values[i];
+          auto factory = pattern.factory;
+          info.factory = [factory, param]() { return factory(*param); };
+          out.push_back(std::move(info));
+        }
+      }
+    }
+  }
+
+  std::vector<Pattern> patterns_;
+  std::vector<Instantiation> instantiations_;
+};
+
+// ---------------------------------------------------------------------------
+// Value generators. Each supports implicit conversion to std::vector<T> for
+// the element type fixed by the instantiated suite, mirroring gtest's lazy
+// ParamGenerator conversion.
+// ---------------------------------------------------------------------------
+
+template <typename... Ts>
+struct ValueArray {
+  std::tuple<Ts...> values;
+  template <typename T>
+  operator std::vector<T>() const {  // NOLINT(google-explicit-constructor)
+    std::vector<T> out;
+    out.reserve(sizeof...(Ts));
+    std::apply(
+        [&out](const auto&... vs) { (out.push_back(static_cast<T>(vs)), ...); },
+        values);
+    return out;
+  }
+};
+
+template <typename T>
+struct RangeGenerator {
+  T begin, end, step;
+  template <typename U>
+  operator std::vector<U>() const {  // NOLINT(google-explicit-constructor)
+    std::vector<U> out;
+    for (T v = begin; v < end; v = static_cast<T>(v + step))
+      out.push_back(static_cast<U>(v));
+    return out;
+  }
+};
+
+template <typename... Generators>
+struct CombineGenerator {
+  std::tuple<Generators...> generators;
+
+  template <typename... Ts>
+  operator std::vector<std::tuple<Ts...>>() const {  // NOLINT
+    static_assert(sizeof...(Ts) == sizeof...(Generators),
+                  "Combine() arity must match the suite's tuple param");
+    const auto pools = std::apply(
+        [](const auto&... gens) {
+          return std::make_tuple(static_cast<std::vector<Ts>>(gens)...);
+        },
+        generators);
+    std::vector<std::tuple<Ts...>> out;
+    CartesianProduct(pools, out, std::index_sequence_for<Ts...>{});
+    return out;
+  }
+
+ private:
+  template <typename Pools, typename Tuple, std::size_t... Is>
+  static void CartesianProduct(const Pools& pools, std::vector<Tuple>& out,
+                               std::index_sequence<Is...>) {
+    std::size_t total = 1;
+    ((total *= std::get<Is>(pools).size()), ...);
+    out.reserve(total);
+    for (std::size_t flat = 0; flat < total; ++flat) {
+      std::size_t remainder = flat;
+      Tuple item;
+      // Fill from the last axis to the first so the first axis varies
+      // slowest, matching gtest's Combine enumeration order.
+      (void)std::initializer_list<int>{
+          (FillAxis<sizeof...(Is) - 1 - Is>(pools, item, remainder), 0)...};
+      out.push_back(item);
+    }
+  }
+
+  template <std::size_t Axis, typename Pools, typename Tuple>
+  static void FillAxis(const Pools& pools, Tuple& item,
+                       std::size_t& remainder) {
+    const auto& pool = std::get<Axis>(pools);
+    std::get<Axis>(item) = pool[remainder % pool.size()];
+    remainder /= pool.size();
+  }
+};
+
+}  // namespace internal
+
+template <typename... Ts>
+internal::ValueArray<Ts...> Values(Ts... values) {
+  return {std::make_tuple(values...)};
+}
+
+template <typename T>
+internal::RangeGenerator<T> Range(T begin, T end) {
+  return {begin, end, T{1}};
+}
+
+template <typename T>
+internal::RangeGenerator<T> Range(T begin, T end, T step) {
+  return {begin, end, step};
+}
+
+inline internal::ValueArray<bool, bool> Bool() {
+  return {std::make_tuple(false, true)};
+}
+
+template <typename... Generators>
+internal::CombineGenerator<Generators...> Combine(Generators... generators) {
+  return {std::make_tuple(generators...)};
+}
+
+// ---------------------------------------------------------------------------
+// Runner.
+// ---------------------------------------------------------------------------
+
+inline void InitGoogleTest(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string filter_prefix = "--gtest_filter=";
+    if (arg.rfind(filter_prefix, 0) == 0) {
+      internal::State().filter = arg.substr(filter_prefix.size());
+    } else if (arg == "--gtest_list_tests") {
+      internal::State().list_only = true;
+    } else if (arg.rfind("--gtest_", 0) == 0) {
+      // Unsupported gtest flags (shuffle, color, …) are accepted and ignored.
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+inline void InitGoogleTest() {}
+
+inline int RunAllTests() {
+  auto& state = internal::State();
+  for (const auto& expand : state.param_expanders) expand(state.tests);
+  state.param_expanders.clear();
+
+  std::vector<const internal::TestInfo*> selected;
+  for (const auto& test : state.tests) {
+    if (internal::FilterAccepts(test.suite + "." + test.name))
+      selected.push_back(&test);
+  }
+
+  if (state.list_only) {
+    std::string last_suite;
+    for (const auto* test : selected) {
+      if (test->suite != last_suite) {
+        std::cout << test->suite << ".\n";
+        last_suite = test->suite;
+      }
+      std::cout << "  " << test->name << "\n";
+    }
+    return 0;
+  }
+
+  std::printf("[==========] Running %zu tests.\n", selected.size());
+  std::vector<std::string> failed;
+  for (const auto* test : selected) {
+    const std::string full_name = test->suite + "." + test->name;
+    std::printf("[ RUN      ] %s\n", full_name.c_str());
+    state.current_test_failed = false;
+    try {
+      std::unique_ptr<Test> instance(test->factory());
+      // Match GoogleTest semantics: a throwing SetUp skips the body, but
+      // TearDown always runs so fixture cleanup is never leaked.
+      try {
+        instance->SetUp();
+        instance->TestBody();
+      } catch (const std::exception& e) {
+        state.current_test_failed = true;
+        std::printf("unexpected exception: %s\n", e.what());
+      } catch (...) {
+        state.current_test_failed = true;
+        std::printf("unexpected non-std exception\n");
+      }
+      try {
+        instance->TearDown();
+      } catch (const std::exception& e) {
+        state.current_test_failed = true;
+        std::printf("unexpected exception in TearDown: %s\n", e.what());
+      } catch (...) {
+        state.current_test_failed = true;
+        std::printf("unexpected non-std exception in TearDown\n");
+      }
+    } catch (const std::exception& e) {
+      state.current_test_failed = true;
+      std::printf("unexpected exception constructing fixture: %s\n", e.what());
+    } catch (...) {
+      state.current_test_failed = true;
+      std::printf("unexpected non-std exception constructing fixture\n");
+    }
+    if (state.current_test_failed) {
+      failed.push_back(full_name);
+      std::printf("[  FAILED  ] %s\n", full_name.c_str());
+    } else {
+      std::printf("[       OK ] %s\n", full_name.c_str());
+    }
+  }
+  std::printf("[==========] %zu tests ran.\n", selected.size());
+  std::printf("[  PASSED  ] %zu tests.\n", selected.size() - failed.size());
+  if (!failed.empty()) {
+    std::printf("[  FAILED  ] %zu tests, listed below:\n", failed.size());
+    for (const auto& name : failed)
+      std::printf("[  FAILED  ] %s\n", name.c_str());
+  }
+  return failed.empty() ? 0 : 1;
+}
+
+}  // namespace testing
+
+inline int RUN_ALL_TESTS() { return ::testing::RunAllTests(); }
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+#define GTEST_TEST_CLASS_NAME_(suite, name) suite##_##name##_Test
+
+// Blocks a dangling `else` from binding to the assertion's internal `if`.
+#define MINIGTEST_AMBIGUOUS_ELSE_BLOCKER_ \
+  switch (0)                              \
+  case 0:                                 \
+  default:
+
+#define MINIGTEST_MESSAGE_AT_(message) \
+  ::testing::internal::AssertHelper(__FILE__, __LINE__, message) = \
+      ::testing::Message()
+
+#define MINIGTEST_NONFATAL_(message) MINIGTEST_MESSAGE_AT_(message)
+#define MINIGTEST_FATAL_(message) return MINIGTEST_MESSAGE_AT_(message)
+
+#define MINIGTEST_ASSERT_(expression, on_failure)                   \
+  MINIGTEST_AMBIGUOUS_ELSE_BLOCKER_                                 \
+  if (const ::testing::AssertionResult gtest_ar = (expression)) {   \
+  } else /* NOLINT */                                               \
+    on_failure(gtest_ar.failure_message())
+
+#define MINIGTEST_CMP_(helper, lhs, rhs, on_failure) \
+  MINIGTEST_ASSERT_(                                 \
+      ::testing::internal::helper(#lhs, #rhs, (lhs), (rhs)), on_failure)
+
+#define EXPECT_EQ(lhs, rhs) MINIGTEST_CMP_(CmpHelperEQ, lhs, rhs, MINIGTEST_NONFATAL_)
+#define EXPECT_NE(lhs, rhs) MINIGTEST_CMP_(CmpHelperNE, lhs, rhs, MINIGTEST_NONFATAL_)
+#define EXPECT_GT(lhs, rhs) MINIGTEST_CMP_(CmpHelperGT, lhs, rhs, MINIGTEST_NONFATAL_)
+#define EXPECT_GE(lhs, rhs) MINIGTEST_CMP_(CmpHelperGE, lhs, rhs, MINIGTEST_NONFATAL_)
+#define EXPECT_LT(lhs, rhs) MINIGTEST_CMP_(CmpHelperLT, lhs, rhs, MINIGTEST_NONFATAL_)
+#define EXPECT_LE(lhs, rhs) MINIGTEST_CMP_(CmpHelperLE, lhs, rhs, MINIGTEST_NONFATAL_)
+#define ASSERT_EQ(lhs, rhs) MINIGTEST_CMP_(CmpHelperEQ, lhs, rhs, MINIGTEST_FATAL_)
+#define ASSERT_NE(lhs, rhs) MINIGTEST_CMP_(CmpHelperNE, lhs, rhs, MINIGTEST_FATAL_)
+#define ASSERT_GT(lhs, rhs) MINIGTEST_CMP_(CmpHelperGT, lhs, rhs, MINIGTEST_FATAL_)
+#define ASSERT_GE(lhs, rhs) MINIGTEST_CMP_(CmpHelperGE, lhs, rhs, MINIGTEST_FATAL_)
+#define ASSERT_LT(lhs, rhs) MINIGTEST_CMP_(CmpHelperLT, lhs, rhs, MINIGTEST_FATAL_)
+#define ASSERT_LE(lhs, rhs) MINIGTEST_CMP_(CmpHelperLE, lhs, rhs, MINIGTEST_FATAL_)
+
+#define EXPECT_TRUE(condition)                                               \
+  MINIGTEST_ASSERT_(::testing::internal::BoolHelper(#condition, (condition), \
+                                                    true),                   \
+                    MINIGTEST_NONFATAL_)
+#define EXPECT_FALSE(condition)                                              \
+  MINIGTEST_ASSERT_(::testing::internal::BoolHelper(#condition, (condition), \
+                                                    false),                  \
+                    MINIGTEST_NONFATAL_)
+#define ASSERT_TRUE(condition)                                               \
+  MINIGTEST_ASSERT_(::testing::internal::BoolHelper(#condition, (condition), \
+                                                    true),                   \
+                    MINIGTEST_FATAL_)
+#define ASSERT_FALSE(condition)                                              \
+  MINIGTEST_ASSERT_(::testing::internal::BoolHelper(#condition, (condition), \
+                                                    false),                  \
+                    MINIGTEST_FATAL_)
+
+#define EXPECT_NEAR(lhs, rhs, tolerance)                                    \
+  MINIGTEST_ASSERT_(::testing::internal::NearHelper(                        \
+                        #lhs, #rhs, #tolerance, (lhs), (rhs), (tolerance)), \
+                    MINIGTEST_NONFATAL_)
+#define ASSERT_NEAR(lhs, rhs, tolerance)                                    \
+  MINIGTEST_ASSERT_(::testing::internal::NearHelper(                        \
+                        #lhs, #rhs, #tolerance, (lhs), (rhs), (tolerance)), \
+                    MINIGTEST_FATAL_)
+
+#define EXPECT_DOUBLE_EQ(lhs, rhs)                                        \
+  MINIGTEST_ASSERT_(::testing::internal::FloatingEqHelper<double>(        \
+                        #lhs, #rhs, (lhs), (rhs)),                        \
+                    MINIGTEST_NONFATAL_)
+#define ASSERT_DOUBLE_EQ(lhs, rhs)                                        \
+  MINIGTEST_ASSERT_(::testing::internal::FloatingEqHelper<double>(        \
+                        #lhs, #rhs, (lhs), (rhs)),                        \
+                    MINIGTEST_FATAL_)
+#define EXPECT_FLOAT_EQ(lhs, rhs)                                         \
+  MINIGTEST_ASSERT_(::testing::internal::FloatingEqHelper<float>(         \
+                        #lhs, #rhs, (lhs), (rhs)),                        \
+                    MINIGTEST_NONFATAL_)
+#define ASSERT_FLOAT_EQ(lhs, rhs)                                         \
+  MINIGTEST_ASSERT_(::testing::internal::FloatingEqHelper<float>(         \
+                        #lhs, #rhs, (lhs), (rhs)),                        \
+                    MINIGTEST_FATAL_)
+
+#define MINIGTEST_THROW_(statement, expected_exception, on_failure)           \
+  MINIGTEST_ASSERT_(                                                          \
+      [&]() -> ::testing::AssertionResult {                                   \
+        try {                                                                 \
+          statement;                                                          \
+        } catch (const expected_exception&) {                                 \
+          return ::testing::AssertionSuccess();                               \
+        } catch (...) {                                                       \
+          return ::testing::AssertionFailure()                                \
+                 << "Expected: " #statement " throws " #expected_exception    \
+                    ".\n  Actual: it throws a different type.";               \
+        }                                                                     \
+        return ::testing::AssertionFailure()                                  \
+               << "Expected: " #statement " throws " #expected_exception      \
+                  ".\n  Actual: it throws nothing.";                          \
+      }(),                                                                    \
+      on_failure)
+
+#define EXPECT_THROW(statement, expected_exception) \
+  MINIGTEST_THROW_(statement, expected_exception, MINIGTEST_NONFATAL_)
+#define ASSERT_THROW(statement, expected_exception) \
+  MINIGTEST_THROW_(statement, expected_exception, MINIGTEST_FATAL_)
+
+#define MINIGTEST_NO_THROW_(statement, on_failure)                            \
+  MINIGTEST_ASSERT_(                                                          \
+      [&]() -> ::testing::AssertionResult {                                   \
+        try {                                                                 \
+          statement;                                                          \
+        } catch (const std::exception& e) {                                   \
+          return ::testing::AssertionFailure()                                \
+                 << "Expected: " #statement " doesn't throw.\n  Actual: it "  \
+                    "throws "                                                 \
+                 << e.what();                                                 \
+        } catch (...) {                                                       \
+          return ::testing::AssertionFailure()                                \
+                 << "Expected: " #statement " doesn't throw.\n  Actual: it "  \
+                    "throws.";                                                \
+        }                                                                     \
+        return ::testing::AssertionSuccess();                                 \
+      }(),                                                                    \
+      on_failure)
+
+#define EXPECT_NO_THROW(statement) \
+  MINIGTEST_NO_THROW_(statement, MINIGTEST_NONFATAL_)
+#define ASSERT_NO_THROW(statement) \
+  MINIGTEST_NO_THROW_(statement, MINIGTEST_FATAL_)
+
+#define MINIGTEST_ANY_THROW_(statement, on_failure)                           \
+  MINIGTEST_ASSERT_(                                                          \
+      [&]() -> ::testing::AssertionResult {                                   \
+        try {                                                                 \
+          statement;                                                          \
+        } catch (...) {                                                       \
+          return ::testing::AssertionSuccess();                               \
+        }                                                                     \
+        return ::testing::AssertionFailure()                                  \
+               << "Expected: " #statement " throws.\n  Actual: it throws "    \
+                  "nothing.";                                                 \
+      }(),                                                                    \
+      on_failure)
+
+#define EXPECT_ANY_THROW(statement) \
+  MINIGTEST_ANY_THROW_(statement, MINIGTEST_NONFATAL_)
+#define ASSERT_ANY_THROW(statement) \
+  MINIGTEST_ANY_THROW_(statement, MINIGTEST_FATAL_)
+
+#define ADD_FAILURE() MINIGTEST_NONFATAL_("Failed")
+#define FAIL() MINIGTEST_FATAL_("Failed")
+#define SUCCEED() \
+  MINIGTEST_AMBIGUOUS_ELSE_BLOCKER_ if (true) {} else ::testing::Message()
+
+// ---------------------------------------------------------------------------
+// Test definition macros.
+// ---------------------------------------------------------------------------
+
+#define MINIGTEST_TEST_(suite, name, parent)                                 \
+  class GTEST_TEST_CLASS_NAME_(suite, name) : public parent {                \
+   public:                                                                   \
+    void TestBody() override;                                                \
+   private:                                                                  \
+    static const ::testing::internal::TestRegistrar registrar_;              \
+  };                                                                         \
+  const ::testing::internal::TestRegistrar GTEST_TEST_CLASS_NAME_(           \
+      suite, name)::registrar_(#suite, #name, []() -> ::testing::Test* {     \
+    return new GTEST_TEST_CLASS_NAME_(suite, name)();                        \
+  });                                                                        \
+  void GTEST_TEST_CLASS_NAME_(suite, name)::TestBody()
+
+#define TEST(suite, name) MINIGTEST_TEST_(suite, name, ::testing::Test)
+#define TEST_F(fixture, name) MINIGTEST_TEST_(fixture, name, fixture)
+#define GTEST_TEST(suite, name) TEST(suite, name)
+
+#define TEST_P(suite, name)                                                   \
+  class GTEST_TEST_CLASS_NAME_(suite, name) : public suite {                  \
+   public:                                                                    \
+    void TestBody() override;                                                 \
+   private:                                                                   \
+    static const int registered_;                                             \
+  };                                                                          \
+  const int GTEST_TEST_CLASS_NAME_(suite, name)::registered_ =                \
+      ::testing::internal::ParamRegistry<suite>::Instance().AddPattern(       \
+          #suite, #name,                                                      \
+          [](const suite::ParamType& param) -> ::testing::Test* {             \
+            suite::PendingParam() = &param;                                   \
+            return new GTEST_TEST_CLASS_NAME_(suite, name)();                 \
+          });                                                                 \
+  void GTEST_TEST_CLASS_NAME_(suite, name)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, suite, ...)                          \
+  static const int gtest_inst_##prefix##_##suite##_ =                         \
+      ::testing::internal::ParamRegistry<suite>::Instance().AddInstantiation( \
+          #prefix, __VA_ARGS__)
+// Legacy gtest spelling.
+#define INSTANTIATE_TEST_CASE_P(prefix, suite, ...) \
+  INSTANTIATE_TEST_SUITE_P(prefix, suite, __VA_ARGS__)

@@ -1,0 +1,8 @@
+// Drop-in replacement for GoogleTest's gtest_main: parses --gtest_* flags
+// and runs every registered test, returning nonzero on any failure.
+#include <gtest/gtest.h>
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -11,6 +11,7 @@
 //              [--tau N] [--q F] [--k N] [--eta N] [--seed N]
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime error (bad data/rules).
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <map>
