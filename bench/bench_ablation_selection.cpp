@@ -3,10 +3,12 @@
 // learning proxy (eq. 7), and the accept-always switch that disables
 // Algorithm 1's accept/reject gate.
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "frote/core/engine.hpp"
 #include "frote/core/online_proxy.hpp"
 #include "frote/data/split.hpp"
 #include "frote/rules/perturb.hpp"
@@ -54,17 +56,23 @@ int main() {
       const auto initial = learner->train(split.train);
       const auto before = evaluate_objective(*initial, frs, split.test);
 
-      FroteConfig config;
-      config.tau = e.tau;
-      config.eta = ctx.default_eta;
-      config.selection = variant.selection;
-      config.accept_always = variant.accept_always;
-
-      if (variant.online_proxy) {
-        config.custom_selector = std::make_shared<OnlineProxySelector>(frs);
+      // Each variant is a different component plug-in on the same Engine
+      // skeleton: selection strategy, acceptance policy, or custom selector.
+      Engine::Builder builder;
+      builder.rules(frs)
+          .tau(e.tau)
+          .eta(ctx.default_eta)
+          .selection(variant.selection);
+      if (variant.accept_always) {
+        builder.acceptance(std::make_shared<AlwaysAcceptPolicy>());
       }
-      const FroteResult result =
-          frote_edit(split.train, *learner, frs, config);
+      if (variant.online_proxy) {
+        builder.selector(std::make_shared<OnlineProxySelector>(frs));
+      }
+      const auto engine = builder.build().value();
+      auto session = engine.open(split.train, *learner).value();
+      session.run();
+      const FroteResult result = std::move(session).result();
       const auto after = evaluate_objective(*result.model, frs, split.test);
       d_j.push_back(after.j_bar(after.coverage_prob) -
                     before.j_bar(before.coverage_prob));

@@ -5,6 +5,11 @@
 // Expected shape: J̄ rises with the number of instances added; it rises
 // FASTER (and from lower) at low tcf; RF needs fewer instances to converge
 // than LR (non-linear models are cheaper to edit).
+//
+// The per-acceptance series comes from a ProgressObserver attached to the
+// harness's editing Session (RunConfig::capture_trace): each accepted step
+// re-evaluates test-set J̄ — the Engine/Session form of what the old
+// AcceptCallback hook provided.
 #include <cstdint>
 #include <iostream>
 #include <string>

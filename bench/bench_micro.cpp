@@ -8,6 +8,7 @@
 #include <map>
 #include <vector>
 
+#include "frote/core/engine.hpp"
 #include "frote/core/frote.hpp"
 #include "frote/core/generate.hpp"
 #include "frote/data/generators.hpp"
@@ -162,7 +163,8 @@ void BM_ClassicSmote(benchmark::State& state) {
 BENCHMARK(BM_ClassicSmote);
 
 void BM_FroteIteration(benchmark::State& state) {
-  // One full FROTE edit at τ = 2 — the end-to-end per-iteration cost.
+  // One full FROTE edit at τ = 2 — the end-to-end per-iteration cost,
+  // through the legacy frote_edit() shim.
   const auto& data = adult(1000);
   FeedbackRuleSet frs({adult_rule(data)});
   const auto learner = make_learner(LearnerKind::kRF, 42, true);
@@ -175,6 +177,44 @@ void BM_FroteIteration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FroteIteration);
+
+void BM_EngineSessionRun(benchmark::State& state) {
+  // The same τ = 2 workload through Engine/Session directly. The delta vs
+  // BM_FroteIteration is the session-step overhead the CI baseline
+  // (BENCH_micro.json) tracks; tests/test_engine_perf.cpp bounds it at 5%.
+  const auto& data = adult(1000);
+  FeedbackRuleSet frs({adult_rule(data)});
+  const auto learner = make_learner(LearnerKind::kRF, 42, true);
+  const auto engine =
+      Engine::Builder().rules(frs).tau(2).eta(20).build().value();
+  for (auto _ : state) {
+    auto session = engine.open(data, *learner).value();
+    session.run();
+    benchmark::DoNotOptimize(std::move(session).result().instances_added);
+  }
+}
+BENCHMARK(BM_EngineSessionRun);
+
+void BM_SessionStep(benchmark::State& state) {
+  // Amortized cost of one step() (select → generate → retrain → gate) on a
+  // long-lived session. The session is recycled (outside the timed region)
+  // before D̂ grows past 20% so the workload stays stationary — otherwise
+  // ns/op would scale with the benchmark's min-time instead of the step.
+  const auto& data = adult(1000);
+  FeedbackRuleSet frs({adult_rule(data)});
+  const auto learner = make_learner(LearnerKind::kRF, 42, true);
+  const auto engine = Engine::Builder().rules(frs).eta(20).build().value();
+  auto session = engine.open(data, *learner).value();
+  for (auto _ : state) {
+    if (session.finished() || session.progress().instances_added > 200) {
+      state.PauseTiming();
+      session = engine.open(data, *learner).value();
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(session.step().status);
+  }
+}
+BENCHMARK(BM_SessionStep);
 
 }  // namespace
 

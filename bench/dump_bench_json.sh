@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Record the bench_micro hot-path timings as JSON, so perf PRs have a
+# baseline trajectory to diff against (the repo keeps the committed baseline
+# in BENCH_micro.json; ci.sh refreshes a build-local copy every run).
+#
+# Works against both benchmark runners: the real google-benchmark and the
+# vendored minibenchmark shim accept --benchmark_format=json.
+#
+# Usage:
+#   bench/dump_bench_json.sh [build-dir] [out.json]
+#   MINIBENCH_MIN_TIME=0.05 bench/dump_bench_json.sh build BENCH_micro.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_micro.json}
+BIN="$BUILD_DIR/bench/bench_micro"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "dump_bench_json: $BIN not built (run cmake --build $BUILD_DIR first)" >&2
+  exit 1
+fi
+
+# Keep the recording quick by default; callers can raise MINIBENCH_MIN_TIME
+# (vendored shim honours it; the real google-benchmark ignores it) for
+# lower-variance numbers.
+export MINIBENCH_MIN_TIME=${MINIBENCH_MIN_TIME:-0.05}
+
+"$BIN" --benchmark_format=json > "$OUT"
+echo "dump_bench_json: wrote $(grep -c '"name"' "$OUT") benchmark entries to $OUT" >&2

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build everything (tests + benches + examples +
-# tools) with -Werror on the library target, and run the full CTest suite.
+# tools) with -Werror on the library target, run the full CTest suite, smoke
+# the installable CMake package from an external consumer, and record the
+# bench_micro JSON baseline for perf trending.
 # Must pass with no network access — the vendored minigtest/minibenchmark
 # fallbacks cover machines without GoogleTest/google-benchmark installed.
 #
@@ -8,6 +10,7 @@
 #   ./ci.sh                 # full tier-1 verify (all labels)
 #   ./ci.sh -L unit         # extra args are forwarded to ctest
 #   FROTE_CI_VENDORED=1 ./ci.sh   # force the vendored runners (offline mode)
+#   FROTE_CI_SKIP_PACKAGE=1 / FROTE_CI_SKIP_BENCH=1 skip the extra stages
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -20,3 +23,25 @@ fi
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+
+# Package smoke: install to a scratch prefix, then build and run a 10-line
+# external consumer that only does find_package(frote) + frote_api.hpp.
+if [[ "${FROTE_CI_SKIP_PACKAGE:-0}" != "1" ]]; then
+  echo "=== package smoke: find_package(frote) from an external consumer ==="
+  case "$BUILD_DIR" in
+    /*) PACKAGE_PREFIX="$BUILD_DIR/package-prefix" ;;
+    *) PACKAGE_PREFIX="$PWD/$BUILD_DIR/package-prefix" ;;
+  esac
+  cmake --install "$BUILD_DIR" --prefix "$PACKAGE_PREFIX" > /dev/null
+  cmake -B "$BUILD_DIR/package-smoke" -S cmake/package_smoke \
+    -DCMAKE_PREFIX_PATH="$PACKAGE_PREFIX" > /dev/null
+  cmake --build "$BUILD_DIR/package-smoke" -j "$(nproc)"
+  "$BUILD_DIR/package-smoke/frote_smoke"
+fi
+
+# Perf trajectory: refresh the bench_micro JSON baseline (build-local copy;
+# commit it to BENCH_micro.json when a perf PR moves the numbers on purpose).
+if [[ "${FROTE_CI_SKIP_BENCH:-0}" != "1" ]]; then
+  echo "=== bench baseline: bench_micro -> $BUILD_DIR/BENCH_micro.json ==="
+  bench/dump_bench_json.sh "$BUILD_DIR" "$BUILD_DIR/BENCH_micro.json"
+fi

@@ -1,0 +1,20 @@
+// External-consumer smoke: build an Engine, run a Session, via the umbrella
+// header of the installed frote package only.
+#include "frote/frote_api.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace frote;
+  Dataset train = make_dataset(UciDataset::kBreastCancer, 300);
+  FeedbackRule rule = FeedbackRule::deterministic(
+      Clause({Predicate{0, Op::kGt, 5.0}}), 1, train.num_classes());
+  DecisionTreeLearner learner;
+  auto engine = Engine::Builder().rules(FeedbackRuleSet({rule})).tau(3).build()
+                    .value();
+  auto session = engine.open(train, learner).value();
+  session.run();
+  std::cout << "frote package smoke: +"
+            << std::move(session).result().instances_added << " rows\n";
+  return 0;
+}

@@ -10,12 +10,7 @@
 // Build & run:  ./build/examples/example_loan_policy_change
 #include <iostream>
 
-#include "frote/core/frote.hpp"
-#include "frote/data/generators.hpp"
-#include "frote/data/split.hpp"
-#include "frote/ml/logistic_regression.hpp"
-#include "frote/rules/induction.hpp"
-#include "frote/ml/random_forest.hpp"
+#include "frote/frote_api.hpp"
 
 using namespace frote;
 
@@ -55,12 +50,27 @@ int main() {
   std::cout << "\nBefore editing: MRA=" << before.mra
             << "  outside-coverage F1=" << before.outside_f1 << "\n";
 
-  // 4. FROTE edit (relabel + oversample, the paper's default protocol).
-  FroteConfig config;
-  config.tau = 25;
-  config.q = 0.5;
-  config.eta = 40;
-  auto result = frote_edit(split.train, learner, frs, config);
+  // 4. FROTE edit (relabel + oversample, the paper's default protocol),
+  //    driven step by step: the Session form of the loop lets the policy
+  //    team watch the edit converge and stop early if it plateaus.
+  auto engine = Engine::Builder()
+                    .rules(frs)
+                    .tau(25)
+                    .q(0.5)
+                    .eta(40)
+                    .build()
+                    .value();
+  auto session = engine.open(split.train, learner).value();
+  std::cout << "\nStepping the edit (iteration: accepted? N, J-hat-bar):\n";
+  while (!session.finished()) {
+    const StepReport report = session.step();
+    if (report.accepted()) {
+      std::cout << "  iter " << report.iteration << ": accepted, N = "
+                << report.instances_added << ", J-hat-bar = "
+                << report.best_j_bar << "\n";
+    }
+  }
+  auto result = std::move(session).result();
 
   const auto after = evaluate_objective(*result.model, frs, split.test);
   std::cout << "After editing:  MRA=" << after.mra

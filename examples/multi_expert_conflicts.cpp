@@ -11,9 +11,7 @@
 // Build & run:  ./build/examples/example_multi_expert_conflicts
 #include <iostream>
 
-#include "frote/core/frote.hpp"
-#include "frote/data/generators.hpp"
-#include "frote/ml/gbdt.hpp"
+#include "frote/frote_api.hpp"
 
 using namespace frote;
 
@@ -65,11 +63,11 @@ int main() {
   const auto initial = learner.train(data);
   const auto before = evaluate_objective(*initial, frs, data);
 
-  FroteConfig config;
-  config.tau = 20;
-  config.q = 0.5;
-  config.eta = 25;
-  auto result = frote_edit(data, learner, frs, config);
+  auto engine =
+      Engine::Builder().rules(frs).tau(20).q(0.5).eta(25).build().value();
+  auto session = engine.open(data, learner).value();
+  session.run();
+  auto result = std::move(session).result();
   const auto after = evaluate_objective(*result.model, frs, data);
 
   std::cout << "Model-rule agreement (training data): " << before.mra

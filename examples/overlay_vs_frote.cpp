@@ -9,15 +9,7 @@
 // Build & run:  ./build/examples/example_overlay_vs_frote
 #include <iostream>
 
-#include "frote/baselines/overlay.hpp"
-#include "frote/core/frote.hpp"
-#include "frote/data/generators.hpp"
-#include "frote/data/split.hpp"
-#include "frote/exp/harness.hpp"
-#include "frote/ml/random_forest.hpp"
-#include "frote/rules/induction.hpp"
-#include "frote/rules/perturb.hpp"
-#include "frote/util/table.hpp"
+#include "frote/frote_api.hpp"
 
 using namespace frote;
 
@@ -54,11 +46,11 @@ int main() {
   const OverlayModel hard(*model, frs, OverlayMode::kHard, data.schema());
 
   // FROTE edit.
-  FroteConfig config;
-  config.tau = 20;
-  config.q = 0.5;
-  config.eta = 30;
-  auto edited = frote_edit(split.train, learner, frs, config);
+  auto engine =
+      Engine::Builder().rules(frs).tau(20).q(0.5).eta(30).build().value();
+  auto session = engine.open(split.train, learner).value();
+  session.run();
+  auto edited = std::move(session).result();
 
   auto report = [&](const char* name, const Model& m) {
     const auto e = evaluate_model(m, frs, split.test);

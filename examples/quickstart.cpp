@@ -11,8 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "frote/core/frote.hpp"
-#include "frote/ml/random_forest.hpp"
+#include "frote/frote_api.hpp"
 
 using namespace frote;
 
@@ -47,12 +46,19 @@ int main() {
             << 100.0 * before.mra << "% of " << before.covered
             << " covered training instances.\n";
 
-  // 4. Edit the model: FROTE relabels covered instances (the default mod
-  //    strategy) and oversamples until retraining aligns with the rule.
-  FroteConfig config;
-  config.tau = 30;   // at most 30 retrains
-  config.q = 0.5;    // at most 50% more data
-  auto result = frote_edit(train, learner, frs, config);
+  // 4. Edit the model: build an Engine (immutable, validated configuration),
+  //    open a Session on the training data, and run the editing loop. FROTE
+  //    relabels covered instances (the default mod strategy) and oversamples
+  //    until retraining aligns with the rule.
+  auto engine = Engine::Builder()
+                    .rules(frs)
+                    .tau(30)  // at most 30 retrains
+                    .q(0.5)   // at most 50% more data
+                    .build()
+                    .value();
+  auto session = engine.open(train, learner).value();
+  session.run();  // or: while (!session.finished()) session.step();
+  auto result = std::move(session).result();
 
   const auto after = rule_agreement(*result.model, rule, train);
   std::cout << "Edited model agrees with the rule on "

@@ -8,13 +8,10 @@
 //
 // Build & run:  ./build/examples/example_rule_authoring
 #include <iostream>
+#include <memory>
 #include <string>
 
-#include "frote/core/audit.hpp"
-#include "frote/core/frote.hpp"
-#include "frote/data/generators.hpp"
-#include "frote/ml/random_forest.hpp"
-#include "frote/rules/parser.hpp"
+#include "frote/frote_api.hpp"
 
 using namespace frote;
 
@@ -46,16 +43,30 @@ IF education = 'advanced' THEN Y ~ [<=50K: 0.2, >50K: 0.8]
   const auto resolved = resolve_all_conflicts(frs, schema);
   std::cout << "\nConflict pairs resolved: " << resolved << "\n";
 
-  // 3. Edit the model.
-  RandomForestLearner learner;
-  FroteConfig config;
-  config.tau = 15;
-  config.eta = 40;
-  config.seed = 2026;
-  const auto result = frote_edit(data, learner, frs, config);
+  // 3. Edit the model. The learner comes from the shared registry (the same
+  //    names the CLI accepts); a progress observer logs each acceptance for
+  //    the governance log alongside the structured audit record.
+  const auto learner = make_named_learner("rf").value();
+  auto progress = std::make_shared<CallbackObserver>();
+  progress->accept = [](const Model&, std::size_t instances_added) {
+    std::cout << "  accepted batch, cumulative synthetic rows: "
+              << instances_added << "\n";
+  };
+  const auto engine = Engine::Builder()
+                          .rules(frs)
+                          .tau(15)
+                          .eta(40)
+                          .seed(2026)
+                          .observer(progress)
+                          .build()
+                          .value();
+  std::cout << "\nRunning the edit...\n";
+  auto session = engine.open(data, *learner).value();
+  session.run();
+  const auto result = std::move(session).result();
 
   // 4. Emit the audit report: the full lineage of the edit.
-  const auto record = build_audit_record(data, frs, config, result);
+  const auto record = build_audit_record(data, frs, engine.config(), result);
   std::cout << "\n" << audit_report_string(record);
 
   // 5. The rules in the report are re-parsable — audits can be replayed.

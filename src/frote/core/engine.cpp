@@ -1,0 +1,360 @@
+#include "frote/core/engine.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "frote/metrics/metrics.hpp"
+
+namespace frote {
+
+// ---------------------------------------------------------------------------
+// Engine
+
+struct Engine::Impl {
+  FroteConfig config;
+  FeedbackRuleSet frs;
+  std::shared_ptr<const BaseInstanceSelector> selector;
+  std::shared_ptr<const InstanceGenerator> generator;
+  std::shared_ptr<const AcceptancePolicy> acceptance;
+  std::shared_ptr<const StoppingCriterion> stopping;
+  std::vector<std::shared_ptr<ProgressObserver>> observers;
+  GenerateConfig generate_config;
+};
+
+const FroteConfig& Engine::config() const { return impl_->config; }
+
+const FeedbackRuleSet& Engine::rules() const { return impl_->frs; }
+
+Expected<Session, FroteError> Engine::open(const Dataset& data,
+                                           const Learner& learner) const {
+  if (data.empty()) {
+    return FroteError::invalid_argument(
+        "FROTE requires a non-empty input dataset");
+  }
+  return Session(impl_, data, learner);
+}
+
+// ---------------------------------------------------------------------------
+// Engine::Builder
+
+Engine::Builder::Builder() = default;
+
+Engine::Builder& Engine::Builder::from_config(const FroteConfig& config) {
+  config_ = config;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::rules(FeedbackRuleSet frs) {
+  frs_ = std::move(frs);
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::tau(std::size_t tau) {
+  config_.tau = tau;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::q(double q) {
+  config_.q = q;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::k(std::size_t k) {
+  config_.k = k;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::eta(std::size_t eta) {
+  config_.eta = eta;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::seed(std::uint64_t seed) {
+  config_.seed = seed;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::mod_strategy(ModStrategy strategy) {
+  config_.mod_strategy = strategy;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::selection(SelectionStrategy strategy) {
+  config_.selection = strategy;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::rule_confidence(double confidence) {
+  config_.rule_confidence = confidence;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::accept_always(bool always) {
+  config_.accept_always = always;
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::selector(
+    std::shared_ptr<const BaseInstanceSelector> selector) {
+  config_.custom_selector = std::move(selector);
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::generator(
+    std::shared_ptr<const InstanceGenerator> generator) {
+  generator_ = std::move(generator);
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::acceptance(
+    std::shared_ptr<const AcceptancePolicy> policy) {
+  acceptance_ = std::move(policy);
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::stopping(
+    std::shared_ptr<const StoppingCriterion> criterion) {
+  stopping_ = std::move(criterion);
+  return *this;
+}
+
+Engine::Builder& Engine::Builder::observer(
+    std::shared_ptr<ProgressObserver> observer) {
+  observers_.push_back(std::move(observer));
+  return *this;
+}
+
+Expected<Engine, FroteError> Engine::Builder::build() const {
+  // Negated comparisons so NaN fails validation instead of slipping through.
+  std::vector<std::string> problems;
+  if (config_.tau == 0) {
+    problems.push_back("tau must be > 0 (the iteration limit)");
+  }
+  if (!(config_.q >= 0.0)) {
+    problems.push_back("q must be >= 0 (the oversampling fraction)");
+  }
+  if (config_.k == 0) {
+    problems.push_back("k must be > 0 (nearest neighbours / BP support)");
+  }
+  if (!(config_.rule_confidence >= 0.0 && config_.rule_confidence <= 1.0)) {
+    problems.push_back("rule_confidence must be in [0, 1]");
+  }
+  if (!problems.empty()) {
+    std::string message = "invalid Engine configuration: ";
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      if (i > 0) message += "; ";
+      message += problems[i];
+    }
+    return FroteError::invalid_config(std::move(message));
+  }
+
+  auto impl = std::make_shared<Impl>();
+  impl->config = config_;
+  impl->frs = frs_;
+  impl->selector =
+      config_.custom_selector
+          ? config_.custom_selector
+          : std::shared_ptr<const BaseInstanceSelector>(
+                make_selector(config_.selection, config_.k));
+  impl->generator = generator_
+                        ? generator_
+                        : std::make_shared<const SmoteNcInstanceGenerator>();
+  if (acceptance_) {
+    impl->acceptance = acceptance_;
+  } else if (config_.accept_always) {
+    impl->acceptance = std::make_shared<const AlwaysAcceptPolicy>();
+  } else {
+    impl->acceptance = std::make_shared<const JHatImprovementPolicy>();
+  }
+  impl->stopping =
+      stopping_ ? stopping_ : std::make_shared<const BudgetStoppingCriterion>();
+  impl->observers = observers_;
+  impl->generate_config.k = config_.k;
+  impl->generate_config.rule_confidence = config_.rule_confidence;
+  return Engine(std::move(impl));
+}
+
+// ---------------------------------------------------------------------------
+// Session
+
+Session::Session(std::shared_ptr<const Engine::Impl> engine,
+                 const Dataset& data, const Learner& learner)
+    : engine_(std::move(engine)),
+      learner_(&learner),
+      rng_(engine_->config.seed),
+      active_(data) {
+  const FroteConfig& config = engine_->config;
+  const FeedbackRuleSet& frs = engine_->frs;
+
+  // Input modification (relabel / drop / none), then line 1's defaults:
+  // η ← q|D|/τ unless fixed; the budget q|D| uses the *input* size. Kept
+  // expression-for-expression identical to the pre-Engine frote_edit() so
+  // seed → bit-identical output holds across the shim.
+  apply_mod_strategy(active_, frs, config.mod_strategy);
+  eta_ = config.eta != 0
+             ? config.eta
+             : std::max<std::size_t>(
+                   1, static_cast<std::size_t>(
+                          config.q * static_cast<double>(data.size()) /
+                          static_cast<double>(config.tau)));
+  quota_ =
+      static_cast<std::size_t>(config.q * static_cast<double>(data.size()));
+
+  // Lines 2–3: train on D̂ and evaluate Ĵ. We track J̄ = 1 − J, so Algorithm
+  // 1's "accept if j' < ĵ" becomes "accept if j̄' > j̄". When D̂ has no rule
+  // coverage (tcf = 0) the MRA term is pessimistically 0 (train_j_hat_bar),
+  // so the first learned batch of synthetic instances is accepted.
+  model_ = learner.train(active_);
+  best_j_bar_ = train_j_hat_bar(*model_, frs, active_);
+  trace_.push_back({0, 0, best_j_bar_, true});
+  for (const auto& observer : engine_->observers) {
+    observer->on_session_start(*model_, best_j_bar_);
+  }
+
+  if (frs.empty() || config.q == 0.0) {
+    done_ = true;
+    return;
+  }
+
+  // Line 4: P ← PreSelectBP(D̂, F), plus the fitted SMOTE-NC distance.
+  bp_ = preselect_base_population(active_, frs, config.k);
+  distance_ = MixedDistance::fit(active_);
+}
+
+SessionProgress Session::progress() const {
+  SessionProgress p;
+  p.iterations_run = iterations_run_;
+  p.iterations_accepted = iterations_accepted_;
+  p.instances_added = added_;
+  p.tau = engine_->config.tau;
+  p.quota = quota_;
+  p.best_j_bar = best_j_bar_;
+  p.consecutive_rejections = consecutive_rejections_;
+  return p;
+}
+
+bool Session::finished() const {
+  return done_ || engine_->stopping->should_stop(progress());
+}
+
+void Session::add_observer(std::shared_ptr<ProgressObserver> observer) {
+  observers_.push_back(std::move(observer));
+}
+
+void Session::notify_step(const StepReport& report) {
+  for (const auto& observer : engine_->observers) observer->on_step(report);
+  for (const auto& observer : observers_) observer->on_step(report);
+}
+
+void Session::notify_accept() {
+  for (const auto& observer : engine_->observers) {
+    observer->on_accept(*model_, added_);
+  }
+  for (const auto& observer : observers_) observer->on_accept(*model_, added_);
+}
+
+StepReport Session::step() {
+  StepReport report;
+  report.iteration = iterations_run_;
+  report.instances_added = added_;
+  report.best_j_bar = best_j_bar_;
+  if (done_) {
+    report.status = StepStatus::kFinished;
+    return report;
+  }
+  ++iterations_run_;
+  report.iteration = iterations_run_;
+
+  // Line 7: B ← SelectBaseInstances(P, η).
+  const auto selected =
+      engine_->selector->select(active_, bp_, *model_, eta_, rng_);
+  if (selected.empty()) {  // no usable base population left
+    done_ = true;
+    report.status = StepStatus::kExhausted;
+    notify_step(report);
+    return report;
+  }
+
+  // Line 8: S ← Generate(B).
+  const GenerationContext context{active_, engine_->frs, bp_, distance_,
+                                  engine_->generate_config};
+  Dataset synthetic = engine_->generator->generate(context, selected, rng_);
+  if (synthetic.empty()) {
+    // A fruitless step counts toward the plateau: without this, a custom
+    // StoppingCriterion watching consecutive_rejections could spin run()
+    // forever on data where generation persistently yields nothing.
+    ++consecutive_rejections_;
+    report.status = StepStatus::kNoSynthetic;
+    notify_step(report);
+    return report;
+  }
+  report.batch_size = synthetic.size();
+
+  // Line 9: D′ ← D̂ ∪ S.
+  Dataset candidate = active_;
+  candidate.append(synthetic);
+
+  // Lines 10–11: retrain on D′ and evaluate Ĵ_D̂ on the candidate dataset
+  // D′. Evaluating on D′ rather than the pre-merge D̂ is what makes the
+  // tcf = 0 regime work: when the active dataset has no rule coverage at
+  // all, only the candidate's synthetic instances can supply the MRA
+  // evidence needed to accept the first batch (see DESIGN.md §5).
+  auto candidate_model = learner_->train(candidate);
+  const double j_bar = train_j_hat_bar(*candidate_model, engine_->frs,
+                                       candidate);
+  report.candidate_j_bar = j_bar;
+
+  // Lines 12–16: the acceptance gate.
+  AcceptanceContext acceptance;
+  acceptance.candidate_j_bar = j_bar;
+  acceptance.best_j_bar = best_j_bar_;
+  acceptance.iteration = iterations_run_;
+  acceptance.instances_added = added_;
+  acceptance.batch_size = synthetic.size();
+  const bool accept = engine_->acceptance->accept(acceptance);
+  trace_.push_back(
+      {iterations_run_, added_ + synthetic.size(), j_bar, accept});
+  if (accept) {
+    active_ = std::move(candidate);
+    model_ = std::move(candidate_model);
+    best_j_bar_ = j_bar;
+    added_ += synthetic.size();
+    ++iterations_accepted_;
+    consecutive_rejections_ = 0;
+    // Line 15: P ← PreSelectBP(D̂, F); refresh the distance scales too.
+    bp_ = preselect_base_population(active_, engine_->frs, engine_->config.k);
+    distance_ = MixedDistance::fit(active_);
+    report.status = StepStatus::kAccepted;
+  } else {
+    ++consecutive_rejections_;
+    report.status = StepStatus::kRejected;
+  }
+  report.instances_added = added_;
+  report.best_j_bar = best_j_bar_;
+  notify_step(report);
+  if (accept) notify_accept();
+  return report;
+}
+
+std::size_t Session::run() {
+  std::size_t steps = 0;
+  while (!finished()) {
+    const StepReport report = step();
+    ++steps;
+    if (report.terminal()) break;
+  }
+  return steps;
+}
+
+FroteResult Session::result() && {
+  FroteResult result;
+  result.augmented = std::move(active_);
+  result.model = std::move(model_);
+  result.instances_added = added_;
+  result.iterations_run = iterations_run_;
+  result.iterations_accepted = iterations_accepted_;
+  result.trace = std::move(trace_);
+  return result;
+}
+
+}  // namespace frote

@@ -1,0 +1,179 @@
+// Engine/Session: the composable, steppable form of the FROTE loop.
+//
+// `Engine` is an immutable, validated bundle of configuration + pipeline
+// stage components (selection, generation, acceptance, stopping, observers).
+// It is cheap to copy and safe to share; build one with `Engine::Builder`,
+// which returns `Expected<Engine, FroteError>` so configuration mistakes are
+// typed values, not throws.
+//
+// `Session` is one live edit: it owns the evolving D̂ and model state for a
+// (dataset, learner) pair and exposes
+//   step()   — one Algorithm-1 iteration, returning a typed StepReport
+//   run()    — iterate until the engine's StoppingCriterion (or exhaustion)
+//   result() — finalize into the classic FroteResult (rvalue-qualified:
+//              `std::move(session).result()` hands over the model)
+// so callers can pause, inspect intermediate state, interleave sessions, and
+// later parallelize across them.
+//
+//   auto engine = frote::Engine::Builder()
+//                     .rules(frs)
+//                     .tau(30).q(0.5)
+//                     .build().value();
+//   auto session = engine.open(train, learner).value();
+//   session.run();                       // or: while (!session.finished())
+//   auto result = std::move(session).result();  //       session.step();
+//
+// The legacy free function frote_edit() (core/frote.hpp) is a thin shim over
+// this API and produces bit-identical output for the same seed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "frote/core/frote.hpp"
+#include "frote/core/stages.hpp"
+
+namespace frote {
+
+class Session;
+
+class Engine {
+ public:
+  class Builder;
+
+  /// Open an editing session on `data` with black-box trainer `learner`.
+  /// Copies `data`, applies the mod strategy and trains the initial model —
+  /// this is the pre-loop part of Algorithm 1 (lines 1–5). Both referents
+  /// must outlive the session. Fails (kInvalidArgument) on an empty dataset.
+  Expected<Session, FroteError> open(const Dataset& data,
+                                     const Learner& learner) const;
+
+  /// The validated scalar configuration (τ, q, k, η, seed, mod strategy...).
+  const FroteConfig& config() const;
+  /// The feedback rule set F this engine edits towards.
+  const FeedbackRuleSet& rules() const;
+
+ private:
+  struct Impl;
+  explicit Engine(std::shared_ptr<const Impl> impl) : impl_(std::move(impl)) {}
+
+  std::shared_ptr<const Impl> impl_;
+  friend class Session;
+};
+
+/// Builder for Engine. Scalar knobs mirror FroteConfig; component setters
+/// override the defaults assembled from those knobs. build() validates
+/// everything and returns the immutable Engine or a typed FroteError.
+class Engine::Builder {
+ public:
+  Builder();
+
+  /// Seed all scalar knobs from a legacy FroteConfig (the shim path and the
+  /// easiest migration entry point). custom_selector and accept_always are
+  /// mapped onto their component equivalents.
+  Builder& from_config(const FroteConfig& config);
+
+  Builder& rules(FeedbackRuleSet frs);
+  Builder& tau(std::size_t tau);
+  Builder& q(double q);
+  Builder& k(std::size_t k);
+  Builder& eta(std::size_t eta);
+  Builder& seed(std::uint64_t seed);
+  Builder& mod_strategy(ModStrategy strategy);
+  Builder& selection(SelectionStrategy strategy);
+  Builder& rule_confidence(double confidence);
+  /// Convenience for the ablation switch; equivalent to
+  /// acceptance(std::make_shared<AlwaysAcceptPolicy>()).
+  Builder& accept_always(bool always);
+
+  /// Component overrides (pluggable stages).
+  Builder& selector(std::shared_ptr<const BaseInstanceSelector> selector);
+  Builder& generator(std::shared_ptr<const InstanceGenerator> generator);
+  Builder& acceptance(std::shared_ptr<const AcceptancePolicy> policy);
+  Builder& stopping(std::shared_ptr<const StoppingCriterion> criterion);
+  /// Observers receive events from every session the engine opens; may be
+  /// called repeatedly to register several.
+  Builder& observer(std::shared_ptr<ProgressObserver> observer);
+
+  /// Validate and assemble. Reports every invalid field in one
+  /// kInvalidConfig error message.
+  Expected<Engine, FroteError> build() const;
+
+ private:
+  FroteConfig config_;
+  FeedbackRuleSet frs_;
+  std::shared_ptr<const InstanceGenerator> generator_;
+  std::shared_ptr<const AcceptancePolicy> acceptance_;
+  std::shared_ptr<const StoppingCriterion> stopping_;
+  std::vector<std::shared_ptr<ProgressObserver>> observers_;
+};
+
+/// One live edit over a dataset. Move-only; create via Engine::open().
+class Session {
+ public:
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Execute one Algorithm-1 iteration (lines 7–16): select → generate →
+  /// retrain → accept/reject, notifying observers. A manual step() ignores
+  /// the StoppingCriterion — the caller owns the loop; use finished() to
+  /// honour it. After the base population exhausts (kExhausted) or on a
+  /// finished session, returns a kFinished/kExhausted no-op report.
+  StepReport step();
+
+  /// Loop step() until the engine's StoppingCriterion fires or the session
+  /// exhausts. Returns the number of steps executed by this call.
+  std::size_t run();
+
+  /// True when the StoppingCriterion says stop or no progress is possible.
+  bool finished() const;
+
+  /// Loop-state snapshot (iterations, N, τ, quota, best Ĵ̄, plateau count).
+  SessionProgress progress() const;
+
+  /// The evolving augmented dataset D̂.
+  const Dataset& augmented() const { return active_; }
+  /// The current model M_D̂ (retrained on every accepted step).
+  const Model& model() const { return *model_; }
+  /// Per-iteration decisions so far (iteration 0 is the initial model).
+  const std::vector<ProgressPoint>& trace() const { return trace_; }
+  double best_j_hat_bar() const { return best_j_bar_; }
+
+  /// Attach an observer to this session only. Events that already fired
+  /// (e.g. on_session_start) are not replayed.
+  void add_observer(std::shared_ptr<ProgressObserver> observer);
+
+  /// Finalize into the classic FroteResult, handing over the model and the
+  /// augmented dataset. Consumes the session: `std::move(session).result()`.
+  FroteResult result() &&;
+
+ private:
+  Session(std::shared_ptr<const Engine::Impl> engine, const Dataset& data,
+          const Learner& learner);
+  friend class Engine;
+
+  void notify_step(const StepReport& report);
+  void notify_accept();
+
+  std::shared_ptr<const Engine::Impl> engine_;
+  const Learner* learner_ = nullptr;
+  Rng rng_;
+  Dataset active_;  // D̂
+  std::unique_ptr<Model> model_;
+  double best_j_bar_ = 0.0;
+  BasePopulation bp_;
+  MixedDistance distance_;
+  std::size_t eta_ = 0;
+  std::size_t quota_ = 0;
+  std::size_t iterations_run_ = 0;
+  std::size_t iterations_accepted_ = 0;
+  std::size_t added_ = 0;
+  std::size_t consecutive_rejections_ = 0;
+  std::vector<ProgressPoint> trace_;
+  std::vector<std::shared_ptr<ProgressObserver>> observers_;
+  bool done_ = false;  // exhausted, or nothing to do (empty F / q == 0)
+};
+
+}  // namespace frote

@@ -1,9 +1,6 @@
 #include "frote/core/frote.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "frote/core/generate.hpp"
+#include "frote/core/engine.hpp"
 
 namespace frote {
 
@@ -34,113 +31,21 @@ std::size_t apply_mod_strategy(Dataset& data, const FeedbackRuleSet& frs,
 FroteResult frote_edit(const Dataset& data, const Learner& learner,
                        const FeedbackRuleSet& frs, const FroteConfig& config,
                        const AcceptCallback& on_accept) {
-  FROTE_CHECK_MSG(!data.empty(), "FROTE requires a non-empty input dataset");
-  FROTE_CHECK(config.tau > 0);
-  FROTE_CHECK(config.q >= 0.0);
-
-  Rng rng(config.seed);
-  FroteResult result;
-
-  // Input modification (relabel / drop / none).
-  result.augmented = data;
-  apply_mod_strategy(result.augmented, frs, config.mod_strategy);
-  Dataset& active = result.augmented;  // D̂
-
-  // Line 1: η ← q|D|/τ unless the user fixed it.
-  const std::size_t eta =
-      config.eta != 0
-          ? config.eta
-          : std::max<std::size_t>(
-                1, static_cast<std::size_t>(
-                       config.q * static_cast<double>(data.size()) /
-                       static_cast<double>(config.tau)));
-  const auto quota = static_cast<std::size_t>(
-      config.q * static_cast<double>(data.size()));
-
-  // Lines 2–3: train on D̂ and evaluate Ĵ. We track J̄ = 1 − J, so Algorithm
-  // 1's "accept if j' < ĵ" becomes "accept if j̄' > j̄". When D̂ has no rule
-  // coverage (tcf = 0) the MRA term is pessimistically 0 (train_j_hat_bar),
-  // so the first learned batch of synthetic instances is accepted.
-  result.model = learner.train(active);
-  double best_j_bar = train_j_hat_bar(*result.model, frs, active);
-  result.trace.push_back({0, 0, best_j_bar, true});
-
-  if (frs.empty() || config.q == 0.0) return result;
-
-  // Line 4: P ← PreSelectBP(D̂, F).
-  BasePopulation bp = preselect_base_population(active, frs, config.k);
-  std::unique_ptr<BaseInstanceSelector> owned_selector;
-  const BaseInstanceSelector* selector = config.custom_selector.get();
-  if (selector == nullptr) {
-    owned_selector = make_selector(config.selection, config.k);
-    selector = owned_selector.get();
+  // Compatibility shim: Algorithm 1's loop lives in Session::step()
+  // (core/engine.cpp); this assembles the equivalent Engine and runs a
+  // session to completion. Output is bit-identical to the pre-Engine
+  // implementation for the same seed (tests/test_engine_api.cpp).
+  auto engine = Engine::Builder().from_config(config).rules(frs).build();
+  if (!engine) throw Error(engine.error().message);
+  auto session = engine->open(data, learner);
+  if (!session) throw Error(session.error().message);
+  if (on_accept) {
+    auto observer = std::make_shared<CallbackObserver>();
+    observer->accept = on_accept;
+    session->add_observer(std::move(observer));
   }
-  MixedDistance distance = MixedDistance::fit(active);
-
-  GenerateConfig generate_config;
-  generate_config.k = config.k;
-  generate_config.rule_confidence = config.rule_confidence;
-
-  // Lines 6–18: the augmentation loop.
-  std::size_t added = 0;
-  for (std::size_t iter = 0; iter < config.tau && added <= quota; ++iter) {
-    ++result.iterations_run;
-
-    // Line 7: B ← SelectBaseInstances(P, η).
-    const auto selected =
-        selector->select(active, bp, *result.model, eta, rng);
-    if (selected.empty()) break;  // no usable base population left
-
-    // Line 8: S ← Generate(B). One generator per rule (they own the
-    // per-rule kNN index over the current D̂).
-    std::vector<std::unique_ptr<RuleConstrainedGenerator>> generators(
-        frs.size());
-    Dataset synthetic(active.schema_ptr());
-    std::vector<double> row;
-    int label = 0;
-    for (const auto& pick : selected) {
-      auto& gen = generators[pick.rule_index];
-      if (!gen) {
-        gen = std::make_unique<RuleConstrainedGenerator>(
-            active, frs.rule(pick.rule_index), bp.per_rule[pick.rule_index],
-            distance, generate_config);
-      }
-      if (gen->generate(pick.bp_slot, rng, row, label)) {
-        synthetic.add_row(row, label);
-      }
-    }
-    if (synthetic.empty()) continue;
-
-    // Line 9: D′ ← D̂ ∪ S.
-    Dataset candidate = active;
-    candidate.append(synthetic);
-
-    // Lines 10–11: retrain on D′ and evaluate Ĵ_D̂ on the candidate dataset
-    // D′. Evaluating on D′ rather than the pre-merge D̂ is what makes the
-    // tcf = 0 regime work: when the active dataset has no rule coverage at
-    // all, only the candidate's synthetic instances can supply the MRA
-    // evidence needed to accept the first batch (see DESIGN.md §5).
-    auto candidate_model = learner.train(candidate);
-    const double j_bar = train_j_hat_bar(*candidate_model, frs, candidate);
-
-    // Lines 12–16: accept if the loss decreased (J̄ increased).
-    const bool accept = config.accept_always || j_bar > best_j_bar;
-    result.trace.push_back({result.iterations_run, added + synthetic.size(),
-                            j_bar, accept});
-    if (accept) {
-      active = std::move(candidate);
-      result.model = std::move(candidate_model);
-      best_j_bar = j_bar;
-      added += synthetic.size();
-      ++result.iterations_accepted;
-      // Line 15: P ← PreSelectBP(D̂, F); refresh the distance scales too.
-      bp = preselect_base_population(active, frs, config.k);
-      distance = MixedDistance::fit(active);
-      if (on_accept) on_accept(*result.model, added);
-    }
-  }
-  result.instances_added = added;
-  return result;
+  session->run();
+  return std::move(*session).result();
 }
 
 }  // namespace frote

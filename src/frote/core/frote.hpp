@@ -5,10 +5,16 @@
 // that retraining A on D̂ aligns the model with F (minimises objective (3))
 // without degrading outside-coverage performance.
 //
-// Usage:
+// Usage (one-shot legacy entry point):
 //   FroteConfig config;                      // τ, q, k, strategy...
 //   auto result = frote_edit(train, learner, frs, config);
 //   const Model& edited = *result.model;     // retrained on result.augmented
+//
+// frote_edit() is a thin compatibility shim over the composable Engine /
+// Session API (core/engine.hpp) and produces bit-identical output for the
+// same seed. New code that wants to pause, inspect, or customize the loop
+// should build an Engine instead; include "frote/frote_api.hpp" for the
+// whole public surface plus the migration notes.
 #pragma once
 
 #include <functional>
@@ -76,12 +82,20 @@ std::size_t apply_mod_strategy(Dataset& data, const FeedbackRuleSet& frs,
 
 /// Optional per-acceptance hook (model retrained on the accepted D′ and the
 /// cumulative instance count) — lets experiments trace test-set J̄ growth.
+/// Superseded by ProgressObserver (core/stages.hpp); the shim adapts it.
 using AcceptCallback =
     std::function<void(const Model& model, std::size_t instances_added)>;
 
-/// Run Algorithm 1. `data` is the input dataset D (already mod-applied if
-/// the caller wants a strategy other than config.mod_strategy == kNone; this
-/// function applies config.mod_strategy itself first).
+/// Run Algorithm 1 end to end. `data` is the input dataset D (already
+/// mod-applied if the caller wants a strategy other than
+/// config.mod_strategy == kNone; this function applies config.mod_strategy
+/// itself first). Implemented as a shim over Engine/Session: equivalent to
+/// building an Engine from `config` + `frs`, opening a session on
+/// (data, learner) and running it to the default τ/budget stopping
+/// criterion. Throws frote::Error on invalid configuration or empty data —
+/// note the Builder validates more than the old implementation did: degenerate
+/// configs that were previously tolerated (k == 0, rule_confidence outside
+/// [0, 1]) now throw instead of running with unspecified behaviour.
 FroteResult frote_edit(const Dataset& data, const Learner& learner,
                        const FeedbackRuleSet& frs, const FroteConfig& config,
                        const AcceptCallback& on_accept = {});

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "frote/core/engine.hpp"
+
 namespace frote {
 
 InflectionAnalysis sweep_budget(const Dataset& train, const Dataset& test,
@@ -14,9 +16,14 @@ InflectionAnalysis sweep_budget(const Dataset& train, const Dataset& test,
   std::vector<double> sorted = budgets;
   std::sort(sorted.begin(), sorted.end());
   for (double q : sorted) {
-    FroteConfig config = base_config;
-    config.q = q;
-    const auto result = frote_edit(train, learner, frs, config);
+    // One engine per budget; each sweep point is an independent session over
+    // the same train split (same seed ⇒ same splits/rules).
+    const auto engine =
+        Engine::Builder().from_config(base_config).q(q).rules(frs).build()
+            .value();
+    auto session = engine.open(train, learner).value();
+    session.run();
+    const auto result = std::move(session).result();
     const auto breakdown = evaluate_objective(*result.model, frs, test);
     BudgetPoint point;
     point.q = q;

@@ -1,0 +1,31 @@
+#include "frote/core/stages.hpp"
+
+namespace frote {
+
+Dataset SmoteNcInstanceGenerator::generate(
+    const GenerationContext& ctx, const std::vector<SelectedInstance>& selected,
+    Rng& rng) const {
+  // One generator per rule, built lazily in batch order: each owns the
+  // per-rule kNN index over the current D̂. The iteration order and the RNG
+  // draw order must match the pre-Engine loop exactly — the determinism
+  // suite asserts seed → bit-identical augmentation across the shim.
+  std::vector<std::unique_ptr<RuleConstrainedGenerator>> generators(
+      ctx.frs.size());
+  Dataset synthetic(ctx.active.schema_ptr());
+  std::vector<double> row;
+  int label = 0;
+  for (const auto& pick : selected) {
+    auto& gen = generators[pick.rule_index];
+    if (!gen) {
+      gen = std::make_unique<RuleConstrainedGenerator>(
+          ctx.active, ctx.frs.rule(pick.rule_index),
+          ctx.bp.per_rule[pick.rule_index], ctx.distance, ctx.config);
+    }
+    if (gen->generate(pick.bp_slot, rng, row, label)) {
+      synthetic.add_row(row, label);
+    }
+  }
+  return synthetic;
+}
+
+}  // namespace frote

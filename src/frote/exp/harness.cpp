@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "frote/baselines/overlay.hpp"
+#include "frote/core/engine.hpp"
 #include "frote/data/split.hpp"
 #include "frote/metrics/metrics.hpp"
 #include "frote/rules/induction.hpp"
@@ -137,26 +139,30 @@ RunOutcome run_frote_once(const ExperimentContext& ctx, LearnerKind learner,
     outcome.mod = evaluate_model(*mod_model, frs, split.test);
   }
 
-  // FROTE augmentation.
-  FroteConfig frote_config;
-  frote_config.tau = config.tau;
-  frote_config.q = config.q;
-  frote_config.k = config.k;
-  frote_config.eta = config.eta != 0 ? config.eta : ctx.default_eta;
-  frote_config.selection = config.selection;
-  frote_config.mod_strategy = config.mod;
-  frote_config.rule_confidence = config.rule_confidence;
-  frote_config.seed = derive_seed(run_seed, 23);
-
-  AcceptCallback on_accept;
+  // FROTE augmentation through the Engine/Session pipeline.
+  const auto engine = Engine::Builder()
+                          .rules(frs)
+                          .tau(config.tau)
+                          .q(config.q)
+                          .k(config.k)
+                          .eta(config.eta != 0 ? config.eta : ctx.default_eta)
+                          .selection(config.selection)
+                          .mod_strategy(config.mod)
+                          .rule_confidence(config.rule_confidence)
+                          .seed(derive_seed(run_seed, 23))
+                          .build()
+                          .value();
+  auto session = engine.open(split.train, *learner_ptr).value();
   if (config.capture_trace) {
-    on_accept = [&](const Model& model, std::size_t added) {
+    auto tracer = std::make_shared<CallbackObserver>();
+    tracer->accept = [&](const Model& model, std::size_t added) {
       outcome.test_trace.emplace_back(added,
                                       test_j_bar(model, frs, split.test));
     };
+    session.add_observer(std::move(tracer));
   }
-  const auto result =
-      frote_edit(split.train, *learner_ptr, frs, frote_config, on_accept);
+  session.run();
+  const auto result = std::move(session).result();
   outcome.final = evaluate_model(*result.model, frs, split.test);
   outcome.added_frac = static_cast<double>(result.instances_added) /
                        static_cast<double>(split.train.size());
@@ -193,15 +199,20 @@ OverlayOutcome run_overlay_once(const ExperimentContext& ctx,
   outcome.overlay_soft = evaluate_model(soft, frs, split.test);
   outcome.overlay_hard = evaluate_model(hard, frs, split.test);
 
-  FroteConfig frote_config;
-  frote_config.tau = config.tau;
-  frote_config.q = config.q;
-  frote_config.k = config.k;
-  frote_config.eta = config.eta != 0 ? config.eta : ctx.default_eta;
-  frote_config.selection = config.selection;
-  frote_config.mod_strategy = config.mod;
-  frote_config.seed = derive_seed(run_seed, 37);
-  const auto result = frote_edit(split.train, *learner_ptr, frs, frote_config);
+  const auto engine = Engine::Builder()
+                          .rules(frs)
+                          .tau(config.tau)
+                          .q(config.q)
+                          .k(config.k)
+                          .eta(config.eta != 0 ? config.eta : ctx.default_eta)
+                          .selection(config.selection)
+                          .mod_strategy(config.mod)
+                          .seed(derive_seed(run_seed, 37))
+                          .build()
+                          .value();
+  auto session = engine.open(split.train, *learner_ptr).value();
+  session.run();
+  const auto result = std::move(session).result();
   outcome.frote = evaluate_model(*result.model, frs, split.test);
   outcome.valid = true;
   return outcome;

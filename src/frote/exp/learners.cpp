@@ -1,8 +1,6 @@
 #include "frote/exp/learners.hpp"
 
-#include "frote/ml/gbdt.hpp"
-#include "frote/ml/logistic_regression.hpp"
-#include "frote/ml/random_forest.hpp"
+#include "frote/exp/registry.hpp"
 #include "frote/util/error.hpp"
 
 namespace frote {
@@ -22,27 +20,19 @@ std::vector<LearnerKind> all_learners() {
 
 std::unique_ptr<Learner> make_learner(LearnerKind kind, std::uint64_t seed,
                                       bool fast) {
+  // The enum is a typed view onto the shared registry (exp/registry.hpp);
+  // the paper hyper-parameters live in the registry's factories.
+  const char* name = nullptr;
   switch (kind) {
-    case LearnerKind::kLR: {
-      LogisticRegressionConfig config;
-      config.max_iter = fast ? 120 : 500;  // paper: max_iter = 500
-      return std::make_unique<LogisticRegressionLearner>(config);
-    }
-    case LearnerKind::kRF: {
-      RandomForestConfig config;
-      config.max_depth = 3;  // paper's setting
-      config.num_trees = fast ? 15 : 50;
-      config.seed = seed;
-      return std::make_unique<RandomForestLearner>(config);
-    }
-    case LearnerKind::kLGBM: {
-      GbdtConfig config;
-      config.num_rounds = fast ? 15 : 60;
-      config.seed = seed;
-      return std::make_unique<GbdtLearner>(config);
-    }
+    case LearnerKind::kLR: name = "lr"; break;
+    case LearnerKind::kRF: name = "rf"; break;
+    case LearnerKind::kLGBM: name = "gbdt"; break;
   }
-  throw Error("unknown learner kind");
+  if (name == nullptr) throw Error("unknown learner kind");
+  LearnerSpec spec;
+  spec.seed = seed;
+  spec.fast = fast;
+  return make_named_learner(name, spec).value();
 }
 
 }  // namespace frote

@@ -1,0 +1,102 @@
+// frote/frote_api.hpp — umbrella header for the FROTE library.
+//
+// Include this single header instead of reaching into core/*, ml/*, rules/*
+// piecemeal; it is the supported public surface for applications, examples,
+// and external consumers of the installed CMake package (frote::frote).
+//
+// ---------------------------------------------------------------------------
+// MIGRATION — from the monolithic frote_edit() to Engine/Session
+// ---------------------------------------------------------------------------
+// frote_edit(data, learner, frs, config, on_accept) still works and is
+// bit-identical for the same seed, but it is now a shim. One behavioural
+// narrowing: the Builder's typed validation rejects degenerate configs the
+// old code silently tolerated (k == 0, rule_confidence outside [0, 1]), so
+// those now throw frote::Error instead of running with unspecified
+// behaviour. The composable form:
+//
+//   auto engine  = frote::Engine::Builder()
+//                      .rules(frs)                    // FeedbackRuleSet F
+//                      .tau(30).q(0.5).k(5).seed(42)  // scalar knobs
+//                      .build().value();              // Expected<Engine,...>
+//   auto session = engine.open(train, learner).value();
+//   session.run();                                    // or step() manually
+//   frote::FroteResult result = std::move(session).result();
+//
+// Old FroteConfig field / callback      → new component or builder call
+//   tau, q, k, eta, seed                → Builder::tau/q/k/eta/seed
+//   mod_strategy                        → Builder::mod_strategy
+//   selection                           → Builder::selection
+//   custom_selector                     → Builder::selector(...)
+//   rule_confidence                     → Builder::rule_confidence
+//   accept_always = true                → Builder::acceptance(
+//                                           make_shared<AlwaysAcceptPolicy>())
+//                                         (or Builder::accept_always(true))
+//   AcceptCallback on_accept            → ProgressObserver::on_accept via
+//                                         Builder::observer(...) or
+//                                         Session::add_observer(...)
+//                                         (CallbackObserver wraps lambdas)
+//   FroteResult::trace                  → still populated; live access via
+//                                         ProgressObserver::on_step
+//   loop termination (τ / q·|D|)        → StoppingCriterion; default
+//                                         BudgetStoppingCriterion reproduces
+//                                         the old bounds, PlateauStopping-
+//                                         Criterion / AnyOfStoppingCriterion
+//                                         compose extra cut-offs
+//   Builder::from_config(old_config) maps an existing FroteConfig wholesale.
+//
+// Named components: make_named_learner("rf", ...) / make_named_selector(
+// "ip", ...) in exp/registry.hpp resolve the string names shared by the CLI
+// and the experiment harness.
+// ---------------------------------------------------------------------------
+#pragma once
+
+// Core algorithm: Engine/Session, pipeline stages, the frote_edit shim,
+// audit lineage and budget-inflection analysis.
+#include "frote/core/audit.hpp"
+#include "frote/core/base_population.hpp"
+#include "frote/core/engine.hpp"
+#include "frote/core/frote.hpp"
+#include "frote/core/generate.hpp"
+#include "frote/core/inflection.hpp"
+#include "frote/core/online_proxy.hpp"
+#include "frote/core/selection.hpp"
+#include "frote/core/stages.hpp"
+
+// Data handling: schema-typed datasets, CSV I/O, splits, UCI-style
+// generators.
+#include "frote/data/csv.hpp"
+#include "frote/data/dataset.hpp"
+#include "frote/data/generators.hpp"
+#include "frote/data/schema.hpp"
+#include "frote/data/split.hpp"
+
+// Black-box learners and bundled model implementations.
+#include "frote/ml/decision_tree.hpp"
+#include "frote/ml/gbdt.hpp"
+#include "frote/ml/knn_classifier.hpp"
+#include "frote/ml/logistic_regression.hpp"
+#include "frote/ml/model.hpp"
+#include "frote/ml/naive_bayes.hpp"
+#include "frote/ml/random_forest.hpp"
+
+// Feedback-rule language: predicates/clauses/rules, parsing, induction,
+// perturbation, conflict resolution.
+#include "frote/rules/induction.hpp"
+#include "frote/rules/parser.hpp"
+#include "frote/rules/perturb.hpp"
+#include "frote/rules/rule.hpp"
+#include "frote/rules/ruleset.hpp"
+
+// Evaluation metrics and the Overlay baseline.
+#include "frote/baselines/overlay.hpp"
+#include "frote/metrics/metrics.hpp"
+
+// Experiment harness, paper learner kinds, and the named-component registry.
+#include "frote/exp/harness.hpp"
+#include "frote/exp/learners.hpp"
+#include "frote/exp/registry.hpp"
+
+// Utilities: typed errors/Expected, deterministic RNG, text tables.
+#include "frote/util/error.hpp"
+#include "frote/util/rng.hpp"
+#include "frote/util/table.hpp"

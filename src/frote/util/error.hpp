@@ -1,13 +1,20 @@
 // Error handling helpers used across the library.
 //
-// We follow the C++ Core Guidelines: exceptions for error reporting, with a
-// single macro for precondition/invariant checks so call sites stay terse and
-// the thrown message always carries the failing expression and location.
+// Two reporting styles coexist:
+//   * exceptions (`Error` + the FROTE_CHECK macros) for precondition and
+//     invariant violations deep inside the algorithm, where unwinding is the
+//     only sensible recovery;
+//   * `Expected<T, FroteError>` for fallible construction at the API
+//     boundary (Engine::Builder::build, Engine::open, the component
+//     registry), where the caller wants a typed, inspectable error instead
+//     of a throw.
 #pragma once
 
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <variant>
 
 namespace frote {
 
@@ -15,6 +22,74 @@ namespace frote {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Machine-inspectable category of a `FroteError`.
+enum class FroteErrorCode {
+  kInvalidConfig,      // a builder/config field failed validation
+  kInvalidArgument,    // a runtime argument is unusable (e.g. empty dataset)
+  kUnknownComponent,   // a registry lookup by name found nothing
+  kMissingDependency,  // a component needs state the caller did not supply
+};
+
+/// Typed error value returned by fallible API-boundary operations.
+struct FroteError {
+  FroteErrorCode code = FroteErrorCode::kInvalidConfig;
+  std::string message;
+
+  static FroteError invalid_config(std::string message) {
+    return {FroteErrorCode::kInvalidConfig, std::move(message)};
+  }
+  static FroteError invalid_argument(std::string message) {
+    return {FroteErrorCode::kInvalidArgument, std::move(message)};
+  }
+  static FroteError unknown_component(std::string message) {
+    return {FroteErrorCode::kUnknownComponent, std::move(message)};
+  }
+  static FroteError missing_dependency(std::string message) {
+    return {FroteErrorCode::kMissingDependency, std::move(message)};
+  }
+};
+
+/// Minimal expected/either type (std::expected arrives in C++23; this is the
+/// subset the API needs). Holds either a T or an E; `value()` throws
+/// `frote::Error` carrying the error message when no value is present, so
+/// callers that don't care about typed handling can stay exception-based.
+template <typename T, typename E = FroteError>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Expected(E error) : storage_(std::in_place_index<1>, std::move(error)) {}
+
+  bool has_value() const { return storage_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() & {
+    throw_if_error();
+    return std::get<0>(storage_);
+  }
+  const T& value() const& {
+    throw_if_error();
+    return std::get<0>(storage_);
+  }
+  T&& value() && {
+    throw_if_error();
+    return std::get<0>(std::move(storage_));
+  }
+
+  T& operator*() & { return std::get<0>(storage_); }
+  const T& operator*() const& { return std::get<0>(storage_); }
+  T* operator->() { return &std::get<0>(storage_); }
+  const T* operator->() const { return &std::get<0>(storage_); }
+
+  const E& error() const { return std::get<1>(storage_); }
+
+ private:
+  void throw_if_error() const {
+    if (!has_value()) throw Error(std::get<1>(storage_).message);
+  }
+
+  std::variant<T, E> storage_;
 };
 
 namespace detail {

@@ -1,0 +1,384 @@
+// Engine/Session API contract: builder validation, step()-vs-run()
+// equivalence, observer ordering, pluggable stopping/acceptance, and the
+// load-bearing shim guarantee — frote_edit() and Engine/Session produce
+// bit-identical augmented datasets for the same seed (this extends
+// tests/test_determinism.cpp's seed → bit-identical contract across the two
+// API surfaces, for all three mod strategies).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frote/core/engine.hpp"
+#include "frote/ml/decision_tree.hpp"
+#include "test_util.hpp"
+
+namespace frote {
+namespace {
+
+void expect_bit_identical(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.num_features(), b.num_features());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.label(i), b.label(i)) << "label of row " << i;
+    const auto row_a = a.row(i);
+    const auto row_b = b.row(i);
+    for (std::size_t f = 0; f < row_a.size(); ++f) {
+      EXPECT_EQ(row_a[f], row_b[f]) << "row " << i << " feature " << f;
+    }
+  }
+}
+
+struct Fixture {
+  Dataset train = testing::threshold_dataset(150, 5.0, /*seed=*/11);
+  FeedbackRuleSet frs{std::vector<FeedbackRule>{testing::x_gt_rule(7.0, 0)}};
+  DecisionTreeLearner learner;
+
+  Engine::Builder builder(ModStrategy mod = ModStrategy::kNone,
+                          std::uint64_t seed = 99) const {
+    Engine::Builder b;
+    b.rules(frs).tau(6).q(0.4).k(5).seed(seed).mod_strategy(mod);
+    return b;
+  }
+
+  FroteConfig config(ModStrategy mod = ModStrategy::kNone,
+                     std::uint64_t seed = 99) const {
+    FroteConfig c;
+    c.tau = 6;
+    c.q = 0.4;
+    c.k = 5;
+    c.seed = seed;
+    c.mod_strategy = mod;
+    return c;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Builder validation
+
+TEST(EngineBuilder, RejectsInvalidScalarsWithTypedErrors) {
+  const auto zero_tau = Engine::Builder().tau(0).build();
+  ASSERT_FALSE(zero_tau.has_value());
+  EXPECT_EQ(zero_tau.error().code, FroteErrorCode::kInvalidConfig);
+  EXPECT_NE(zero_tau.error().message.find("tau"), std::string::npos);
+
+  const auto negative_q = Engine::Builder().q(-0.5).build();
+  ASSERT_FALSE(negative_q.has_value());
+  EXPECT_EQ(negative_q.error().code, FroteErrorCode::kInvalidConfig);
+  EXPECT_NE(negative_q.error().message.find("q must be"), std::string::npos);
+
+  const auto zero_k = Engine::Builder().k(0).build();
+  ASSERT_FALSE(zero_k.has_value());
+  EXPECT_NE(zero_k.error().message.find("k must be"), std::string::npos);
+
+  const auto bad_confidence = Engine::Builder().rule_confidence(1.5).build();
+  ASSERT_FALSE(bad_confidence.has_value());
+  EXPECT_NE(bad_confidence.error().message.find("rule_confidence"),
+            std::string::npos);
+}
+
+TEST(EngineBuilder, ReportsEveryInvalidFieldInOneError) {
+  const auto result = Engine::Builder().tau(0).q(-1.0).k(0).build();
+  ASSERT_FALSE(result.has_value());
+  const std::string& message = result.error().message;
+  EXPECT_NE(message.find("tau"), std::string::npos);
+  EXPECT_NE(message.find("q must be"), std::string::npos);
+  EXPECT_NE(message.find("k must be"), std::string::npos);
+}
+
+TEST(EngineBuilder, ValueThrowsFroteErrorOnInvalidConfig) {
+  bool threw = false;
+  try {
+    Engine::Builder().tau(0).build().value();
+  } catch (const Error&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(EngineBuilder, ValidConfigBuildsAndExposesConfig) {
+  Fixture fx;
+  const auto engine = fx.builder().build();
+  ASSERT_TRUE(engine.has_value());
+  EXPECT_EQ(engine->config().tau, 6u);
+  EXPECT_EQ(engine->config().seed, 99u);
+  EXPECT_EQ(engine->rules().size(), 1u);
+}
+
+TEST(Engine, OpenRejectsEmptyDataset) {
+  Fixture fx;
+  const auto engine = fx.builder().build().value();
+  Dataset empty(fx.train.schema_ptr());
+  const auto session = engine.open(empty, fx.learner);
+  ASSERT_FALSE(session.has_value());
+  EXPECT_EQ(session.error().code, FroteErrorCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Shim equivalence: frote_edit() over Engine/Session must be bit-identical
+// to driving the Session directly, for every mod strategy.
+
+void expect_shim_matches_session(ModStrategy mod) {
+  Fixture fx;
+  const auto shim = frote_edit(fx.train, fx.learner, fx.frs, fx.config(mod));
+
+  const auto engine = fx.builder(mod).build().value();
+  auto session = engine.open(fx.train, fx.learner).value();
+  session.run();
+  const auto direct = std::move(session).result();
+
+  EXPECT_EQ(shim.instances_added, direct.instances_added);
+  EXPECT_EQ(shim.iterations_run, direct.iterations_run);
+  EXPECT_EQ(shim.iterations_accepted, direct.iterations_accepted);
+  ASSERT_EQ(shim.trace.size(), direct.trace.size());
+  for (std::size_t i = 0; i < shim.trace.size(); ++i) {
+    EXPECT_EQ(shim.trace[i].iteration, direct.trace[i].iteration);
+    EXPECT_EQ(shim.trace[i].instances_added, direct.trace[i].instances_added);
+    EXPECT_EQ(shim.trace[i].train_j_hat_bar, direct.trace[i].train_j_hat_bar);
+    EXPECT_EQ(shim.trace[i].accepted, direct.trace[i].accepted);
+  }
+  expect_bit_identical(shim.augmented, direct.augmented);
+}
+
+TEST(EngineShim, BitIdenticalToSessionModNone) {
+  expect_shim_matches_session(ModStrategy::kNone);
+}
+
+TEST(EngineShim, BitIdenticalToSessionModRelabel) {
+  expect_shim_matches_session(ModStrategy::kRelabel);
+}
+
+TEST(EngineShim, BitIdenticalToSessionModDrop) {
+  expect_shim_matches_session(ModStrategy::kDrop);
+}
+
+TEST(EngineShim, AugmentationIsExercised) {
+  // The equivalence above must not be vacuous: the kNone scenario has to add
+  // synthetic instances (same guard as test_determinism.cpp).
+  Fixture fx;
+  const auto result =
+      frote_edit(fx.train, fx.learner, fx.frs, fx.config(ModStrategy::kNone));
+  EXPECT_GT(result.instances_added, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// step() vs run()
+
+TEST(Session, ManualSteppingMatchesRun) {
+  Fixture fx;
+  const auto engine = fx.builder(ModStrategy::kNone).build().value();
+
+  auto run_session = engine.open(fx.train, fx.learner).value();
+  run_session.run();
+  const auto via_run = std::move(run_session).result();
+
+  auto step_session = engine.open(fx.train, fx.learner).value();
+  std::size_t manual_steps = 0;
+  while (!step_session.finished()) {
+    const StepReport report = step_session.step();
+    ++manual_steps;
+    if (report.terminal()) break;
+  }
+  const auto via_step = std::move(step_session).result();
+
+  EXPECT_EQ(via_run.instances_added, via_step.instances_added);
+  EXPECT_EQ(via_run.iterations_run, via_step.iterations_run);
+  EXPECT_EQ(via_run.iterations_accepted, via_step.iterations_accepted);
+  EXPECT_EQ(manual_steps, via_step.iterations_run);
+  expect_bit_identical(via_run.augmented, via_step.augmented);
+}
+
+TEST(Session, ExposesEvolvingStateMidRun) {
+  Fixture fx;
+  const auto engine = fx.builder(ModStrategy::kNone).build().value();
+  auto session = engine.open(fx.train, fx.learner).value();
+  ASSERT_EQ(session.trace().size(), 1u);  // iteration-0 point
+  EXPECT_EQ(session.augmented().size(), fx.train.size());
+
+  std::size_t last_size = session.augmented().size();
+  while (!session.finished()) {
+    const StepReport report = session.step();
+    if (report.terminal()) break;
+    if (report.accepted()) {
+      EXPECT_GT(session.augmented().size(), last_size);
+      last_size = session.augmented().size();
+      EXPECT_EQ(session.progress().instances_added, report.instances_added);
+    }
+  }
+  const auto progress = session.progress();
+  EXPECT_EQ(progress.tau, 6u);
+  EXPECT_EQ(progress.quota, static_cast<std::size_t>(0.4 * 150));
+}
+
+TEST(Session, StepAfterFinishIsInertNoOp) {
+  Fixture fx;
+  // Empty rule set ⇒ the session starts finished (nothing to augment).
+  Engine::Builder builder;
+  builder.tau(6).q(0.4);
+  const auto engine = builder.build().value();
+  auto session = engine.open(fx.train, fx.learner).value();
+  EXPECT_TRUE(session.finished());
+  const auto report = session.step();
+  EXPECT_EQ(report.status, StepStatus::kFinished);
+  const auto result = std::move(session).result();
+  EXPECT_EQ(result.instances_added, 0u);
+  EXPECT_EQ(result.augmented.size(), fx.train.size());
+}
+
+TEST(Engine, IsReusableAcrossSessions) {
+  Fixture fx;
+  const auto engine = fx.builder(ModStrategy::kNone).build().value();
+  auto first = engine.open(fx.train, fx.learner).value();
+  first.run();
+  auto second = engine.open(fx.train, fx.learner).value();
+  second.run();
+  const auto a = std::move(first).result();
+  const auto b = std::move(second).result();
+  expect_bit_identical(a.augmented, b.augmented);
+}
+
+// ---------------------------------------------------------------------------
+// Observers
+
+struct RecordingObserver : ProgressObserver {
+  std::vector<std::string> events;
+  void on_session_start(const Model&, double) override {
+    events.push_back("start");
+  }
+  void on_step(const StepReport& report) override {
+    events.push_back(report.accepted() ? "step-accepted" : "step-other");
+  }
+  void on_accept(const Model&, std::size_t) override {
+    events.push_back("accept");
+  }
+};
+
+TEST(Observer, OrderingIsStartThenStepThenAccept) {
+  Fixture fx;
+  auto observer = std::make_shared<RecordingObserver>();
+  const auto engine =
+      fx.builder(ModStrategy::kNone).observer(observer).build().value();
+  auto session = engine.open(fx.train, fx.learner).value();
+  session.run();
+  const auto result = std::move(session).result();
+
+  const auto& events = observer->events;
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.front(), "start");
+  std::size_t accepts = 0;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i] == "accept") {
+      ++accepts;
+      // on_accept fires immediately after the accepted step's on_step.
+      ASSERT_GT(i, 0u);
+      EXPECT_EQ(events[i - 1], "step-accepted");
+    } else if (events[i] == "step-accepted") {
+      // Every accepted step must be followed by its on_accept.
+      ASSERT_LT(i + 1, events.size());
+      EXPECT_EQ(events[i + 1], "accept");
+    }
+  }
+  EXPECT_EQ(accepts, result.iterations_accepted);
+}
+
+TEST(Observer, SessionLevelObserverSeesSameStepsAsEngineLevel) {
+  Fixture fx;
+  auto engine_observer = std::make_shared<RecordingObserver>();
+  const auto engine =
+      fx.builder(ModStrategy::kNone).observer(engine_observer).build().value();
+  auto session = engine.open(fx.train, fx.learner).value();
+  auto session_observer = std::make_shared<RecordingObserver>();
+  session.add_observer(session_observer);
+  session.run();
+
+  // The session-level observer was attached after open(), so it misses
+  // on_session_start but sees every subsequent step/accept event.
+  std::vector<std::string> engine_tail(engine_observer->events.begin() + 1,
+                                       engine_observer->events.end());
+  EXPECT_EQ(engine_tail, session_observer->events);
+}
+
+TEST(Observer, ShimAcceptCallbackStillFires) {
+  Fixture fx;
+  std::size_t calls = 0;
+  const auto result =
+      frote_edit(fx.train, fx.learner, fx.frs, fx.config(ModStrategy::kNone),
+                 [&](const Model&, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, result.iterations_accepted);
+}
+
+// ---------------------------------------------------------------------------
+// Pluggable policies and stopping criteria
+
+TEST(Policies, AlwaysAcceptPolicyMatchesLegacyFlag) {
+  Fixture fx;
+  auto legacy_config = fx.config(ModStrategy::kNone);
+  legacy_config.accept_always = true;
+  const auto legacy = frote_edit(fx.train, fx.learner, fx.frs, legacy_config);
+
+  const auto engine = fx.builder(ModStrategy::kNone)
+                          .acceptance(std::make_shared<AlwaysAcceptPolicy>())
+                          .build()
+                          .value();
+  auto session = engine.open(fx.train, fx.learner).value();
+  session.run();
+  const auto direct = std::move(session).result();
+
+  EXPECT_EQ(legacy.instances_added, direct.instances_added);
+  expect_bit_identical(legacy.augmented, direct.augmented);
+  // accept-always means every trained batch was kept.
+  EXPECT_EQ(direct.iterations_accepted, direct.trace.size() - 1);
+}
+
+struct EmptyGenerator : InstanceGenerator {
+  Dataset generate(const GenerationContext& ctx,
+                   const std::vector<SelectedInstance>&, Rng&) const override {
+    return Dataset(ctx.active.schema_ptr());
+  }
+};
+
+TEST(Policies, FruitlessStepsCountTowardPlateauSoRunTerminates) {
+  // A generator that never produces rows must not spin run() forever when
+  // the stopping criterion is plateau-only: kNoSynthetic steps count as
+  // non-accepting steps.
+  Fixture fx;
+  const auto engine = fx.builder(ModStrategy::kNone)
+                          .generator(std::make_shared<EmptyGenerator>())
+                          .stopping(std::make_shared<PlateauStoppingCriterion>(3))
+                          .build()
+                          .value();
+  auto session = engine.open(fx.train, fx.learner).value();
+  const std::size_t steps = session.run();
+  EXPECT_EQ(steps, 3u);
+  EXPECT_EQ(session.progress().consecutive_rejections, 3u);
+  EXPECT_EQ(session.progress().instances_added, 0u);
+}
+
+TEST(Policies, PlateauStoppingCutsOffConsecutiveRejections) {
+  Fixture fx;
+  // Budget bounds plus a one-rejection plateau cut-off: the session must
+  // stop at the first rejected step (or earlier via the budget).
+  std::vector<std::shared_ptr<const StoppingCriterion>> criteria;
+  criteria.push_back(std::make_shared<BudgetStoppingCriterion>());
+  criteria.push_back(std::make_shared<PlateauStoppingCriterion>(1));
+  const auto engine =
+      fx.builder(ModStrategy::kNone)
+          .stopping(std::make_shared<AnyOfStoppingCriterion>(criteria))
+          .build()
+          .value();
+  auto session = engine.open(fx.train, fx.learner).value();
+  session.run();
+  EXPECT_LE(session.progress().consecutive_rejections, 1u);
+  const auto result = std::move(session).result();
+  // With a one-rejection plateau, only the final trace point may be a
+  // rejection — a rejected step must never be followed by further steps.
+  for (std::size_t i = 0; i + 1 < result.trace.size(); ++i) {
+    EXPECT_TRUE(result.trace[i].accepted)
+        << "rejected step " << i << " was followed by further steps";
+  }
+}
+
+}  // namespace
+}  // namespace frote

@@ -9,6 +9,9 @@
 //   benchmark::DoNotOptimize, benchmark::ClobberMemory
 //   BENCHMARK(fn)->Arg(n)->Unit(...)   (Unit/Threads/etc. accepted, ignored)
 //   BENCHMARK_MAIN()
+//   --benchmark_format=console|json and --benchmark_out=<file> (the JSON
+//   mirrors google-benchmark's schema subset: name/iterations/real_time/
+//   cpu_time/time_unit/label — enough for bench/dump_bench_json.sh trends)
 //
 // Timing model: each (benchmark, arg) pair is calibrated with a short probe
 // run, then iterated until ~MINIBENCH_MIN_TIME seconds (env, default 0.2)
@@ -180,17 +183,89 @@ inline std::string RunName(const Benchmark& bench,
   return name;
 }
 
+struct RunResult {
+  std::string name;
+  double ns_per_op = 0.0;
+  std::int64_t iterations = 0;
+  std::string label;
+};
+
+/// Output options parsed from argv by Initialize(); the same two flags the
+/// real google-benchmark accepts, so callers (bench/dump_bench_json.sh) work
+/// against either implementation.
+struct OutputOptions {
+  std::string format = "console";  // "console" or "json"
+  std::string out_path;            // when set, JSON is also written here
+};
+
+inline OutputOptions& Options() {
+  static OutputOptions options;
+  return options;
+}
+
+inline std::string JsonEscape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+inline void WriteJson(std::FILE* file, const std::vector<RunResult>& results) {
+  std::fprintf(file,
+               "{\n  \"context\": {\"library\": \"minibenchmark\"},\n"
+               "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(file,
+                 "    {\"name\": \"%s\", \"run_type\": \"iteration\", "
+                 "\"iterations\": %lld, \"real_time\": %.1f, "
+                 "\"cpu_time\": %.1f, \"time_unit\": \"ns\", "
+                 "\"label\": \"%s\"}%s\n",
+                 JsonEscape(r.name).c_str(),
+                 static_cast<long long>(r.iterations), r.ns_per_op,
+                 r.ns_per_op, JsonEscape(r.label).c_str(),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+}
+
 }  // namespace internal
 
-inline void Initialize(int* /*argc*/, char** /*argv*/) {}
+inline void Initialize(int* argc, char** argv) {
+  if (argc == nullptr || argv == nullptr) return;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string format_flag = "--benchmark_format=";
+    const std::string out_flag = "--benchmark_out=";
+    if (arg.rfind(format_flag, 0) == 0) {
+      internal::Options().format = arg.substr(format_flag.size());
+    } else if (arg.rfind(out_flag, 0) == 0) {
+      internal::Options().out_path = arg.substr(out_flag.size());
+    }
+  }
+}
 
 inline int RunSpecifiedBenchmarks() {
   const char* min_time_env = std::getenv("MINIBENCH_MIN_TIME");
   const double min_time_s = min_time_env ? std::atof(min_time_env) : 0.2;
+  const bool console = internal::Options().format != "json";
 
-  std::printf("%-40s %15s %12s %s\n", "Benchmark", "Time/op (ns)",
-              "Iterations", "Label");
-  std::printf("%s\n", std::string(80, '-').c_str());
+  if (console) {
+    std::printf("%-40s %15s %12s %s\n", "Benchmark", "Time/op (ns)",
+                "Iterations", "Label");
+    std::printf("%s\n", std::string(80, '-').c_str());
+  }
+  std::vector<internal::RunResult> results;
   for (const auto* bench : internal::Registry()) {
     for (const auto& args : bench->runs()) {
       // Calibration probe: one iteration to estimate per-op cost.
@@ -206,10 +281,27 @@ inline int RunSpecifiedBenchmarks() {
       const double ns_per_op =
           static_cast<double>(state.elapsed_ns()) /
           static_cast<double>(iterations);
-      std::printf("%-40s %15.1f %12lld %s\n",
-                  internal::RunName(*bench, args).c_str(), ns_per_op,
-                  static_cast<long long>(iterations), state.label().c_str());
+      results.push_back({internal::RunName(*bench, args), ns_per_op,
+                         iterations, state.label()});
+      if (console) {
+        std::printf("%-40s %15.1f %12lld %s\n",
+                    internal::RunName(*bench, args).c_str(), ns_per_op,
+                    static_cast<long long>(iterations),
+                    state.label().c_str());
+      }
     }
+  }
+  if (!console) internal::WriteJson(stdout, results);
+  if (!internal::Options().out_path.empty()) {
+    std::FILE* file =
+        std::fopen(internal::Options().out_path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "minibenchmark: cannot open --benchmark_out=%s\n",
+                   internal::Options().out_path.c_str());
+      return 1;
+    }
+    internal::WriteJson(file, results);
+    std::fclose(file);
   }
   return 0;
 }

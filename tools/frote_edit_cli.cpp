@@ -2,31 +2,31 @@
 //
 // Reads a dataset CSV (schema header format, see data/csv.hpp) and a rule
 // file (one rule per line, grammar in rules/parser.hpp), runs the FROTE edit
-// and writes the augmented dataset plus an audit report.
+// through the Engine/Session pipeline and writes the augmented dataset plus
+// an audit report.
 //
 // Usage:
 //   frote_edit --data in.csv --rules rules.txt --out edited.csv
-//              [--audit audit.txt] [--model rf|lr|gbdt|nb|knn]
-//              [--mod relabel|drop|none] [--select random|ip]
+//              [--audit audit.txt] [--model rf|lr|gbdt|lgbm|nb|knn]
+//              [--mod relabel|drop|none] [--select random|ip|online-proxy]
 //              [--tau N] [--q F] [--k N] [--eta N] [--seed N]
+//              [--trace] [--help]
+//
+// Argument parsing is strict: unknown flags, flags with a missing value, and
+// malformed numbers are usage errors (exit 1), never silently ignored.
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime error (bad data/rules).
+#include <charconv>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
-#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <type_traits>
+#include <vector>
 
-#include "frote/core/audit.hpp"
-#include "frote/core/frote.hpp"
-#include "frote/data/csv.hpp"
-#include "frote/ml/gbdt.hpp"
-#include "frote/ml/knn_classifier.hpp"
-#include "frote/ml/logistic_regression.hpp"
-#include "frote/ml/naive_bayes.hpp"
-#include "frote/ml/random_forest.hpp"
-#include "frote/rules/parser.hpp"
+#include "frote/frote_api.hpp"
 
 namespace {
 
@@ -45,80 +45,144 @@ struct Options {
   std::size_t k = 5;
   std::size_t eta = 0;
   std::uint64_t seed = 42;
+  bool trace = false;
+  bool help = false;
 };
 
 void print_usage(std::ostream& os) {
   os << "usage: frote_edit --data in.csv --rules rules.txt --out edited.csv\n"
-        "                  [--audit audit.txt] [--model rf|lr|gbdt|nb|knn]\n"
-        "                  [--mod relabel|drop|none] [--select random|ip]\n"
-        "                  [--tau N] [--q F] [--k N] [--eta N] [--seed N]\n";
+        "                  [--audit audit.txt] "
+        "[--model rf|lr|gbdt|lgbm|nb|knn]\n"
+        "                  [--mod relabel|drop|none] "
+        "[--select random|ip|online-proxy]\n"
+        "                  [--tau N] [--q F] [--k N] [--eta N] [--seed N]\n"
+        "                  [--trace]  log accepted iterations to stderr\n"
+        "                  [--help]   show this message and exit 0\n";
 }
 
-bool parse_args(int argc, char** argv, Options& options) {
-  std::map<std::string, std::string> args;
-  for (int i = 1; i + 1 < argc; i += 2) {
-    const std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) return false;
-    args[key.substr(2)] = argv[i + 1];
-  }
-  if ((argc - 1) % 2 != 0) return false;
-  auto take = [&](const char* name, std::string& out) {
-    auto it = args.find(name);
-    if (it != args.end()) {
-      out = it->second;
-      args.erase(it);
+bool usage_error(const std::string& message) {
+  std::cerr << "frote_edit: " << message << "\n";
+  print_usage(std::cerr);
+  return false;
+}
+
+template <typename T>
+bool parse_number(const std::string& name, const std::string& text, T& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  std::from_chars_result result{};
+  if constexpr (std::is_floating_point_v<T>) {
+    // std::from_chars for doubles is still patchy across stdlibs; stod with
+    // a full-consumption check is equivalent here.
+    try {
+      std::size_t consumed = 0;
+      out = std::stod(text, &consumed);
+      result.ec = consumed == text.size() ? std::errc{} : std::errc::invalid_argument;
+    } catch (const std::exception&) {
+      result.ec = std::errc::invalid_argument;
     }
-  };
-  take("data", options.data_path);
-  take("rules", options.rules_path);
-  take("out", options.out_path);
-  take("audit", options.audit_path);
-  take("model", options.model);
-  take("mod", options.mod);
-  take("select", options.select);
-  std::string value;
-  take("tau", value);
-  if (!value.empty()) options.tau = std::stoul(value);
-  value.clear();
-  take("q", value);
-  if (!value.empty()) options.q = std::stod(value);
-  value.clear();
-  take("k", value);
-  if (!value.empty()) options.k = std::stoul(value);
-  value.clear();
-  take("eta", value);
-  if (!value.empty()) options.eta = std::stoul(value);
-  value.clear();
-  take("seed", value);
-  if (!value.empty()) options.seed = std::stoull(value);
-  if (!args.empty()) {
-    std::cerr << "unknown option: --" << args.begin()->first << "\n";
-    return false;
+  } else {
+    result = std::from_chars(begin, end, out);
+    if (result.ec == std::errc{} && result.ptr != end) {
+      result.ec = std::errc::invalid_argument;
+    }
   }
-  return !options.data_path.empty() && !options.rules_path.empty() &&
-         !options.out_path.empty();
+  if (result.ec != std::errc{}) {
+    return usage_error("invalid value '" + text + "' for --" + name);
+  }
+  return true;
 }
 
-std::unique_ptr<Learner> make_model(const std::string& name) {
-  if (name == "rf") return std::make_unique<RandomForestLearner>();
-  if (name == "lr") return std::make_unique<LogisticRegressionLearner>();
-  if (name == "gbdt") return std::make_unique<GbdtLearner>();
-  if (name == "nb") return std::make_unique<NaiveBayesLearner>();
-  if (name == "knn") return std::make_unique<KnnClassifierLearner>();
-  throw Error("unknown model '" + name + "'");
+/// Strict flag parser: every argument must be a known --flag; value-taking
+/// flags must be followed by a value (a token that is not itself a flag).
+bool parse_args(int argc, char** argv, Options& options) {
+  auto value_for = [&](int& i, const std::string& name,
+                       std::string& out) -> bool {
+    if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+      return usage_error("missing value for --" + name);
+    }
+    out = argv[++i];
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return usage_error("unexpected positional argument '" + arg + "'");
+    }
+    const std::string name = arg.substr(2);
+    std::string value;
+    if (name == "help") {
+      options.help = true;
+      return true;
+    } else if (name == "trace") {
+      options.trace = true;
+    } else if (name == "data") {
+      if (!value_for(i, name, options.data_path)) return false;
+    } else if (name == "rules") {
+      if (!value_for(i, name, options.rules_path)) return false;
+    } else if (name == "out") {
+      if (!value_for(i, name, options.out_path)) return false;
+    } else if (name == "audit") {
+      if (!value_for(i, name, options.audit_path)) return false;
+    } else if (name == "model") {
+      if (!value_for(i, name, options.model)) return false;
+    } else if (name == "mod") {
+      if (!value_for(i, name, options.mod)) return false;
+    } else if (name == "select") {
+      if (!value_for(i, name, options.select)) return false;
+    } else if (name == "tau") {
+      if (!value_for(i, name, value) || !parse_number(name, value, options.tau))
+        return false;
+    } else if (name == "q") {
+      if (!value_for(i, name, value) || !parse_number(name, value, options.q))
+        return false;
+    } else if (name == "k") {
+      if (!value_for(i, name, value) || !parse_number(name, value, options.k))
+        return false;
+    } else if (name == "eta") {
+      if (!value_for(i, name, value) || !parse_number(name, value, options.eta))
+        return false;
+    } else if (name == "seed") {
+      if (!value_for(i, name, value) ||
+          !parse_number(name, value, options.seed))
+        return false;
+    } else {
+      return usage_error("unknown option: --" + name);
+    }
+  }
+  if (options.data_path.empty() || options.rules_path.empty() ||
+      options.out_path.empty()) {
+    return usage_error("--data, --rules and --out are required");
+  }
+  return true;
+}
+
+/// Validate names against the shared component registry up front, so typos
+/// are usage errors (exit 1) rather than runtime errors.
+bool validate_names(const Options& options) {
+  const auto learner = make_named_learner(options.model);
+  if (!learner) return usage_error(learner.error().message);
+  if (options.mod != "relabel" && options.mod != "drop" &&
+      options.mod != "none") {
+    return usage_error("unknown mod strategy '" + options.mod + "'");
+  }
+  SelectorSpec probe;
+  probe.k = options.k;
+  const auto selector = make_named_selector(options.select, probe);
+  if (!selector &&
+      selector.error().code == FroteErrorCode::kUnknownComponent) {
+    return usage_error(selector.error().message);
+  }
+  return true;
 }
 
 ModStrategy parse_mod(const std::string& name) {
   if (name == "relabel") return ModStrategy::kRelabel;
   if (name == "drop") return ModStrategy::kDrop;
   if (name == "none") return ModStrategy::kNone;
+  // validate_names() reports this as a usage error first; the throw keeps
+  // run() safe if it is ever called without that gate.
   throw Error("unknown mod strategy '" + name + "'");
-}
-
-SelectionStrategy parse_select(const std::string& name) {
-  if (name == "random") return SelectionStrategy::kRandom;
-  if (name == "ip") return SelectionStrategy::kIp;
-  throw Error("unknown selection strategy '" + name + "'");
 }
 
 int run(const Options& options) {
@@ -140,19 +204,43 @@ int run(const Options& options) {
   std::cerr << "parsed " << frs.size() << " rule(s), resolved " << resolved
             << " conflict pair(s)\n";
 
-  const auto learner = make_model(options.model);
-  FroteConfig config;
-  config.tau = options.tau;
-  config.q = options.q;
-  config.k = options.k;
-  config.eta = options.eta;
-  config.seed = options.seed;
-  config.mod_strategy = parse_mod(options.mod);
-  config.selection = parse_select(options.select);
+  LearnerSpec learner_spec;
+  learner_spec.seed = options.seed;
+  const auto learner = make_named_learner(options.model, learner_spec).value();
+  SelectorSpec selector_spec;
+  selector_spec.k = options.k;
+  selector_spec.frs = &frs;
+  const auto selector =
+      make_named_selector(options.select, selector_spec).value();
+
+  Engine::Builder builder;
+  builder.rules(frs)
+      .tau(options.tau)
+      .q(options.q)
+      .k(options.k)
+      .eta(options.eta)
+      .seed(options.seed)
+      .mod_strategy(parse_mod(options.mod))
+      .selector(selector);
+  if (options.trace) {
+    auto tracer = std::make_shared<CallbackObserver>();
+    tracer->step = [](const StepReport& report) {
+      if (!report.accepted()) return;
+      std::cerr << "iter " << report.iteration << ": accepted +"
+                << report.batch_size << " rows (N = "
+                << report.instances_added
+                << ", J-hat-bar = " << report.best_j_bar << ")\n";
+    };
+    builder.observer(std::move(tracer));
+  }
+  const auto engine = builder.build().value();
 
   std::cerr << "running FROTE (model=" << options.model
-            << ", tau=" << config.tau << ", q=" << config.q << ")...\n";
-  const auto result = frote_edit(data, *learner, frs, config);
+            << ", select=" << options.select << ", tau=" << options.tau
+            << ", q=" << options.q << ")...\n";
+  auto session = engine.open(data, *learner).value();
+  session.run();
+  const auto result = std::move(session).result();
   std::cerr << "added " << result.instances_added << " synthetic rows over "
             << result.iterations_accepted << " accepted iterations\n";
 
@@ -160,7 +248,7 @@ int run(const Options& options) {
   std::cerr << "wrote " << result.augmented.size() << " rows to "
             << options.out_path << "\n";
 
-  const auto record = build_audit_record(data, frs, config, result);
+  const auto record = build_audit_record(data, frs, engine.config(), result);
   if (options.audit_path.empty()) {
     write_audit_report(record, std::cout);
   } else {
@@ -178,10 +266,12 @@ int run(const Options& options) {
 
 int main(int argc, char** argv) {
   Options options;
-  if (!parse_args(argc, argv, options)) {
-    print_usage(std::cerr);
-    return 1;
+  if (!parse_args(argc, argv, options)) return 1;
+  if (options.help) {
+    print_usage(std::cout);
+    return 0;
   }
+  if (!validate_names(options)) return 1;
   try {
     return run(options);
   } catch (const std::exception& e) {
