@@ -78,7 +78,9 @@ void BM_BallTreeBuild(benchmark::State& state) {
     benchmark::DoNotOptimize(knn.size());
   }
 }
-BENCHMARK(BM_BallTreeBuild)->Arg(1000);
+// 1000 = below the brute/ball-tree crossover, 4000 = at it (the build cost
+// make_knn_index's crossover heuristic weighs against the per-query win).
+BENCHMARK(BM_BallTreeBuild)->Arg(1000)->Arg(4000);
 
 void BM_SmoteNcGenerate(benchmark::State& state) {
   const auto& data = adult(2000);

@@ -24,6 +24,14 @@ cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
 
+# Determinism under parallelism: rerun the reproducibility suites with the
+# thread pool engaged. Output must be bit-identical to the serial default —
+# util/parallel.hpp's fixed chunk boundaries and ordered reductions are the
+# guarantee, these suites are the lock.
+echo "=== determinism leg: FROTE_NUM_THREADS=4 ==="
+FROTE_NUM_THREADS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'test_parallel|test_determinism|test_engine_api'
+
 # Package smoke: install to a scratch prefix, then build and run a 10-line
 # external consumer that only does find_package(frote) + frote_api.hpp.
 if [[ "${FROTE_CI_SKIP_PACKAGE:-0}" != "1" ]]; then
@@ -40,8 +48,15 @@ if [[ "${FROTE_CI_SKIP_PACKAGE:-0}" != "1" ]]; then
 fi
 
 # Perf trajectory: refresh the bench_micro JSON baseline (build-local copy;
-# commit it to BENCH_micro.json when a perf PR moves the numbers on purpose).
+# commit it to BENCH_micro.json when a perf PR moves the numbers on purpose)
+# and diff it against the committed baseline. The compare is non-strict —
+# shared runners are noisy, so >25% regressions warn loudly instead of
+# failing; investigate any "<< REGRESSION" line before merging.
 if [[ "${FROTE_CI_SKIP_BENCH:-0}" != "1" ]]; then
   echo "=== bench baseline: bench_micro -> $BUILD_DIR/BENCH_micro.json ==="
   bench/dump_bench_json.sh "$BUILD_DIR" "$BUILD_DIR/BENCH_micro.json"
+  if command -v python3 > /dev/null; then
+    echo "=== bench compare: committed BENCH_micro.json vs fresh run ==="
+    python3 tools/bench_compare.py BENCH_micro.json "$BUILD_DIR/BENCH_micro.json"
+  fi
 fi

@@ -74,6 +74,11 @@ Engine::Builder& Engine::Builder::seed(std::uint64_t seed) {
   return *this;
 }
 
+Engine::Builder& Engine::Builder::threads(int threads) {
+  config_.threads = threads;
+  return *this;
+}
+
 Engine::Builder& Engine::Builder::mod_strategy(ModStrategy strategy) {
   config_.mod_strategy = strategy;
   return *this;
@@ -139,6 +144,9 @@ Expected<Engine, FroteError> Engine::Builder::build() const {
   if (!(config_.rule_confidence >= 0.0 && config_.rule_confidence <= 1.0)) {
     problems.push_back("rule_confidence must be in [0, 1]");
   }
+  if (config_.threads < 0) {
+    problems.push_back("threads must be >= 0 (0 = FROTE_NUM_THREADS)");
+  }
   if (!problems.empty()) {
     std::string message = "invalid Engine configuration: ";
     for (std::size_t i = 0; i < problems.size(); ++i) {
@@ -155,7 +163,7 @@ Expected<Engine, FroteError> Engine::Builder::build() const {
       config_.custom_selector
           ? config_.custom_selector
           : std::shared_ptr<const BaseInstanceSelector>(
-                make_selector(config_.selection, config_.k));
+                make_selector(config_.selection, config_.k, config_.threads));
   impl->generator = generator_
                         ? generator_
                         : std::make_shared<const SmoteNcInstanceGenerator>();
@@ -205,7 +213,7 @@ Session::Session(std::shared_ptr<const Engine::Impl> engine,
   // coverage (tcf = 0) the MRA term is pessimistically 0 (train_j_hat_bar),
   // so the first learned batch of synthetic instances is accepted.
   model_ = learner.train(active_);
-  best_j_bar_ = train_j_hat_bar(*model_, frs, active_);
+  best_j_bar_ = train_j_hat_bar(*model_, frs, active_, config.threads);
   trace_.push_back({0, 0, best_j_bar_, true});
   for (const auto& observer : engine_->observers) {
     observer->on_session_start(*model_, best_j_bar_);
@@ -301,7 +309,7 @@ StepReport Session::step() {
   // evidence needed to accept the first batch (see DESIGN.md §5).
   auto candidate_model = learner_->train(candidate);
   const double j_bar = train_j_hat_bar(*candidate_model, engine_->frs,
-                                       candidate);
+                                       candidate, engine_->config.threads);
   report.candidate_j_bar = j_bar;
 
   // Lines 12–16: the acceptance gate.

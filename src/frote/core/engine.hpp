@@ -79,6 +79,10 @@ class Engine::Builder {
   Builder& k(std::size_t k);
   Builder& eta(std::size_t eta);
   Builder& seed(std::uint64_t seed);
+  /// Threads for the engine-side hot paths (Ĵ evaluation, IP selection
+  /// scoring); 0 ⇒ FROTE_NUM_THREADS, default 1. Sessions produce
+  /// bit-identical output for every thread count.
+  Builder& threads(int threads);
   Builder& mod_strategy(ModStrategy strategy);
   Builder& selection(SelectionStrategy strategy);
   Builder& rule_confidence(double confidence);

@@ -53,6 +53,11 @@ struct FroteConfig {
   /// Accept every batch regardless of Ĵ (ablation; Algorithm 1 uses false).
   bool accept_always = false;
   std::uint64_t seed = 42;
+  /// Threads for the engine-side hot paths (the Ĵ evaluation sweep and the
+  /// IP selector's candidate scoring). 0 ⇒ the FROTE_NUM_THREADS environment
+  /// variable (default 1 — today's serial behaviour). Output is
+  /// bit-identical for every value (util/parallel.hpp).
+  int threads = 0;
 };
 
 /// A point of the augmentation trace (used by the Fig 9 reproduction).

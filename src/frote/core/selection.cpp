@@ -4,6 +4,7 @@
 #include <map>
 
 #include "frote/knn/knn.hpp"
+#include "frote/util/parallel.hpp"
 
 namespace frote {
 
@@ -39,30 +40,51 @@ namespace {
 
 /// Borderline weights for a subset of rows (supplement A): weight 3 when the
 /// k-NN predicted-label split is near-even, 1 for safe/noisy instances.
+/// The per-candidate scoring loop is the IP selector's hot path: the k-NN
+/// engine is auto-selected by size, candidates fan out over fixed chunks
+/// (every weight depends only on its own row, so any thread count produces
+/// identical weights), and predictions come either from one batched
+/// dataset-wide pass or per candidate, whichever regime needs fewer model
+/// evaluations — each candidate consults its own label plus k neighbours',
+/// so a dense base population amortises the batch while a sparse one in a
+/// large dataset must not pay for every row.
 std::vector<double> subset_weights(const Dataset& data, const Model& model,
                                    const std::vector<std::size_t>& rows,
                                    const IpSelectorConfig& config) {
   const MixedDistance distance = MixedDistance::fit(data);
-  const BallTreeKnn knn(data, distance);
   const std::size_t k = std::min(config.borderline_k, data.size() - 1);
   std::vector<double> weights(rows.size(), config.other_weight);
   if (k == 0) return weights;
-  for (std::size_t s = 0; s < rows.size(); ++s) {
-    const std::size_t i = rows[s];
-    const int own = model.predict(data.row(i));
-    auto neighbors = knn.query(data.row(i), k + 1);
-    std::size_t same = 0, diff = 0;
-    for (const auto& nb : neighbors) {
-      const std::size_t j = knn.dataset_index(nb.index);
-      if (j == i) continue;
-      if (same + diff == k) break;
-      (model.predict(data.row(j)) == own ? same : diff) += 1;
-    }
-    const std::size_t total = same + diff;
-    if (total > 0 && diff < total && 2 * diff >= total) {
-      weights[s] = config.borderline_weight;  // p ≈ q: borderline
-    }
-  }
+  const auto knn = make_knn_index(data, distance);
+  const bool batch = rows.size() * (k + 1) >= data.size();
+  const std::vector<int> predicted =
+      batch ? model.predict_all(data, config.threads) : std::vector<int>{};
+  parallel_for(
+      rows.size(), 16, config.threads,
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<double> proba;
+        const auto predict_row = [&](std::size_t j) {
+          if (batch) return predicted[j];
+          model.predict_proba_into(data.row(j), proba);
+          return argmax_class(proba);
+        };
+        for (std::size_t s = begin; s < end; ++s) {
+          const std::size_t i = rows[s];
+          const int own = predict_row(i);
+          auto neighbors = knn->query(data.row(i), k + 1);
+          std::size_t same = 0, diff = 0;
+          for (const auto& nb : neighbors) {
+            const std::size_t j = knn->dataset_index(nb.index);
+            if (j == i) continue;
+            if (same + diff == k) break;
+            (predict_row(j) == own ? same : diff) += 1;
+          }
+          const std::size_t total = same + diff;
+          if (total > 0 && diff < total && 2 * diff >= total) {
+            weights[s] = config.borderline_weight;  // p ≈ q: borderline
+          }
+        }
+      });
   return weights;
 }
 
@@ -188,12 +210,14 @@ std::vector<SelectedInstance> IpSelector::select(const Dataset& data,
 }
 
 std::unique_ptr<BaseInstanceSelector> make_selector(SelectionStrategy strategy,
-                                                    std::size_t k) {
+                                                    std::size_t k,
+                                                    int threads) {
   if (strategy == SelectionStrategy::kRandom) {
     return std::make_unique<RandomSelector>();
   }
   IpSelectorConfig config;
   config.k = k;
+  config.threads = threads;
   return std::make_unique<IpSelector>(config);
 }
 

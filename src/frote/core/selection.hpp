@@ -50,6 +50,9 @@ struct IpSelectorConfig {
   double borderline_weight = 3.0;
   double other_weight = 1.0;
   IpConfig ip;
+  /// Threads for the per-candidate borderline scoring sweep;
+  /// 0 ⇒ FROTE_NUM_THREADS. Deterministic for every value.
+  int threads = 0;
 };
 
 /// Integer-program selection (eq. 5) with borderline weights; falls back to
@@ -69,6 +72,6 @@ class IpSelector : public BaseInstanceSelector {
 };
 
 std::unique_ptr<BaseInstanceSelector> make_selector(
-    SelectionStrategy strategy, std::size_t k = 5);
+    SelectionStrategy strategy, std::size_t k = 5, int threads = 0);
 
 }  // namespace frote

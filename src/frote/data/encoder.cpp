@@ -29,9 +29,16 @@ Encoder Encoder::fit(const Dataset& data) {
 }
 
 std::vector<double> Encoder::transform(std::span<const double> row) const {
+  std::vector<double> out;
+  transform_into(row, out);
+  return out;
+}
+
+void Encoder::transform_into(std::span<const double> row,
+                             std::vector<double>& out) const {
   FROTE_CHECK_MSG(row.size() == plans_.size(),
                   "row width " << row.size() << " != " << plans_.size());
-  std::vector<double> out(width_, 0.0);
+  out.assign(width_, 0.0);
   for (std::size_t f = 0; f < plans_.size(); ++f) {
     const auto& plan = plans_[f];
     if (plan.categorical) {
@@ -43,6 +50,33 @@ std::vector<double> Encoder::transform(std::span<const double> row) const {
     } else {
       out[plan.offset] = (row[f] - plan.mean) * plan.inv_std;
     }
+  }
+}
+
+Encoder::SparseRows Encoder::sparse_transform_all(const Dataset& data) const {
+  SparseRows out;
+  out.index.reserve(data.size() * plans_.size());
+  out.value.reserve(data.size() * plans_.size());
+  out.row_begin.reserve(data.size() + 1);
+  out.row_begin.push_back(0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    FROTE_CHECK_MSG(row.size() == plans_.size(),
+                    "row width " << row.size() << " != " << plans_.size());
+    for (std::size_t f = 0; f < plans_.size(); ++f) {
+      const auto& plan = plans_[f];
+      if (plan.categorical) {
+        const auto code = static_cast<std::size_t>(row[f]);
+        if (code < plan.cardinality) {
+          out.index.push_back(static_cast<std::uint32_t>(plan.offset + code));
+          out.value.push_back(1.0);
+        }
+      } else {
+        out.index.push_back(static_cast<std::uint32_t>(plan.offset));
+        out.value.push_back((row[f] - plan.mean) * plan.inv_std);
+      }
+    }
+    out.row_begin.push_back(out.index.size());
   }
   return out;
 }

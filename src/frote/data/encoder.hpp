@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -26,8 +27,27 @@ class Encoder {
   /// Encode one raw row.
   std::vector<double> transform(std::span<const double> row) const;
 
+  /// Encode one raw row into a reusable buffer (resized to encoded_width());
+  /// the allocation-free form the batch predict paths use.
+  void transform_into(std::span<const double> row,
+                      std::vector<double>& out) const;
+
   /// Encode the whole dataset (row-major, size() x encoded_width()).
   std::vector<double> transform_all(const Dataset& data) const;
+
+  /// Sparse CSR encoding of the whole dataset. One-hot blocks make the dense
+  /// encoding mostly zeros — each row has at most one entry per input column
+  /// (exactly one per numeric column, one per in-cardinality categorical),
+  /// with entry indices strictly ascending within a row. Iterating the
+  /// sparse entries in order visits the same nonzero terms, in the same
+  /// order, as a dense scan that skips zeros.
+  struct SparseRows {
+    std::vector<std::uint32_t> index;      // encoded column of each entry
+    std::vector<double> value;
+    std::vector<std::size_t> row_begin;    // size n + 1; entries of row i are
+                                           // [row_begin[i], row_begin[i+1])
+  };
+  SparseRows sparse_transform_all(const Dataset& data) const;
 
  private:
   struct ColumnPlan {

@@ -19,7 +19,7 @@ std::vector<LearnerKind> all_learners() {
 }
 
 std::unique_ptr<Learner> make_learner(LearnerKind kind, std::uint64_t seed,
-                                      bool fast) {
+                                      bool fast, int threads) {
   // The enum is a typed view onto the shared registry (exp/registry.hpp);
   // the paper hyper-parameters live in the registry's factories.
   const char* name = nullptr;
@@ -32,6 +32,7 @@ std::unique_ptr<Learner> make_learner(LearnerKind kind, std::uint64_t seed,
   LearnerSpec spec;
   spec.seed = seed;
   spec.fast = fast;
+  spec.threads = threads;
   return make_named_learner(name, spec).value();
 }
 

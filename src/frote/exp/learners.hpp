@@ -16,7 +16,9 @@ enum class LearnerKind { kLR, kRF, kLGBM };
 const char* learner_name(LearnerKind kind);
 std::vector<LearnerKind> all_learners();
 
+/// `threads` parallelises training (0 ⇒ FROTE_NUM_THREADS); the trained
+/// model is identical for every thread count.
 std::unique_ptr<Learner> make_learner(LearnerKind kind, std::uint64_t seed,
-                                      bool fast = false);
+                                      bool fast = false, int threads = 0);
 
 }  // namespace frote

@@ -32,6 +32,7 @@ struct Registry {
     learners["lr"] = [](const LearnerSpec& spec) -> std::unique_ptr<Learner> {
       LogisticRegressionConfig config;
       config.max_iter = spec.fast ? 120 : 500;  // paper: max_iter = 500
+      config.threads = spec.threads;
       return std::make_unique<LogisticRegressionLearner>(config);
     };
     learners["rf"] = [](const LearnerSpec& spec) -> std::unique_ptr<Learner> {
@@ -39,12 +40,14 @@ struct Registry {
       config.max_depth = 3;  // paper's setting
       config.num_trees = spec.fast ? 15 : 50;
       config.seed = spec.seed;
+      config.threads = spec.threads;
       return std::make_unique<RandomForestLearner>(config);
     };
     learners["gbdt"] = [](const LearnerSpec& spec) -> std::unique_ptr<Learner> {
       GbdtConfig config;
       config.num_rounds = spec.fast ? 15 : 60;
       config.seed = spec.seed;
+      config.threads = spec.threads;
       return std::make_unique<GbdtLearner>(config);
     };
     learners["lgbm"] = learners["gbdt"];  // the paper's name for it
@@ -66,6 +69,7 @@ struct Registry {
         -> Expected<std::shared_ptr<const BaseInstanceSelector>> {
       IpSelectorConfig config;
       config.k = spec.k;
+      config.threads = spec.threads;
       return std::shared_ptr<const BaseInstanceSelector>(
           std::make_shared<IpSelector>(config));
     };

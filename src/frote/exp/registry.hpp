@@ -29,10 +29,13 @@
 namespace frote {
 
 /// Options handed to a learner factory. `fast` selects reduced capacities
-/// for smoke runs (the harness's FROTE_FAST mode).
+/// for smoke runs (the harness's FROTE_FAST mode). `threads` is forwarded
+/// into the learner configs that parallelise training (lr/rf/gbdt);
+/// 0 ⇒ FROTE_NUM_THREADS — training output is identical for every value.
 struct LearnerSpec {
   std::uint64_t seed = 42;
   bool fast = false;
+  int threads = 0;
 };
 
 /// Options handed to a selector factory. `frs` is required by selectors that
@@ -42,6 +45,8 @@ struct LearnerSpec {
 struct SelectorSpec {
   std::size_t k = 5;
   const FeedbackRuleSet* frs = nullptr;
+  /// Threads for selectors with a scoring sweep (ip); 0 ⇒ FROTE_NUM_THREADS.
+  int threads = 0;
 };
 
 using LearnerFactory =

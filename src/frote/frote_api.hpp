@@ -47,6 +47,12 @@
 // Named components: make_named_learner("rf", ...) / make_named_selector(
 // "ip", ...) in exp/registry.hpp resolve the string names shared by the CLI
 // and the experiment harness.
+//
+// Threading: Engine::Builder::threads(n), the learner configs' `threads`
+// fields (or LearnerSpec::threads through the registry), and the
+// FROTE_NUM_THREADS environment variable parallelise the retrain/eval hot
+// paths. Output is bit-identical for every thread count — see
+// util/parallel.hpp and the README's "Performance & threading" section.
 // ---------------------------------------------------------------------------
 #pragma once
 
@@ -96,7 +102,10 @@
 #include "frote/exp/learners.hpp"
 #include "frote/exp/registry.hpp"
 
-// Utilities: typed errors/Expected, deterministic RNG, text tables.
+// Utilities: typed errors/Expected, deterministic RNG, the deterministic
+// parallel subsystem (FROTE_NUM_THREADS / Engine::Builder::threads — output
+// is bit-identical for every thread count), text tables.
 #include "frote/util/error.hpp"
+#include "frote/util/parallel.hpp"
 #include "frote/util/rng.hpp"
 #include "frote/util/table.hpp"

@@ -32,6 +32,14 @@ class MixedDistance {
 
   double categorical_penalty() const { return nominal_diff_; }
 
+  /// Per-column layout accessors, so index structures can pre-scale rows
+  /// into a packed layout and run the scan without per-column branches.
+  std::size_t num_columns() const { return columns_.size(); }
+  bool column_categorical(std::size_t f) const {
+    return columns_[f].categorical;
+  }
+  double column_inv_std(std::size_t f) const { return columns_[f].inv_std; }
+
  private:
   struct Column {
     bool categorical = false;

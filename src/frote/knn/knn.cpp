@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "frote/util/parallel.hpp"
+
 namespace frote {
 
 namespace {
+
+/// Rows per chunk of a brute-force scan. Large enough that the common small
+/// indexes (rule base populations, n ≤ a few thousand) stay single-chunk.
+constexpr std::size_t kScanGrain = 1024;
 
 std::vector<std::size_t> all_indices(const Dataset& data) {
   std::vector<std::size_t> idx(data.size());
@@ -13,7 +19,9 @@ std::vector<std::size_t> all_indices(const Dataset& data) {
   return idx;
 }
 
-/// Keep a bounded max-heap of the k best neighbours (worst on top).
+/// Keep a bounded max-heap of the k best neighbours (worst on top). The
+/// `distance` field holds *squared* distances until heap_finish — the
+/// ordering (and the index tie-break) is unchanged by the monotone sqrt.
 struct NeighborCmp {
   bool operator()(const Neighbor& a, const Neighbor& b) const {
     if (a.distance != b.distance) return a.distance < b.distance;
@@ -32,47 +40,149 @@ void heap_offer(std::vector<Neighbor>& heap, std::size_t k, Neighbor cand) {
   }
 }
 
+/// Sort ascending and convert the stored squared distances to distances.
 std::vector<Neighbor> heap_finish(std::vector<Neighbor> heap) {
   std::sort_heap(heap.begin(), heap.end(), NeighborCmp{});
+  for (auto& neighbor : heap) neighbor.distance = std::sqrt(neighbor.distance);
   return heap;
 }
 
 }  // namespace
 
-BruteKnn::BruteKnn(const Dataset& data, MixedDistance distance,
-                   std::vector<std::size_t> indices)
-    : distance_(std::move(distance)) {
-  row_ids_ = indices.empty() ? all_indices(data) : std::move(indices);
-  rows_.reserve(row_ids_.size());
-  for (std::size_t id : row_ids_) {
-    auto row = data.row(id);
-    rows_.emplace_back(row.begin(), row.end());
+namespace detail {
+
+// PackedRows: the shared storage format of both engines. Columns are
+// permuted so the numeric features come first — pre-multiplied by 1/σ, so
+// the scan's numeric term is a plain squared difference — followed by the
+// raw categorical codes, whose mismatches add a constant squared penalty.
+// The squared-distance kernel is therefore two tight branch-free-per-column
+// loops over contiguous memory. Both engines pack identically, so they agree
+// on every distance bit.
+
+PackedRows::PackedRows(const Dataset& data, const MixedDistance& distance,
+                       const std::vector<std::size_t>& row_ids) {
+  dim_ = distance.num_columns();
+  penalty_sq_ = distance.categorical_penalty() * distance.categorical_penalty();
+  slot_of_.resize(dim_);
+  scale_.assign(dim_, 1.0);
+  std::size_t slot = 0;
+  for (std::size_t f = 0; f < dim_; ++f) {
+    if (!distance.column_categorical(f)) {
+      slot_of_[f] = slot++;
+      scale_[f] = distance.column_inv_std(f);
+    }
+  }
+  numeric_count_ = slot;
+  for (std::size_t f = 0; f < dim_; ++f) {
+    if (distance.column_categorical(f)) slot_of_[f] = slot++;
+  }
+  data_.resize(row_ids.size() * dim_);
+  for (std::size_t i = 0; i < row_ids.size(); ++i) {
+    pack_row(data.row(row_ids[i]), data_.data() + i * dim_);
   }
 }
 
+void PackedRows::pack_row(std::span<const double> raw, double* out) const {
+  for (std::size_t f = 0; f < dim_; ++f) {
+    out[slot_of_[f]] = raw[f] * scale_[f];
+  }
+}
+
+void PackedRows::pack_query(std::span<const double> raw,
+                            std::vector<double>& out) const {
+  out.resize(dim_);
+  pack_row(raw, out.data());
+}
+
+void PackedRows::permute(const std::vector<std::size_t>& order) {
+  std::vector<double> next(data_.size());
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    std::copy(data_.begin() + static_cast<std::ptrdiff_t>(order[pos] * dim_),
+              data_.begin() +
+                  static_cast<std::ptrdiff_t>((order[pos] + 1) * dim_),
+              next.begin() + static_cast<std::ptrdiff_t>(pos * dim_));
+  }
+  data_ = std::move(next);
+}
+
+double PackedRows::squared(const double* a, const double* b) const {
+  double acc = 0.0;
+  std::size_t f = 0;
+  for (; f < numeric_count_; ++f) {
+    const double diff = a[f] - b[f];
+    acc += diff * diff;
+  }
+  // Branchless mismatch accumulation (adds an exact 0.0 on a match, so the
+  // result is unchanged) keeps the loop auto-vectorisable.
+  for (; f < dim_; ++f) {
+    acc += penalty_sq_ * static_cast<double>(a[f] != b[f]);
+  }
+  return acc;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// BruteKnn
+
+BruteKnn::BruteKnn(const Dataset& data, MixedDistance distance,
+                   std::vector<std::size_t> indices, int threads)
+    : row_ids_(indices.empty() ? all_indices(data) : std::move(indices)),
+      packed_(data, distance, row_ids_), threads_(threads) {}
+
 std::vector<Neighbor> BruteKnn::query(std::span<const double> query,
                                       std::size_t k) const {
-  std::vector<Neighbor> heap;
-  heap.reserve(k + 1);
-  for (std::size_t i = 0; i < rows_.size(); ++i) {
-    heap_offer(heap, k, {i, std::sqrt(distance_.squared(rows_[i], query))});
-  }
+  if (k == 0 || row_ids_.empty()) return {};
+  static thread_local std::vector<double> packed_query;
+  packed_.pack_query(query, packed_query);
+  const double* q = packed_query.data();
+  // Per-chunk bounded heaps over fixed chunk boundaries, merged in ascending
+  // chunk order. The k-best set under the (distance, index) total order is
+  // independent of the chunking, so every thread count agrees exactly.
+  std::vector<Neighbor> heap = parallel_reduce(
+      row_ids_.size(), kScanGrain, threads_, std::vector<Neighbor>{},
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<Neighbor> local;
+        local.reserve(k + 1);
+        for (std::size_t i = begin; i < end; ++i) {
+          heap_offer(local, k, {i, packed_.squared(packed_.row(i), q)});
+        }
+        return local;
+      },
+      [k](std::vector<Neighbor>& acc, std::vector<Neighbor>&& part) {
+        if (acc.empty()) {
+          acc = std::move(part);
+          return;
+        }
+        for (const Neighbor& cand : part) heap_offer(acc, k, cand);
+      });
   return heap_finish(std::move(heap));
 }
+
+// ---------------------------------------------------------------------------
+// BallTreeKnn
 
 BallTreeKnn::BallTreeKnn(const Dataset& data, MixedDistance distance,
                          std::vector<std::size_t> indices,
                          std::size_t leaf_size)
-    : distance_(std::move(distance)), leaf_size_(std::max<std::size_t>(1, leaf_size)) {
-  row_ids_ = indices.empty() ? all_indices(data) : std::move(indices);
-  rows_.reserve(row_ids_.size());
-  for (std::size_t id : row_ids_) {
-    auto row = data.row(id);
-    rows_.emplace_back(row.begin(), row.end());
-  }
-  order_.resize(rows_.size());
+    : row_ids_(indices.empty() ? all_indices(data) : std::move(indices)),
+      packed_(data, distance, row_ids_),
+      leaf_size_(std::max<std::size_t>(1, leaf_size)) {
+  order_.resize(row_ids_.size());
   for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
-  if (!rows_.empty()) build(0, rows_.size());
+  if (row_ids_.empty()) return;
+  keyed_.reserve(row_ids_.size());
+  build(0, row_ids_.size());
+  keyed_ = {};  // build-only scratch
+  // Reorder storage so every leaf (and every subtree) is one contiguous
+  // block: leaf scans walk linear memory. nodes_[].center holds storage
+  // *positions* from here on; order_ maps positions back to row-set indices.
+  packed_.permute(order_);
+  std::vector<std::size_t> pos_of(order_.size());
+  for (std::size_t pos = 0; pos < order_.size(); ++pos) {
+    pos_of[order_[pos]] = pos;
+  }
+  for (auto& node : nodes_) node.center = pos_of[node.center];
 }
 
 int BallTreeKnn::build(std::size_t begin, std::size_t end) {
@@ -81,47 +191,69 @@ int BallTreeKnn::build(std::size_t begin, std::size_t end) {
   Node node;
   node.begin = begin;
   node.end = end;
-  // Pivot: first point of the range; radius covers the whole range.
+  // Pivot: first point of the range (the parent swaps its split pole here,
+  // so the ball is centred on a pole, which keeps radii tight). One pass
+  // computes the covering radius and the furthest point — the left pole of
+  // this node's own split — together.
   node.center = order_[begin];
   node.radius = 0.0;
+  std::size_t left_pole_at = begin;
+  const double* center_row = packed_.row(node.center);
   for (std::size_t i = begin; i < end; ++i) {
-    node.radius =
-        std::max(node.radius, (distance_)(rows_[node.center], rows_[order_[i]]));
+    const double d =
+        std::sqrt(packed_.squared(center_row, packed_.row(order_[i])));
+    if (d > node.radius) {
+      node.radius = d;
+      left_pole_at = i;
+    }
   }
   if (end - begin > leaf_size_) {
-    // Furthest-point split: pick the point furthest from the pivot as the
-    // left pole, and the point furthest from the left pole as the right pole.
-    std::size_t left_pole = order_[begin];
+    // Furthest-point split: the left pole is the point furthest from the
+    // pivot; the right pole is the point furthest from the left pole. The
+    // left-pole distances double as the first half of the partition key.
+    const std::size_t left_pole = order_[left_pole_at];
+    const double* left_row = packed_.row(left_pole);
+    keyed_.clear();
+    std::size_t right_pole = left_pole;
     double best = -1.0;
     for (std::size_t i = begin; i < end; ++i) {
-      const double d = distance_(rows_[node.center], rows_[order_[i]]);
-      if (d > best) {
-        best = d;
-        left_pole = order_[i];
-      }
-    }
-    std::size_t right_pole = left_pole;
-    best = -1.0;
-    for (std::size_t i = begin; i < end; ++i) {
-      const double d = distance_(rows_[left_pole], rows_[order_[i]]);
-      if (d > best) {
-        best = d;
+      const double dl =
+          std::sqrt(packed_.squared(left_row, packed_.row(order_[i])));
+      if (dl > best) {
+        best = dl;
         right_pole = order_[i];
       }
+      keyed_.emplace_back(dl, order_[i]);
     }
-    // Partition by nearer pole (ties to the left) around the median.
-    std::vector<std::pair<double, std::size_t>> keyed;
-    keyed.reserve(end - begin);
+    const double* right_row = packed_.row(right_pole);
+    // Partition by nearer pole (key = d_left − d_right, ties by row index)
+    // around the median.
     for (std::size_t i = begin; i < end; ++i) {
-      const double dl = distance_(rows_[left_pole], rows_[order_[i]]);
-      const double dr = distance_(rows_[right_pole], rows_[order_[i]]);
-      keyed.emplace_back(dl - dr, order_[i]);
-    }
-    std::sort(keyed.begin(), keyed.end());
-    for (std::size_t i = 0; i < keyed.size(); ++i) {
-      order_[begin + i] = keyed[i].second;
+      keyed_[i - begin].first -=
+          std::sqrt(packed_.squared(right_row, packed_.row(order_[i])));
     }
     const std::size_t mid = begin + (end - begin) / 2;
+    std::nth_element(keyed_.begin(),
+                     keyed_.begin() + static_cast<std::ptrdiff_t>(mid - begin),
+                     keyed_.end());
+    for (std::size_t i = 0; i < keyed_.size(); ++i) {
+      order_[begin + i] = keyed_[i].second;
+    }
+    // Centre each child ball on its pole: the left pole has the most
+    // negative key (its own d_left is 0), so it already sits in the left
+    // half; the right pole symmetrically in the right half. Swapping them to
+    // the front of their ranges makes them the children's pivots.
+    const auto swap_to_front = [&](std::size_t lo, std::size_t hi,
+                                   std::size_t pole) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (order_[i] == pole) {
+          std::swap(order_[lo], order_[i]);
+          return;
+        }
+      }
+    };
+    swap_to_front(begin, mid, left_pole);
+    swap_to_front(mid, end, right_pole);
     if (mid > begin && mid < end) {
       node.left = build(begin, mid);
       node.right = build(mid, end);
@@ -131,41 +263,65 @@ int BallTreeKnn::build(std::size_t begin, std::size_t end) {
   return node_id;
 }
 
-void BallTreeKnn::search(int node_id, std::span<const double> query,
-                         std::size_t k, std::vector<Neighbor>& heap) const {
+void BallTreeKnn::search(int node_id, const double* query, std::size_t k,
+                         std::vector<Neighbor>& heap, double center_sq) const {
   const Node& node = nodes_[static_cast<std::size_t>(node_id)];
-  const double center_dist = distance_(rows_[node.center], query);
-  // Prune: nothing in this ball can beat the current worst.
-  if (heap.size() == k && center_dist - node.radius > heap.front().distance) {
-    return;
+  // Prune: nothing in this ball can beat the current worst. Comparing the
+  // squared gap against the squared worst distance avoids a sqrt of the
+  // heap front on every visit.
+  if (heap.size() == k) {
+    const double gap = std::sqrt(center_sq) - node.radius;
+    if (gap > 0.0 && gap * gap > heap.front().distance) return;
   }
   if (node.left < 0) {
     for (std::size_t i = node.begin; i < node.end; ++i) {
-      const std::size_t row = order_[i];
-      heap_offer(heap, k, {row, distance_(rows_[row], query)});
+      heap_offer(heap, k,
+                 {order_[i], packed_.squared(packed_.row(i), query)});
     }
     return;
   }
-  // Visit the child whose pivot is nearer first for better pruning.
+  // Visit the child whose pivot is nearer first for better pruning; the
+  // children's center distances are computed here once and handed down.
   const Node& l = nodes_[static_cast<std::size_t>(node.left)];
   const Node& r = nodes_[static_cast<std::size_t>(node.right)];
-  const double dl = distance_(rows_[l.center], query);
-  const double dr = distance_(rows_[r.center], query);
+  const double dl = packed_.squared(packed_.row(l.center), query);
+  const double dr = packed_.squared(packed_.row(r.center), query);
   if (dl <= dr) {
-    search(node.left, query, k, heap);
-    search(node.right, query, k, heap);
+    search(node.left, query, k, heap, dl);
+    search(node.right, query, k, heap, dr);
   } else {
-    search(node.right, query, k, heap);
-    search(node.left, query, k, heap);
+    search(node.right, query, k, heap, dr);
+    search(node.left, query, k, heap, dl);
   }
 }
 
 std::vector<Neighbor> BallTreeKnn::query(std::span<const double> query,
                                          std::size_t k) const {
+  if (k == 0 || row_ids_.empty()) return {};
+  static thread_local std::vector<double> packed_query;
+  packed_.pack_query(query, packed_query);
+  const double* q = packed_query.data();
   std::vector<Neighbor> heap;
   heap.reserve(k + 1);
-  if (!rows_.empty() && k > 0) search(0, query, k, heap);
+  search(0, q, k, heap,
+         packed_.squared(packed_.row(nodes_[0].center), q));
   return heap_finish(std::move(heap));
+}
+
+// ---------------------------------------------------------------------------
+// Engine selection
+
+std::unique_ptr<KnnIndex> make_knn_index(const Dataset& data,
+                                         MixedDistance distance,
+                                         std::vector<std::size_t> indices,
+                                         const KnnIndexConfig& config) {
+  const std::size_t n = indices.empty() ? data.size() : indices.size();
+  if (n < config.brute_crossover) {
+    return std::make_unique<BruteKnn>(data, std::move(distance),
+                                      std::move(indices), config.threads);
+  }
+  return std::make_unique<BallTreeKnn>(data, std::move(distance),
+                                       std::move(indices), config.leaf_size);
 }
 
 }  // namespace frote

@@ -1,12 +1,19 @@
 // k-nearest-neighbour search over a fixed set of rows with the SMOTE-NC
 // mixed distance. Two engines with identical results:
-//  - BruteKnn: O(n) per query;
+//  - BruteKnn: flat scan over contiguous row storage, O(n) per query,
+//    chunk-parallel for large row sets;
 //  - BallTreeKnn: metric ball tree (the paper uses sklearn's ball_tree).
+// Both engines compare squared distances internally (the square root is
+// taken once per reported neighbour), and both break distance ties by row
+// index, so they agree exactly. make_knn_index() picks the engine by row
+// count: below the measured crossover the flat scan wins and the ball tree
+// never earns its build cost.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "frote/data/dataset.hpp"
@@ -19,6 +26,34 @@ struct Neighbor {
   double distance = 0.0;
 };
 
+namespace detail {
+/// Contiguous pre-scaled row storage shared by both engines: numeric columns
+/// first (pre-multiplied by 1/σ so the scan is a plain squared difference),
+/// then raw categorical codes (mismatch adds a constant squared penalty).
+class PackedRows {
+ public:
+  PackedRows(const Dataset& data, const MixedDistance& distance,
+             const std::vector<std::size_t>& row_ids);
+
+  std::size_t dim() const { return dim_; }
+  const double* row(std::size_t pos) const { return data_.data() + pos * dim_; }
+  void pack_query(std::span<const double> raw, std::vector<double>& out) const;
+  /// Reorder storage so position p holds the row previously at order[p].
+  void permute(const std::vector<std::size_t>& order);
+  double squared(const double* a, const double* b) const;
+
+ private:
+  void pack_row(std::span<const double> raw, double* out) const;
+
+  std::vector<double> data_;  // row-major, n x dim_
+  std::size_t dim_ = 0;
+  std::size_t numeric_count_ = 0;
+  double penalty_sq_ = 1.0;
+  std::vector<std::size_t> slot_of_;  // feature -> packed slot
+  std::vector<double> scale_;         // feature -> 1/σ (1 for categorical)
+};
+}  // namespace detail
+
 /// Common interface for kNN engines.
 class KnnIndex {
  public:
@@ -28,57 +63,94 @@ class KnnIndex {
   virtual std::vector<Neighbor> query(std::span<const double> query,
                                       std::size_t k) const = 0;
   virtual std::size_t size() const = 0;
+  /// Row-set index -> original dataset row index.
+  virtual std::size_t dataset_index(std::size_t i) const = 0;
 };
 
-/// Exhaustive scan.
+/// Exhaustive scan over contiguous rows.
 class BruteKnn : public KnnIndex {
  public:
   /// Index the rows of `data` at `indices` (or all rows when empty).
+  /// `threads` chunks the distance scan of large row sets;
+  /// 0 ⇒ FROTE_NUM_THREADS. Results are identical for every thread count.
   BruteKnn(const Dataset& data, MixedDistance distance,
-           std::vector<std::size_t> indices = {});
+           std::vector<std::size_t> indices = {}, int threads = 0);
 
   std::vector<Neighbor> query(std::span<const double> query,
                               std::size_t k) const override;
-  std::size_t size() const override { return rows_.size(); }
-
-  /// Row-set index -> original dataset row index.
-  std::size_t dataset_index(std::size_t i) const { return row_ids_[i]; }
+  std::size_t size() const override { return row_ids_.size(); }
+  std::size_t dataset_index(std::size_t i) const override {
+    return row_ids_[i];
+  }
 
  private:
-  std::vector<std::vector<double>> rows_;
   std::vector<std::size_t> row_ids_;
-  MixedDistance distance_;
+  detail::PackedRows packed_;
+  int threads_ = 0;
 };
 
 /// Metric ball tree (furthest-point split).
 class BallTreeKnn : public KnnIndex {
  public:
+  /// Leaf size balances per-node pruning against the (cheap, contiguous)
+  /// leaf scans; the default is tuned on bench_micro's BM_KnnBallTree.
+  static constexpr std::size_t kDefaultLeafSize = 32;
+
   BallTreeKnn(const Dataset& data, MixedDistance distance,
-              std::vector<std::size_t> indices = {}, std::size_t leaf_size = 16);
+              std::vector<std::size_t> indices = {},
+              std::size_t leaf_size = kDefaultLeafSize);
 
   std::vector<Neighbor> query(std::span<const double> query,
                               std::size_t k) const override;
-  std::size_t size() const override { return rows_.size(); }
-  std::size_t dataset_index(std::size_t i) const { return row_ids_[i]; }
+  std::size_t size() const override { return row_ids_.size(); }
+  std::size_t dataset_index(std::size_t i) const override {
+    return row_ids_[i];
+  }
 
  private:
   struct Node {
-    std::size_t begin = 0, end = 0;  // range into order_
-    std::size_t center = 0;          // index into rows_ of the pivot row
+    std::size_t begin = 0, end = 0;  // range into order_ (= storage range)
+    /// Row-set index of the pivot during build; remapped to its storage
+    /// position once the leaf-contiguous permutation is applied.
+    std::size_t center = 0;
     double radius = 0.0;
     int left = -1, right = -1;       // children node ids; -1 for leaf
   };
 
   int build(std::size_t begin, std::size_t end);
-  void search(int node, std::span<const double> query, std::size_t k,
-              std::vector<Neighbor>& heap) const;
+  /// `center_sq` is the squared distance from the packed query to this
+  /// node's pivot, computed by the parent so no node measures its own
+  /// center twice.
+  void search(int node, const double* query, std::size_t k,
+              std::vector<Neighbor>& heap, double center_sq) const;
 
-  std::vector<std::vector<double>> rows_;
   std::vector<std::size_t> row_ids_;
-  std::vector<std::size_t> order_;  // permutation of row-set indices
+  detail::PackedRows packed_;
+  std::vector<std::size_t> order_;  // storage position -> row-set index
   std::vector<Node> nodes_;
-  MixedDistance distance_;
   std::size_t leaf_size_;
+  // Build-time scratch (partition keys); reused across nodes, dead after
+  // construction.
+  std::vector<std::pair<double, std::size_t>> keyed_;
 };
+
+/// Engine-selection knobs for make_knn_index.
+struct KnnIndexConfig {
+  std::size_t leaf_size = BallTreeKnn::kDefaultLeafSize;
+  /// Below this many indexed rows the flat scan beats the ball tree per
+  /// query *and* skips the build cost entirely. Measured crossover on
+  /// bench_micro's adult workload: the tree's query first wins at n = 4000
+  /// (BM_KnnBallTree/4000 vs BM_KnnBrute/4000) and still loses at n = 1000
+  /// (see BENCH_micro.json, including BM_BallTreeBuild for the build cost).
+  std::size_t brute_crossover = 4000;
+  int threads = 0;  // for BruteKnn's chunked scans; 0 ⇒ FROTE_NUM_THREADS
+};
+
+/// The library's default index: brute force below the measured crossover,
+/// ball tree above it. Both engines return identical neighbours.
+std::unique_ptr<KnnIndex> make_knn_index(const Dataset& data,
+                                         MixedDistance distance,
+                                         std::vector<std::size_t> indices = {},
+                                         const KnnIndexConfig& config = {});
 
 }  // namespace frote

@@ -1,6 +1,14 @@
 #include "frote/metrics/metrics.hpp"
 
+#include "frote/util/parallel.hpp"
+
 namespace frote {
+
+namespace {
+/// Rows per chunk of the evaluation sweeps. Fixed, so the accumulation order
+/// of the floating MRA terms depends only on the dataset size.
+constexpr std::size_t kEvalGrain = 256;
+}  // namespace
 
 ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
     : classes_(num_classes), counts_(num_classes * num_classes, 0) {
@@ -8,13 +16,18 @@ ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
 }
 
 void ConfusionMatrix::add(int true_label, int predicted_label) {
+  add(true_label, predicted_label, 1);
+}
+
+void ConfusionMatrix::add(int true_label, int predicted_label,
+                          std::size_t count) {
   FROTE_CHECK(true_label >= 0 &&
               static_cast<std::size_t>(true_label) < classes_);
   FROTE_CHECK(predicted_label >= 0 &&
               static_cast<std::size_t>(predicted_label) < classes_);
   counts_[static_cast<std::size_t>(true_label) * classes_ +
-          static_cast<std::size_t>(predicted_label)]++;
-  ++total_;
+          static_cast<std::size_t>(predicted_label)] += count;
+  total_ += count;
 }
 
 std::size_t ConfusionMatrix::count(int true_label, int predicted_label) const {
@@ -71,56 +84,129 @@ double ConfusionMatrix::weighted_f1() const {
 }
 
 RuleAgreement rule_agreement(const Model& model, const FeedbackRule& rule,
-                             const Dataset& data) {
+                             const Dataset& data, int threads) {
+  // Chunked sweep; per-chunk accumulators combine in ascending chunk order,
+  // and only covered rows pay for a prediction (batched, allocation-free).
+  struct Partial {
+    double acc = 0.0;
+    std::size_t covered = 0;
+  };
+  const Partial total = parallel_reduce(
+      data.size(), kEvalGrain, threads, Partial{},
+      [&](std::size_t begin, std::size_t end) {
+        Partial p;
+        std::vector<double> proba;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto row = data.row(i);
+          if (!rule.covers(row)) continue;
+          ++p.covered;
+          // E_{Y~π}[1 − L1(M(x), Y)] with 0-1 loss = π(M(x)).
+          model.predict_proba_into(row, proba);
+          p.acc += rule.pi.prob(argmax_class(proba));
+        }
+        return p;
+      },
+      [](Partial& acc, Partial&& part) {
+        acc.acc += part.acc;
+        acc.covered += part.covered;
+      });
   RuleAgreement out;
-  double acc = 0.0;
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    const auto row = data.row(i);
-    if (!rule.covers(row)) continue;
-    ++out.covered;
-    // E_{Y~π}[1 − L1(M(x), Y)] with 0-1 loss = π(M(x)).
-    acc += rule.pi.prob(model.predict(row));
-  }
-  if (out.covered > 0) out.mra = acc / static_cast<double>(out.covered);
+  out.covered = total.covered;
+  if (out.covered > 0) out.mra = total.acc / static_cast<double>(out.covered);
   return out;
 }
 
 ObjectiveBreakdown evaluate_objective(const Model& model,
                                       const FeedbackRuleSet& frs,
-                                      const Dataset& data) {
+                                      const Dataset& data, int threads) {
   ObjectiveBreakdown out;
   if (data.empty()) return out;
 
-  // Membership in cov(F, D) and, per rule, the agreement accumulators.
-  std::vector<bool> covered(data.size(), false);
+  // One chunked pass over the dataset: per-rule agreement/coverage terms,
+  // cov(F, D) membership, and the outside-coverage confusion counts. Each
+  // row is predicted once (the batch entry point, no per-row allocations);
+  // chunks combine in ascending order so the float accumulation order is a
+  // pure function of (|D|, grain), never of the thread count.
+  const std::size_t num_rules = frs.size();
+  const std::size_t classes = data.num_classes();
+  struct Partial {
+    std::vector<double> rule_acc;       // Σ_covered π(M(x)) per rule
+    std::vector<std::size_t> rule_cov;  // per-rule cover counts
+    std::vector<std::size_t> cm;        // classes x classes confusion counts
+    std::size_t covered = 0;
+    std::size_t outside = 0;
+  };
+  const Partial total = parallel_reduce(
+      data.size(), kEvalGrain, threads, Partial{},
+      [&](std::size_t begin, std::size_t end) {
+        Partial p;
+        p.rule_acc.assign(num_rules, 0.0);
+        p.rule_cov.assign(num_rules, 0);
+        p.cm.assign(classes * classes, 0);
+        std::vector<double> proba;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto row = data.row(i);
+          int predicted = -1;
+          bool row_covered = false;
+          for (std::size_t r = 0; r < num_rules; ++r) {
+            const auto& rule = frs.rule(r);
+            if (!rule.covers(row)) continue;
+            row_covered = true;
+            if (predicted < 0) {
+              model.predict_proba_into(row, proba);
+              predicted = argmax_class(proba);
+            }
+            ++p.rule_cov[r];
+            p.rule_acc[r] += rule.pi.prob(predicted);
+          }
+          if (row_covered) {
+            ++p.covered;
+          } else {
+            ++p.outside;
+            model.predict_proba_into(row, proba);
+            p.cm[static_cast<std::size_t>(data.label(i)) * classes +
+                 static_cast<std::size_t>(argmax_class(proba))]++;
+          }
+        }
+        return p;
+      },
+      [](Partial& acc, Partial&& part) {
+        if (acc.rule_acc.empty() && acc.cm.empty()) {
+          acc = std::move(part);
+          return;
+        }
+        for (std::size_t r = 0; r < acc.rule_acc.size(); ++r) {
+          acc.rule_acc[r] += part.rule_acc[r];
+          acc.rule_cov[r] += part.rule_cov[r];
+        }
+        for (std::size_t c = 0; c < acc.cm.size(); ++c) {
+          acc.cm[c] += part.cm[c];
+        }
+        acc.covered += part.covered;
+        acc.outside += part.outside;
+      });
+
+  // Per-rule MRA terms summed in rule order, weighted by coverage — the same
+  // reduction the rule-major sweep performed.
   double mra_weighted = 0.0;
   std::size_t cover_weights = 0;
-  for (const auto& rule : frs.rules()) {
-    double acc = 0.0;
-    std::size_t cov = 0;
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      const auto row = data.row(i);
-      if (!rule.covers(row)) continue;
-      covered[i] = true;
-      ++cov;
-      acc += rule.pi.prob(model.predict(row));
-    }
-    mra_weighted += acc;  // Σ_covered π(M(x)); per-rule weight = coverage
-    cover_weights += cov;
+  for (std::size_t r = 0; r < num_rules; ++r) {
+    mra_weighted += total.rule_acc[r];
+    cover_weights += total.rule_cov[r];
   }
   out.mra = cover_weights > 0
                 ? mra_weighted / static_cast<double>(cover_weights)
                 : 1.0;  // vacuously satisfied FRS
 
-  ConfusionMatrix cm(data.num_classes());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    if (covered[i]) {
-      ++out.covered;
-    } else {
-      ++out.outside;
-      cm.add(data.label(i), model.predict(data.row(i)));
+  ConfusionMatrix cm(classes);
+  for (std::size_t t = 0; t < classes; ++t) {
+    for (std::size_t pr = 0; pr < classes; ++pr) {
+      cm.add(static_cast<int>(t), static_cast<int>(pr),
+             total.cm[t * classes + pr]);
     }
   }
+  out.covered = total.covered;
+  out.outside = total.outside;
   // Support-weighted F1: robust when a class is absent from the outside
   // population (positive-class binary F1 degenerates to 0 there even for a
   // perfect model, so we use the weighted average for all class counts).
@@ -131,14 +217,14 @@ ObjectiveBreakdown evaluate_objective(const Model& model,
 }
 
 double test_j_bar(const Model& model, const FeedbackRuleSet& frs,
-                  const Dataset& data) {
-  const auto b = evaluate_objective(model, frs, data);
+                  const Dataset& data, int threads) {
+  const auto b = evaluate_objective(model, frs, data, threads);
   return b.j_bar(b.coverage_prob);
 }
 
 double train_j_hat_bar(const Model& model, const FeedbackRuleSet& frs,
-                       const Dataset& data) {
-  auto b = evaluate_objective(model, frs, data);
+                       const Dataset& data, int threads) {
+  auto b = evaluate_objective(model, frs, data, threads);
   // Pessimistic vacuous MRA: with no covered instance in the evaluation
   // dataset the model has demonstrated no rule agreement at all. This is
   // what lets Algorithm 1 bootstrap in the tcf = 0 regime — the first

@@ -23,6 +23,9 @@ class ConfusionMatrix {
   explicit ConfusionMatrix(std::size_t num_classes);
 
   void add(int true_label, int predicted_label);
+  /// Bulk form: add `count` occurrences of the (true, predicted) pair — the
+  /// merge path for counts accumulated across evaluation chunks.
+  void add(int true_label, int predicted_label, std::size_t count);
   std::size_t count(int true_label, int predicted_label) const;
   std::size_t total() const { return total_; }
   std::size_t num_classes() const { return classes_; }
@@ -50,7 +53,7 @@ struct RuleAgreement {
   std::size_t covered = 0;
 };
 RuleAgreement rule_agreement(const Model& model, const FeedbackRule& rule,
-                             const Dataset& data);
+                             const Dataset& data, int threads = 0);
 
 /// Components of the objective on a dataset.
 struct ObjectiveBreakdown {
@@ -69,17 +72,21 @@ struct ObjectiveBreakdown {
 /// Evaluate MRA / outside-coverage F1 of `model` against `frs` on `data`.
 /// Per-rule MRA terms are weighted by empirical per-rule coverage within the
 /// covered population (eq. 3's Pr(X ∈ cov(s_r)) normalised over the FRS).
+/// The dataset sweep is chunked through util/parallel.hpp: each chunk
+/// accumulates per-rule MRA terms and confusion counts independently, and
+/// chunks combine in ascending order — `threads` (0 ⇒ FROTE_NUM_THREADS)
+/// never changes the result.
 ObjectiveBreakdown evaluate_objective(const Model& model,
                                       const FeedbackRuleSet& frs,
-                                      const Dataset& data);
+                                      const Dataset& data, int threads = 0);
 
 /// Test-set J̄ per §5.1: MRA term weighted by the empirical coverage
 /// probability of the FRS in `data`, F1 term by its complement.
 double test_j_bar(const Model& model, const FeedbackRuleSet& frs,
-                  const Dataset& data);
+                  const Dataset& data, int threads = 0);
 
 /// FROTE's internal training objective Ĵ's complement: 0.5·MRA + 0.5·F1.
 double train_j_hat_bar(const Model& model, const FeedbackRuleSet& frs,
-                       const Dataset& data);
+                       const Dataset& data, int threads = 0);
 
 }  // namespace frote

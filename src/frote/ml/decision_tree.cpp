@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <set>
+#include <span>
+#include <utility>
 
 namespace frote {
 
-std::vector<double> DecisionTreeModel::predict_proba(
+const std::vector<double>& DecisionTreeModel::leaf_distribution(
     std::span<const double> row) const {
   FROTE_CHECK(!nodes_.empty());
   int cur = 0;
@@ -19,6 +20,17 @@ std::vector<double> DecisionTreeModel::predict_proba(
     cur = go_left ? n.left : n.right;
   }
   return nodes_[static_cast<std::size_t>(cur)].distribution;
+}
+
+std::vector<double> DecisionTreeModel::predict_proba(
+    std::span<const double> row) const {
+  return leaf_distribution(row);
+}
+
+void DecisionTreeModel::predict_proba_into(std::span<const double> row,
+                                           std::vector<double>& out) const {
+  const auto& dist = leaf_distribution(row);
+  out.assign(dist.begin(), dist.end());
 }
 
 std::size_t DecisionTreeModel::depth() const {
@@ -48,7 +60,7 @@ struct SplitCandidate {
   bool valid = false;
 };
 
-double gini_impurity(const std::vector<double>& counts, double total) {
+double gini_impurity(std::span<const double> counts, double total) {
   if (total <= 0.0) return 0.0;
   double acc = 1.0;
   for (double c : counts) {
@@ -146,10 +158,10 @@ class TreeBuilder {
     for (std::size_t f : feature_subset()) {
       const auto& spec = data_.schema().feature(f);
       if (spec.is_categorical()) {
-        eval_categorical(f, spec.cardinality(), indices, parent_gini, total,
-                         best);
+        eval_categorical(f, spec.cardinality(), indices, parent_counts,
+                         parent_gini, total, best);
       } else {
-        eval_numeric(f, indices, parent_gini, total, best);
+        eval_numeric(f, indices, parent_counts, parent_gini, total, best);
       }
     }
     return best;
@@ -157,35 +169,35 @@ class TreeBuilder {
 
   void eval_categorical(std::size_t f, std::size_t cardinality,
                         const std::vector<std::size_t>& indices,
+                        const std::vector<double>& parent_counts,
                         double parent_gini, double total,
                         SplitCandidate& best) {
-    // One-vs-rest on each category value present at the node.
-    std::vector<std::vector<double>> per_code(
-        cardinality, std::vector<double>(data_.num_classes(), 0.0));
-    std::vector<double> code_totals(cardinality, 0.0);
+    // One-vs-rest on each category value present at the node. All counts are
+    // small exact integers, so recovering "rest" by subtracting from the
+    // node counts yields the same doubles as re-summing the other codes.
+    const std::size_t classes = data_.num_classes();
+    per_code_.assign(cardinality * classes, 0.0);
+    code_totals_.assign(cardinality, 0.0);
     for (std::size_t idx : indices) {
       const auto code = static_cast<std::size_t>(data_.row(idx)[f]);
-      per_code[code][static_cast<std::size_t>(data_.label(idx))] += 1.0;
-      code_totals[code] += 1.0;
+      per_code_[code * classes + static_cast<std::size_t>(data_.label(idx))] +=
+          1.0;
+      code_totals_[code] += 1.0;
     }
-    std::vector<double> rest(data_.num_classes());
+    rest_.resize(classes);
     for (std::size_t code = 0; code < cardinality; ++code) {
-      if (code_totals[code] == 0.0 || code_totals[code] == total) continue;
-      for (std::size_t c = 0; c < rest.size(); ++c) {
-        rest[c] = 0.0;
+      if (code_totals_[code] == 0.0 || code_totals_[code] == total) continue;
+      const std::span<const double> code_counts(
+          per_code_.data() + code * classes, classes);
+      for (std::size_t c = 0; c < classes; ++c) {
+        rest_[c] = parent_counts[c] - code_counts[c];
       }
-      for (std::size_t other = 0; other < cardinality; ++other) {
-        if (other == code) continue;
-        for (std::size_t c = 0; c < rest.size(); ++c) {
-          rest[c] += per_code[other][c];
-        }
-      }
-      const double rest_total = total - code_totals[code];
+      const double rest_total = total - code_totals_[code];
       const double gain =
           parent_gini -
-          (code_totals[code] / total) * gini_impurity(per_code[code],
-                                                      code_totals[code]) -
-          (rest_total / total) * gini_impurity(rest, rest_total);
+          (code_totals_[code] / total) * gini_impurity(code_counts,
+                                                       code_totals_[code]) -
+          (rest_total / total) * gini_impurity(rest_, rest_total);
       if (gain > best.gini_gain + 1e-12) {
         best = {f, static_cast<double>(code), true, gain, true};
       }
@@ -193,48 +205,54 @@ class TreeBuilder {
   }
 
   void eval_numeric(std::size_t f, const std::vector<std::size_t>& indices,
+                    const std::vector<double>& parent_counts,
                     double parent_gini, double total, SplitCandidate& best) {
-    std::vector<double> values;
-    values.reserve(indices.size());
-    for (std::size_t idx : indices) values.push_back(data_.row(idx)[f]);
-    std::sort(values.begin(), values.end());
-    if (values.front() == values.back()) return;
-    // Quantile thresholds (midpoints between adjacent distinct quantiles).
-    std::set<double> cuts;
-    const std::size_t k = std::min(config_.numeric_cuts, values.size() - 1);
-    for (std::size_t t = 1; t <= k; ++t) {
-      const std::size_t pos =
-          t * (values.size() - 1) / (k + 1);
-      if (values[pos] != values[pos + 1]) {
-        cuts.insert(0.5 * (values[pos] + values[pos + 1]));
-      } else {
-        cuts.insert(values[pos]);
-      }
+    // One sort + one prefix sweep instead of an O(n) pass per candidate cut.
+    // Left counts per cut are exact integers (the same multiset of labels a
+    // per-cut rescan would count), so gains are bit-identical to the old
+    // rescan form; cuts are evaluated in the same ascending order.
+    auto& vl = sorted_;
+    vl.clear();
+    vl.reserve(indices.size());
+    for (std::size_t idx : indices) {
+      vl.emplace_back(data_.row(idx)[f], data_.label(idx));
     }
-    std::vector<double> left(data_.num_classes());
-    for (double cut : cuts) {
-      std::fill(left.begin(), left.end(), 0.0);
-      double left_total = 0.0;
-      for (std::size_t idx : indices) {
-        if (data_.row(idx)[f] <= cut) {
-          left[static_cast<std::size_t>(data_.label(idx))] += 1.0;
-          left_total += 1.0;
-        }
+    std::sort(vl.begin(), vl.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (vl.front().first == vl.back().first) return;
+    // Quantile thresholds (midpoints between adjacent distinct quantiles),
+    // deduplicated ascending — the same candidate set the std::set built.
+    cuts_.clear();
+    const std::size_t k = std::min(config_.numeric_cuts, vl.size() - 1);
+    for (std::size_t t = 1; t <= k; ++t) {
+      const std::size_t pos = t * (vl.size() - 1) / (k + 1);
+      cuts_.push_back(vl[pos].first != vl[pos + 1].first
+                          ? 0.5 * (vl[pos].first + vl[pos + 1].first)
+                          : vl[pos].first);
+    }
+    std::sort(cuts_.begin(), cuts_.end());
+    cuts_.erase(std::unique(cuts_.begin(), cuts_.end()), cuts_.end());
+
+    const std::size_t classes = data_.num_classes();
+    left_.assign(classes, 0.0);
+    rest_.resize(classes);
+    double left_total = 0.0;
+    std::size_t p = 0;
+    for (double cut : cuts_) {
+      while (p < vl.size() && vl[p].first <= cut) {
+        left_[static_cast<std::size_t>(vl[p].second)] += 1.0;
+        left_total += 1.0;
+        ++p;
       }
       if (left_total == 0.0 || left_total == total) continue;
-      std::vector<double> right(data_.num_classes());
-      double right_total = total - left_total;
-      for (std::size_t c = 0; c < right.size(); ++c) {
-        // counts at the node = left + right; recover right from parent.
-        right[c] = -left[c];
-      }
-      for (std::size_t idx : indices) {
-        right[static_cast<std::size_t>(data_.label(idx))] += 1.0;
+      const double right_total = total - left_total;
+      for (std::size_t c = 0; c < classes; ++c) {
+        rest_[c] = parent_counts[c] - left_[c];
       }
       const double gain =
           parent_gini -
-          (left_total / total) * gini_impurity(left, left_total) -
-          (right_total / total) * gini_impurity(right, right_total);
+          (left_total / total) * gini_impurity(left_, left_total) -
+          (right_total / total) * gini_impurity(rest_, right_total);
       if (gain > best.gini_gain + 1e-12) {
         best = {f, cut, false, gain, true};
       }
@@ -245,6 +263,13 @@ class TreeBuilder {
   const DecisionTreeConfig& config_;
   Rng& rng_;
   std::vector<DecisionTreeModel::Node> nodes_;
+  // Split-search scratch, hoisted so deep forests do not allocate per node.
+  std::vector<std::pair<double, int>> sorted_;
+  std::vector<double> cuts_;
+  std::vector<double> left_;
+  std::vector<double> rest_;
+  std::vector<double> per_code_;
+  std::vector<double> code_totals_;
 };
 
 }  // namespace

@@ -42,6 +42,13 @@ class DecisionTreeModel : public Model {
       : Model(num_classes), nodes_(std::move(nodes)) {}
 
   std::vector<double> predict_proba(std::span<const double> row) const override;
+  void predict_proba_into(std::span<const double> row,
+                          std::vector<double>& out) const override;
+
+  /// The leaf distribution `row` routes to, by reference — the
+  /// allocation-free accessor RandomForest's batch predict accumulates from.
+  const std::vector<double>& leaf_distribution(
+      std::span<const double> row) const;
 
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t depth() const;

@@ -3,11 +3,18 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
-#include <set>
+#include <utility>
 
 #include "frote/ml/logistic_regression.hpp"  // softmax_inplace
+#include "frote/util/parallel.hpp"
 
 namespace frote {
+
+namespace {
+/// Rows per chunk for the gradient/hessian and score-update sweeps. Each row
+/// is written independently, so any thread count is trivially bit-identical.
+constexpr std::size_t kRowGrain = 512;
+}  // namespace
 
 double GbdtTree::predict(std::span<const double> row) const {
   if (nodes.empty()) return 0.0;
@@ -32,19 +39,30 @@ GbdtModel::GbdtModel(std::vector<GbdtTree> trees, std::size_t num_classes,
 
 std::vector<double> GbdtModel::predict_proba(
     std::span<const double> row) const {
-  std::vector<double> scores(score_dims_, base_score_);
+  std::vector<double> out;
+  predict_proba_into(row, out);
+  return out;
+}
+
+void GbdtModel::predict_proba_into(std::span<const double> row,
+                                   std::vector<double>& out) const {
   const std::size_t rounds = trees_.size() / score_dims_;
+  if (score_dims_ == 1) {
+    double score = base_score_;
+    for (std::size_t r = 0; r < rounds; ++r) score += trees_[r].predict(row);
+    const double p1 = 1.0 / (1.0 + std::exp(-score));
+    out.assign(2, 0.0);
+    out[0] = 1.0 - p1;
+    out[1] = p1;
+    return;
+  }
+  out.assign(score_dims_, base_score_);
   for (std::size_t r = 0; r < rounds; ++r) {
     for (std::size_t k = 0; k < score_dims_; ++k) {
-      scores[k] += trees_[r * score_dims_ + k].predict(row);
+      out[k] += trees_[r * score_dims_ + k].predict(row);
     }
   }
-  if (score_dims_ == 1) {
-    const double p1 = 1.0 / (1.0 + std::exp(-scores[0]));
-    return {1.0 - p1, p1};
-  }
-  softmax_inplace(scores);
-  return scores;
+  softmax_inplace(out);
 }
 
 namespace {
@@ -162,33 +180,47 @@ class TreeGrower {
     return g * g / (h + config_.lambda);
   }
 
+  /// Per-round split search. Features are scored independently (each one
+  /// produces its own local best) and combined in ascending feature order,
+  /// so the chosen split is a pure function of the leaf — never of the
+  /// thread count.
   void find_split(Leaf& leaf) {
     leaf.split = {};
     if (leaf.indices.size() < 2 * config_.min_samples_leaf) return;
     const double parent_score = leaf_score(leaf.sum_g, leaf.sum_h);
-    for (std::size_t f = 0; f < data_.num_features(); ++f) {
-      if (data_.schema().feature(f).is_categorical()) {
-        eval_categorical(leaf, f, parent_score);
-      } else {
-        eval_numeric(leaf, f, parent_score);
-      }
-    }
+    leaf.split = parallel_reduce(
+        data_.num_features(), 1, config_.threads, SplitChoice{},
+        [&](std::size_t begin, std::size_t end) {
+          SplitChoice local;
+          for (std::size_t f = begin; f < end; ++f) {
+            if (data_.schema().feature(f).is_categorical()) {
+              eval_categorical(leaf, f, parent_score, local);
+            } else {
+              eval_numeric(leaf, f, parent_score, local);
+            }
+          }
+          return local;
+        },
+        [](SplitChoice& acc, SplitChoice&& part) {
+          if (part.valid && part.gain > acc.gain + 1e-12) acc = part;
+        });
   }
 
-  void try_update(Leaf& leaf, std::size_t feature, double threshold,
-                  bool categorical, double gl, double hl,
-                  double parent_score) {
+  void try_update(const Leaf& leaf, SplitChoice& best, std::size_t feature,
+                  double threshold, bool categorical, double gl, double hl,
+                  double parent_score) const {
     const double gr = leaf.sum_g - gl;
     const double hr = leaf.sum_h - hl;
     if (hl < config_.min_child_weight || hr < config_.min_child_weight) return;
     const double gain =
         0.5 * (leaf_score(gl, hl) + leaf_score(gr, hr) - parent_score);
-    if (gain > leaf.split.gain + 1e-12) {
-      leaf.split = {feature, threshold, categorical, gain, true};
+    if (gain > best.gain + 1e-12) {
+      best = {feature, threshold, categorical, gain, true};
     }
   }
 
-  void eval_categorical(Leaf& leaf, std::size_t f, double parent_score) {
+  void eval_categorical(const Leaf& leaf, std::size_t f, double parent_score,
+                        SplitChoice& best) const {
     const std::size_t cardinality =
         data_.schema().feature(f).cardinality();
     std::vector<double> gs(cardinality, 0.0), hs(cardinality, 0.0);
@@ -204,41 +236,47 @@ class TreeGrower {
           leaf.indices.size() - counts[code] < config_.min_samples_leaf) {
         continue;
       }
-      try_update(leaf, f, static_cast<double>(code), true, gs[code], hs[code],
-                 parent_score);
+      try_update(leaf, best, f, static_cast<double>(code), true, gs[code],
+                 hs[code], parent_score);
     }
   }
 
-  void eval_numeric(Leaf& leaf, std::size_t f, double parent_score) {
-    std::vector<double> values;
-    values.reserve(leaf.indices.size());
-    for (std::size_t idx : leaf.indices) values.push_back(data_.row(idx)[f]);
-    std::sort(values.begin(), values.end());
-    if (values.front() == values.back()) return;
-    std::set<double> cuts;
-    const std::size_t k =
-        std::min(config_.numeric_cuts, values.size() - 1);
-    for (std::size_t t = 1; t <= k; ++t) {
-      const std::size_t pos = t * (values.size() - 1) / (k + 1);
-      cuts.insert(values[pos] != values[pos + 1]
-                      ? 0.5 * (values[pos] + values[pos + 1])
-                      : values[pos]);
+  void eval_numeric(const Leaf& leaf, std::size_t f, double parent_score,
+                    SplitChoice& best) const {
+    // One (value, row) sort + one prefix sweep over ascending cuts instead
+    // of an O(n) rescan per cut. Ties sort by row index, so the gradient
+    // accumulation order is a pure function of the leaf contents.
+    std::vector<std::pair<double, std::size_t>> order;
+    order.reserve(leaf.indices.size());
+    for (std::size_t idx : leaf.indices) {
+      order.emplace_back(data_.row(idx)[f], idx);
     }
+    std::sort(order.begin(), order.end());
+    if (order.front().first == order.back().first) return;
+    std::vector<double> cuts;
+    const std::size_t k = std::min(config_.numeric_cuts, order.size() - 1);
+    for (std::size_t t = 1; t <= k; ++t) {
+      const std::size_t pos = t * (order.size() - 1) / (k + 1);
+      cuts.push_back(order[pos].first != order[pos + 1].first
+                         ? 0.5 * (order[pos].first + order[pos + 1].first)
+                         : order[pos].first);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    double gl = 0.0, hl = 0.0;
+    std::size_t nl = 0;
     for (double cut : cuts) {
-      double gl = 0.0, hl = 0.0;
-      std::size_t nl = 0;
-      for (std::size_t idx : leaf.indices) {
-        if (data_.row(idx)[f] <= cut) {
-          gl += g_[idx];
-          hl += h_[idx];
-          ++nl;
-        }
+      while (nl < order.size() && order[nl].first <= cut) {
+        gl += g_[order[nl].second];
+        hl += h_[order[nl].second];
+        ++nl;
       }
       if (nl < config_.min_samples_leaf ||
           leaf.indices.size() - nl < config_.min_samples_leaf) {
         continue;
       }
-      try_update(leaf, f, cut, false, gl, hl, parent_score);
+      try_update(leaf, best, f, cut, false, gl, hl, parent_score);
     }
   }
 
@@ -261,33 +299,44 @@ std::unique_ptr<Model> GbdtLearner::train(const Dataset& data) const {
   trees.reserve(config_.num_rounds * dims);
 
   std::vector<double> g(n), h(n);
-  std::vector<double> probs(dims);
   for (std::size_t round = 0; round < config_.num_rounds; ++round) {
     for (std::size_t k = 0; k < dims; ++k) {
-      // Gradients/hessians of logistic (binary) or softmax (multiclass) loss.
-      for (std::size_t i = 0; i < n; ++i) {
-        if (dims == 1) {
-          const double p = 1.0 / (1.0 + std::exp(-scores[i]));
-          const double target = data.label(i) == 1 ? 1.0 : 0.0;
-          g[i] = p - target;
-          h[i] = std::max(p * (1.0 - p), 1e-9);
-        } else {
-          for (std::size_t c = 0; c < dims; ++c) {
-            probs[c] = scores[i * dims + c];
-          }
-          softmax_inplace(probs);
-          const double p = probs[k];
-          const double target =
-              static_cast<std::size_t>(data.label(i)) == k ? 1.0 : 0.0;
-          g[i] = p - target;
-          h[i] = std::max(p * (1.0 - p), 1e-9);
-        }
-      }
+      // Gradients/hessians of logistic (binary) or softmax (multiclass)
+      // loss. Every row is independent, so the sweep fans out over fixed
+      // row chunks with no effect on the result.
+      parallel_for(n, kRowGrain, config_.threads,
+                   [&](std::size_t begin, std::size_t end) {
+                     std::vector<double> probs(dims);
+                     for (std::size_t i = begin; i < end; ++i) {
+                       if (dims == 1) {
+                         const double p = 1.0 / (1.0 + std::exp(-scores[i]));
+                         const double target =
+                             data.label(i) == 1 ? 1.0 : 0.0;
+                         g[i] = p - target;
+                         h[i] = std::max(p * (1.0 - p), 1e-9);
+                       } else {
+                         for (std::size_t c = 0; c < dims; ++c) {
+                           probs[c] = scores[i * dims + c];
+                         }
+                         softmax_inplace(probs);
+                         const double p = probs[k];
+                         const double target =
+                             static_cast<std::size_t>(data.label(i)) == k
+                                 ? 1.0
+                                 : 0.0;
+                         g[i] = p - target;
+                         h[i] = std::max(p * (1.0 - p), 1e-9);
+                       }
+                     }
+                   });
       TreeGrower grower(data, g, h, config_);
       GbdtTree tree = grower.grow();
-      for (std::size_t i = 0; i < n; ++i) {
-        scores[i * dims + k] += tree.predict(data.row(i));
-      }
+      parallel_for(n, kRowGrain, config_.threads,
+                   [&](std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       scores[i * dims + k] += tree.predict(data.row(i));
+                     }
+                   });
       trees.push_back(std::move(tree));
     }
   }

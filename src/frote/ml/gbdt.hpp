@@ -22,6 +22,9 @@ struct GbdtConfig {
   std::size_t min_samples_leaf = 5;
   std::size_t numeric_cuts = 24;
   std::uint64_t seed = 42;
+  /// Threads for the gradient sweep and per-round split search;
+  /// 0 ⇒ FROTE_NUM_THREADS. Deterministic for every value.
+  int threads = 0;
 };
 
 /// A single regression tree of the ensemble.
@@ -45,6 +48,8 @@ class GbdtModel : public Model {
             std::size_t score_dims, double base_score);
 
   std::vector<double> predict_proba(std::span<const double> row) const override;
+  void predict_proba_into(std::span<const double> row,
+                          std::vector<double>& out) const override;
 
   std::size_t num_trees() const { return trees_.size(); }
 

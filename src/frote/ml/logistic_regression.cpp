@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "frote/util/parallel.hpp"
+
 namespace frote {
+
+namespace {
+/// Rows per objective-sweep chunk. Fixed so the gradient/NLL accumulation
+/// order depends only on the dataset size — never the thread count.
+constexpr std::size_t kObjectiveGrain = 256;
+}  // namespace
 
 void softmax_inplace(std::vector<double>& logits) {
   const double m = *std::max_element(logits.begin(), logits.end());
@@ -26,16 +34,25 @@ LogisticRegressionModel::LogisticRegressionModel(Encoder encoder,
 
 std::vector<double> LogisticRegressionModel::predict_proba(
     std::span<const double> row) const {
-  const auto x = encoder_.transform(row);
-  std::vector<double> logits(num_classes(), 0.0);
+  std::vector<double> out;
+  predict_proba_into(row, out);
+  return out;
+}
+
+void LogisticRegressionModel::predict_proba_into(
+    std::span<const double> row, std::vector<double>& out) const {
+  // The encoded-row scratch is thread-local so the batch sweeps can fan
+  // rows out without per-row allocations or shared mutable state.
+  static thread_local std::vector<double> encoded;
+  encoder_.transform_into(row, encoded);
+  out.assign(num_classes(), 0.0);
   for (std::size_t c = 0; c < num_classes(); ++c) {
     const double* w = weights_.data() + c * (width_ + 1);
     double acc = w[width_];  // intercept
-    for (std::size_t j = 0; j < width_; ++j) acc += w[j] * x[j];
-    logits[c] = acc;
+    for (std::size_t j = 0; j < width_; ++j) acc += w[j] * encoded[j];
+    out[c] = acc;
   }
-  softmax_inplace(logits);
-  return logits;
+  softmax_inplace(out);
 }
 
 double LogisticRegressionModel::weight(std::size_t c, std::size_t j) const {
@@ -45,38 +62,132 @@ double LogisticRegressionModel::weight(std::size_t c, std::size_t j) const {
 
 namespace {
 
-/// Full-batch objective and gradient of the L2-penalised multinomial NLL.
+/// Full-batch objective and gradient of the L2-penalised multinomial NLL,
+/// over the sparse CSR encoding. Chunked: each chunk produces a partial
+/// gradient + NLL, combined in ascending chunk order (deterministic for
+/// every thread count by construction).
 struct Objective {
-  const std::vector<double>& x;  // n x width, row-major (encoded)
+  const Encoder::SparseRows& x;
   const std::vector<int>& y;
   std::size_t n, width, classes;
   double inv_c;  // 1/C
+  int threads;
+
+  struct Partial {
+    std::vector<double> grad;
+    double nll = 0.0;
+  };
 
   double value_and_grad(const std::vector<double>& w,
                         std::vector<double>& grad) const {
+    if (classes == 2) return binary_value_and_grad(w, grad);
     const std::size_t stride = width + 1;
-    std::fill(grad.begin(), grad.end(), 0.0);
-    double nll = 0.0;
-    std::vector<double> logits(classes);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double* xi = x.data() + i * width;
-      for (std::size_t c = 0; c < classes; ++c) {
-        const double* wc = w.data() + c * stride;
-        double acc = wc[width];
-        for (std::size_t j = 0; j < width; ++j) acc += wc[j] * xi[j];
-        logits[c] = acc;
+    const std::size_t dim = classes * stride;
+
+    auto map = [&](std::size_t begin, std::size_t end) {
+      Partial p;
+      p.grad.assign(dim, 0.0);
+      std::vector<double> logits(classes);
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::size_t row_begin = x.row_begin[i];
+        const std::size_t row_end = x.row_begin[i + 1];
+        for (std::size_t c = 0; c < classes; ++c) {
+          const double* wc = w.data() + c * stride;
+          double acc = wc[width];
+          for (std::size_t e = row_begin; e < row_end; ++e) {
+            acc += wc[x.index[e]] * x.value[e];
+          }
+          logits[c] = acc;
+        }
+        softmax_inplace(logits);
+        const auto yi = static_cast<std::size_t>(y[i]);
+        p.nll -= std::log(std::max(logits[yi], 1e-300));
+        for (std::size_t c = 0; c < classes; ++c) {
+          const double err = logits[c] - (c == yi ? 1.0 : 0.0);
+          double* gc = p.grad.data() + c * stride;
+          for (std::size_t e = row_begin; e < row_end; ++e) {
+            gc[x.index[e]] += err * x.value[e];
+          }
+          gc[width] += err;
+        }
       }
-      softmax_inplace(logits);
-      const auto yi = static_cast<std::size_t>(y[i]);
-      nll -= std::log(std::max(logits[yi], 1e-300));
-      for (std::size_t c = 0; c < classes; ++c) {
-        const double err = logits[c] - (c == yi ? 1.0 : 0.0);
-        double* gc = grad.data() + c * stride;
-        for (std::size_t j = 0; j < width; ++j) gc[j] += err * xi[j];
-        gc[width] += err;
-      }
+      return p;
+    };
+    const Partial total = parallel_reduce(
+        n, kObjectiveGrain, threads, Partial{}, map,
+        [](Partial& acc, Partial&& part) {
+          if (acc.grad.empty()) {
+            acc = std::move(part);
+            return;
+          }
+          for (std::size_t j = 0; j < acc.grad.size(); ++j) {
+            acc.grad[j] += part.grad[j];
+          }
+          acc.nll += part.nll;
+        });
+
+    std::copy(total.grad.begin(), total.grad.end(), grad.begin());
+    return total.nll + apply_penalty(w, grad);
+  }
+
+  /// Two-class specialisation: the softmax over [l0, l1] collapses to one
+  /// sigmoid of the logit difference, and the class-0 gradient is exactly
+  /// the negated class-1 gradient — half the transcendentals, half the
+  /// sparse passes. Same chunked, order-fixed reduction as the general path.
+  double binary_value_and_grad(const std::vector<double>& w,
+                               std::vector<double>& grad) const {
+    const std::size_t stride = width + 1;
+    std::vector<double> wd(stride);  // class-1 minus class-0 weights
+    for (std::size_t j = 0; j < stride; ++j) {
+      wd[j] = w[stride + j] - w[j];
     }
-    // L2 penalty on non-intercept weights (sklearn convention).
+
+    auto map = [&](std::size_t begin, std::size_t end) {
+      Partial p;
+      p.grad.assign(stride, 0.0);  // d NLL / d w1; d/d w0 is its negation
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::size_t row_begin = x.row_begin[i];
+        const std::size_t row_end = x.row_begin[i + 1];
+        double z = wd[width];
+        for (std::size_t e = row_begin; e < row_end; ++e) {
+          z += wd[x.index[e]] * x.value[e];
+        }
+        const double p1 = 1.0 / (1.0 + std::exp(-z));
+        const bool positive = y[i] == 1;
+        p.nll -= std::log(std::max(positive ? p1 : 1.0 - p1, 1e-300));
+        const double err = p1 - (positive ? 1.0 : 0.0);
+        for (std::size_t e = row_begin; e < row_end; ++e) {
+          p.grad[x.index[e]] += err * x.value[e];
+        }
+        p.grad[width] += err;
+      }
+      return p;
+    };
+    const Partial total = parallel_reduce(
+        n, kObjectiveGrain, threads, Partial{}, map,
+        [](Partial& acc, Partial&& part) {
+          if (acc.grad.empty()) {
+            acc = std::move(part);
+            return;
+          }
+          for (std::size_t j = 0; j < acc.grad.size(); ++j) {
+            acc.grad[j] += part.grad[j];
+          }
+          acc.nll += part.nll;
+        });
+
+    for (std::size_t j = 0; j < stride; ++j) {
+      grad[j] = -total.grad[j];
+      grad[stride + j] = total.grad[j];
+    }
+    return total.nll + apply_penalty(w, grad);
+  }
+
+  /// L2 penalty on non-intercept weights (sklearn convention); adds the
+  /// penalty gradient in place and returns the penalty value.
+  double apply_penalty(const std::vector<double>& w,
+                       std::vector<double>& grad) const {
+    const std::size_t stride = width + 1;
     double penalty = 0.0;
     for (std::size_t c = 0; c < classes; ++c) {
       const double* wc = w.data() + c * stride;
@@ -86,7 +197,7 @@ struct Objective {
         gc[j] += inv_c * wc[j];
       }
     }
-    return nll + penalty;
+    return penalty;
   }
 };
 
@@ -100,11 +211,12 @@ std::unique_ptr<Model> LogisticRegressionLearner::train(
   const std::size_t classes = data.num_classes();
   const std::size_t n = data.size();
 
-  const std::vector<double> x = encoder.transform_all(data);
+  const Encoder::SparseRows x = encoder.sparse_transform_all(data);
   std::vector<int> y(n);
   for (std::size_t i = 0; i < n; ++i) y[i] = data.label(i);
 
-  Objective objective{x, y, n, width, classes, 1.0 / config_.c};
+  Objective objective{x,       y,        n, width, classes, 1.0 / config_.c,
+                      config_.threads};
   const std::size_t dim = classes * (width + 1);
   std::vector<double> w(dim, 0.0), grad(dim, 0.0), trial(dim, 0.0),
       trial_grad(dim, 0.0);

@@ -2,7 +2,10 @@
 // matching the paper's scikit-learn LogisticRegression (max_iter = 500,
 // otherwise defaults: L2 regularisation with C = 1). Optimised with
 // full-batch gradient descent plus backtracking line search, which is ample
-// at the problem sizes FROTE retrains at.
+// at the problem sizes FROTE retrains at. The objective/gradient sweep runs
+// on the sparse CSR encoding (one-hot blocks are mostly zeros) and is
+// chunked through util/parallel.hpp — partial gradients and NLL are reduced
+// in ascending chunk order, so any thread count produces identical weights.
 #pragma once
 
 #include "frote/data/encoder.hpp"
@@ -15,6 +18,8 @@ struct LogisticRegressionConfig {
   /// Inverse regularisation strength (sklearn's C); penalty = ||w||²/(2C).
   double c = 1.0;
   double tolerance = 1e-5;
+  /// Threads for the objective/gradient sweep; 0 ⇒ FROTE_NUM_THREADS.
+  int threads = 0;
 };
 
 class LogisticRegressionModel : public Model {
@@ -23,6 +28,8 @@ class LogisticRegressionModel : public Model {
                           std::size_t num_classes, std::size_t width);
 
   std::vector<double> predict_proba(std::span<const double> row) const override;
+  void predict_proba_into(std::span<const double> row,
+                          std::vector<double>& out) const override;
 
   /// Weight matrix entry for class `c`, encoded feature `j` (last column is
   /// the intercept). Exposed for tests and for the online-learning proxy.

@@ -2,20 +2,55 @@
 
 #include <algorithm>
 
+#include "frote/util/parallel.hpp"
+
 namespace frote {
 
+namespace {
+/// Rows per chunk for the batch prediction sweeps. Fixed so chunk
+/// boundaries — and therefore any accumulation order built on top of these
+/// predictions — depend only on the row count, never the thread count.
+constexpr std::size_t kPredictGrain = 128;
+}  // namespace
+
 int Model::predict(std::span<const double> row) const {
-  const auto proba = predict_proba(row);
-  return static_cast<int>(
-      std::max_element(proba.begin(), proba.end()) - proba.begin());
+  std::vector<double> proba;
+  predict_proba_into(row, proba);
+  return argmax_class(proba);
 }
 
-std::vector<int> Model::predict_all(const Dataset& data) const {
-  std::vector<int> out;
-  out.reserve(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    out.push_back(predict(data.row(i)));
-  }
+void Model::predict_proba_into(std::span<const double> row,
+                               std::vector<double>& out) const {
+  out = predict_proba(row);
+}
+
+std::vector<int> Model::predict_all(const Dataset& data, int threads) const {
+  std::vector<int> out(data.size());
+  parallel_for(data.size(), kPredictGrain, threads,
+               [&](std::size_t begin, std::size_t end) {
+                 std::vector<double> proba;
+                 for (std::size_t i = begin; i < end; ++i) {
+                   predict_proba_into(data.row(i), proba);
+                   out[i] = argmax_class(proba);
+                 }
+               });
+  return out;
+}
+
+std::vector<double> Model::predict_proba_all(const Dataset& data,
+                                             int threads) const {
+  const std::size_t classes = num_classes();
+  std::vector<double> out(data.size() * classes);
+  parallel_for(data.size(), kPredictGrain, threads,
+               [&](std::size_t begin, std::size_t end) {
+                 std::vector<double> proba;
+                 for (std::size_t i = begin; i < end; ++i) {
+                   predict_proba_into(data.row(i), proba);
+                   std::copy(proba.begin(), proba.end(),
+                             out.begin() + static_cast<std::ptrdiff_t>(
+                                               i * classes));
+                 }
+               });
   return out;
 }
 

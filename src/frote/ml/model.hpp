@@ -14,6 +14,15 @@
 
 namespace frote {
 
+/// Index of the first maximum — the tie rule every predict path shares.
+inline int argmax_class(const std::vector<double>& proba) {
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < proba.size(); ++c) {
+    if (proba[c] > proba[best]) best = c;
+  }
+  return static_cast<int>(best);
+}
+
 /// A trained classifier over raw (schema-typed) rows.
 class Model {
  public:
@@ -26,10 +35,24 @@ class Model {
   virtual std::vector<double> predict_proba(
       std::span<const double> row) const = 0;
 
+  /// Batch-friendly form of predict_proba: writes the class-probability
+  /// vector into `out` (resized to num_classes()). The default wraps
+  /// predict_proba; models override it to hoist per-row allocations out of
+  /// the evaluation sweeps. Must be safe to call concurrently on a const
+  /// model — the batch entry points below fan rows out across threads.
+  virtual void predict_proba_into(std::span<const double> row,
+                                  std::vector<double>& out) const;
+
   std::size_t num_classes() const { return num_classes_; }
 
-  /// Predicted labels for every row of a dataset.
-  std::vector<int> predict_all(const Dataset& data) const;
+  /// Predicted labels for every row of a dataset. Chunked over rows via the
+  /// deterministic parallel subsystem; `threads` 0 defers to
+  /// FROTE_NUM_THREADS (util/parallel.hpp). Identical output for any count.
+  std::vector<int> predict_all(const Dataset& data, int threads = 0) const;
+
+  /// Class probabilities for every row, row-major size() x num_classes().
+  std::vector<double> predict_proba_all(const Dataset& data,
+                                        int threads = 0) const;
 
  protected:
   explicit Model(std::size_t num_classes) : num_classes_(num_classes) {}

@@ -2,19 +2,27 @@
 
 #include <cmath>
 
+#include "frote/util/parallel.hpp"
+
 namespace frote {
 
 std::vector<double> RandomForestModel::predict_proba(
     std::span<const double> row) const {
+  std::vector<double> out;
+  predict_proba_into(row, out);
+  return out;
+}
+
+void RandomForestModel::predict_proba_into(std::span<const double> row,
+                                           std::vector<double>& out) const {
   FROTE_CHECK(!trees_.empty());
-  std::vector<double> acc(num_classes(), 0.0);
+  out.assign(num_classes(), 0.0);
   for (const auto& tree : trees_) {
-    const auto p = tree->predict_proba(row);
-    for (std::size_t c = 0; c < acc.size(); ++c) acc[c] += p[c];
+    const auto& dist = tree->leaf_distribution(row);
+    for (std::size_t c = 0; c < out.size(); ++c) out[c] += dist[c];
   }
   const double inv = 1.0 / static_cast<double>(trees_.size());
-  for (double& v : acc) v *= inv;
-  return acc;
+  for (double& v : out) v *= inv;
 }
 
 std::unique_ptr<Model> RandomForestLearner::train(const Dataset& data) const {
@@ -31,15 +39,20 @@ std::unique_ptr<Model> RandomForestLearner::train(const Dataset& data) const {
                        static_cast<double>(data.num_features()))));
   DecisionTreeLearner tree_learner(tree_config);
 
-  Rng rng(config_.seed);
-  std::vector<std::unique_ptr<DecisionTreeModel>> trees;
-  trees.reserve(config_.num_trees);
-  for (std::size_t t = 0; t < config_.num_trees; ++t) {
-    // Bootstrap sample of size n.
-    std::vector<std::size_t> sample(data.size());
-    for (auto& idx : sample) idx = rng.index(data.size());
-    trees.push_back(tree_learner.train_weighted(data, sample, rng));
-  }
+  // Each tree owns an independent derive_seed stream, so the ensemble is a
+  // pure function of (seed, num_trees): trees can train concurrently and be
+  // emitted in tree order, bit-identical at every thread count.
+  std::vector<std::unique_ptr<DecisionTreeModel>> trees(config_.num_trees);
+  parallel_for(config_.num_trees, 1, config_.threads,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t t = begin; t < end; ++t) {
+                   Rng rng(derive_seed(config_.seed, t));
+                   // Bootstrap sample of size n.
+                   std::vector<std::size_t> sample(data.size());
+                   for (auto& idx : sample) idx = rng.index(data.size());
+                   trees[t] = tree_learner.train_weighted(data, sample, rng);
+                 }
+               });
   return std::make_unique<RandomForestModel>(std::move(trees),
                                              data.num_classes());
 }

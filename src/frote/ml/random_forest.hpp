@@ -1,6 +1,11 @@
 // Random forest: bagged CART trees with sqrt-feature subsampling.
 // The paper uses scikit-learn's RandomForestClassifier with default
 // parameters except max_depth = 3 (§5.1).
+//
+// Every tree draws from its own derive_seed(seed, t) RNG stream, so trees
+// are independent of each other and of the thread count: with threads > 1
+// they train concurrently and are emitted in tree order, bit-identical to
+// the serial schedule.
 #pragma once
 
 #include "frote/ml/decision_tree.hpp"
@@ -15,6 +20,8 @@ struct RandomForestConfig {
   std::size_t max_features = 0;
   std::size_t numeric_cuts = 24;
   std::uint64_t seed = 42;
+  /// Threads for per-tree training; 0 ⇒ FROTE_NUM_THREADS.
+  int threads = 0;
 };
 
 class RandomForestModel : public Model {
@@ -25,6 +32,8 @@ class RandomForestModel : public Model {
 
   /// Soft vote: mean of the trees' leaf distributions.
   std::vector<double> predict_proba(std::span<const double> row) const override;
+  void predict_proba_into(std::span<const double> row,
+                          std::vector<double>& out) const override;
 
   std::size_t num_trees() const { return trees_.size(); }
 

@@ -2,23 +2,54 @@
 
 #include <algorithm>
 
+#include "frote/util/parallel.hpp"
+
 namespace frote {
 
-std::vector<std::size_t> coverage(const FeedbackRule& rule,
-                                  const Dataset& data) {
-  std::vector<std::size_t> out;
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    if (rule.covers(data.row(i))) out.push_back(i);
-  }
-  return out;
+namespace {
+
+/// Rows per coverage-scan chunk. The predicate test is a few ns per row, so
+/// the grain is large: small datasets stay single-chunk (zero overhead) and
+/// only production-sized scans fan out.
+constexpr std::size_t kCoverageGrain = 4096;
+
+/// Chunked predicate scan; per-chunk hit lists concatenate in ascending
+/// chunk order, reproducing the serial ascending index list exactly.
+template <typename Covers>
+std::vector<std::size_t> scan_coverage(std::size_t n, int threads,
+                                       const Covers& covers) {
+  return parallel_reduce(
+      n, kCoverageGrain, threads, std::vector<std::size_t>{},
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<std::size_t> hits;
+        for (std::size_t i = begin; i < end; ++i) {
+          if (covers(i)) hits.push_back(i);
+        }
+        return hits;
+      },
+      [](std::vector<std::size_t>& acc, std::vector<std::size_t>&& part) {
+        if (acc.empty()) {
+          acc = std::move(part);
+          return;
+        }
+        acc.insert(acc.end(), part.begin(), part.end());
+      });
 }
 
-std::vector<std::size_t> coverage(const Clause& clause, const Dataset& data) {
-  std::vector<std::size_t> out;
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    if (clause.satisfies(data.row(i))) out.push_back(i);
-  }
-  return out;
+}  // namespace
+
+std::vector<std::size_t> coverage(const FeedbackRule& rule,
+                                  const Dataset& data, int threads) {
+  return scan_coverage(data.size(), threads, [&](std::size_t i) {
+    return rule.covers(data.row(i));
+  });
+}
+
+std::vector<std::size_t> coverage(const Clause& clause, const Dataset& data,
+                                  int threads) {
+  return scan_coverage(data.size(), threads, [&](std::size_t i) {
+    return clause.satisfies(data.row(i));
+  });
 }
 
 std::vector<std::size_t> FeedbackRuleSet::coverage_union(

@@ -10,12 +10,16 @@
 
 namespace frote {
 
-/// cov(s, D): indices of rows in D covered by the rule (eq. 1).
+/// cov(s, D): indices of rows in D covered by the rule (eq. 1). The scan is
+/// chunked (util/parallel.hpp) with per-chunk index lists concatenated in
+/// ascending chunk order, so the output is the ascending index list for any
+/// thread count (`threads` 0 ⇒ FROTE_NUM_THREADS).
 std::vector<std::size_t> coverage(const FeedbackRule& rule,
-                                  const Dataset& data);
+                                  const Dataset& data, int threads = 0);
 
 /// cov(s, D) for a bare clause (no exclusions).
-std::vector<std::size_t> coverage(const Clause& clause, const Dataset& data);
+std::vector<std::size_t> coverage(const Clause& clause, const Dataset& data,
+                                  int threads = 0);
 
 /// An ordered set of feedback rules F = {(s_r, π_r)}.
 class FeedbackRuleSet {

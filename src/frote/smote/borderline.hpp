@@ -20,6 +20,9 @@ struct BorderlineConfig {
   std::size_t k = 10;            // supplement: k = 10 nearest neighbours
   double borderline_weight = 3.0;
   double other_weight = 1.0;
+  /// Threads for the per-instance categorisation sweep;
+  /// 0 ⇒ FROTE_NUM_THREADS. Deterministic for every value.
+  int threads = 0;
 };
 
 /// Categorise every row of `data` using the predicted labels of `model`.

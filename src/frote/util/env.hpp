@@ -9,6 +9,12 @@
 //                  for unit tests; benches pass their own default)
 //   FROTE_TAU    — iteration limit override
 //   FROTE_FAST=1 — aggressive downscale for smoke-testing everything
+//
+// The library itself reads one knob here:
+//   FROTE_NUM_THREADS — default thread count for the deterministic parallel
+//                       subsystem (util/parallel.hpp) when a component's
+//                       `threads` config field is 0. Default 1 (serial).
+//                       Output is bit-identical for every thread count.
 #pragma once
 
 #include <string>

@@ -10,6 +10,7 @@
 #include "frote/core/frote.hpp"
 #include "frote/exp/learners.hpp"
 #include "frote/ml/decision_tree.hpp"
+#include "frote/util/parallel.hpp"
 #include "frote/util/rng.hpp"
 #include "test_util.hpp"
 
@@ -101,6 +102,21 @@ TEST(Determinism, DerivedSeedsAreStable) {
   EXPECT_EQ(derive_seed(42, 0), derive_seed(42, 0));
   EXPECT_NE(derive_seed(42, 0), derive_seed(42, 1));
   EXPECT_NE(derive_seed(42, 0), derive_seed(43, 0));
+}
+
+TEST(Determinism, ThreadDefaultOverrideKeepsBitIdenticalOutput) {
+  // The deterministic parallel subsystem (util/parallel.hpp) must make a
+  // process-wide thread override invisible in the output: same seed, same
+  // bits, whatever FROTE_NUM_THREADS / set_default_threads says.
+  // (tests/test_parallel.cpp covers the per-component threads knobs.)
+  const auto serial = run_frote(99);
+  set_default_threads(8);
+  const auto threaded = run_frote(99);
+  set_default_threads(0);
+  EXPECT_GT(serial.instances_added, 0u);
+  EXPECT_EQ(serial.instances_added, threaded.instances_added);
+  EXPECT_EQ(serial.iterations_run, threaded.iterations_run);
+  expect_bit_identical(serial.augmented, threaded.augmented);
 }
 
 TEST(Determinism, LearnerTrainingIsDeterministic) {

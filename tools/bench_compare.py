@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_micro JSON against the committed baseline.
+
+Flags every benchmark whose real_time regressed by more than the threshold
+(default 25%) and prints a full delta table. New or vanished benchmarks are
+reported informationally — adding a benchmark must not fail CI.
+
+Usage:
+    tools/bench_compare.py [--threshold 0.25] [--strict] BASELINE.json FRESH.json
+
+Exit status is 0 unless --strict is given and at least one regression
+exceeds the threshold. CI runs it non-strict: micro timings on shared
+runners are noisy, so regressions warn loudly instead of hard-failing; a
+perf PR that moves numbers on purpose refreshes the committed baseline.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Aggregate entries (mean/median/stddev) would double-count; the
+        # repo's recording runs single repetitions, but stay robust.
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        out[bench["name"]] = float(bench["real_time"])
+    return out
+
+
+def fmt_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.2f}{unit}"
+    return f"{ns:.0f}ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative real_time growth that counts as a "
+                             "regression (default 0.25 = +25%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any regression exceeds the "
+                             "threshold")
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    fresh = load_benchmarks(args.fresh)
+
+    common = [name for name in base if name in fresh]
+    regressions = []
+    width = max((len(n) for n in common), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'fresh':>10}  delta")
+    for name in common:
+        delta = fresh[name] / base[name] - 1.0
+        marker = ""
+        if delta > args.threshold:
+            marker = "  << REGRESSION"
+            regressions.append((name, delta))
+        elif delta < -args.threshold:
+            marker = "  (improved)"
+        print(f"{name:<{width}}  {fmt_ns(base[name]):>10}  "
+              f"{fmt_ns(fresh[name]):>10}  {delta:+7.1%}{marker}")
+
+    for name in sorted(set(fresh) - set(base)):
+        print(f"{name:<{width}}  {'—':>10}  {fmt_ns(fresh[name]):>10}  (new)")
+    for name in sorted(set(base) - set(fresh)):
+        print(f"{name:<{width}}  {fmt_ns(base[name]):>10}  {'—':>10}  "
+              f"(missing from fresh run)")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        if args.strict:
+            return 1
+        print("(non-strict mode: reporting only — rerun with --strict to "
+              "fail)", file=sys.stderr)
+    else:
+        print(f"\nno regressions beyond {args.threshold:.0%} across "
+              f"{len(common)} common benchmarks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
