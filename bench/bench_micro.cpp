@@ -1,11 +1,12 @@
 // Microbenchmarks (google-benchmark) for the library's hot paths, plus the
-// ablations DESIGN.md calls out: ball-tree vs brute-force kNN, rule coverage
+// ablations docs/DESIGN.md calls out: ball-tree vs brute-force kNN, rule coverage
 // evaluation, SMOTE-NC generation, model training, the base-instance IP,
 // and the per-iteration FROTE objective evaluation.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "frote/core/engine.hpp"
@@ -140,6 +141,47 @@ void BM_IpSelection(benchmark::State& state) {
 }
 BENCHMARK(BM_IpSelection);
 
+void BM_IpSelectionSized(benchmark::State& state) {
+  // Cold selection cost across dataset sizes (every iteration refits the
+  // distance, rebuilds the index and re-predicts — the pre-workspace
+  // per-step cost; 8000 crosses into the ball-tree engine).
+  const auto& data = adult(static_cast<std::size_t>(state.range(0)));
+  FeedbackRuleSet frs({adult_rule(data)});
+  const auto bp = preselect_base_population(data, frs, 5);
+  const auto learner = make_learner(LearnerKind::kRF, 42, true);
+  const auto model = learner->train(data);
+  IpSelector selector;
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select(data, bp, *model, 50, rng));
+  }
+}
+BENCHMARK(BM_IpSelectionSized)
+    ->Name("BM_IpSelection")
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(8000);
+
+void BM_IpSelectionWarm(benchmark::State& state) {
+  // Steady-state selection through a bound SessionWorkspace: after the
+  // first call the distance/index/prediction/weight caches all hit — the
+  // per-iteration cost of IP selection on the FROTE loop's reject path.
+  const auto& data = adult(static_cast<std::size_t>(state.range(0)));
+  FeedbackRuleSet frs({adult_rule(data)});
+  const auto bp = preselect_base_population(data, frs, 5);
+  const auto learner = make_learner(LearnerKind::kRF, 42, true);
+  const auto model = learner->train(data);
+  IpSelector selector;
+  SessionWorkspace ws(/*threads=*/0);
+  ws.bind(data);
+  ws.set_model_stamp(1);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select(data, bp, *model, 50, rng, &ws));
+  }
+}
+BENCHMARK(BM_IpSelectionWarm)->Arg(1000)->Arg(4000)->Arg(8000);
+
 void BM_RandomSelection(benchmark::State& state) {
   const auto& data = adult(2000);
   FeedbackRuleSet frs({adult_rule(data)});
@@ -217,6 +259,62 @@ void BM_SessionStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SessionStep);
+
+struct NeverAcceptPolicy final : AcceptancePolicy {
+  bool accept(const AcceptanceContext&) const override { return false; }
+};
+
+void BM_SessionStepAccept(benchmark::State& state) {
+  // Every step accepted: commit + retrain-keep + incremental refresh of the
+  // base population, column moments, distance and kNN index. The delta vs
+  // BM_SessionStepReject is the full accept-path maintenance cost.
+  const auto& data = adult(1000);
+  FeedbackRuleSet frs({adult_rule(data)});
+  const auto learner = make_learner(LearnerKind::kRF, 42, true);
+  const auto engine = Engine::Builder()
+                          .rules(frs)
+                          .eta(20)
+                          .selection(SelectionStrategy::kIp)
+                          .acceptance(std::make_shared<AlwaysAcceptPolicy>())
+                          .build()
+                          .value();
+  auto session = engine.open(data, *learner).value();
+  for (auto _ : state) {
+    if (session.finished() || session.progress().instances_added > 200) {
+      state.PauseTiming();
+      session = engine.open(data, *learner).value();
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(session.step().status);
+  }
+}
+BENCHMARK(BM_SessionStepAccept);
+
+void BM_SessionStepReject(benchmark::State& state) {
+  // Every step rejected: stage + retrain + rollback, with the workspace
+  // serving selection from its caches (the reject fast-path the session
+  // workspace exists for) — D̂ never grows, so no recycling heuristics.
+  const auto& data = adult(1000);
+  FeedbackRuleSet frs({adult_rule(data)});
+  const auto learner = make_learner(LearnerKind::kRF, 42, true);
+  const auto engine = Engine::Builder()
+                          .rules(frs)
+                          .eta(20)
+                          .selection(SelectionStrategy::kIp)
+                          .acceptance(std::make_shared<NeverAcceptPolicy>())
+                          .build()
+                          .value();
+  auto session = engine.open(data, *learner).value();
+  for (auto _ : state) {
+    if (session.finished()) {
+      state.PauseTiming();
+      session = engine.open(data, *learner).value();
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(session.step().status);
+  }
+}
+BENCHMARK(BM_SessionStepReject);
 
 }  // namespace
 

@@ -29,8 +29,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
 # util/parallel.hpp's fixed chunk boundaries and ordered reductions are the
 # guarantee, these suites are the lock.
 echo "=== determinism leg: FROTE_NUM_THREADS=4 ==="
+# test_workspace includes a full IP-selection session, so the leg covers the
+# selector/generator thread plumbing as well as the retrain/eval paths.
 FROTE_NUM_THREADS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'test_parallel|test_determinism|test_engine_api'
+  -R 'test_parallel|test_determinism|test_engine_api|test_workspace'
 
 # Package smoke: install to a scratch prefix, then build and run a 10-line
 # external consumer that only does find_package(frote) + frote_api.hpp.
@@ -58,5 +60,15 @@ if [[ "${FROTE_CI_SKIP_BENCH:-0}" != "1" ]]; then
   if command -v python3 > /dev/null; then
     echo "=== bench compare: committed BENCH_micro.json vs fresh run ==="
     python3 tools/bench_compare.py BENCH_micro.json "$BUILD_DIR/BENCH_micro.json"
+    if [[ "${FROTE_BENCH_STRICT:-0}" == "1" ]]; then
+      # Opt-in hard gate over the load-bearing loop benchmarks. The default
+      # leg above stays warn-only: shared runners are too noisy to gate the
+      # whole table, but a >25% regression on the FROTE iteration, IP
+      # selection, or the objective evaluation is a perf bug, not noise.
+      echo "=== bench compare (strict): curated hot-path subset ==="
+      python3 tools/bench_compare.py --strict \
+        --only BM_FroteIteration,BM_IpSelection,BM_ObjectiveEval \
+        BENCH_micro.json "$BUILD_DIR/BENCH_micro.json"
+    fi
   fi
 fi

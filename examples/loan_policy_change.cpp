@@ -15,7 +15,7 @@
 using namespace frote;
 
 int main() {
-  // Historical decisions (generated Adult-schema data, see DESIGN.md §2).
+  // Historical decisions (generated Adult-schema data, see docs/DESIGN.md §2).
   Dataset data = make_dataset(UciDataset::kAdult, 2500);
   const Schema& schema = data.schema();
   Rng rng(11);

@@ -20,33 +20,70 @@ std::size_t BasePopulation::total_slots() const {
   return total;
 }
 
+namespace {
+
+RuleBasePopulation build_rule_bp(const Dataset& data, const FeedbackRule& rule,
+                                 std::size_t rule_index,
+                                 std::size_t min_support) {
+  RuleBasePopulation rule_bp;
+  rule_bp.rule_index = rule_index;
+
+  // Lines 4–24: relax the clause when coverage < L. Relaxation works on
+  // the bare clause; exclusions are respected for strong coverage below.
+  const RelaxationResult relax = relax_rule(rule.clause, data, min_support);
+  rule_bp.effective_clause = relax.relaxed;
+  rule_bp.relaxed = relax.removed_conditions > 0;
+  rule_bp.removed_conditions = relax.removed_conditions;
+
+  // Line 25: BP ← BP ∪ cov(R, D) with the (possibly relaxed) rule.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.row(i);
+    if (!rule_bp.effective_clause.satisfies(row)) continue;
+    rule_bp.indices.push_back(i);
+    rule_bp.strongly_covered.push_back(rule.covers(row));
+  }
+  return rule_bp;
+}
+
+}  // namespace
+
 BasePopulation preselect_base_population(const Dataset& data,
                                          const FeedbackRuleSet& frs,
                                          std::size_t k) {
   BasePopulation bp;
   const std::size_t min_support = k + 1;
   for (std::size_t r = 0; r < frs.size(); ++r) {
+    bp.per_rule.push_back(build_rule_bp(data, frs.rule(r), r, min_support));
+  }
+  return bp;
+}
+
+void update_base_population(BasePopulation& bp, const Dataset& data,
+                            const FeedbackRuleSet& frs, std::size_t k,
+                            std::size_t first_new_row) {
+  FROTE_CHECK(bp.per_rule.size() == frs.size());
+  FROTE_CHECK(first_new_row <= data.size());
+  const std::size_t min_support = k + 1;
+  for (std::size_t r = 0; r < frs.size(); ++r) {
+    RuleBasePopulation& rule_bp = bp.per_rule[r];
     const FeedbackRule& rule = frs.rule(r);
-    RuleBasePopulation rule_bp;
-    rule_bp.rule_index = r;
-
-    // Lines 4–24: relax the clause when coverage < L. Relaxation works on
-    // the bare clause; exclusions are respected for strong coverage below.
-    const RelaxationResult relax = relax_rule(rule.clause, data, min_support);
-    rule_bp.effective_clause = relax.relaxed;
-    rule_bp.relaxed = relax.removed_conditions > 0;
-    rule_bp.removed_conditions = relax.removed_conditions;
-
-    // Line 25: BP ← BP ∪ cov(R, D) with the (possibly relaxed) rule.
-    for (std::size_t i = 0; i < data.size(); ++i) {
+    if (rule_bp.relaxed) {
+      // Appended rows can change the relaxation search itself; rebuild the
+      // rule from scratch — bit-identical to the full rescan by definition.
+      rule_bp = build_rule_bp(data, rule, r, min_support);
+      continue;
+    }
+    // Unrelaxed rule: coverage is monotone under appends, so relax_rule
+    // would return the original clause again. New members can only come
+    // from the appended tail, and they extend `indices` in the same
+    // ascending order a full rescan would produce.
+    for (std::size_t i = first_new_row; i < data.size(); ++i) {
       const auto row = data.row(i);
       if (!rule_bp.effective_clause.satisfies(row)) continue;
       rule_bp.indices.push_back(i);
       rule_bp.strongly_covered.push_back(rule.covers(row));
     }
-    bp.per_rule.push_back(std::move(rule_bp));
   }
-  return bp;
 }
 
 }  // namespace frote

@@ -42,4 +42,18 @@ BasePopulation preselect_base_population(const Dataset& data,
                                          const FeedbackRuleSet& frs,
                                          std::size_t k);
 
+/// Incremental Algorithm 2 after an append: rows [first_new_row, |D|) were
+/// appended to `data` and every earlier row is unchanged. `bp` must be the
+/// result of preselect/update over the pre-append prefix. Produces exactly
+/// preselect_base_population(data, frs, k):
+///   - a rule that was *not* relaxed keeps its clause (its coverage can only
+///     have grown past L = k+1), so only the appended rows are scanned;
+///   - a rule that *was* relaxed is recomputed from scratch — appended rows
+///     can flip any of the greedy BFS deletion choices, or push the
+///     original clause's coverage over L so no relaxation is needed at all
+///     (docs/DESIGN.md §5).
+void update_base_population(BasePopulation& bp, const Dataset& data,
+                            const FeedbackRuleSet& frs, std::size_t k,
+                            std::size_t first_new_row);
+
 }  // namespace frote

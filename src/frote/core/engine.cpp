@@ -179,6 +179,7 @@ Expected<Engine, FroteError> Engine::Builder::build() const {
   impl->observers = observers_;
   impl->generate_config.k = config_.k;
   impl->generate_config.rule_confidence = config_.rule_confidence;
+  impl->generate_config.threads = config_.threads;
   return Engine(std::move(impl));
 }
 
@@ -207,13 +208,22 @@ Session::Session(std::shared_ptr<const Engine::Impl> engine,
                           static_cast<double>(config.tau)));
   quota_ =
       static_cast<std::size_t>(config.q * static_cast<double>(data.size()));
+  // Pre-size for the full augmentation budget (the loop may overshoot the
+  // quota by at most one η batch), so staged appends never reallocate.
+  active_.reserve_rows(active_.size() + quota_ + eta_);
+  ws_ = std::make_unique<SessionWorkspace>(config.threads);
 
   // Lines 2–3: train on D̂ and evaluate Ĵ. We track J̄ = 1 − J, so Algorithm
   // 1's "accept if j' < ĵ" becomes "accept if j̄' > j̄". When D̂ has no rule
   // coverage (tcf = 0) the MRA term is pessimistically 0 (train_j_hat_bar),
-  // so the first learned batch of synthetic instances is accepted.
+  // so the first learned batch of synthetic instances is accepted. The
+  // evaluation's per-row predictions land in the workspace cache, where the
+  // IP selector will find them.
   model_ = learner.train(active_);
-  best_j_bar_ = train_j_hat_bar(*model_, frs, active_, config.threads);
+  model_version_ = ++model_stamp_counter_;
+  ws_->set_model_stamp(model_version_);
+  best_j_bar_ = train_j_hat_bar(*model_, frs, active_, config.threads,
+                                ws_->predictions(), model_version_);
   trace_.push_back({0, 0, best_j_bar_, true});
   for (const auto& observer : engine_->observers) {
     observer->on_session_start(*model_, best_j_bar_);
@@ -224,9 +234,12 @@ Session::Session(std::shared_ptr<const Engine::Impl> engine,
     return;
   }
 
-  // Line 4: P ← PreSelectBP(D̂, F), plus the fitted SMOTE-NC distance.
+  // Line 4: P ← PreSelectBP(D̂, F), plus the fitted SMOTE-NC distance (the
+  // workspace's moments-based fit — bit-identical to MixedDistance::fit).
   bp_ = preselect_base_population(active_, frs, config.k);
-  distance_ = MixedDistance::fit(active_);
+  FROTE_CHECK_MSG(!active_.empty(),
+                  "the mod strategy removed every row of the input dataset");
+  ws_->bind(active_);
 }
 
 SessionProgress Session::progress() const {
@@ -272,10 +285,15 @@ StepReport Session::step() {
   }
   ++iterations_run_;
   report.iteration = iterations_run_;
+  // Re-bind after a Session move (the workspace tracks D̂ by address); a
+  // no-op whenever the binding is already current.
+  ws_->bind(active_);
 
-  // Line 7: B ← SelectBaseInstances(P, η).
+  // Line 7: B ← SelectBaseInstances(P, η). The workspace hands the selector
+  // the cached distance / index / predictions (and, on the reject
+  // fast-path, the previous iteration's IP weights).
   const auto selected =
-      engine_->selector->select(active_, bp_, *model_, eta_, rng_);
+      engine_->selector->select(active_, bp_, *model_, eta_, rng_, ws_.get());
   if (selected.empty()) {  // no usable base population left
     done_ = true;
     report.status = StepStatus::kExhausted;
@@ -284,8 +302,9 @@ StepReport Session::step() {
   }
 
   // Line 8: S ← Generate(B).
-  const GenerationContext context{active_, engine_->frs, bp_, distance_,
-                                  engine_->generate_config};
+  const GenerationContext context{active_,  engine_->frs,
+                                  bp_,      ws_->distance(),
+                                  engine_->generate_config, ws_.get()};
   Dataset synthetic = engine_->generator->generate(context, selected, rng_);
   if (synthetic.empty()) {
     // A fruitless step counts toward the plateau: without this, a custom
@@ -298,18 +317,25 @@ StepReport Session::step() {
   }
   report.batch_size = synthetic.size();
 
-  // Line 9: D′ ← D̂ ∪ S.
-  Dataset candidate = active_;
-  candidate.append(synthetic);
+  // Line 9: D′ ← D̂ ∪ S, staged in place: the batch is appended to the
+  // active storage (visible to the learner and the evaluation below) and
+  // either committed or rolled back by the gate — no dataset copy on
+  // either path (docs/DESIGN.md §5; tests/test_engine_perf.cpp locks it).
+  const std::size_t staged_at = active_.stage_rows(synthetic);
 
   // Lines 10–11: retrain on D′ and evaluate Ĵ_D̂ on the candidate dataset
   // D′. Evaluating on D′ rather than the pre-merge D̂ is what makes the
   // tcf = 0 regime work: when the active dataset has no rule coverage at
   // all, only the candidate's synthetic instances can supply the MRA
-  // evidence needed to accept the first batch (see DESIGN.md §5).
-  auto candidate_model = learner_->train(candidate);
+  // evidence needed to accept the first batch (docs/DESIGN.md §4). The
+  // candidate's per-row predictions fill the workspace cache under the
+  // next model stamp — if the batch is accepted they are exactly the new
+  // model's predictions over the new D̂, ready for the next selection.
+  auto candidate_model = learner_->train(active_);
+  const std::uint64_t candidate_stamp = ++model_stamp_counter_;
   const double j_bar = train_j_hat_bar(*candidate_model, engine_->frs,
-                                       candidate, engine_->config.threads);
+                                       active_, engine_->config.threads,
+                                       ws_->predictions(), candidate_stamp);
   report.candidate_j_bar = j_bar;
 
   // Lines 12–16: the acceptance gate.
@@ -323,17 +349,24 @@ StepReport Session::step() {
   trace_.push_back(
       {iterations_run_, added_ + synthetic.size(), j_bar, accept});
   if (accept) {
-    active_ = std::move(candidate);
+    active_.commit();
     model_ = std::move(candidate_model);
+    model_version_ = candidate_stamp;
+    ws_->set_model_stamp(model_version_);
     best_j_bar_ = j_bar;
     added_ += synthetic.size();
     ++iterations_accepted_;
     consecutive_rejections_ = 0;
-    // Line 15: P ← PreSelectBP(D̂, F); refresh the distance scales too.
-    bp_ = preselect_base_population(active_, engine_->frs, engine_->config.k);
-    distance_ = MixedDistance::fit(active_);
+    // Line 15: P ← PreSelectBP(D̂, F), incrementally — only the appended
+    // rows can join an unrelaxed rule's population; relaxed rules rescan.
+    // The workspace absorbs the batch: moments extend, the distance refits
+    // from them, and the kNN index appends rather than rebuilds.
+    update_base_population(bp_, active_, engine_->frs, engine_->config.k,
+                           staged_at);
+    ws_->bind(active_);
     report.status = StepStatus::kAccepted;
   } else {
+    active_.rollback();
     ++consecutive_rejections_;
     report.status = StepStatus::kRejected;
   }

@@ -32,6 +32,7 @@
 
 #include "frote/core/frote.hpp"
 #include "frote/core/stages.hpp"
+#include "frote/core/workspace.hpp"
 
 namespace frote {
 
@@ -139,6 +140,9 @@ class Session {
 
   /// The evolving augmented dataset D̂.
   const Dataset& augmented() const { return active_; }
+  /// The session's workspace: incrementally maintained distance / kNN index
+  /// / prediction caches over D̂ (see core/workspace.hpp).
+  const SessionWorkspace& workspace() const { return *ws_; }
   /// The current model M_D̂ (retrained on every accepted step).
   const Model& model() const { return *model_; }
   /// Per-iteration decisions so far (iteration 0 is the initial model).
@@ -164,11 +168,19 @@ class Session {
   std::shared_ptr<const Engine::Impl> engine_;
   const Learner* learner_ = nullptr;
   Rng rng_;
-  Dataset active_;  // D̂
+  Dataset active_;  // D̂; candidate batches are staged in place (no copies)
   std::unique_ptr<Model> model_;
+  /// Stamp of model_ for the workspace caches (no pointer identity games).
+  std::uint64_t model_version_ = 0;
+  /// Monotone counter behind model stamps: every trained candidate gets a
+  /// fresh stamp — two different candidates must never share one, even when
+  /// D̂ returns to the same snapshot after a rejection.
+  std::uint64_t model_stamp_counter_ = 0;
   double best_j_bar_ = 0.0;
   BasePopulation bp_;
-  MixedDistance distance_;
+  /// unique_ptr: the workspace address must survive Session moves — cached
+  /// generators and indexes are reached through it every step.
+  std::unique_ptr<SessionWorkspace> ws_;
   std::size_t eta_ = 0;
   std::size_t quota_ = 0;
   std::size_t iterations_run_ = 0;

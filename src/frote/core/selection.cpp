@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 
+#include "frote/core/workspace.hpp"
 #include "frote/knn/knn.hpp"
 #include "frote/util/parallel.hpp"
 
@@ -50,21 +52,59 @@ namespace {
 /// large dataset must not pay for every row.
 std::vector<double> subset_weights(const Dataset& data, const Model& model,
                                    const std::vector<std::size_t>& rows,
-                                   const IpSelectorConfig& config) {
-  const MixedDistance distance = MixedDistance::fit(data);
+                                   const IpSelectorConfig& config,
+                                   SessionWorkspace* ws) {
+  // Workspace path: the fitted distance and the full-dataset index come
+  // from the session caches (bit-identical to fitting/building here — see
+  // ColumnMoments / KnnIndex::try_append); standalone callers fit locally.
+  std::optional<MixedDistance> local_distance;
+  std::unique_ptr<KnnIndex> local_knn;
   const std::size_t k = std::min(config.borderline_k, data.size() - 1);
   std::vector<double> weights(rows.size(), config.other_weight);
   if (k == 0) return weights;
-  const auto knn = make_knn_index(data, distance);
-  const bool batch = rows.size() * (k + 1) >= data.size();
+  KnnIndex* knn = nullptr;
+  if (ws != nullptr) {
+    knn = &ws->index();
+  } else {
+    local_distance = MixedDistance::fit(data);
+    KnnIndexConfig index_config;
+    index_config.threads = config.threads;
+    local_knn = make_knn_index(data, *local_distance, {}, index_config);
+    knn = local_knn.get();
+  }
+  // Prediction source, cheapest first: the session's prediction cache (the
+  // Ĵ evaluation of the current model already predicted every row), else
+  // one batched dataset-wide pass, else per-candidate — each candidate
+  // consults its own label plus k neighbours', so a dense base population
+  // amortises the batch while a sparse one in a large dataset must not pay
+  // for every row. All three sources yield argmax_class(predict_proba), so
+  // the weights are identical whichever is picked.
+  const int* cached = nullptr;
+  if (ws != nullptr &&
+      ws->predictions().valid_for(data, ws->model_stamp())) {
+    cached = ws->predictions().predicted().data();
+  }
+  const bool batch =
+      cached == nullptr && rows.size() * (k + 1) >= data.size();
   const std::vector<int> predicted =
       batch ? model.predict_all(data, config.threads) : std::vector<int>{};
+  if (batch && ws != nullptr) {
+    // Donate the batch to the session cache for later consumers.
+    std::vector<int>& storage =
+        ws->predictions().reset(data, ws->model_stamp());
+    storage = predicted;
+    ws->predictions().mark_filled();
+    cached = ws->predictions().predicted().data();
+  }
+  const int* table = cached != nullptr ? cached
+                     : batch           ? predicted.data()
+                                       : nullptr;
   parallel_for(
       rows.size(), 16, config.threads,
       [&](std::size_t begin, std::size_t end) {
         std::vector<double> proba;
         const auto predict_row = [&](std::size_t j) {
-          if (batch) return predicted[j];
+          if (table != nullptr) return table[j];
           model.predict_proba_into(data.row(j), proba);
           return argmax_class(proba);
         };
@@ -95,6 +135,12 @@ std::vector<SelectedInstance> IpSelector::select(const Dataset& data,
                                                  const Model& model,
                                                  std::size_t eta,
                                                  Rng& rng) const {
+  return select(data, bp, model, eta, rng, nullptr);
+}
+
+std::vector<SelectedInstance> IpSelector::select(
+    const Dataset& data, const BasePopulation& bp, const Model& model,
+    std::size_t eta, Rng& rng, SessionWorkspace* ws) const {
   std::vector<SelectedInstance> out;
   const std::size_t m = bp.per_rule.size();
   if (m == 0 || eta == 0) return out;
@@ -112,8 +158,23 @@ std::vector<SelectedInstance> IpSelector::select(const Dataset& data,
   const std::size_t p = row_of_var.size();
   if (p == 0) return out;
 
-  const std::vector<double> weights =
-      subset_weights(data, model, row_of_var, config_);
+  // Reject fast-path: while neither D̂ nor the model moved, the borderline
+  // weights of the (unchanged) base population are cached in the workspace.
+  // subset_weights draws no randomness, so the cached and fresh paths leave
+  // `rng` in identical states.
+  const std::vector<double>* cached_weights =
+      ws != nullptr ? ws->cached_weights(row_of_var) : nullptr;
+  std::vector<double> fresh_weights;
+  if (cached_weights == nullptr) {
+    fresh_weights = subset_weights(data, model, row_of_var, config_, ws);
+    if (ws != nullptr) {
+      ws->store_weights(row_of_var, std::move(fresh_weights));
+      cached_weights = ws->cached_weights(row_of_var);
+    } else {
+      cached_weights = &fresh_weights;
+    }
+  }
+  const std::vector<double>& weights = *cached_weights;
 
   // Per-rule bounds: k+1 ≤ Σ a_ji z_i ≤ max(k+1, η/m); a rule whose BP is
   // smaller than k+1 gets its lower bound clipped to the BP size.

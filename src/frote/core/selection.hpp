@@ -13,6 +13,8 @@
 
 namespace frote {
 
+class SessionWorkspace;
+
 /// One selected base instance: which rule it augments and the slot within
 /// that rule's base population.
 struct SelectedInstance {
@@ -32,6 +34,21 @@ class BaseInstanceSelector {
                                                const Model& model,
                                                std::size_t eta,
                                                Rng& rng) const = 0;
+
+  /// Workspace-aware entry point, called by Session with its
+  /// SessionWorkspace (core/workspace.hpp). Selectors that maintain no
+  /// cross-iteration state inherit this delegation; overriders must return
+  /// exactly what the plain form returns and draw from `rng` identically,
+  /// with or without a workspace — the caches only skip recomputation.
+  virtual std::vector<SelectedInstance> select(const Dataset& data,
+                                               const BasePopulation& bp,
+                                               const Model& model,
+                                               std::size_t eta, Rng& rng,
+                                               SessionWorkspace* workspace)
+      const {
+    (void)workspace;
+    return select(data, bp, model, eta, rng);
+  }
 };
 
 /// Uniform per-rule selection: η is spread evenly over rules; instances are
@@ -57,7 +74,11 @@ struct IpSelectorConfig {
 
 /// Integer-program selection (eq. 5) with borderline weights; falls back to
 /// a greedy bound-repair heuristic when the IP is infeasible or the node
-/// budget is exhausted.
+/// budget is exhausted. With a SessionWorkspace, the fitted distance, kNN
+/// index, model predictions and the borderline weights themselves are
+/// served from (and stored into) the workspace caches — bit-identical to
+/// the standalone computation, but rejected FROTE iterations skip the
+/// entire O(|BP|) scoring pass.
 class IpSelector : public BaseInstanceSelector {
  public:
   explicit IpSelector(IpSelectorConfig config = {}) : config_(config) {}
@@ -66,6 +87,11 @@ class IpSelector : public BaseInstanceSelector {
                                        const BasePopulation& bp,
                                        const Model& model, std::size_t eta,
                                        Rng& rng) const override;
+  std::vector<SelectedInstance> select(const Dataset& data,
+                                       const BasePopulation& bp,
+                                       const Model& model, std::size_t eta,
+                                       Rng& rng, SessionWorkspace* workspace)
+      const override;
 
  private:
   IpSelectorConfig config_;

@@ -1,25 +1,39 @@
 #include "frote/core/stages.hpp"
 
+#include "frote/core/workspace.hpp"
+
 namespace frote {
 
 Dataset SmoteNcInstanceGenerator::generate(
     const GenerationContext& ctx, const std::vector<SelectedInstance>& selected,
     Rng& rng) const {
   // One generator per rule, built lazily in batch order: each owns the
-  // per-rule kNN index over the current D̂. The iteration order and the RNG
-  // draw order must match the pre-Engine loop exactly — the determinism
-  // suite asserts seed → bit-identical augmentation across the shim.
-  std::vector<std::unique_ptr<RuleConstrainedGenerator>> generators(
-      ctx.frs.size());
+  // per-rule kNN index over the current D̂. With a session workspace the
+  // generators persist across iterations while D̂ is unchanged (rejected
+  // steps), so the per-rule index is packed once per accepted batch rather
+  // than once per step. The iteration order and the RNG draw order must
+  // match the pre-Engine loop exactly — the determinism suite asserts
+  // seed → bit-identical augmentation across the shim.
+  std::vector<std::unique_ptr<RuleConstrainedGenerator>> local(
+      ctx.workspace != nullptr ? 0 : ctx.frs.size());
   Dataset synthetic(ctx.active.schema_ptr());
   std::vector<double> row;
   int label = 0;
   for (const auto& pick : selected) {
-    auto& gen = generators[pick.rule_index];
-    if (!gen) {
-      gen = std::make_unique<RuleConstrainedGenerator>(
-          ctx.active, ctx.frs.rule(pick.rule_index),
-          ctx.bp.per_rule[pick.rule_index], ctx.distance, ctx.config);
+    RuleConstrainedGenerator* gen = nullptr;
+    if (ctx.workspace != nullptr) {
+      gen = &ctx.workspace->generator(pick.rule_index,
+                                      ctx.frs.rule(pick.rule_index),
+                                      ctx.bp.per_rule[pick.rule_index],
+                                      ctx.config);
+    } else {
+      auto& slot = local[pick.rule_index];
+      if (!slot) {
+        slot = std::make_unique<RuleConstrainedGenerator>(
+            ctx.active, ctx.frs.rule(pick.rule_index),
+            ctx.bp.per_rule[pick.rule_index], ctx.distance, ctx.config);
+      }
+      gen = slot.get();
     }
     if (gen->generate(pick.bp_slot, rng, row, label)) {
       synthetic.add_row(row, label);

@@ -82,15 +82,21 @@ struct SessionProgress {
   std::size_t consecutive_rejections = 0;
 };
 
+class SessionWorkspace;
+
 /// Everything an InstanceGenerator may read when producing a batch: the
 /// evolving dataset D̂, the feedback rules, the current per-rule base
-/// populations and the fitted distance, plus the generation knobs.
+/// populations and the fitted distance, plus the generation knobs. When a
+/// Session drives the loop, `workspace` points at its SessionWorkspace
+/// (core/workspace.hpp) so generators can reuse per-rule state across
+/// iterations; it is null for standalone generation.
 struct GenerationContext {
   const Dataset& active;
   const FeedbackRuleSet& frs;
   const BasePopulation& bp;
   const MixedDistance& distance;
   GenerateConfig config;
+  SessionWorkspace* workspace = nullptr;
 };
 
 /// Stage: Generate(B) — turn the selected base instances into a batch of

@@ -1,0 +1,102 @@
+#include "frote/core/workspace.hpp"
+
+namespace frote {
+
+void SessionWorkspace::bind(const Dataset& data) {
+  // Staged rows are revocable: absorbing them would leave the caches
+  // describing rows a rollback deletes, and the snapshot key could not
+  // tell a re-staged same-size batch apart. Only committed state binds.
+  FROTE_CHECK_MSG(!data.has_staged(),
+                  "SessionWorkspace::bind on a dataset with staged rows");
+  const DatasetSnapshot snap = snapshot_of(data);
+  const bool extends_bound =
+      data_ != nullptr && bound_.uid == snap.uid &&
+      bound_.append_epoch == snap.append_epoch &&
+      snap.rows >= moments_.absorbed_rows();
+  if (&data != data_) {
+    // Same logical dataset at a new address (e.g. a moved Session): the
+    // value caches survive, but the generators hold raw row pointers.
+    generators_.clear();
+    generators_snapshot_ = {};
+  }
+  data_ = &data;
+  if (!extends_bound) {
+    moments_ = ColumnMoments(data.schema());
+    distance_valid_ = false;
+    index_.reset();
+    index_snapshot_ = {};
+    weights_valid_ = false;
+    predictions_.invalidate();
+    generators_.clear();
+    generators_snapshot_ = {};
+  }
+  if (!data.empty() &&
+      (moments_.absorbed_rows() != snap.rows || !distance_valid_)) {
+    moments_.absorb(data);
+    distance_ = MixedDistance::from_moments(data.schema(), moments_);
+    distance_valid_ = true;
+  }
+  bound_ = snap;
+}
+
+KnnIndex& SessionWorkspace::index() {
+  FROTE_CHECK_MSG(data_ != nullptr && distance_valid_,
+                  "workspace index requested before bind");
+  if (index_ != nullptr) {
+    if (index_snapshot_ == bound_) return *index_;
+    if (index_snapshot_.uid == bound_.uid &&
+        index_snapshot_.append_epoch == bound_.append_epoch &&
+        index_snapshot_.rows <= bound_.rows &&
+        index_->try_append(*data_, distance_)) {
+      index_snapshot_ = bound_;
+      return *index_;
+    }
+  }
+  KnnIndexConfig config = index_config_;
+  config.threads = threads_;
+  index_ = make_knn_index(*data_, distance_, {}, config);
+  index_snapshot_ = bound_;
+  return *index_;
+}
+
+void SessionWorkspace::set_model_stamp(std::uint64_t stamp) {
+  model_stamp_ = stamp;
+}
+
+const std::vector<double>* SessionWorkspace::cached_weights(
+    const std::vector<std::size_t>& rows) const {
+  if (!weights_valid_ || weights_snapshot_ != bound_ ||
+      weights_model_stamp_ != model_stamp_ || weight_rows_ != rows) {
+    return nullptr;
+  }
+  return &weights_;
+}
+
+void SessionWorkspace::store_weights(const std::vector<std::size_t>& rows,
+                                     std::vector<double> weights) {
+  weights_ = std::move(weights);
+  weight_rows_ = rows;
+  weights_snapshot_ = bound_;
+  weights_model_stamp_ = model_stamp_;
+  weights_valid_ = true;
+}
+
+RuleConstrainedGenerator& SessionWorkspace::generator(
+    std::size_t rule_index, const FeedbackRule& rule,
+    const RuleBasePopulation& bp, const GenerateConfig& config) {
+  FROTE_CHECK_MSG(data_ != nullptr && distance_valid_,
+                  "workspace generator requested before bind");
+  if (generators_snapshot_ != bound_) {
+    generators_.clear();
+    generators_snapshot_ = bound_;
+  }
+  if (rule_index >= generators_.size()) generators_.resize(rule_index + 1);
+  auto& slot = generators_[rule_index];
+  if (slot == nullptr) {
+    slot = std::make_unique<RuleConstrainedGenerator>(*data_, rule, bp,
+                                                      distance_, config);
+  }
+  return *slot;
+}
+
+}  // namespace frote

@@ -1,0 +1,132 @@
+// SessionWorkspace — the reusable loop state of one FROTE editing session
+// (docs/DESIGN.md §5).
+//
+// Algorithm 1 re-derives several artefacts from D̂ every iteration even
+// though D̂ only changes on *accepted* steps, and then only by an appended
+// tail: the fitted SMOTE-NC distance, the kNN index over D̂, the current
+// model's predictions, the IP selector's borderline weights, and the
+// per-rule constrained generators. The workspace owns all of them, keyed by
+// a cheap dataset snapshot (uid / append_epoch / row count), so
+//   - rejected iterations reuse everything (the "reject fast-path"),
+//   - accepted iterations refresh incrementally: column moments absorb only
+//     the appended rows (bit-identical to a full refit, see ColumnMoments),
+//     and the kNN index absorbs the batch via KnnIndex::try_append instead
+//     of being rebuilt.
+// Every cache read is bit-identical to recomputing from scratch — the
+// determinism suites (test_determinism / test_engine_api / test_workspace)
+// lock that equivalence.
+//
+// Ownership: a Session owns one workspace; standalone callers (benchmarks,
+// custom drivers) may own one and pass it to IpSelector::select /
+// GenerationContext. The workspace stores raw pointers into the bound
+// dataset and the caller's BasePopulation, so it must not outlive them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "frote/core/generate.hpp"
+#include "frote/knn/knn.hpp"
+#include "frote/metrics/metrics.hpp"
+
+namespace frote {
+
+/// Cheap identity of a dataset state: same uid + append_epoch + row count
+/// implies every row a consumer absorbed is still byte-identical (staging a
+/// tail and rolling it back returns to the same snapshot).
+struct DatasetSnapshot {
+  std::uint64_t uid = 0;
+  std::uint64_t append_epoch = 0;
+  std::size_t rows = 0;
+  bool operator==(const DatasetSnapshot&) const = default;
+};
+
+inline DatasetSnapshot snapshot_of(const Dataset& data) {
+  return {data.uid(), data.append_epoch(), data.size()};
+}
+
+class SessionWorkspace {
+ public:
+  SessionWorkspace() = default;
+  explicit SessionWorkspace(int threads, KnnIndexConfig index_config = {})
+      : index_config_(index_config), threads_(threads) {}
+
+  /// Threads for the hot paths the workspace serves (kNN scans, batch
+  /// predictions); 0 ⇒ FROTE_NUM_THREADS. Deterministic for every value.
+  int threads() const { return threads_; }
+
+  /// Bind to (or refresh against) the committed state of `data`: absorbs
+  /// appended rows into the column moments and refits the distance. Binding
+  /// a different dataset, or one whose existing rows changed
+  /// (append_epoch), drops every cache and refits from scratch.
+  void bind(const Dataset& data);
+  bool bound() const { return data_ != nullptr; }
+  const Dataset& data() const {
+    FROTE_CHECK_MSG(data_ != nullptr, "workspace not bound");
+    return *data_;
+  }
+
+  /// The SMOTE-NC distance fitted on the bound dataset — bit-identical to
+  /// MixedDistance::fit(data) at every bind point.
+  const MixedDistance& distance() const {
+    FROTE_CHECK_MSG(distance_valid_, "workspace distance not fitted");
+    return distance_;
+  }
+
+  /// Full-dataset kNN index, built lazily on first use and maintained via
+  /// KnnIndex::try_append across binds. Query results are always
+  /// bit-identical to make_knn_index over the bound dataset.
+  KnnIndex& index();
+
+  /// Owner-managed stamp of the model whose derived caches (predictions,
+  /// IP weights) are valid; bump it whenever the model is retrained.
+  void set_model_stamp(std::uint64_t stamp);
+  std::uint64_t model_stamp() const { return model_stamp_; }
+
+  /// Predicted-label cache slot (see PredictionCache); the Ĵ evaluation
+  /// fills it, the IP selector reads it.
+  PredictionCache& predictions() { return predictions_; }
+
+  /// IP selection weights cached for (bound snapshot, model stamp, rows);
+  /// nullptr on miss.
+  const std::vector<double>* cached_weights(
+      const std::vector<std::size_t>& rows) const;
+  void store_weights(const std::vector<std::size_t>& rows,
+                     std::vector<double> weights);
+
+  /// Per-rule constrained generator, cached until the bound snapshot moves.
+  /// `rule` / `bp` must be the same objects across calls for a given bound
+  /// snapshot (the Session's rule set and base population).
+  RuleConstrainedGenerator& generator(std::size_t rule_index,
+                                      const FeedbackRule& rule,
+                                      const RuleBasePopulation& bp,
+                                      const GenerateConfig& config);
+
+ private:
+  const Dataset* data_ = nullptr;
+  DatasetSnapshot bound_;
+
+  ColumnMoments moments_;
+  MixedDistance distance_;
+  bool distance_valid_ = false;
+
+  std::unique_ptr<KnnIndex> index_;
+  DatasetSnapshot index_snapshot_;
+  KnnIndexConfig index_config_;
+  int threads_ = 0;
+
+  std::uint64_t model_stamp_ = 0;
+  PredictionCache predictions_;
+
+  std::vector<double> weights_;
+  std::vector<std::size_t> weight_rows_;
+  DatasetSnapshot weights_snapshot_;
+  std::uint64_t weights_model_stamp_ = 0;
+  bool weights_valid_ = false;
+
+  std::vector<std::unique_ptr<RuleConstrainedGenerator>> generators_;
+  DatasetSnapshot generators_snapshot_;
+};
+
+}  // namespace frote

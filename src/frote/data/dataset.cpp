@@ -7,9 +7,43 @@
 
 namespace frote {
 
+std::atomic<std::uint64_t> Dataset::copies_{0};
+
+std::uint64_t Dataset::next_uid() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 Dataset::Dataset(std::shared_ptr<const Schema> schema)
-    : schema_(std::move(schema)) {
+    : schema_(std::move(schema)), uid_(next_uid()) {
   FROTE_CHECK(schema_ != nullptr);
+}
+
+Dataset::Dataset(const Dataset& other)
+    : schema_(other.schema_),
+      values_(other.values_),
+      labels_(other.labels_),
+      row_ids_(other.row_ids_),
+      uid_(next_uid()),
+      version_(0),
+      append_epoch_(0),
+      next_row_id_(other.next_row_id_),
+      staged_from_(other.staged_from_) {
+  copies_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Dataset& Dataset::operator=(const Dataset& other) {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  values_ = other.values_;
+  labels_ = other.labels_;
+  row_ids_ = other.row_ids_;
+  uid_ = next_uid();
+  bump(/*rewrites_existing_rows=*/true);
+  next_row_id_ = other.next_row_id_;
+  staged_from_ = other.staged_from_;
+  copies_.fetch_add(1, std::memory_order_relaxed);
+  return *this;
 }
 
 void Dataset::set_label(std::size_t i, int label) {
@@ -18,6 +52,14 @@ void Dataset::set_label(std::size_t i, int label) {
                                     schema().num_classes(),
                   "label " << label);
   labels_[i] = label;
+  bump(/*rewrites_existing_rows=*/true);
+}
+
+void Dataset::push_row_unchecked(const double* features, int label) {
+  values_.insert(values_.end(), features,
+                 features + schema().num_features());
+  labels_.push_back(label);
+  row_ids_.push_back(next_row_id_++);
 }
 
 void Dataset::add_row(const std::vector<double>& features, int label) {
@@ -25,8 +67,8 @@ void Dataset::add_row(const std::vector<double>& features, int label) {
   FROTE_CHECK_MSG(label >= 0 && static_cast<std::size_t>(label) <
                                     schema().num_classes(),
                   "label " << label);
-  values_.insert(values_.end(), features.begin(), features.end());
-  labels_.push_back(label);
+  push_row_unchecked(features.data(), label);
+  bump(/*rewrites_existing_rows=*/false);
 }
 
 void Dataset::add_row(std::span<const double> features, int label) {
@@ -37,6 +79,42 @@ void Dataset::append(const Dataset& other) {
   FROTE_CHECK_MSG(schema() == other.schema(), "schema mismatch in append");
   values_.insert(values_.end(), other.values_.begin(), other.values_.end());
   labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    row_ids_.push_back(next_row_id_++);
+  }
+  bump(/*rewrites_existing_rows=*/false);
+}
+
+void Dataset::reserve_rows(std::size_t rows) {
+  values_.reserve(rows * schema().num_features());
+  labels_.reserve(rows);
+  row_ids_.reserve(rows);
+}
+
+std::size_t Dataset::stage_rows(const Dataset& other) {
+  FROTE_CHECK_MSG(!has_staged(), "nested stage_rows without commit/rollback");
+  const std::size_t first = size();
+  staged_from_ = first;
+  append(other);  // bumps version
+  return first;
+}
+
+void Dataset::commit() {
+  FROTE_CHECK_MSG(has_staged(), "commit without staged rows");
+  staged_from_ = kNoStage;
+  bump(/*rewrites_existing_rows=*/false);
+}
+
+void Dataset::rollback() {
+  FROTE_CHECK_MSG(has_staged(), "rollback without staged rows");
+  const std::size_t base = staged_from_;
+  staged_from_ = kNoStage;
+  values_.resize(base * schema().num_features());
+  labels_.resize(base);
+  row_ids_.resize(base);
+  // Truncation leaves the surviving prefix byte-identical, so incremental
+  // consumers fitted on [0, base) stay valid: no append_epoch bump.
+  bump(/*rewrites_existing_rows=*/false);
 }
 
 Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
@@ -44,12 +122,12 @@ Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
   const std::size_t w = schema().num_features();
   out.values_.reserve(indices.size() * w);
   out.labels_.reserve(indices.size());
+  out.row_ids_.reserve(indices.size());
   for (std::size_t idx : indices) {
     FROTE_CHECK_MSG(idx < size(), "subset index " << idx);
-    out.values_.insert(out.values_.end(), values_.begin() + idx * w,
-                       values_.begin() + (idx + 1) * w);
-    out.labels_.push_back(labels_[idx]);
+    out.push_row_unchecked(values_.data() + idx * w, labels_[idx]);
   }
+  out.bump(/*rewrites_existing_rows=*/false);
   return out;
 }
 
@@ -61,8 +139,10 @@ void Dataset::remove_rows(std::vector<std::size_t> indices) {
   const std::size_t w = schema().num_features();
   std::vector<double> new_values;
   std::vector<int> new_labels;
+  std::vector<std::uint64_t> new_row_ids;
   new_values.reserve(values_.size());
   new_labels.reserve(labels_.size());
+  new_row_ids.reserve(row_ids_.size());
   std::size_t next_removed = 0;
   for (std::size_t i = 0; i < size(); ++i) {
     if (next_removed < indices.size() && indices[next_removed] == i) {
@@ -72,9 +152,12 @@ void Dataset::remove_rows(std::vector<std::size_t> indices) {
     new_values.insert(new_values.end(), values_.begin() + i * w,
                       values_.begin() + (i + 1) * w);
     new_labels.push_back(labels_[i]);
+    new_row_ids.push_back(row_ids_[i]);
   }
   values_ = std::move(new_values);
   labels_ = std::move(new_labels);
+  row_ids_ = std::move(new_row_ids);
+  bump(/*rewrites_existing_rows=*/true);
 }
 
 std::vector<std::size_t> Dataset::class_counts() const {

@@ -1,9 +1,30 @@
 // Tabular dataset container: a shared schema plus row-major feature values
 // and integer class labels. All FROTE operations (coverage, relabel/drop,
 // augmentation) work on this type.
+//
+// Staged appends (the session workspace's data plane, docs/DESIGN.md §5):
+// `stage_rows()` appends a batch that is immediately visible to every reader
+// (size(), row(), label()) but remembers the pre-stage size, so the caller
+// can either `commit()` — keep the rows, O(1) — or `rollback()` — truncate
+// back, O(1) amortised. This is what lets the FROTE loop train and evaluate
+// a candidate D′ = D̂ ∪ S without materialising a second dataset copy.
+//
+// Change tracking for incremental consumers (kNN indexes, fitted distances,
+// prediction caches):
+//   - uid():     process-unique identity; fresh per construction and per
+//                copy, preserved across moves.
+//   - version(): bumped by every mutation (including stage/rollback).
+//   - append_epoch(): bumped only by mutations that edit or remove existing
+//                rows (set_label, remove_rows). While it is stable, any
+//                prefix of the dataset a consumer already absorbed is still
+//                byte-identical, so caches may extend instead of refit.
+//   - row_id(i): stable per-row identity; assigned on append, kept across
+//                remove_rows/commit, never reused within a dataset.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -15,8 +36,16 @@ namespace frote {
 /// Immutable-schema, mutable-rows dataset. Rows are stored contiguously.
 class Dataset {
  public:
-  Dataset() = default;
+  Dataset() : uid_(next_uid()) {}
   explicit Dataset(std::shared_ptr<const Schema> schema);
+
+  /// Copies get a fresh uid (they are a new logical dataset) and count
+  /// toward copy_count() — tests/test_engine_perf.cpp uses the counter to
+  /// prove the session loop never clones D̂ per iteration.
+  Dataset(const Dataset& other);
+  Dataset& operator=(const Dataset& other);
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
 
   const Schema& schema() const {
     FROTE_CHECK(schema_ != nullptr);
@@ -36,9 +65,19 @@ class Dataset {
     return {values_.data() + i * w, w};
   }
 
+  /// Raw row-major feature storage (size() * num_features()); hot loops that
+  /// already hold a validated index can skip row()'s per-call bounds check.
+  std::span<const double> raw_values() const {
+    return {values_.data(), values_.size()};
+  }
+
   int label(std::size_t i) const {
     FROTE_CHECK_MSG(i < size(), "row " << i << " out of " << size());
     return labels_[i];
+  }
+  /// Raw label storage, index-aligned with raw_values() rows.
+  std::span<const int> raw_labels() const {
+    return {labels_.data(), labels_.size()};
   }
 
   void set_label(std::size_t i, int label);
@@ -49,6 +88,40 @@ class Dataset {
 
   /// Append every row of `other` (schemas must match).
   void append(const Dataset& other);
+
+  /// Pre-size the row storage for `rows` total rows, so a session that
+  /// grows toward a known budget q·|D| appends without reallocation.
+  void reserve_rows(std::size_t rows);
+
+  // -- Staged appends --------------------------------------------------------
+
+  /// Append every row of `other` as a *staged* tail: visible immediately,
+  /// revocable via rollback(). Returns the index of the first staged row.
+  /// Nested staging is not supported (FROTE_CHECK).
+  std::size_t stage_rows(const Dataset& other);
+  /// Keep the staged tail. O(1); bumps version().
+  void commit();
+  /// Discard the staged tail, truncating back to the pre-stage size.
+  void rollback();
+  bool has_staged() const { return staged_from_ != kNoStage; }
+  /// First staged row index; size() when nothing is staged.
+  std::size_t staged_begin() const {
+    return has_staged() ? staged_from_ : size();
+  }
+
+  // -- Change tracking -------------------------------------------------------
+
+  std::uint64_t uid() const { return uid_; }
+  std::uint64_t version() const { return version_; }
+  std::uint64_t append_epoch() const { return append_epoch_; }
+  std::uint64_t row_id(std::size_t i) const {
+    FROTE_CHECK_MSG(i < size(), "row " << i << " out of " << size());
+    return row_ids_[i];
+  }
+  /// Process-wide count of Dataset copy constructions/assignments.
+  static std::uint64_t copy_count() {
+    return copies_.load(std::memory_order_relaxed);
+  }
 
   /// New dataset containing the rows at `indices` (order preserved).
   Dataset subset(const std::vector<std::size_t>& indices) const;
@@ -69,9 +142,25 @@ class Dataset {
   std::vector<std::size_t> category_counts(std::size_t feature) const;
 
  private:
+  static constexpr std::size_t kNoStage = static_cast<std::size_t>(-1);
+  static std::uint64_t next_uid();
+  static std::atomic<std::uint64_t> copies_;
+
+  void bump(bool rewrites_existing_rows) {
+    ++version_;
+    if (rewrites_existing_rows) ++append_epoch_;
+  }
+  void push_row_unchecked(const double* features, int label);
+
   std::shared_ptr<const Schema> schema_;
   std::vector<double> values_;  // row-major, size() * num_features()
   std::vector<int> labels_;
+  std::vector<std::uint64_t> row_ids_;
+  std::uint64_t uid_ = 0;
+  std::uint64_t version_ = 0;
+  std::uint64_t append_epoch_ = 0;
+  std::uint64_t next_row_id_ = 0;
+  std::size_t staged_from_ = kNoStage;
 };
 
 }  // namespace frote

@@ -7,7 +7,7 @@
 // standardized numerics, per-category effects, a few pairwise interactions,
 // plus calibrated class-prior biases and label noise). This preserves what
 // FROTE's experiments need: learnable mixed-type structure from which rules
-// can be induced, perturbed and re-taught. See DESIGN.md §2.
+// can be induced, perturbed and re-taught. See docs/DESIGN.md §2.
 #pragma once
 
 #include <cstdint>

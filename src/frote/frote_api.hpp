@@ -53,6 +53,37 @@
 // FROTE_NUM_THREADS environment variable parallelise the retrain/eval hot
 // paths. Output is bit-identical for every thread count — see
 // util/parallel.hpp and the README's "Performance & threading" section.
+//
+// PR 4 (incremental session workspace) — signature/field moves:
+//   GenerationContext                    → gained `SessionWorkspace*
+//                                          workspace` (defaulted nullptr;
+//                                          aggregate initializers keep
+//                                          compiling) and GenerateConfig
+//                                          gained `threads`
+//   BaseInstanceSelector                 → new non-pure overload
+//                                          select(..., SessionWorkspace*);
+//                                          existing subclasses inherit the
+//                                          delegating default and keep
+//                                          working unchanged
+//   evaluate_objective / train_j_hat_bar → new overloads taking
+//                                          (PredictionCache&, model_stamp);
+//                                          the old signatures are unchanged
+//   KnnIndex                             → new try_append(data, distance)
+//                                          (default: refuse, caller
+//                                          rebuilds); BruteKnn/BallTreeKnn
+//                                          absorb appended rows
+//   MixedDistance                        → new from_moments(schema,
+//                                          ColumnMoments) and same_scales()
+//   Dataset                              → staged appends (stage_rows/
+//                                          commit/rollback/reserve_rows),
+//                                          change tracking (uid/version/
+//                                          append_epoch/row_id), raw_values/
+//                                          raw_labels; *copies now take a
+//                                          fresh uid and are counted by
+//                                          Dataset::copy_count()*
+//   Session                              → exposes workspace(); internally
+//                                          stages candidate batches in
+//                                          place (no per-step dataset copy)
 // ---------------------------------------------------------------------------
 #pragma once
 
@@ -67,6 +98,7 @@
 #include "frote/core/online_proxy.hpp"
 #include "frote/core/selection.hpp"
 #include "frote/core/stages.hpp"
+#include "frote/core/workspace.hpp"
 
 // Data handling: schema-typed datasets, CSV I/O, splits, UCI-style
 // generators.

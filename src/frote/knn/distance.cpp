@@ -7,6 +7,28 @@
 
 namespace frote {
 
+ColumnMoments::ColumnMoments(const Schema& schema)
+    : columns_(schema.num_features()),
+      categorical_(schema.num_features(), false) {
+  for (std::size_t f = 0; f < schema.num_features(); ++f) {
+    categorical_[f] = schema.feature(f).is_categorical();
+  }
+}
+
+void ColumnMoments::absorb(const Dataset& data) {
+  FROTE_CHECK(columns_.size() == data.num_features());
+  const std::size_t n = data.size();
+  FROTE_CHECK_MSG(rows_ <= n, "moments absorbed more rows than data holds");
+  // Column-by-column over the new tail, in row order: the per-column Welford
+  // sequence matches a from-scratch pass over [0, n) exactly.
+  for (std::size_t f = 0; f < columns_.size(); ++f) {
+    if (categorical_[f]) continue;
+    RunningStats& s = columns_[f];
+    for (std::size_t i = rows_; i < n; ++i) s.add(data.row(i)[f]);
+  }
+  rows_ = n;
+}
+
 MixedDistance MixedDistance::fit(const Dataset& data) {
   FROTE_CHECK(!data.empty());
   MixedDistance d;
@@ -36,6 +58,39 @@ MixedDistance MixedDistance::fit(const Dataset& data) {
     d.nominal_diff_ = 1.0;
   }
   return d;
+}
+
+MixedDistance MixedDistance::from_moments(const Schema& schema,
+                                          const ColumnMoments& moments) {
+  FROTE_CHECK(moments.absorbed_rows() > 0);
+  FROTE_CHECK(moments.num_columns() == schema.num_features());
+  MixedDistance d;
+  for (std::size_t f = 0; f < schema.num_features(); ++f) {
+    Column col;
+    if (schema.feature(f).is_categorical()) {
+      col.categorical = true;
+    } else {
+      // Same expression as fit(): RunningStats::stddev over the same add
+      // sequence, so the scale doubles match bit for bit.
+      const double stddev = moments.column(f).stddev();
+      col.inv_std = stddev > 1e-12 ? 1.0 / stddev : 1.0;
+    }
+    d.columns_.push_back(col);
+  }
+  d.nominal_diff_ = 1.0;
+  return d;
+}
+
+bool MixedDistance::same_scales(const MixedDistance& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  if (nominal_diff_ != other.nominal_diff_) return false;
+  for (std::size_t f = 0; f < columns_.size(); ++f) {
+    if (columns_[f].categorical != other.columns_[f].categorical ||
+        columns_[f].inv_std != other.columns_[f].inv_std) {
+      return false;
+    }
+  }
+  return true;
 }
 
 double MixedDistance::squared(std::span<const double> a,

@@ -19,6 +19,13 @@ std::vector<std::size_t> all_indices(const Dataset& data) {
   return idx;
 }
 
+bool is_identity(const std::vector<std::size_t>& ids) {
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] != i) return false;
+  }
+  return true;
+}
+
 /// Keep a bounded max-heap of the k best neighbours (worst on top). The
 /// `distance` field holds *squared* distances until heap_finish — the
 /// ordering (and the index tie-break) is unchanged by the monotone sqrt.
@@ -59,8 +66,7 @@ namespace detail {
 // loops over contiguous memory. Both engines pack identically, so they agree
 // on every distance bit.
 
-PackedRows::PackedRows(const Dataset& data, const MixedDistance& distance,
-                       const std::vector<std::size_t>& row_ids) {
+void PackedRows::init_layout(const MixedDistance& distance) {
   dim_ = distance.num_columns();
   penalty_sq_ = distance.categorical_penalty() * distance.categorical_penalty();
   slot_of_.resize(dim_);
@@ -76,6 +82,11 @@ PackedRows::PackedRows(const Dataset& data, const MixedDistance& distance,
   for (std::size_t f = 0; f < dim_; ++f) {
     if (distance.column_categorical(f)) slot_of_[f] = slot++;
   }
+}
+
+PackedRows::PackedRows(const Dataset& data, const MixedDistance& distance,
+                       const std::vector<std::size_t>& row_ids) {
+  init_layout(distance);
   data_.resize(row_ids.size() * dim_);
   for (std::size_t i = 0; i < row_ids.size(); ++i) {
     pack_row(data.row(row_ids[i]), data_.data() + i * dim_);
@@ -92,6 +103,41 @@ void PackedRows::pack_query(std::span<const double> raw,
                             std::vector<double>& out) const {
   out.resize(dim_);
   pack_row(raw, out.data());
+}
+
+void PackedRows::append(const Dataset& data,
+                        std::span<const std::size_t> row_ids) {
+  const std::size_t old = data_.size();
+  data_.resize(old + row_ids.size() * dim_);
+  for (std::size_t i = 0; i < row_ids.size(); ++i) {
+    pack_row(data.row(row_ids[i]), data_.data() + old + i * dim_);
+  }
+}
+
+void PackedRows::repack(const Dataset& data, const MixedDistance& distance,
+                        const std::vector<std::size_t>& row_ids) {
+  init_layout(distance);
+  data_.resize(row_ids.size() * dim_);
+  for (std::size_t i = 0; i < row_ids.size(); ++i) {
+    pack_row(data.row(row_ids[i]), data_.data() + i * dim_);
+  }
+}
+
+bool PackedRows::scales_match(const MixedDistance& distance) const {
+  if (distance.num_columns() != dim_) return false;
+  const double penalty_sq =
+      distance.categorical_penalty() * distance.categorical_penalty();
+  if (penalty_sq != penalty_sq_) return false;
+  std::size_t slot = 0;
+  for (std::size_t f = 0; f < dim_; ++f) {
+    if (distance.column_categorical(f)) continue;
+    // Numeric columns must occupy the same slots with the same 1/σ.
+    if (slot_of_[f] != slot || scale_[f] != distance.column_inv_std(f)) {
+      return false;
+    }
+    ++slot;
+  }
+  return slot == numeric_count_;
 }
 
 void PackedRows::permute(const std::vector<std::size_t>& order) {
@@ -112,11 +158,16 @@ double PackedRows::squared(const double* a, const double* b) const {
     const double diff = a[f] - b[f];
     acc += diff * diff;
   }
-  // Branchless mismatch accumulation (adds an exact 0.0 on a match, so the
-  // result is unchanged) keeps the loop auto-vectorisable.
+  // Count mismatches with an integer accumulator (no data-dependent branch,
+  // no FP dependency chain — real categorical codes mispredict a per-column
+  // branch badly), then replay exactly the per-mismatch adds the per-column
+  // loop would have performed: the same penalty added the same number of
+  // times in the same sequence yields the same bits.
+  int mismatches = 0;
   for (; f < dim_; ++f) {
-    acc += penalty_sq_ * static_cast<double>(a[f] != b[f]);
+    mismatches += a[f] != b[f] ? 1 : 0;
   }
+  for (int m = 0; m < mismatches; ++m) acc += penalty_sq_;
   return acc;
 }
 
@@ -128,7 +179,9 @@ double PackedRows::squared(const double* a, const double* b) const {
 BruteKnn::BruteKnn(const Dataset& data, MixedDistance distance,
                    std::vector<std::size_t> indices, int threads)
     : row_ids_(indices.empty() ? all_indices(data) : std::move(indices)),
-      packed_(data, distance, row_ids_), threads_(threads) {}
+      packed_(data, distance, row_ids_),
+      threads_(threads),
+      covers_prefix_(is_identity(row_ids_)) {}
 
 std::vector<Neighbor> BruteKnn::query(std::span<const double> query,
                                       std::size_t k) const {
@@ -159,6 +212,20 @@ std::vector<Neighbor> BruteKnn::query(std::span<const double> query,
   return heap_finish(std::move(heap));
 }
 
+bool BruteKnn::try_append(const Dataset& data, const MixedDistance& distance) {
+  if (!covers_prefix_ || data.size() < row_ids_.size()) return false;
+  const std::size_t old = row_ids_.size();
+  for (std::size_t i = old; i < data.size(); ++i) row_ids_.push_back(i);
+  if (packed_.scales_match(distance)) {
+    packed_.append(data, std::span<const std::size_t>(row_ids_).subspan(old));
+  } else {
+    // The refit distance rescaled at least one column: one O(n·d) repack —
+    // still no engine re-selection and no per-row reallocation churn.
+    packed_.repack(data, distance, row_ids_);
+  }
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // BallTreeKnn
 
@@ -167,9 +234,17 @@ BallTreeKnn::BallTreeKnn(const Dataset& data, MixedDistance distance,
                          std::size_t leaf_size)
     : row_ids_(indices.empty() ? all_indices(data) : std::move(indices)),
       packed_(data, distance, row_ids_),
-      leaf_size_(std::max<std::size_t>(1, leaf_size)) {
+      leaf_size_(std::max<std::size_t>(1, leaf_size)),
+      covers_prefix_(is_identity(row_ids_)) {
+  build_tree(data);
+}
+
+void BallTreeKnn::build_tree(const Dataset& data) {
+  (void)data;  // packed_ already holds every row in row-set order
+  nodes_.clear();
   order_.resize(row_ids_.size());
   for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  tree_rows_ = row_ids_.size();
   if (row_ids_.empty()) return;
   keyed_.reserve(row_ids_.size());
   build(0, row_ids_.size());
@@ -263,6 +338,49 @@ int BallTreeKnn::build(std::size_t begin, std::size_t end) {
   return node_id;
 }
 
+void BallTreeKnn::refresh_radii() {
+  for (auto& node : nodes_) {
+    const double* center_row = packed_.row(node.center);
+    double radius = 0.0;
+    for (std::size_t pos = node.begin; pos < node.end; ++pos) {
+      radius = std::max(
+          radius, std::sqrt(packed_.squared(center_row, packed_.row(pos))));
+    }
+    node.radius = radius;
+  }
+}
+
+bool BallTreeKnn::try_append(const Dataset& data,
+                             const MixedDistance& distance) {
+  if (!covers_prefix_ || data.size() < row_ids_.size()) return false;
+  const std::size_t old = row_ids_.size();
+  for (std::size_t i = old; i < data.size(); ++i) {
+    row_ids_.push_back(i);
+    order_.push_back(i);  // tail rows sit at their own storage positions
+  }
+  const std::size_t tail = row_ids_.size() - tree_rows_;
+  if (tail > std::max(leaf_size_, tree_rows_ / 8)) {
+    // Deterministic rebuild point: fold the tail into a fresh tree (which
+    // subsumes any rescale handling). Repack into row-set order first —
+    // build_tree assumes storage position i holds row-set index i.
+    packed_.repack(data, distance, row_ids_);
+    build_tree(data);
+    return true;
+  }
+  if (!packed_.scales_match(distance)) {
+    // Repack every stored row (storage position p holds row order_[p]) and
+    // refresh the node radii so pruning stays exact under the new scales.
+    std::vector<std::size_t> storage_rows(old);
+    for (std::size_t pos = 0; pos < old; ++pos) {
+      storage_rows[pos] = row_ids_[order_[pos]];
+    }
+    packed_.repack(data, distance, storage_rows);
+    refresh_radii();
+  }
+  packed_.append(data, std::span<const std::size_t>(row_ids_).subspan(old));
+  return true;
+}
+
 void BallTreeKnn::search(int node_id, const double* query, std::size_t k,
                          std::vector<Neighbor>& heap, double center_sq) const {
   const Node& node = nodes_[static_cast<std::size_t>(node_id)];
@@ -303,8 +421,16 @@ std::vector<Neighbor> BallTreeKnn::query(std::span<const double> query,
   const double* q = packed_query.data();
   std::vector<Neighbor> heap;
   heap.reserve(k + 1);
-  search(0, q, k, heap,
-         packed_.squared(packed_.row(nodes_[0].center), q));
+  if (!nodes_.empty()) {
+    search(0, q, k, heap,
+           packed_.squared(packed_.row(nodes_[0].center), q));
+  }
+  // Tail buffer of appended rows: a flat scan after the tree. The k-best
+  // set under the (distance, index) total order is independent of the visit
+  // order, so the result matches a fresh build bit for bit.
+  for (std::size_t pos = tree_rows_; pos < order_.size(); ++pos) {
+    heap_offer(heap, k, {order_[pos], packed_.squared(packed_.row(pos), q)});
+  }
   return heap_finish(std::move(heap));
 }
 

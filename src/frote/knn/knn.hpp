@@ -8,6 +8,15 @@
 // index, so they agree exactly. make_knn_index() picks the engine by row
 // count: below the measured crossover the flat scan wins and the ball tree
 // never earns its build cost.
+//
+// Appendable indexes (docs/DESIGN.md §5): an index built over *all* rows of
+// a dataset can absorb appended rows via try_append() instead of being
+// rebuilt from scratch. BruteKnn packs just the new rows (or repacks in one
+// pass when the refit distance changed scale); BallTreeKnn keeps appended
+// rows in a flat tail buffer that every query scans after the tree, and
+// folds the tail into the tree at a deterministic size threshold. Query
+// results after any append sequence are bit-identical to a fresh build over
+// the same rows and distance.
 #pragma once
 
 #include <cstddef>
@@ -36,13 +45,25 @@ class PackedRows {
              const std::vector<std::size_t>& row_ids);
 
   std::size_t dim() const { return dim_; }
+  std::size_t rows() const { return dim_ == 0 ? 0 : data_.size() / dim_; }
   const double* row(std::size_t pos) const { return data_.data() + pos * dim_; }
   void pack_query(std::span<const double> raw, std::vector<double>& out) const;
+  /// Append the dataset rows at `row_ids` to the packed storage. The scales
+  /// fitted at construction keep applying — callers must check
+  /// scales_match() first (append under a rescaled distance needs repack()).
+  void append(const Dataset& data, std::span<const std::size_t> row_ids);
+  /// Re-pack every row from `data` under a (possibly rescaled) `distance`;
+  /// storage position p re-packs dataset row `row_ids[p]`. One O(n·d) pass.
+  void repack(const Dataset& data, const MixedDistance& distance,
+              const std::vector<std::size_t>& row_ids);
+  /// True when `distance` scales every column exactly as this packing did.
+  bool scales_match(const MixedDistance& distance) const;
   /// Reorder storage so position p holds the row previously at order[p].
   void permute(const std::vector<std::size_t>& order);
   double squared(const double* a, const double* b) const;
 
  private:
+  void init_layout(const MixedDistance& distance);
   void pack_row(std::span<const double> raw, double* out) const;
 
   std::vector<double> data_;  // row-major, n x dim_
@@ -65,6 +86,16 @@ class KnnIndex {
   virtual std::size_t size() const = 0;
   /// Row-set index -> original dataset row index.
   virtual std::size_t dataset_index(std::size_t i) const = 0;
+  /// Absorb the rows of `data` beyond size() into the index, refit under
+  /// `distance` (which may have new scales). Only supported by indexes that
+  /// cover a full-dataset prefix [0, size()); returns false when the caller
+  /// should rebuild instead. After a successful append, queries are
+  /// bit-identical to a fresh build over data with `distance`.
+  virtual bool try_append(const Dataset& data, const MixedDistance& distance) {
+    (void)data;
+    (void)distance;
+    return false;
+  }
 };
 
 /// Exhaustive scan over contiguous rows.
@@ -82,11 +113,13 @@ class BruteKnn : public KnnIndex {
   std::size_t dataset_index(std::size_t i) const override {
     return row_ids_[i];
   }
+  bool try_append(const Dataset& data, const MixedDistance& distance) override;
 
  private:
   std::vector<std::size_t> row_ids_;
   detail::PackedRows packed_;
   int threads_ = 0;
+  bool covers_prefix_ = false;  // row_ids_ == [0, size())
 };
 
 /// Metric ball tree (furthest-point split).
@@ -106,6 +139,15 @@ class BallTreeKnn : public KnnIndex {
   std::size_t dataset_index(std::size_t i) const override {
     return row_ids_[i];
   }
+  /// Appended rows live in a flat tail buffer scanned after the tree; when
+  /// the tail outgrows max(leaf_size, tree_rows/8) — a pure function of the
+  /// row counts, so rebuild points are deterministic — the whole index is
+  /// rebuilt. A rescaled distance triggers a one-pass repack plus an exact
+  /// per-node radius refresh (the tree topology is kept; only the bounds
+  /// must be valid for pruning).
+  bool try_append(const Dataset& data, const MixedDistance& distance) override;
+  /// Rows covered by tree nodes (excludes the tail buffer); test hook.
+  std::size_t tree_rows() const { return tree_rows_; }
 
  private:
   struct Node {
@@ -117,7 +159,11 @@ class BallTreeKnn : public KnnIndex {
     int left = -1, right = -1;       // children node ids; -1 for leaf
   };
 
+  void build_tree(const Dataset& data);
   int build(std::size_t begin, std::size_t end);
+  /// Recompute every node's covering radius under the current packing — one
+  /// exact pass per node, ~3x cheaper than a full rebuild.
+  void refresh_radii();
   /// `center_sq` is the squared distance from the packed query to this
   /// node's pivot, computed by the parent so no node measures its own
   /// center twice.
@@ -129,6 +175,8 @@ class BallTreeKnn : public KnnIndex {
   std::vector<std::size_t> order_;  // storage position -> row-set index
   std::vector<Node> nodes_;
   std::size_t leaf_size_;
+  std::size_t tree_rows_ = 0;  // storage positions [0, tree_rows_) are treed
+  bool covers_prefix_ = false;
   // Build-time scratch (partition keys); reused across nodes, dead after
   // construction.
   std::vector<std::pair<double, std::size_t>> keyed_;

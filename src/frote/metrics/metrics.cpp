@@ -10,6 +10,16 @@ namespace {
 constexpr std::size_t kEvalGrain = 256;
 }  // namespace
 
+std::vector<int>& PredictionCache::reset(const Dataset& data,
+                                         std::uint64_t model_stamp) {
+  predicted_.assign(data.size(), -1);
+  uid_ = data.uid();
+  epoch_ = data.append_epoch();
+  model_stamp_ = model_stamp;
+  valid_ = false;  // mark_filled() flips this once the fill completed
+  return predicted_;
+}
+
 ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
     : classes_(num_classes), counts_(num_classes * num_classes, 0) {
   FROTE_CHECK(num_classes >= 2);
@@ -116,9 +126,21 @@ RuleAgreement rule_agreement(const Model& model, const FeedbackRule& rule,
   return out;
 }
 
-ObjectiveBreakdown evaluate_objective(const Model& model,
-                                      const FeedbackRuleSet& frs,
-                                      const Dataset& data, int threads) {
+namespace {
+
+/// Shared sweep behind both evaluate_objective overloads. `read_cache`
+/// serves predictions instead of calling the model; `fill_cache` records
+/// each row's prediction as the sweep computes it. Exactly one prediction
+/// per row flows into the accumulators either way, so all three modes
+/// (plain / cache-hit / cache-fill) produce bit-identical breakdowns. The
+/// mode is a template parameter so the plain path compiles to exactly the
+/// pre-cache loop (no per-row mode branches).
+template <bool kReadCache, bool kFillCache>
+ObjectiveBreakdown evaluate_objective_impl(const Model& model,
+                                           const FeedbackRuleSet& frs,
+                                           const Dataset& data, int threads,
+                                           const int* read_cache,
+                                           int* fill_cache) {
   ObjectiveBreakdown out;
   if (data.empty()) return out;
 
@@ -144,6 +166,18 @@ ObjectiveBreakdown evaluate_objective(const Model& model,
         p.rule_cov.assign(num_rules, 0);
         p.cm.assign(classes * classes, 0);
         std::vector<double> proba;
+        const auto predict_row = [&](std::size_t i,
+                                     std::span<const double> row) {
+          if constexpr (kReadCache) {
+            (void)row;
+            return read_cache[i];
+          } else {
+            model.predict_proba_into(row, proba);
+            const int predicted = argmax_class(proba);
+            if constexpr (kFillCache) fill_cache[i] = predicted;
+            return predicted;
+          }
+        };
         for (std::size_t i = begin; i < end; ++i) {
           const auto row = data.row(i);
           int predicted = -1;
@@ -152,10 +186,7 @@ ObjectiveBreakdown evaluate_objective(const Model& model,
             const auto& rule = frs.rule(r);
             if (!rule.covers(row)) continue;
             row_covered = true;
-            if (predicted < 0) {
-              model.predict_proba_into(row, proba);
-              predicted = argmax_class(proba);
-            }
+            if (predicted < 0) predicted = predict_row(i, row);
             ++p.rule_cov[r];
             p.rule_acc[r] += rule.pi.prob(predicted);
           }
@@ -163,9 +194,8 @@ ObjectiveBreakdown evaluate_objective(const Model& model,
             ++p.covered;
           } else {
             ++p.outside;
-            model.predict_proba_into(row, proba);
             p.cm[static_cast<std::size_t>(data.label(i)) * classes +
-                 static_cast<std::size_t>(argmax_class(proba))]++;
+                 static_cast<std::size_t>(predict_row(i, row))]++;
           }
         }
         return p;
@@ -216,15 +246,39 @@ ObjectiveBreakdown evaluate_objective(const Model& model,
   return out;
 }
 
+}  // namespace
+
+ObjectiveBreakdown evaluate_objective(const Model& model,
+                                      const FeedbackRuleSet& frs,
+                                      const Dataset& data, int threads) {
+  return evaluate_objective_impl<false, false>(model, frs, data, threads,
+                                               nullptr, nullptr);
+}
+
+ObjectiveBreakdown evaluate_objective(const Model& model,
+                                      const FeedbackRuleSet& frs,
+                                      const Dataset& data, int threads,
+                                      PredictionCache& cache,
+                                      std::uint64_t model_stamp) {
+  if (cache.valid_for(data, model_stamp)) {
+    return evaluate_objective_impl<true, false>(
+        model, frs, data, threads, cache.predicted().data(), nullptr);
+  }
+  std::vector<int>& storage = cache.reset(data, model_stamp);
+  const ObjectiveBreakdown out = evaluate_objective_impl<false, true>(
+      model, frs, data, threads, nullptr, storage.data());
+  cache.mark_filled();
+  return out;
+}
+
 double test_j_bar(const Model& model, const FeedbackRuleSet& frs,
                   const Dataset& data, int threads) {
   const auto b = evaluate_objective(model, frs, data, threads);
   return b.j_bar(b.coverage_prob);
 }
 
-double train_j_hat_bar(const Model& model, const FeedbackRuleSet& frs,
-                       const Dataset& data, int threads) {
-  auto b = evaluate_objective(model, frs, data, threads);
+namespace {
+double train_j_hat_bar_from(ObjectiveBreakdown b, const FeedbackRuleSet& frs) {
   // Pessimistic vacuous MRA: with no covered instance in the evaluation
   // dataset the model has demonstrated no rule agreement at all. This is
   // what lets Algorithm 1 bootstrap in the tcf = 0 regime — the first
@@ -232,6 +286,20 @@ double train_j_hat_bar(const Model& model, const FeedbackRuleSet& frs,
   // MRA term from 0 toward 1.
   if (!frs.empty() && b.covered == 0) b.mra = 0.0;
   return b.j_bar(0.5);
+}
+}  // namespace
+
+double train_j_hat_bar(const Model& model, const FeedbackRuleSet& frs,
+                       const Dataset& data, int threads) {
+  return train_j_hat_bar_from(evaluate_objective(model, frs, data, threads),
+                              frs);
+}
+
+double train_j_hat_bar(const Model& model, const FeedbackRuleSet& frs,
+                       const Dataset& data, int threads,
+                       PredictionCache& cache, std::uint64_t model_stamp) {
+  return train_j_hat_bar_from(
+      evaluate_objective(model, frs, data, threads, cache, model_stamp), frs);
 }
 
 }  // namespace frote

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "frote/data/dataset.hpp"
@@ -43,6 +44,41 @@ class ConfusionMatrix {
   std::size_t classes_;
   std::size_t total_ = 0;
   std::vector<std::size_t> counts_;  // classes x classes
+};
+
+/// Cached argmax predictions of one model over one dataset's rows, keyed by
+/// the dataset's identity (uid / append_epoch / row count) and a
+/// caller-managed model stamp. The evaluation sweep (evaluate_objective)
+/// fills it as a by-product; the IP selector's borderline scoring reads it
+/// back, so in the FROTE loop the current model's predictions over D̂ are
+/// computed exactly once per retrain instead of once per consumer
+/// (docs/DESIGN.md §5). Predictions are argmax_class(predict_proba) — the
+/// same quantity every consumer derives — so serving from the cache is
+/// bit-identical to recomputing.
+class PredictionCache {
+ public:
+  /// True when the cache holds predictions of model-stamp `model_stamp`
+  /// over exactly the rows `data` currently holds.
+  bool valid_for(const Dataset& data, std::uint64_t model_stamp) const {
+    return valid_ && model_stamp_ == model_stamp && uid_ == data.uid() &&
+           epoch_ == data.append_epoch() && predicted_.size() == data.size();
+  }
+  const std::vector<int>& predicted() const { return predicted_; }
+  /// Claim the cache for (data, model_stamp): returns storage sized to
+  /// data.size() for the caller to fill (chunks may write disjoint ranges).
+  /// The cache stays invalid until mark_filled() — a fill that throws must
+  /// not leave a valid-looking cache of sentinels behind.
+  std::vector<int>& reset(const Dataset& data, std::uint64_t model_stamp);
+  /// Declare the storage handed out by reset() fully populated.
+  void mark_filled() { valid_ = true; }
+  void invalidate() { valid_ = false; }
+
+ private:
+  std::vector<int> predicted_;
+  std::uint64_t uid_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t model_stamp_ = 0;
+  bool valid_ = false;
 };
 
 /// Model-rule agreement of `model` on the rows of `data` covered by `rule`:
@@ -80,6 +116,16 @@ ObjectiveBreakdown evaluate_objective(const Model& model,
                                       const FeedbackRuleSet& frs,
                                       const Dataset& data, int threads = 0);
 
+/// Cache-aware form: when `cache` already holds `model_stamp`'s predictions
+/// over data's rows they are served instead of re-predicting; otherwise the
+/// sweep computes them once and (re)fills the cache under `model_stamp`.
+/// Either way the returned breakdown is bit-identical to the plain form.
+ObjectiveBreakdown evaluate_objective(const Model& model,
+                                      const FeedbackRuleSet& frs,
+                                      const Dataset& data, int threads,
+                                      PredictionCache& cache,
+                                      std::uint64_t model_stamp);
+
 /// Test-set J̄ per §5.1: MRA term weighted by the empirical coverage
 /// probability of the FRS in `data`, F1 term by its complement.
 double test_j_bar(const Model& model, const FeedbackRuleSet& frs,
@@ -88,5 +134,10 @@ double test_j_bar(const Model& model, const FeedbackRuleSet& frs,
 /// FROTE's internal training objective Ĵ's complement: 0.5·MRA + 0.5·F1.
 double train_j_hat_bar(const Model& model, const FeedbackRuleSet& frs,
                        const Dataset& data, int threads = 0);
+
+/// Cache-aware form of train_j_hat_bar (see evaluate_objective above).
+double train_j_hat_bar(const Model& model, const FeedbackRuleSet& frs,
+                       const Dataset& data, int threads,
+                       PredictionCache& cache, std::uint64_t model_stamp);
 
 }  // namespace frote

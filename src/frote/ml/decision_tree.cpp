@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <numeric>
 #include <span>
 #include <utility>
@@ -73,33 +75,42 @@ double gini_impurity(std::span<const double> counts, double total) {
 class TreeBuilder {
  public:
   TreeBuilder(const Dataset& data, const DecisionTreeConfig& config, Rng& rng)
-      : data_(data), config_(config), rng_(rng) {}
+      : data_(data),
+        config_(config),
+        rng_(rng),
+        raw_(data.raw_values().data()),
+        labels_(data.raw_labels().data()),
+        width_(data.num_features()) {}
 
-  std::vector<DecisionTreeModel::Node> build(
-      const std::vector<std::size_t>& indices) {
+  std::vector<DecisionTreeModel::Node> build(std::vector<std::size_t> indices) {
     nodes_.clear();
-    build_node(indices, 0);
+    order_ = std::move(indices);
+    build_node(0, order_.size(), 0);
     return std::move(nodes_);
   }
 
  private:
-  int build_node(const std::vector<std::size_t>& indices, std::size_t depth) {
+  int build_node(std::size_t begin, std::size_t end, std::size_t depth) {
     const int node_id = static_cast<int>(nodes_.size());
     nodes_.push_back({});
 
-    std::vector<double> counts(data_.num_classes(), 0.0);
-    for (std::size_t idx : indices) {
-      counts[static_cast<std::size_t>(data_.label(idx))] += 1.0;
+    // Per-depth scratch: a node is done with its counts before recursing,
+    // and siblings at the same depth never overlap in time.
+    if (depth >= counts_stack_.size()) counts_stack_.resize(depth + 1);
+    std::vector<double>& counts = counts_stack_[depth];
+    counts.assign(data_.num_classes(), 0.0);
+    for (std::size_t i = begin; i < end; ++i) {
+      counts[static_cast<std::size_t>(labels_[order_[i]])] += 1.0;
     }
-    const auto total = static_cast<double>(indices.size());
+    const auto total = static_cast<double>(end - begin);
 
     const bool pure = std::any_of(counts.begin(), counts.end(), [&](double c) {
       return c == total;
     });
     SplitCandidate split;
     if (!pure && depth < config_.max_depth &&
-        indices.size() >= config_.min_samples_split) {
-      split = best_split(indices, counts, total);
+        end - begin >= config_.min_samples_split) {
+      split = best_split(begin, end, counts, total);
     }
 
     if (!split.valid) {
@@ -107,15 +118,27 @@ class TreeBuilder {
       return node_id;
     }
 
-    std::vector<std::size_t> left_idx, right_idx;
-    for (std::size_t idx : indices) {
-      const double x = data_.row(idx)[split.feature];
+    // Stable in-place partition of the shared order buffer: lefts compact
+    // forward, rights pass through the scratch — the children see exactly
+    // the subsequences the old per-node left/right vectors held.
+    right_scratch_.clear();
+    std::size_t write = begin;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t idx = order_[i];
+      const double x = raw_[idx * width_ + split.feature];
       const bool go_left = split.categorical ? (x == split.threshold)
                                              : (x <= split.threshold);
-      (go_left ? left_idx : right_idx).push_back(idx);
+      if (go_left) {
+        order_[write++] = idx;
+      } else {
+        right_scratch_.push_back(idx);
+      }
     }
-    if (left_idx.size() < config_.min_samples_leaf ||
-        right_idx.size() < config_.min_samples_leaf) {
+    std::copy(right_scratch_.begin(), right_scratch_.end(),
+              order_.begin() + static_cast<std::ptrdiff_t>(write));
+    const std::size_t mid = write;
+    if (mid - begin < config_.min_samples_leaf ||
+        end - mid < config_.min_samples_leaf) {
       make_leaf(node_id, counts, total);
       return node_id;
     }
@@ -123,8 +146,8 @@ class TreeBuilder {
     nodes_[static_cast<std::size_t>(node_id)].feature = split.feature;
     nodes_[static_cast<std::size_t>(node_id)].threshold = split.threshold;
     nodes_[static_cast<std::size_t>(node_id)].categorical = split.categorical;
-    const int left = build_node(left_idx, depth + 1);
-    const int right = build_node(right_idx, depth + 1);
+    const int left = build_node(begin, mid, depth + 1);
+    const int right = build_node(mid, end, depth + 1);
     nodes_[static_cast<std::size_t>(node_id)].left = left;
     nodes_[static_cast<std::size_t>(node_id)].right = right;
     return node_id;
@@ -150,7 +173,7 @@ class TreeBuilder {
     return rng_.sample_without_replacement(d, m);
   }
 
-  SplitCandidate best_split(const std::vector<std::size_t>& indices,
+  SplitCandidate best_split(std::size_t begin, std::size_t end,
                             const std::vector<double>& parent_counts,
                             double total) {
     SplitCandidate best;
@@ -158,17 +181,17 @@ class TreeBuilder {
     for (std::size_t f : feature_subset()) {
       const auto& spec = data_.schema().feature(f);
       if (spec.is_categorical()) {
-        eval_categorical(f, spec.cardinality(), indices, parent_counts,
+        eval_categorical(f, spec.cardinality(), begin, end, parent_counts,
                          parent_gini, total, best);
       } else {
-        eval_numeric(f, indices, parent_counts, parent_gini, total, best);
+        eval_numeric(f, begin, end, parent_counts, parent_gini, total, best);
       }
     }
     return best;
   }
 
   void eval_categorical(std::size_t f, std::size_t cardinality,
-                        const std::vector<std::size_t>& indices,
+                        std::size_t begin, std::size_t end,
                         const std::vector<double>& parent_counts,
                         double parent_gini, double total,
                         SplitCandidate& best) {
@@ -178,9 +201,10 @@ class TreeBuilder {
     const std::size_t classes = data_.num_classes();
     per_code_.assign(cardinality * classes, 0.0);
     code_totals_.assign(cardinality, 0.0);
-    for (std::size_t idx : indices) {
-      const auto code = static_cast<std::size_t>(data_.row(idx)[f]);
-      per_code_[code * classes + static_cast<std::size_t>(data_.label(idx))] +=
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t idx = order_[i];
+      const auto code = static_cast<std::size_t>(raw_[idx * width_ + f]);
+      per_code_[code * classes + static_cast<std::size_t>(labels_[idx])] +=
           1.0;
       code_totals_[code] += 1.0;
     }
@@ -204,31 +228,91 @@ class TreeBuilder {
     }
   }
 
-  void eval_numeric(std::size_t f, const std::vector<std::size_t>& indices,
+  /// Monotone map from a finite double to an unsigned key: a < b (as
+  /// doubles) ⇔ map(a) < map(b). The standard IEEE-754 flip: negative
+  /// values invert entirely, non-negative values flip the sign bit.
+  static std::uint64_t value_key(double v) {
+    std::uint64_t u;
+    std::memcpy(&u, &v, sizeof u);
+    return u ^ (u >> 63 != 0 ? ~std::uint64_t{0}
+                             : std::uint64_t{1} << 63);
+  }
+  static double key_value(std::uint64_t key) {
+    const std::uint64_t msb = std::uint64_t{1} << 63;
+    const std::uint64_t u = (key & msb) != 0 ? key ^ msb : ~key;
+    double v;
+    std::memcpy(&v, &u, sizeof v);
+    return v;
+  }
+
+  /// Sort the node's (value, label) pairs for feature f by value into
+  /// (vals_, sorted_labels_): a stable LSD byte-radix over monotone-mapped
+  /// keys. Branchless scatter passes replace the comparison sort that
+  /// dominated training, and passes whose byte is constant across the node
+  /// (exponents of a narrow value range) are skipped outright. The sorted
+  /// value sequence equals std::sort's; label order among exactly-equal
+  /// values may differ, which no downstream count can observe.
+  void radix_sort_feature(std::size_t f, std::size_t begin, std::size_t end) {
+    const std::size_t m = end - begin;
+    keys_[0].resize(m);
+    keys_[1].resize(m);
+    labs_[0].resize(m);
+    labs_[1].resize(m);
+    hist_.assign(8 * 256, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t idx = order_[begin + i];
+      const std::uint64_t key = value_key(raw_[idx * width_ + f]);
+      keys_[0][i] = key;
+      labs_[0][i] = labels_[idx];
+      for (std::size_t b = 0; b < 8; ++b) {
+        ++hist_[b * 256 + ((key >> (8 * b)) & 0xFF)];
+      }
+    }
+    int cur = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      const std::uint32_t* h = hist_.data() + b * 256;
+      // A pass whose byte is constant across the node permutes nothing.
+      if (h[(keys_[cur][0] >> (8 * b)) & 0xFF] == m) continue;
+      std::uint32_t offsets[256];
+      std::uint32_t sum = 0;
+      for (std::size_t d = 0; d < 256; ++d) {
+        offsets[d] = sum;
+        sum += h[d];
+      }
+      const int alt = cur ^ 1;
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::uint64_t key = keys_[cur][i];
+        const std::uint32_t pos = offsets[(key >> (8 * b)) & 0xFF]++;
+        keys_[alt][pos] = key;
+        labs_[alt][pos] = labs_[cur][i];
+      }
+      cur = alt;
+    }
+    vals_.resize(m);
+    for (std::size_t i = 0; i < m; ++i) vals_[i] = key_value(keys_[cur][i]);
+    sorted_labels_.assign(labs_[cur].begin(), labs_[cur].end());
+  }
+
+  void eval_numeric(std::size_t f, std::size_t begin, std::size_t end,
                     const std::vector<double>& parent_counts,
                     double parent_gini, double total, SplitCandidate& best) {
-    // One sort + one prefix sweep instead of an O(n) pass per candidate cut.
-    // Left counts per cut are exact integers (the same multiset of labels a
-    // per-cut rescan would count), so gains are bit-identical to the old
-    // rescan form; cuts are evaluated in the same ascending order.
-    auto& vl = sorted_;
-    vl.clear();
-    vl.reserve(indices.size());
-    for (std::size_t idx : indices) {
-      vl.emplace_back(data_.row(idx)[f], data_.label(idx));
-    }
-    std::sort(vl.begin(), vl.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    if (vl.front().first == vl.back().first) return;
+    // One radix sort + one prefix sweep instead of an O(n) pass per
+    // candidate cut. Left counts per cut are exact integers (the same
+    // multiset of labels a per-cut rescan would count), so gains are
+    // bit-identical to the rescan form; cuts are evaluated in the same
+    // ascending order.
+    radix_sort_feature(f, begin, end);
+    const auto& vals = vals_;
+    if (vals.front() == vals.back()) return;
     // Quantile thresholds (midpoints between adjacent distinct quantiles),
     // deduplicated ascending — the same candidate set the std::set built.
     cuts_.clear();
-    const std::size_t k = std::min(config_.numeric_cuts, vl.size() - 1);
+    const std::size_t k = std::min(config_.numeric_cuts, vals.size() - 1);
     for (std::size_t t = 1; t <= k; ++t) {
-      const std::size_t pos = t * (vl.size() - 1) / (k + 1);
-      cuts_.push_back(vl[pos].first != vl[pos + 1].first
-                          ? 0.5 * (vl[pos].first + vl[pos + 1].first)
-                          : vl[pos].first);
+      const std::size_t pos = t * (vals.size() - 1) / (k + 1);
+      cuts_.push_back(vals[pos] != vals[pos + 1]
+                          ? 0.5 * (vals[pos] + vals[pos + 1])
+                          : vals[pos]);
     }
     std::sort(cuts_.begin(), cuts_.end());
     cuts_.erase(std::unique(cuts_.begin(), cuts_.end()), cuts_.end());
@@ -239,8 +323,8 @@ class TreeBuilder {
     double left_total = 0.0;
     std::size_t p = 0;
     for (double cut : cuts_) {
-      while (p < vl.size() && vl[p].first <= cut) {
-        left_[static_cast<std::size_t>(vl[p].second)] += 1.0;
+      while (p < vals.size() && vals[p] <= cut) {
+        left_[static_cast<std::size_t>(sorted_labels_[p])] += 1.0;
         left_total += 1.0;
         ++p;
       }
@@ -262,9 +346,19 @@ class TreeBuilder {
   const Dataset& data_;
   const DecisionTreeConfig& config_;
   Rng& rng_;
+  const double* raw_;    // row-major feature storage (bounds pre-validated)
+  const int* labels_;
+  std::size_t width_;
   std::vector<DecisionTreeModel::Node> nodes_;
+  std::vector<std::size_t> order_;  // shared node-range index buffer
   // Split-search scratch, hoisted so deep forests do not allocate per node.
-  std::vector<std::pair<double, int>> sorted_;
+  std::vector<std::vector<double>> counts_stack_;  // per-depth class counts
+  std::vector<std::size_t> right_scratch_;
+  std::vector<std::uint64_t> keys_[2];  // radix double-buffers
+  std::vector<int> labs_[2];
+  std::vector<std::uint32_t> hist_;
+  std::vector<double> vals_;
+  std::vector<int> sorted_labels_;
   std::vector<double> cuts_;
   std::vector<double> left_;
   std::vector<double> rest_;

@@ -34,7 +34,7 @@ struct PerturbConfig {
   /// (operator reversal on near-separable UCI data lands the asserted class
   /// in opposite-class territory); on our smoother synthetic datasets the
   /// same three operations need this explicit filter to reach comparable
-  /// divergence (see DESIGN.md §5).
+  /// divergence (see docs/DESIGN.md §3).
   double max_label_agreement = 0.5;
 };
 

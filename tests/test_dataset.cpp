@@ -80,8 +80,111 @@ TEST(Dataset, RemoveRows) {
 
 TEST(Dataset, RemoveRowsHandlesDuplicatesAndUnsorted) {
   auto data = testing::threshold_dataset(10);
+  const double kept3 = data.row(3)[0];
+  const double kept9 = data.row(9)[0];
   data.remove_rows({5, 2, 5, 2});
   EXPECT_EQ(data.size(), 8u);
+  // Survivors keep their relative order around the removed positions.
+  EXPECT_DOUBLE_EQ(data.row(2)[0], kept3);
+  EXPECT_DOUBLE_EQ(data.row(7)[0], kept9);
+}
+
+TEST(Dataset, RemoveRowsPreservesRowIds) {
+  auto data = testing::threshold_dataset(6);
+  const auto id4 = data.row_id(4);
+  data.remove_rows({0, 2});
+  EXPECT_EQ(data.row_id(2), id4);  // row 4 slid to position 2, same identity
+}
+
+TEST(Dataset, EmptyAppendIsANoOpOnRows) {
+  auto data = testing::threshold_dataset(7);
+  Dataset empty(data.schema_ptr());
+  data.append(empty);
+  EXPECT_EQ(data.size(), 7u);
+}
+
+TEST(Dataset, StageCommitKeepsRowsAndBumpsNothingDestructive) {
+  auto data = testing::threshold_dataset(10);
+  auto batch = testing::threshold_dataset(4, 5.0, 99);
+  const auto epoch = data.append_epoch();
+  EXPECT_FALSE(data.has_staged());
+  const std::size_t first = data.stage_rows(batch);
+  EXPECT_EQ(first, 10u);
+  EXPECT_TRUE(data.has_staged());
+  EXPECT_EQ(data.staged_begin(), 10u);
+  EXPECT_EQ(data.size(), 14u);  // staged rows are immediately visible
+  EXPECT_DOUBLE_EQ(data.row(11)[0], batch.row(1)[0]);
+  data.commit();
+  EXPECT_FALSE(data.has_staged());
+  EXPECT_EQ(data.size(), 14u);
+  EXPECT_EQ(data.append_epoch(), epoch);  // pure append: prefix untouched
+}
+
+TEST(Dataset, StageRollbackRestoresExactPriorState) {
+  auto data = testing::threshold_dataset(10);
+  auto batch = testing::threshold_dataset(3, 5.0, 99);
+  const auto version_before = data.version();
+  const auto last_id = data.row_id(9);
+  std::vector<double> row9(data.row(9).begin(), data.row(9).end());
+  data.stage_rows(batch);
+  EXPECT_GT(data.version(), version_before);  // staging is observable
+  data.rollback();
+  EXPECT_EQ(data.size(), 10u);
+  EXPECT_FALSE(data.has_staged());
+  EXPECT_EQ(data.row_id(9), last_id);
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    EXPECT_EQ(data.row(9)[f], row9[f]);
+  }
+  // Round-trip again: stage → rollback must be repeatable.
+  data.stage_rows(batch);
+  data.rollback();
+  EXPECT_EQ(data.size(), 10u);
+}
+
+TEST(Dataset, StagedEmptyBatchCommitsAndRollsBack) {
+  auto data = testing::threshold_dataset(5);
+  Dataset empty(data.schema_ptr());
+  data.stage_rows(empty);
+  EXPECT_EQ(data.size(), 5u);
+  data.commit();
+  data.stage_rows(empty);
+  data.rollback();
+  EXPECT_EQ(data.size(), 5u);
+}
+
+TEST(Dataset, NestedStagingAndBareCommitAreErrors) {
+  auto data = testing::threshold_dataset(5);
+  auto batch = testing::threshold_dataset(2, 5.0, 1);
+  EXPECT_THROW(data.commit(), Error);
+  EXPECT_THROW(data.rollback(), Error);
+  data.stage_rows(batch);
+  EXPECT_THROW(data.stage_rows(batch), Error);
+  data.rollback();
+}
+
+TEST(Dataset, ChangeTrackingCountersBehave) {
+  auto data = testing::threshold_dataset(5);
+  auto other = testing::threshold_dataset(5);
+  EXPECT_NE(data.uid(), other.uid());
+
+  const auto epoch = data.append_epoch();
+  data.add_row({1.0, 2.0, 0.0}, 0);
+  EXPECT_EQ(data.append_epoch(), epoch);  // append keeps the prefix stable
+  data.set_label(0, 1);
+  EXPECT_GT(data.append_epoch(), epoch);  // in-place edit does not
+
+  const Dataset copy = data;  // copies are a new logical dataset
+  EXPECT_NE(copy.uid(), data.uid());
+  EXPECT_EQ(copy.size(), data.size());
+}
+
+TEST(Dataset, CopyCountObservesCopiesButNotMoves) {
+  auto data = testing::threshold_dataset(5);
+  const auto before = Dataset::copy_count();
+  Dataset copy = data;             // counted
+  const Dataset moved = std::move(copy);  // not counted
+  EXPECT_EQ(Dataset::copy_count(), before + 1);
+  EXPECT_EQ(moved.size(), 5u);
 }
 
 TEST(Dataset, AppendRequiresSameSchema) {

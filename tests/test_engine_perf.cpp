@@ -39,6 +39,31 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+TEST(EnginePerf, SteppingNeverCopiesTheDataset) {
+  // The incremental session workspace contract: after open() (which clones
+  // the input once into D̂), the select → generate → stage → retrain →
+  // commit/rollback loop runs with zero Dataset copy constructions on both
+  // the accept and the reject path — candidate batches are staged in place.
+  Workload w;
+  w.config.tau = 6;
+  const auto engine =
+      Engine::Builder().from_config(w.config).rules(w.frs).build().value();
+  auto session = engine.open(w.train, w.learner).value();
+  const std::uint64_t copies_after_open = Dataset::copy_count();
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  while (!session.finished()) {
+    const StepReport report = session.step();
+    if (report.terminal()) break;
+    accepted += report.status == StepStatus::kAccepted ? 1 : 0;
+    rejected += report.status == StepStatus::kRejected ? 1 : 0;
+  }
+  EXPECT_GT(accepted + rejected, 0u);  // the loop must actually run
+  EXPECT_EQ(Dataset::copy_count(), copies_after_open)
+      << "Session::step() copied the dataset (" << accepted << " accepted, "
+      << rejected << " rejected steps)";
+}
+
 TEST(EnginePerf, SessionOverheadVsShimUnderFivePercent) {
   Workload w;
   const auto engine =

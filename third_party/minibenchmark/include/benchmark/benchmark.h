@@ -144,6 +144,12 @@ class Benchmark {
     arg_lists_.push_back({hi});
     return this;
   }
+  /// Display-name override (google-benchmark's ->Name()): lets one function
+  /// register size-parameterised runs under an established baseline name.
+  Benchmark* Name(const std::string& name) {
+    name_ = name;
+    return this;
+  }
   // Accepted-and-ignored tuning knobs, for source compatibility.
   Benchmark* Unit(TimeUnit) { return this; }
   Benchmark* Threads(int) { return this; }

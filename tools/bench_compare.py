@@ -6,12 +6,15 @@ Flags every benchmark whose real_time regressed by more than the threshold
 reported informationally — adding a benchmark must not fail CI.
 
 Usage:
-    tools/bench_compare.py [--threshold 0.25] [--strict] BASELINE.json FRESH.json
+    tools/bench_compare.py [--threshold 0.25] [--strict] [--only A,B,...] \
+        BASELINE.json FRESH.json
 
 Exit status is 0 unless --strict is given and at least one regression
-exceeds the threshold. CI runs it non-strict: micro timings on shared
-runners are noisy, so regressions warn loudly instead of hard-failing; a
-perf PR that moves numbers on purpose refreshes the committed baseline.
+exceeds the threshold. CI runs the full table non-strict — micro timings on
+shared runners are noisy, so regressions warn loudly instead of
+hard-failing — plus (behind FROTE_BENCH_STRICT=1 in ci.sh) a strict pass
+over a curated subset of load-bearing benchmarks via --only. A perf PR that
+moves numbers on purpose refreshes the committed baseline.
 """
 
 import argparse
@@ -49,10 +52,35 @@ def main():
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 when any regression exceeds the "
                              "threshold")
+    parser.add_argument("--only", default="",
+                        help="comma-separated benchmark names to compare; a "
+                             "name also matches its /arg variants (e.g. "
+                             "BM_IpSelection matches BM_IpSelection/4000). "
+                             "With --strict, a curated subset gates CI "
+                             "while the rest stays informational")
     args = parser.parse_args()
 
     base = load_benchmarks(args.baseline)
     fresh = load_benchmarks(args.fresh)
+
+    if args.only:
+        wanted = [w for w in args.only.split(",") if w]
+
+        def selected(name):
+            return any(name == w or name.startswith(w + "/") for w in wanted)
+
+        def matches(name, names):
+            return any(n == name or n.startswith(name + "/") for n in names)
+
+        base = {k: v for k, v in base.items() if selected(k)}
+        fresh = {k: v for k, v in fresh.items() if selected(k)}
+        missing = [w for w in wanted
+                   if not matches(w, base) or not matches(w, fresh)]
+        if missing:
+            print(f"--only names absent from baseline or fresh run: "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            if args.strict:
+                return 1
 
     common = [name for name in base if name in fresh]
     regressions = []
