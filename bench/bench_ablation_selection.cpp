@@ -9,7 +9,7 @@
 
 #include "common.hpp"
 #include "frote/core/engine.hpp"
-#include "frote/core/online_proxy.hpp"
+#include "frote/core/spec.hpp"
 #include "frote/data/split.hpp"
 #include "frote/rules/perturb.hpp"
 
@@ -17,11 +17,13 @@ namespace {
 
 using namespace frote;
 
+/// Each variant is one declarative EngineSpec delta: the selector by
+/// registry name (the online proxy included — no hand-built component
+/// plumbing) or the accept-always switch.
 struct Variant {
   std::string name;
-  SelectionStrategy selection = SelectionStrategy::kRandom;
+  std::string selector = "random";
   bool accept_always = false;
-  bool online_proxy = false;
 };
 
 }  // namespace
@@ -36,10 +38,10 @@ int main() {
 
   const auto& ctx = bench::context(UciDataset::kBreastCancer);
   const std::vector<Variant> variants = {
-      {"random", SelectionStrategy::kRandom, false, false},
-      {"IP", SelectionStrategy::kIp, false, false},
-      {"online-proxy", SelectionStrategy::kRandom, false, true},
-      {"accept-always", SelectionStrategy::kRandom, true, false},
+      {"random", "random", false},
+      {"IP", "ip", false},
+      {"online-proxy", "online-proxy", false},
+      {"accept-always", "random", true},
   };
 
   TextTable table({"variant", "dJ", "dMRA", "dF1", "N added"});
@@ -56,20 +58,19 @@ int main() {
       const auto initial = learner->train(split.train);
       const auto before = evaluate_objective(*initial, frs, split.test);
 
-      // Each variant is a different component plug-in on the same Engine
-      // skeleton: selection strategy, acceptance policy, or custom selector.
-      Engine::Builder builder;
-      builder.rules(frs)
-          .tau(e.tau)
-          .eta(ctx.default_eta)
-          .selection(variant.selection);
-      if (variant.accept_always) {
-        builder.acceptance(std::make_shared<AlwaysAcceptPolicy>());
-      }
-      if (variant.online_proxy) {
-        builder.selector(std::make_shared<OnlineProxySelector>(frs));
-      }
-      const auto engine = builder.build().value();
+      // Each variant is a spec delta on the same skeleton; the perturbed
+      // rule set is installed in-process (it carries provenance the rule
+      // grammar does not encode), exactly like the harness does.
+      EngineSpec spec;
+      spec.tau = e.tau;
+      spec.eta = ctx.default_eta;
+      spec.selector = variant.selector;
+      spec.accept_always = variant.accept_always;
+      const auto engine = Engine::Builder::from_spec(spec, ctx.data.schema())
+                              .value()
+                              .rules(frs)
+                              .build()
+                              .value();
       auto session = engine.open(split.train, *learner).value();
       session.run();
       const FroteResult result = std::move(session).result();

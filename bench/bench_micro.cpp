@@ -7,8 +7,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "frote/core/checkpoint.hpp"
 #include "frote/core/engine.hpp"
 #include "frote/core/frote.hpp"
 #include "frote/core/generate.hpp"
@@ -315,6 +317,41 @@ void BM_SessionStepReject(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SessionStepReject);
+
+void BM_SnapshotSave(benchmark::State& state) {
+  // Serialise a live mid-edit session to checkpoint JSON (the periodic
+  // write the frote_run driver performs with --checkpoint-every): dataset
+  // rows dominate — this is the cost of durability per interval.
+  const auto& data = adult(1000);
+  FeedbackRuleSet frs({adult_rule(data)});
+  const auto learner = make_learner(LearnerKind::kRF, 42, true);
+  const auto engine = Engine::Builder().rules(frs).eta(20).build().value();
+  auto session = engine.open(data, *learner).value();
+  for (int i = 0; i < 3; ++i) session.step();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.snapshot().to_json_text().size());
+  }
+}
+BENCHMARK(BM_SnapshotSave);
+
+void BM_SnapshotRestore(benchmark::State& state) {
+  // Parse + restore: rebuild D̂ from JSON, retrain the model, rebuild the
+  // base population and workspace, and verify Ĵ̄ — the full
+  // interrupt-to-stepping recovery latency (retraining dominates).
+  const auto& data = adult(1000);
+  FeedbackRuleSet frs({adult_rule(data)});
+  const auto learner = make_learner(LearnerKind::kRF, 42, true);
+  const auto engine = Engine::Builder().rules(frs).eta(20).build().value();
+  auto session = engine.open(data, *learner).value();
+  for (int i = 0; i < 3; ++i) session.step();
+  const std::string text = session.snapshot().to_json_text();
+  for (auto _ : state) {
+    auto checkpoint = SessionCheckpoint::parse(text).value();
+    auto restored = Session::restore(engine, *learner, checkpoint).value();
+    benchmark::DoNotOptimize(restored.finished());
+  }
+}
+BENCHMARK(BM_SnapshotRestore);
 
 }  // namespace
 

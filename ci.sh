@@ -30,9 +30,44 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
 # guarantee, these suites are the lock.
 echo "=== determinism leg: FROTE_NUM_THREADS=4 ==="
 # test_workspace includes a full IP-selection session, so the leg covers the
-# selector/generator thread plumbing as well as the retrain/eval paths.
+# selector/generator thread plumbing as well as the retrain/eval paths;
+# test_checkpoint/test_spec add snapshot-resume and the plan driver.
 FROTE_NUM_THREADS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'test_parallel|test_determinism|test_engine_api|test_workspace'
+  -R 'test_parallel|test_determinism|test_engine_api|test_workspace|test_checkpoint|test_spec'
+
+# Spec-driven leg: run a small declarative plan to completion (golden),
+# then the same plan interrupted mid-run (--max-steps leaves per-run
+# checkpoints behind) and resumed — the artifacts must be byte-identical.
+# This is the end-to-end lock on EngineSpec resolution, the concurrent
+# frote_run driver, and checkpoint/restore bit-identity.
+echo "=== spec leg: frote_run plan -> interrupt -> resume -> diff ==="
+SPEC_DIR="$BUILD_DIR/spec-leg"
+rm -rf "$SPEC_DIR"
+mkdir -p "$SPEC_DIR"
+cat > "$SPEC_DIR/plan.json" <<'EOF'
+{
+  "format": "frote.run_plan",
+  "base": {
+    "format": "frote.engine_spec",
+    "tau": 6, "q": 0.4, "k": 5, "seed": 7,
+    "mod_strategy": "none",
+    "learner": {"name": "rf", "fast": true},
+    "rules": ["IF age > 45 AND education_num > 11 THEN class = >50K"],
+    "dataset": {"kind": "synthetic", "name": "adult", "size": 300, "seed": 11}
+  },
+  "grid": {"learners": ["rf", "lr"], "seeds": [1, 2]},
+  "threads": 4
+}
+EOF
+"$BUILD_DIR/tools/frote_run" --plan "$SPEC_DIR/plan.json" --dry-run > /dev/null
+"$BUILD_DIR/tools/frote_run" --plan "$SPEC_DIR/plan.json" \
+  --out "$SPEC_DIR/golden" > /dev/null
+"$BUILD_DIR/tools/frote_run" --plan "$SPEC_DIR/plan.json" \
+  --out "$SPEC_DIR/resumed" --checkpoint-every 1 --max-steps 3 > /dev/null
+"$BUILD_DIR/tools/frote_run" --plan "$SPEC_DIR/plan.json" \
+  --out "$SPEC_DIR/resumed" --resume > /dev/null
+diff -r "$SPEC_DIR/golden" "$SPEC_DIR/resumed"
+echo "spec leg: interrupted+resumed plan is byte-identical to golden"
 
 # Package smoke: install to a scratch prefix, then build and run a 10-line
 # external consumer that only does find_package(frote) + frote_api.hpp.

@@ -51,18 +51,26 @@ int main() {
             << "  outside-coverage F1=" << before.outside_f1 << "\n";
 
   // 4. FROTE edit (relabel + oversample, the paper's default protocol),
-  //    driven step by step: the Session form of the loop lets the policy
-  //    team watch the edit converge and stop early if it plateaus.
-  auto engine = Engine::Builder()
-                    .rules(frs)
-                    .tau(25)
-                    .q(0.5)
-                    .eta(40)
-                    .build()
-                    .value();
+  //    described declaratively: the run exists as a JSON document the
+  //    policy team can store, diff and re-execute (core/spec.hpp), and the
+  //    engine is built from it. The rule rides along as text — the rule
+  //    grammar round-trips bit-exactly.
+  EngineSpec spec;
+  spec.tau = 25;
+  spec.q = 0.5;
+  spec.eta = 40;
+  spec.rules = {policy.to_string(schema)};
+  spec.learner = "lr";
+  std::cout << "\nDeclarative run spec (storable / diffable):\n"
+            << spec.to_json_text() << "\n";
+  auto engine =
+      Engine::Builder::from_spec(spec, schema).value().build().value();
+
   auto session = engine.open(split.train, learner).value();
   std::cout << "\nStepping the edit (iteration: accepted? N, J-hat-bar):\n";
-  while (!session.finished()) {
+  std::size_t steps = 0;
+  while (!session.finished() && steps < 8) {
+    ++steps;
     const StepReport report = session.step();
     if (report.accepted()) {
       std::cout << "  iter " << report.iteration << ": accepted, N = "
@@ -70,7 +78,26 @@ int main() {
                 << report.best_j_bar << "\n";
     }
   }
-  auto result = std::move(session).result();
+
+  // 5. Pause and hand off: snapshot the live session to JSON, restore it
+  //    (in another process, on another machine, after a restart...) and
+  //    finish there. Resume is bit-identical to never having stopped.
+  const std::string checkpoint_text = session.snapshot().to_json_text();
+  std::cout << "\nCheckpointed mid-edit after " << steps << " iterations ("
+            << checkpoint_text.size() << " bytes of JSON).\n";
+  auto restored = Session::restore(
+      engine, learner, SessionCheckpoint::parse(checkpoint_text).value());
+  auto resumed = std::move(restored).value();
+  while (!resumed.finished()) {
+    const StepReport report = resumed.step();
+    if (report.accepted()) {
+      std::cout << "  iter " << report.iteration << " (resumed): accepted, "
+                << "N = " << report.instances_added << ", J-hat-bar = "
+                << report.best_j_bar << "\n";
+    }
+    if (report.terminal()) break;
+  }
+  auto result = std::move(resumed).result();
 
   const auto after = evaluate_objective(*result.model, frs, split.test);
   std::cout << "After editing:  MRA=" << after.mra

@@ -3,23 +3,14 @@
 #include <algorithm>
 #include <string>
 
+#include "frote/core/engine_impl.hpp"
+#include "frote/core/registry.hpp"
 #include "frote/metrics/metrics.hpp"
 
 namespace frote {
 
 // ---------------------------------------------------------------------------
 // Engine
-
-struct Engine::Impl {
-  FroteConfig config;
-  FeedbackRuleSet frs;
-  std::shared_ptr<const BaseInstanceSelector> selector;
-  std::shared_ptr<const InstanceGenerator> generator;
-  std::shared_ptr<const AcceptancePolicy> acceptance;
-  std::shared_ptr<const StoppingCriterion> stopping;
-  std::vector<std::shared_ptr<ProgressObserver>> observers;
-  GenerateConfig generate_config;
-};
 
 const FroteConfig& Engine::config() const { return impl_->config; }
 
@@ -46,6 +37,9 @@ Engine::Builder& Engine::Builder::from_config(const FroteConfig& config) {
 
 Engine::Builder& Engine::Builder::rules(FeedbackRuleSet frs) {
   frs_ = std::move(frs);
+  // The provenance spec's rule text no longer describes frs_; to_spec()
+  // must re-serialise from the live rule set (schema overload).
+  if (spec_ != nullptr) rules_overridden_ = true;
   return *this;
 }
 
@@ -86,6 +80,9 @@ Engine::Builder& Engine::Builder::mod_strategy(ModStrategy strategy) {
 
 Engine::Builder& Engine::Builder::selection(SelectionStrategy strategy) {
   config_.selection = strategy;
+  // Last selector choice wins, like the selector() overloads.
+  selector_name_.clear();
+  config_.custom_selector = nullptr;
   return *this;
 }
 
@@ -99,27 +96,37 @@ Engine::Builder& Engine::Builder::accept_always(bool always) {
   return *this;
 }
 
+Engine::Builder& Engine::Builder::selector(std::string name) {
+  selector_name_ = std::move(name);
+  config_.custom_selector = nullptr;  // last selector call wins
+  return *this;
+}
+
 Engine::Builder& Engine::Builder::selector(
     std::shared_ptr<const BaseInstanceSelector> selector) {
   config_.custom_selector = std::move(selector);
+  selector_name_.clear();  // last selector call wins
   return *this;
 }
 
 Engine::Builder& Engine::Builder::generator(
     std::shared_ptr<const InstanceGenerator> generator) {
   generator_ = std::move(generator);
+  if (spec_gap_.empty()) spec_gap_ = "custom generator instance";
   return *this;
 }
 
 Engine::Builder& Engine::Builder::acceptance(
     std::shared_ptr<const AcceptancePolicy> policy) {
   acceptance_ = std::move(policy);
+  if (spec_gap_.empty()) spec_gap_ = "custom acceptance policy instance";
   return *this;
 }
 
 Engine::Builder& Engine::Builder::stopping(
     std::shared_ptr<const StoppingCriterion> criterion) {
   stopping_ = std::move(criterion);
+  if (spec_gap_.empty()) spec_gap_ = "custom stopping criterion instance";
   return *this;
 }
 
@@ -159,11 +166,24 @@ Expected<Engine, FroteError> Engine::Builder::build() const {
   auto impl = std::make_shared<Impl>();
   impl->config = config_;
   impl->frs = frs_;
-  impl->selector =
-      config_.custom_selector
-          ? config_.custom_selector
-          : std::shared_ptr<const BaseInstanceSelector>(
-                make_selector(config_.selection, config_.k, config_.threads));
+  // Selector: an explicit component instance wins, then a registry name
+  // (resolved here, against the engine's own rule set — selectors holding a
+  // rule-set reference must never bind to a caller temporary), then the
+  // SelectionStrategy enum.
+  if (config_.custom_selector != nullptr) {
+    impl->selector = config_.custom_selector;
+  } else if (!selector_name_.empty()) {
+    SelectorSpec selector_spec;
+    selector_spec.k = config_.k;
+    selector_spec.frs = &impl->frs;
+    selector_spec.threads = config_.threads;
+    auto named = make_named_selector(selector_name_, selector_spec);
+    if (!named) return named.error();
+    impl->selector = std::move(*named);
+  } else {
+    impl->selector = std::shared_ptr<const BaseInstanceSelector>(
+        make_selector(config_.selection, config_.k, config_.threads));
+  }
   impl->generator = generator_
                         ? generator_
                         : std::make_shared<const SmoteNcInstanceGenerator>();
@@ -174,12 +194,54 @@ Expected<Engine, FroteError> Engine::Builder::build() const {
   } else {
     impl->acceptance = std::make_shared<const JHatImprovementPolicy>();
   }
-  impl->stopping =
-      stopping_ ? stopping_ : std::make_shared<const BudgetStoppingCriterion>();
+  if (stopping_) {
+    impl->stopping = stopping_;
+  } else if (spec_ != nullptr) {
+    auto stopping = make_spec_stopping(spec_->stopping);
+    if (!stopping) return stopping.error();
+    impl->stopping = std::move(*stopping);
+  } else {
+    impl->stopping = std::make_shared<const BudgetStoppingCriterion>();
+  }
   impl->observers = observers_;
   impl->generate_config.k = config_.k;
   impl->generate_config.rule_confidence = config_.rule_confidence;
   impl->generate_config.threads = config_.threads;
+
+  // Synthesize the to_spec() provenance: start from the originating spec
+  // when there is one (it carries the learner / dataset reference), re-sync
+  // every scalar the builder may have changed since, and record what — if
+  // anything — cannot be represented declaratively. Observers are runtime
+  // attachments, deliberately outside the spec.
+  EngineSpec spec = spec_ != nullptr ? *spec_ : EngineSpec{};
+  spec.tau = config_.tau;
+  spec.q = config_.q;
+  spec.k = config_.k;
+  spec.eta = config_.eta;
+  spec.seed = config_.seed;
+  spec.threads = config_.threads;
+  spec.mod_strategy = mod_strategy_name(config_.mod_strategy);
+  spec.rule_confidence = config_.rule_confidence;
+  spec.accept_always = config_.accept_always;
+  if (!selector_name_.empty()) {
+    spec.selector = selector_name_;
+  } else if (config_.custom_selector == nullptr) {
+    spec.selector =
+        config_.selection == SelectionStrategy::kIp ? "ip" : "random";
+  }
+  std::string gap = spec_gap_;
+  if (gap.empty() && config_.custom_selector != nullptr) {
+    gap = "custom selector instance";
+  }
+  if (spec_ != nullptr && !rules_overridden_) {
+    impl->spec_rules_valid = true;  // provenance text still matches frs
+  } else {
+    spec.rules.clear();
+    impl->spec_rules_valid = frs_.empty();
+  }
+  impl->spec = std::move(spec);
+  impl->spec_representable = gap.empty();
+  impl->spec_gap = std::move(gap);
   return Engine(std::move(impl));
 }
 

@@ -37,6 +37,8 @@
 namespace frote {
 
 class Session;
+struct EngineSpec;
+struct SessionCheckpoint;
 
 class Engine {
  public:
@@ -53,6 +55,21 @@ class Engine {
   const FroteConfig& config() const;
   /// The feedback rule set F this engine edits towards.
   const FeedbackRuleSet& rules() const;
+
+  /// Serialise back to the declarative spec (core/spec.hpp). Lossless for
+  /// engines built via Builder::from_spec (the stored provenance — learner
+  /// and dataset reference included — is returned with the scalar knobs
+  /// re-synced). Engines assembled imperatively are representable as long
+  /// as every component is registry-named (scalar knobs + the
+  /// SelectionStrategy enum); custom component instances yield
+  /// kInvalidArgument. The no-argument form needs rule text from the spec
+  /// provenance — rules installed as in-process objects require the
+  /// schema-taking overload to re-serialise them. Caveat for synthesized
+  /// specs (no from_spec provenance): the learner and dataset fields are
+  /// open()-time arguments an Engine never sees, so they hold the spec
+  /// defaults — fill them in before persisting the document as a run.
+  Expected<EngineSpec, FroteError> to_spec() const;
+  Expected<EngineSpec, FroteError> to_spec(const Schema& schema) const;
 
  private:
   struct Impl;
@@ -74,6 +91,14 @@ class Engine::Builder {
   /// mapped onto their component equivalents.
   Builder& from_config(const FroteConfig& config);
 
+  /// Seed the builder from a declarative spec (core/spec.hpp): scalar
+  /// knobs, the selector and stopping criterion by registry name, and the
+  /// rule text parsed against `schema`. Fails with a typed error on
+  /// malformed rule text; unknown component names surface from build().
+  /// The spec is kept as provenance so Engine::to_spec() is lossless.
+  static Expected<Builder, FroteError> from_spec(const EngineSpec& spec,
+                                                 const Schema& schema);
+
   Builder& rules(FeedbackRuleSet frs);
   Builder& tau(std::size_t tau);
   Builder& q(double q);
@@ -91,6 +116,14 @@ class Engine::Builder {
   /// acceptance(std::make_shared<AlwaysAcceptPolicy>()).
   Builder& accept_always(bool always);
 
+  /// Select the base-instance selector by registry name
+  /// (make_named_selector: "random", "ip", "online-proxy", or anything
+  /// registered at runtime). Resolution happens inside build(), after the
+  /// rule set is fixed, so selectors that hold a rule-set reference
+  /// (online-proxy) bind to the engine's own copy — never to a caller
+  /// temporary.
+  Builder& selector(std::string name);
+
   /// Component overrides (pluggable stages).
   Builder& selector(std::shared_ptr<const BaseInstanceSelector> selector);
   Builder& generator(std::shared_ptr<const InstanceGenerator> generator);
@@ -107,10 +140,17 @@ class Engine::Builder {
  private:
   FroteConfig config_;
   FeedbackRuleSet frs_;
+  std::string selector_name_;  // registry-resolved in build(); "" = unset
   std::shared_ptr<const InstanceGenerator> generator_;
   std::shared_ptr<const AcceptancePolicy> acceptance_;
   std::shared_ptr<const StoppingCriterion> stopping_;
   std::vector<std::shared_ptr<ProgressObserver>> observers_;
+  /// Provenance for Engine::to_spec(): the spec this builder was seeded
+  /// from, if any, and whether its rule text still matches frs_.
+  std::shared_ptr<const EngineSpec> spec_;
+  bool rules_overridden_ = false;
+  /// First component override that has no spec representation ("" = none).
+  std::string spec_gap_;
 };
 
 /// One live edit over a dataset. Move-only; create via Engine::open().
@@ -153,12 +193,37 @@ class Session {
   /// (e.g. on_session_start) are not replayed.
   void add_observer(std::shared_ptr<ProgressObserver> observer);
 
+  /// Capture the session's complete loop state — the evolving D̂ (rows plus
+  /// change-tracking metadata), RNG stream, iteration/acceptance counters
+  /// and trace — as a serialisable checkpoint (core/checkpoint.hpp). Legal
+  /// at any iteration boundary; the session is unchanged. The model and
+  /// workspace caches are NOT serialised: both are deterministic functions
+  /// of the captured state and are rebuilt on restore.
+  SessionCheckpoint snapshot() const;
+
+  /// Rebuild a session from a checkpoint taken by snapshot(). `engine` and
+  /// `learner` must describe the same run as the snapshotting session's
+  /// (rebuild them from the run's EngineSpec); the model is retrained on
+  /// the restored D̂ and the SessionWorkspace is rebuilt deterministically,
+  /// so stepping the restored session is bit-identical to stepping the
+  /// original — interrupt-at-k + resume equals an uninterrupted run
+  /// (tests/test_checkpoint.cpp locks this at threads = 1 and 4). Fails
+  /// with kInvalidArgument on malformed or inconsistent checkpoints.
+  static Expected<Session, FroteError> restore(
+      const Engine& engine, const Learner& learner,
+      const SessionCheckpoint& checkpoint);
+
   /// Finalize into the classic FroteResult, handing over the model and the
   /// augmented dataset. Consumes the session: `std::move(session).result()`.
   FroteResult result() &&;
 
  private:
   Session(std::shared_ptr<const Engine::Impl> engine, const Dataset& data,
+          const Learner& learner);
+  /// Restore path (core/checkpoint.cpp): minimal construction; the caller
+  /// fills every field from the checkpoint.
+  struct RestoreTag {};
+  Session(RestoreTag, std::shared_ptr<const Engine::Impl> engine,
           const Learner& learner);
   friend class Engine;
 

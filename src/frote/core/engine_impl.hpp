@@ -1,0 +1,36 @@
+// Engine's private implementation record, shared by the translation units
+// that assemble or re-open engines (engine.cpp, spec.cpp, checkpoint.cpp).
+// Not part of the public API — include "frote/core/engine.hpp" instead.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frote/core/engine.hpp"
+#include "frote/core/spec.hpp"
+#include "frote/core/stages.hpp"
+
+namespace frote {
+
+struct Engine::Impl {
+  FroteConfig config;
+  FeedbackRuleSet frs;
+  std::shared_ptr<const BaseInstanceSelector> selector;
+  std::shared_ptr<const InstanceGenerator> generator;
+  std::shared_ptr<const AcceptancePolicy> acceptance;
+  std::shared_ptr<const StoppingCriterion> stopping;
+  std::vector<std::shared_ptr<ProgressObserver>> observers;
+  GenerateConfig generate_config;
+
+  /// Declarative provenance for Engine::to_spec(): the synthesized spec
+  /// (exact when the builder came from_spec), whether the engine is
+  /// spec-representable at all, and whether `spec.rules` still matches
+  /// `frs`. `spec_gap` names the first non-representable component.
+  EngineSpec spec;
+  bool spec_representable = false;
+  bool spec_rules_valid = false;
+  std::string spec_gap;
+};
+
+}  // namespace frote

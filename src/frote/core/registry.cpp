@@ -1,4 +1,4 @@
-#include "frote/exp/registry.hpp"
+#include "frote/core/registry.hpp"
 
 #include <map>
 #include <utility>

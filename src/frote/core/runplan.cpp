@@ -1,0 +1,409 @@
+#include "frote/core/runplan.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "frote/core/checkpoint.hpp"
+#include "frote/core/engine.hpp"
+#include "frote/data/csv.hpp"
+#include "frote/util/json_reader.hpp"
+#include "frote/util/parallel.hpp"
+#include "frote/util/rng.hpp"
+
+namespace frote {
+
+// ---------------------------------------------------------------------------
+// RunPlan JSON round-trip
+
+JsonValue RunPlan::to_json() const {
+  JsonValue out = JsonValue::object();
+  out.set("format", "frote.run_plan");
+  out.set("version", kFormatVersion);
+  out.set("base", base.to_json());
+  JsonValue grid = JsonValue::object();
+  const auto string_list = [](const std::vector<std::string>& values) {
+    JsonValue list = JsonValue::array();
+    for (const auto& value : values) list.push_back(value);
+    return list;
+  };
+  if (!learners.empty()) grid.set("learners", string_list(learners));
+  if (!selectors.empty()) grid.set("selectors", string_list(selectors));
+  if (!seeds.empty()) {
+    JsonValue list = JsonValue::array();
+    for (const std::uint64_t seed : seeds) list.push_back(seed);
+    grid.set("seeds", std::move(list));
+  }
+  if (replicates != 1) grid.set("replicates", replicates);
+  out.set("grid", std::move(grid));
+  out.set("threads", threads);
+  return out;
+}
+
+Expected<RunPlan, FroteError> RunPlan::from_json(const JsonValue& json) {
+  if (!json.is_object()) {
+    return FroteError::parse_error("run plan must be a JSON object");
+  }
+  const JsonValue* format = json.find("format");
+  if (format == nullptr || !format->is_string() ||
+      format->as_string() != "frote.run_plan") {
+    return FroteError::parse_error(
+        "not a run plan (format must be \"frote.run_plan\")");
+  }
+  try {
+    if (const JsonValue* version = json.find("version")) {
+      if (version->as_uint64() > kFormatVersion) {
+        return FroteError::parse_error(
+            "run plan version " + std::to_string(version->as_uint64()) +
+            " is newer than this reader (" + std::to_string(kFormatVersion) +
+            ")");
+      }
+    }
+    RunPlan plan;
+    const JsonValue* base = json.find("base");
+    if (base == nullptr) {
+      return FroteError::parse_error("run plan is missing \"base\"");
+    }
+    auto spec = EngineSpec::from_json(*base);
+    if (!spec) return spec.error();
+    plan.base = std::move(*spec);
+    if (const JsonValue* grid = json.find("grid")) {
+      if (!grid->is_object()) {
+        return FroteError::parse_error("run plan \"grid\" must be an object");
+      }
+      if (const JsonValue* learners = grid->find("learners")) {
+        for (const auto& name : learners->items()) {
+          plan.learners.push_back(name.as_string());
+        }
+      }
+      if (const JsonValue* selectors = grid->find("selectors")) {
+        for (const auto& name : selectors->items()) {
+          plan.selectors.push_back(name.as_string());
+        }
+      }
+      if (const JsonValue* seeds = grid->find("seeds")) {
+        for (const auto& seed : seeds->items()) {
+          plan.seeds.push_back(seed.as_uint64());
+        }
+      }
+      if (const JsonValue* replicates = grid->find("replicates")) {
+        plan.replicates =
+            static_cast<std::size_t>(replicates->as_uint64());
+      }
+    }
+    if (json.find("threads") != nullptr) {
+      JsonFieldReader reader(json, "run plan");
+      reader.read("threads", plan.threads);  // range-checked int read
+      if (!reader.ok()) return reader.take_error();
+    }
+    if (plan.replicates == 0) {
+      return FroteError::parse_error("run plan replicates must be >= 1");
+    }
+    return plan;
+  } catch (const Error& e) {
+    return FroteError::parse_error(std::string("invalid run plan: ") +
+                                   e.what());
+  }
+}
+
+std::string RunPlan::to_json_text(int indent) const {
+  return json_dump(to_json(), indent);
+}
+
+Expected<RunPlan, FroteError> RunPlan::parse(std::string_view json_text) {
+  auto json = json_parse(json_text);
+  if (!json) return json.error();
+  return from_json(*json);
+}
+
+std::vector<RunPlan::Run> RunPlan::expand() const {
+  const std::vector<std::string> learner_axis =
+      learners.empty() ? std::vector<std::string>{base.learner} : learners;
+  const std::vector<std::string> selector_axis =
+      selectors.empty() ? std::vector<std::string>{base.selector} : selectors;
+  const std::vector<std::uint64_t> seed_axis =
+      seeds.empty() ? std::vector<std::uint64_t>{base.seed} : seeds;
+
+  std::vector<Run> runs;
+  runs.reserve(learner_axis.size() * selector_axis.size() * seed_axis.size() *
+               replicates);
+  for (const auto& learner : learner_axis) {
+    for (const auto& selector : selector_axis) {
+      for (const std::uint64_t seed : seed_axis) {
+        for (std::size_t r = 0; r < replicates; ++r) {
+          Run run;
+          run.spec = base;
+          run.spec.learner = learner;
+          run.spec.selector = selector;
+          run.spec.seed = replicates > 1 ? derive_seed(seed, r) : seed;
+          char prefix[16];
+          std::snprintf(prefix, sizeof prefix, "run-%03zu", runs.size());
+          run.name = std::string(prefix) + "-" + learner + "-" + selector +
+                     "-s" + std::to_string(seed);
+          if (replicates > 1) run.name += "-r" + std::to_string(r);
+          runs.push_back(std::move(run));
+        }
+      }
+    }
+  }
+  return runs;
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+
+JsonValue RunResult::to_json() const {
+  JsonValue out = JsonValue::object();
+  out.set("format", "frote.run_result");
+  out.set("version", std::uint64_t{1});
+  out.set("name", name);
+  out.set("completed", completed);
+  out.set("dataset_rows", dataset_rows);
+  out.set("instances_added", instances_added);
+  out.set("iterations_run", iterations_run);
+  out.set("iterations_accepted", iterations_accepted);
+  out.set("final_j_bar", final_j_bar);
+  return out;
+}
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Crash-consistent file write: the final name only ever holds complete
+/// content (tmp file + atomic rename).
+void write_file_atomic(const fs::path& path, const std::string& content) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << content;
+    out.close();  // flush before the write check — a full disk fails here
+    if (!out.good()) {
+      std::error_code ignored;
+      fs::remove(tmp, ignored);
+      throw Error("cannot write " + tmp.string());
+    }
+  }
+  fs::rename(tmp, path);
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+/// Parse a previously-written result.json; false on any mismatch (the run
+/// is then simply re-executed).
+bool load_run_result(const fs::path& path, RunResult& out) {
+  std::string text;
+  if (!read_file(path, text)) return false;
+  auto json = json_parse(text);
+  if (!json) return false;
+  const JsonValue* format = json->find("format");
+  if (format == nullptr || !format->is_string() ||
+      format->as_string() != "frote.run_result") {
+    return false;
+  }
+  // Same refusal policy as every other document type: a result written by
+  // a newer format must not be silently re-interpreted (or re-executed).
+  const JsonValue* version = json->find("version");
+  if (version != nullptr && version->is_number() &&
+      version->as_uint64() > 1) {
+    throw Error(path.string() + " has result version " +
+                std::to_string(version->as_uint64()) +
+                ", newer than this reader");
+  }
+  try {
+    out.completed = json->find("completed")->as_bool();
+    out.dataset_rows =
+        static_cast<std::size_t>(json->find("dataset_rows")->as_uint64());
+    out.instances_added =
+        static_cast<std::size_t>(json->find("instances_added")->as_uint64());
+    out.iterations_run =
+        static_cast<std::size_t>(json->find("iterations_run")->as_uint64());
+    out.iterations_accepted = static_cast<std::size_t>(
+        json->find("iterations_accepted")->as_uint64());
+    out.final_j_bar = json->find("final_j_bar")->as_double();
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+struct PreparedRun {
+  RunPlan::Run run;
+  Engine engine;
+  std::unique_ptr<Learner> learner;
+};
+
+}  // namespace
+
+Expected<std::vector<RunResult>> execute_plan(const RunPlan& plan,
+                                              const RunPlanOptions& options) {
+  if (!plan.base.dataset.has_value()) {
+    return FroteError::invalid_config(
+        "run plan base spec needs a \"dataset\" reference — the driver has "
+        "no other input channel");
+  }
+  auto dataset = load_spec_dataset(*plan.base.dataset);
+  if (!dataset) return dataset.error();
+  const Dataset& data = *dataset;
+
+  // Resolve every run up front (fail fast, before any artifact is written):
+  // registry lookups and rule parsing happen here, serially.
+  std::vector<PreparedRun> prepared;
+  for (auto& run : plan.expand()) {
+    auto builder = Engine::Builder::from_spec(run.spec, data.schema());
+    if (!builder) {
+      return FroteError{builder.error().code,
+                        run.name + ": " + builder.error().message};
+    }
+    auto engine = builder->build();
+    if (!engine) {
+      return FroteError{engine.error().code,
+                        run.name + ": " + engine.error().message};
+    }
+    auto learner = make_spec_learner(run.spec);
+    if (!learner) {
+      return FroteError{learner.error().code,
+                        run.name + ": " + learner.error().message};
+    }
+    prepared.push_back(
+        {std::move(run), std::move(*engine), std::move(*learner)});
+  }
+
+  const bool with_artifacts = !options.output_dir.empty();
+  if (with_artifacts) {
+    try {
+      for (const auto& p : prepared) {
+        fs::create_directories(fs::path(options.output_dir) / p.run.name);
+      }
+    } catch (const std::exception& e) {
+      return FroteError::io_error(std::string("cannot create output dirs: ") +
+                                  e.what());
+    }
+  }
+
+  std::vector<RunResult> results(prepared.size());
+  std::vector<std::string> failures(prepared.size());
+  parallel_for(
+      prepared.size(), 1, plan.threads, [&](std::size_t begin,
+                                            std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const PreparedRun& p = prepared[i];
+          RunResult& result = results[i];
+          result.name = p.run.name;
+          const fs::path dir = fs::path(options.output_dir) / p.run.name;
+          try {
+            if (with_artifacts) {
+              write_file_atomic(dir / "spec.json",
+                                p.run.spec.to_json_text() + "\n");
+            }
+            // Resume bookkeeping: a finished run is not re-executed; an
+            // interrupted one restarts from its checkpoint.
+            if (with_artifacts && options.resume &&
+                load_run_result(dir / "result.json", result)) {
+              result.name = p.run.name;
+              continue;
+            }
+            // An unusable checkpoint — unreadable, unparseable, or
+            // inconsistent with this plan's engine/learner (e.g. the plan
+            // was edited into the same output dir) — is never fatal: the
+            // run simply restarts from scratch, which is always correct
+            // for the *current* plan. Only real execution errors fail.
+            Session session = [&]() -> Session {
+              if (with_artifacts && options.resume) {
+                std::string text;
+                if (read_file(dir / "checkpoint.json", text)) {
+                  auto ckpt = SessionCheckpoint::parse(text);
+                  auto restored =
+                      ckpt ? Session::restore(p.engine, *p.learner, *ckpt)
+                           : Expected<Session, FroteError>(ckpt.error());
+                  if (restored) {
+                    result.resumed = true;
+                    return std::move(*restored);
+                  }
+                  std::cerr << p.run.name << ": checkpoint not restorable ("
+                            << restored.error().message
+                            << "); starting fresh\n";
+                }
+              }
+              return p.engine.open(data, *p.learner).value();
+            }();
+
+            const auto write_checkpoint = [&]() {
+              if (!with_artifacts) return;
+              write_file_atomic(dir / "checkpoint.json",
+                                session.snapshot().to_json_text() + "\n");
+            };
+
+            std::size_t steps_this_invocation = 0;
+            bool interrupted = false;
+            while (!session.finished()) {
+              if (options.max_steps != 0 &&
+                  steps_this_invocation >= options.max_steps) {
+                interrupted = true;
+                break;
+              }
+              const StepReport report = session.step();
+              ++steps_this_invocation;
+              if (report.terminal()) break;
+              if (options.checkpoint_every != 0 &&
+                  session.progress().iterations_run %
+                          options.checkpoint_every ==
+                      0) {
+                write_checkpoint();
+              }
+            }
+            if (interrupted) {
+              write_checkpoint();
+              const SessionProgress progress = session.progress();
+              result.completed = false;
+              result.dataset_rows = session.augmented().size();
+              result.instances_added = progress.instances_added;
+              result.iterations_run = progress.iterations_run;
+              result.iterations_accepted = progress.iterations_accepted;
+              result.final_j_bar = session.best_j_hat_bar();
+              continue;  // no result.json: the run is resumable
+            }
+            result.completed = true;
+            result.final_j_bar = session.best_j_hat_bar();
+            const FroteResult outcome = std::move(session).result();
+            result.dataset_rows = outcome.augmented.size();
+            result.instances_added = outcome.instances_added;
+            result.iterations_run = outcome.iterations_run;
+            result.iterations_accepted = outcome.iterations_accepted;
+            if (with_artifacts) {
+              save_csv(outcome.augmented, (dir / "augmented.csv").string());
+              write_file_atomic(dir / "result.json",
+                                json_dump(result.to_json(), 2) + "\n");
+              std::error_code ignored;
+              fs::remove(dir / "checkpoint.json", ignored);
+            }
+          } catch (const std::exception& e) {
+            failures[i] = e.what();
+          }
+        }
+      });
+
+  // Fail-fast semantics on the in-memory results only: every run that
+  // completed has already persisted its result.json/augmented.csv, and a
+  // later --resume invocation skips completed runs — so a single failed
+  // run costs one re-invocation, not the other runs' work.
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    if (!failures[i].empty()) {
+      return FroteError::invalid_argument(prepared[i].run.name +
+                                          " failed: " + failures[i]);
+    }
+  }
+  return results;
+}
+
+}  // namespace frote

@@ -117,6 +117,24 @@ void Dataset::rollback() {
   bump(/*rewrites_existing_rows=*/false);
 }
 
+void Dataset::restore_tracking(std::vector<std::uint64_t> row_ids,
+                               std::uint64_t next_row_id,
+                               std::uint64_t version,
+                               std::uint64_t append_epoch) {
+  FROTE_CHECK_MSG(row_ids.size() == size(),
+                  "restore_tracking: " << row_ids.size() << " ids for "
+                                       << size() << " rows");
+  for (const std::uint64_t id : row_ids) {
+    FROTE_CHECK_MSG(id < next_row_id,
+                    "restore_tracking: row id " << id
+                                                << " >= next_row_id counter");
+  }
+  row_ids_ = std::move(row_ids);
+  next_row_id_ = next_row_id;
+  version_ = version;
+  append_epoch_ = append_epoch;
+}
+
 Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
   Dataset out(schema_);
   const std::size_t w = schema().num_features();

@@ -118,6 +118,18 @@ class Dataset {
     FROTE_CHECK_MSG(i < size(), "row " << i << " out of " << size());
     return row_ids_[i];
   }
+  /// Next id an appended row would receive (ids are never reused).
+  std::uint64_t next_row_id() const { return next_row_id_; }
+
+  /// Checkpoint-restore hook (core/checkpoint.hpp): reinstate the change
+  /// tracking of a serialised dataset — per-row ids, the id counter, and
+  /// the version/append_epoch counters — so consumers resume from the same
+  /// logical state. `row_ids` must have one id per current row and
+  /// `next_row_id` must exceed them all. The uid stays fresh: it is a
+  /// process-unique identity and must never collide with a live dataset.
+  void restore_tracking(std::vector<std::uint64_t> row_ids,
+                        std::uint64_t next_row_id, std::uint64_t version,
+                        std::uint64_t append_epoch);
   /// Process-wide count of Dataset copy constructions/assignments.
   static std::uint64_t copy_count() {
     return copies_.load(std::memory_order_relaxed);

@@ -1,6 +1,7 @@
 #include "frote/data/generators.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <memory>
 
@@ -465,8 +466,18 @@ const DatasetInfo& dataset_info(UciDataset id) {
 }
 
 UciDataset dataset_by_name(const std::string& name) {
+  // Case-insensitive so declarative specs (core/spec.hpp) can say "adult"
+  // without knowing the display casing of the Table 1 names.
+  const auto lower = [](const std::string& s) {
+    std::string out = s;
+    for (char& c : out) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return out;
+  };
+  const std::string wanted = lower(name);
   for (const auto& info : all_datasets()) {
-    if (info.name == name) return info.id;
+    if (lower(info.name) == wanted) return info.id;
   }
   throw Error("unknown dataset name: " + name);
 }

@@ -6,6 +6,7 @@
 
 #include "frote/baselines/overlay.hpp"
 #include "frote/core/engine.hpp"
+#include "frote/core/spec.hpp"
 #include "frote/data/split.hpp"
 #include "frote/metrics/metrics.hpp"
 #include "frote/rules/induction.hpp"
@@ -13,6 +14,35 @@
 namespace frote {
 
 namespace {
+
+/// The run's declarative description: every engine and learner the harness
+/// builds resolves through EngineSpec → from_spec / make_spec_learner, the
+/// same registry path the CLI and the frote_run driver use. The perturbed
+/// rule set itself is installed as in-process objects (Builder::rules)
+/// rather than spec text: the harness rules carry perturbation provenance
+/// the textual grammar does not encode.
+EngineSpec harness_spec(const ExperimentContext& ctx, LearnerKind learner,
+                        const RunConfig& config, std::uint64_t engine_seed,
+                        std::uint64_t learner_seed) {
+  EngineSpec spec;
+  spec.tau = config.tau;
+  spec.q = config.q;
+  spec.k = config.k;
+  spec.eta = config.eta != 0 ? config.eta : ctx.default_eta;
+  spec.seed = engine_seed;
+  spec.mod_strategy = mod_strategy_name(config.mod);
+  spec.rule_confidence = config.rule_confidence;
+  spec.selector =
+      config.selection == SelectionStrategy::kIp ? "ip" : "random";
+  switch (learner) {
+    case LearnerKind::kLR: spec.learner = "lr"; break;
+    case LearnerKind::kRF: spec.learner = "rf"; break;
+    case LearnerKind::kLGBM: spec.learner = "gbdt"; break;
+  }
+  spec.learner_fast = config.fast_learner;
+  spec.learner_seed = learner_seed;
+  return spec;
+}
 
 /// Paper §5.1 Configuration: η = 200 for Adult; 50 for Nursery, Mushroom,
 /// Splice, Wine; 20 for Car, Contraceptive, Breast Cancer.
@@ -121,8 +151,10 @@ RunOutcome run_frote_once(const ExperimentContext& ctx, LearnerKind learner,
                               config.outside_train_fraction, rng);
   if (split.train.empty() || split.test.empty()) return outcome;
 
-  const auto learner_ptr =
-      make_learner(learner, derive_seed(run_seed, 19), config.fast_learner);
+  const EngineSpec spec = harness_spec(ctx, learner, config,
+                                       derive_seed(run_seed, 23),
+                                       derive_seed(run_seed, 19));
+  const auto learner_ptr = make_spec_learner(spec).value();
 
   // Initial model on the unmodified training split.
   const auto initial_model = learner_ptr->train(split.train);
@@ -139,17 +171,10 @@ RunOutcome run_frote_once(const ExperimentContext& ctx, LearnerKind learner,
     outcome.mod = evaluate_model(*mod_model, frs, split.test);
   }
 
-  // FROTE augmentation through the Engine/Session pipeline.
-  const auto engine = Engine::Builder()
+  // FROTE augmentation through the declarative spec path.
+  const auto engine = Engine::Builder::from_spec(spec, ctx.data.schema())
+                          .value()
                           .rules(frs)
-                          .tau(config.tau)
-                          .q(config.q)
-                          .k(config.k)
-                          .eta(config.eta != 0 ? config.eta : ctx.default_eta)
-                          .selection(config.selection)
-                          .mod_strategy(config.mod)
-                          .rule_confidence(config.rule_confidence)
-                          .seed(derive_seed(run_seed, 23))
                           .build()
                           .value();
   auto session = engine.open(split.train, *learner_ptr).value();
@@ -187,8 +212,10 @@ OverlayOutcome run_overlay_once(const ExperimentContext& ctx,
                               /*outside_train_fraction=*/0.5, rng);
   if (split.train.empty() || split.test.empty()) return outcome;
 
-  const auto learner_ptr =
-      make_learner(learner, derive_seed(run_seed, 31), config.fast_learner);
+  const EngineSpec spec = harness_spec(ctx, learner, config,
+                                       derive_seed(run_seed, 37),
+                                       derive_seed(run_seed, 31));
+  const auto learner_ptr = make_spec_learner(spec).value();
   const auto initial_model = learner_ptr->train(split.train);
   outcome.initial = evaluate_model(*initial_model, frs, split.test);
 
@@ -199,15 +226,9 @@ OverlayOutcome run_overlay_once(const ExperimentContext& ctx,
   outcome.overlay_soft = evaluate_model(soft, frs, split.test);
   outcome.overlay_hard = evaluate_model(hard, frs, split.test);
 
-  const auto engine = Engine::Builder()
+  const auto engine = Engine::Builder::from_spec(spec, ctx.data.schema())
+                          .value()
                           .rules(frs)
-                          .tau(config.tau)
-                          .q(config.q)
-                          .k(config.k)
-                          .eta(config.eta != 0 ? config.eta : ctx.default_eta)
-                          .selection(config.selection)
-                          .mod_strategy(config.mod)
-                          .seed(derive_seed(run_seed, 37))
                           .build()
                           .value();
   auto session = engine.open(split.train, *learner_ptr).value();

@@ -1,6 +1,6 @@
 #include "frote/exp/learners.hpp"
 
-#include "frote/exp/registry.hpp"
+#include "frote/core/registry.hpp"
 #include "frote/util/error.hpp"
 
 namespace frote {

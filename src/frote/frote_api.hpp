@@ -45,7 +45,7 @@
 //   Builder::from_config(old_config) maps an existing FroteConfig wholesale.
 //
 // Named components: make_named_learner("rf", ...) / make_named_selector(
-// "ip", ...) in exp/registry.hpp resolve the string names shared by the CLI
+// "ip", ...) in core/registry.hpp resolve the string names shared by the CLI
 // and the experiment harness.
 //
 // Threading: Engine::Builder::threads(n), the learner configs' `threads`
@@ -84,19 +84,57 @@
 //   Session                              → exposes workspace(); internally
 //                                          stages candidate batches in
 //                                          place (no per-step dataset copy)
+//
+// PR 5 (declarative run specs + checkpointable sessions) — additions:
+//   in-process Builder calls only        → EngineSpec (core/spec.hpp): the
+//                                          run as a JSON document;
+//                                          Engine::Builder::from_spec(spec,
+//                                          schema) resolves it through the
+//                                          registry, Engine::to_spec()
+//                                          inverts it losslessly
+//   Builder::selection(enum) /           → Builder::selector("ip") — any
+//   Builder::selector(instance)            registry name, resolved at
+//                                          build() against the engine's own
+//                                          rule set (online-proxy included;
+//                                          no dangling rule-set references)
+//   hand-built StoppingCriterion trees   → StoppingSpec {budget | plateau |
+//                                          any_of} via make_spec_stopping
+//   long-lived in-process Session only   → Session::snapshot() /
+//                                          Session::restore(engine,
+//                                          learner, ckpt): serialisable
+//                                          checkpoints; resume is
+//                                          bit-identical to an
+//                                          uninterrupted run
+//   per-experiment driver loops          → RunPlan + execute_plan
+//                                          (core/runplan.hpp) and the
+//                                          frote_run CLI: declarative
+//                                          learner/selector/seed grids run
+//                                          concurrently with per-run
+//                                          artifacts and --resume
+//   FeedbackRule::to_string              → numeric thresholds/probabilities
+//                                          now print with shortest
+//                                          round-trip precision (rule text
+//                                          is a persistence format; parse ∘
+//                                          print is exact)
+//   (new) util/json.hpp                  → vendored strict RFC 8259 JSON
+//                                          with bit-exact double round-trip
 // ---------------------------------------------------------------------------
 #pragma once
 
 // Core algorithm: Engine/Session, pipeline stages, the frote_edit shim,
-// audit lineage and budget-inflection analysis.
+// audit lineage and budget-inflection analysis. The declarative layer —
+// EngineSpec run specs, session checkpoints, run plans — lives alongside.
 #include "frote/core/audit.hpp"
 #include "frote/core/base_population.hpp"
+#include "frote/core/checkpoint.hpp"
 #include "frote/core/engine.hpp"
 #include "frote/core/frote.hpp"
 #include "frote/core/generate.hpp"
 #include "frote/core/inflection.hpp"
 #include "frote/core/online_proxy.hpp"
+#include "frote/core/runplan.hpp"
 #include "frote/core/selection.hpp"
+#include "frote/core/spec.hpp"
 #include "frote/core/stages.hpp"
 #include "frote/core/workspace.hpp"
 
@@ -132,12 +170,13 @@
 // Experiment harness, paper learner kinds, and the named-component registry.
 #include "frote/exp/harness.hpp"
 #include "frote/exp/learners.hpp"
-#include "frote/exp/registry.hpp"
+#include "frote/core/registry.hpp"
 
 // Utilities: typed errors/Expected, deterministic RNG, the deterministic
 // parallel subsystem (FROTE_NUM_THREADS / Engine::Builder::threads — output
 // is bit-identical for every thread count), text tables.
 #include "frote/util/error.hpp"
+#include "frote/util/json.hpp"
 #include "frote/util/parallel.hpp"
 #include "frote/util/rng.hpp"
 #include "frote/util/table.hpp"

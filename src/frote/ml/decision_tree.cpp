@@ -8,6 +8,8 @@
 #include <span>
 #include <utility>
 
+#include "frote/ml/split_radix.hpp"
+
 namespace frote {
 
 const std::vector<double>& DecisionTreeModel::leaf_distribution(
@@ -228,28 +230,10 @@ class TreeBuilder {
     }
   }
 
-  /// Monotone map from a finite double to an unsigned key: a < b (as
-  /// doubles) ⇔ map(a) < map(b). The standard IEEE-754 flip: negative
-  /// values invert entirely, non-negative values flip the sign bit.
-  static std::uint64_t value_key(double v) {
-    std::uint64_t u;
-    std::memcpy(&u, &v, sizeof u);
-    return u ^ (u >> 63 != 0 ? ~std::uint64_t{0}
-                             : std::uint64_t{1} << 63);
-  }
-  static double key_value(std::uint64_t key) {
-    const std::uint64_t msb = std::uint64_t{1} << 63;
-    const std::uint64_t u = (key & msb) != 0 ? key ^ msb : ~key;
-    double v;
-    std::memcpy(&v, &u, sizeof v);
-    return v;
-  }
-
   /// Sort the node's (value, label) pairs for feature f by value into
-  /// (vals_, sorted_labels_): a stable LSD byte-radix over monotone-mapped
-  /// keys. Branchless scatter passes replace the comparison sort that
-  /// dominated training, and passes whose byte is constant across the node
-  /// (exponents of a narrow value range) are skipped outright. The sorted
+  /// (vals_, sorted_labels_): the shared stable LSD byte-radix kernel
+  /// (ml/split_radix.hpp) over monotone-mapped keys. Branchless scatter
+  /// passes replace the comparison sort that dominated training. The sorted
   /// value sequence equals std::sort's; label order among exactly-equal
   /// values may differ, which no downstream count can observe.
   void radix_sort_feature(std::size_t f, std::size_t begin, std::size_t end) {
@@ -261,35 +245,18 @@ class TreeBuilder {
     hist_.assign(8 * 256, 0);
     for (std::size_t i = 0; i < m; ++i) {
       const std::size_t idx = order_[begin + i];
-      const std::uint64_t key = value_key(raw_[idx * width_ + f]);
+      const std::uint64_t key = detail::split_value_key(raw_[idx * width_ + f]);
       keys_[0][i] = key;
       labs_[0][i] = labels_[idx];
       for (std::size_t b = 0; b < 8; ++b) {
         ++hist_[b * 256 + ((key >> (8 * b)) & 0xFF)];
       }
     }
-    int cur = 0;
-    for (std::size_t b = 0; b < 8; ++b) {
-      const std::uint32_t* h = hist_.data() + b * 256;
-      // A pass whose byte is constant across the node permutes nothing.
-      if (h[(keys_[cur][0] >> (8 * b)) & 0xFF] == m) continue;
-      std::uint32_t offsets[256];
-      std::uint32_t sum = 0;
-      for (std::size_t d = 0; d < 256; ++d) {
-        offsets[d] = sum;
-        sum += h[d];
-      }
-      const int alt = cur ^ 1;
-      for (std::size_t i = 0; i < m; ++i) {
-        const std::uint64_t key = keys_[cur][i];
-        const std::uint32_t pos = offsets[(key >> (8 * b)) & 0xFF]++;
-        keys_[alt][pos] = key;
-        labs_[alt][pos] = labs_[cur][i];
-      }
-      cur = alt;
-    }
+    const int cur = detail::radix_sort_pairs(keys_, labs_, hist_);
     vals_.resize(m);
-    for (std::size_t i = 0; i < m; ++i) vals_[i] = key_value(keys_[cur][i]);
+    for (std::size_t i = 0; i < m; ++i) {
+      vals_[i] = detail::split_key_value(keys_[cur][i]);
+    }
     sorted_labels_.assign(labs_[cur].begin(), labs_[cur].end());
   }
 

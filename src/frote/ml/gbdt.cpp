@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "frote/ml/logistic_regression.hpp"  // softmax_inplace
+#include "frote/ml/split_radix.hpp"
 #include "frote/util/parallel.hpp"
 
 namespace frote {
@@ -243,23 +244,58 @@ class TreeGrower {
 
   void eval_numeric(const Leaf& leaf, std::size_t f, double parent_score,
                     SplitChoice& best) const {
-    // One (value, row) sort + one prefix sweep over ascending cuts instead
-    // of an O(n) rescan per cut. Ties sort by row index, so the gradient
-    // accumulation order is a pure function of the leaf contents.
-    std::vector<std::pair<double, std::size_t>> order;
-    order.reserve(leaf.indices.size());
-    for (std::size_t idx : leaf.indices) {
-      order.emplace_back(data_.row(idx)[f], idx);
+    // One stable LSD radix sort over monotone-mapped keys (the shared
+    // ml/split_radix.hpp kernel the DT split search adopted in PR 4) + one
+    // prefix sweep over ascending cuts, replacing the comparison sort that
+    // kept GBDT sort-bound. Bit-identity with the old std::sort over
+    // (value, row) pairs: leaf index lists are ascending by construction
+    // and the radix is stable, so ties land in ascending row order —
+    // exactly std::sort's tie-break — and the g/h prefix sums replay the
+    // same float-add sequence. -0.0 folds onto +0.0 so the two zero
+    // encodings stay one tie group, as they were under double comparison.
+    // find_split fans features out across pool threads, so the sort
+    // scratch cannot live on the (shared) grower the way the DT version
+    // hoists it; thread-local buffers amortise the allocations instead —
+    // after warm-up each worker reuses its own.
+    struct Scratch {
+      std::vector<std::uint64_t> keys[2];
+      std::vector<std::uint32_t> rows[2];
+      std::vector<std::uint32_t> hist;
+      std::vector<double> cuts;
+    };
+    thread_local Scratch scratch;
+    const std::size_t m = leaf.indices.size();
+    auto& keys = scratch.keys;
+    auto& rows = scratch.rows;
+    keys[0].resize(m);
+    keys[1].resize(m);
+    rows[0].resize(m);
+    rows[1].resize(m);
+    auto& hist = scratch.hist;
+    hist.assign(8 * 256, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      double value = data_.row(leaf.indices[i])[f];
+      if (value == 0.0) value = 0.0;  // canonicalise -0.0
+      const std::uint64_t key = detail::split_value_key(value);
+      keys[0][i] = key;
+      rows[0][i] = static_cast<std::uint32_t>(leaf.indices[i]);
+      for (std::size_t b = 0; b < 8; ++b) {
+        ++hist[b * 256 + ((key >> (8 * b)) & 0xFF)];
+      }
     }
-    std::sort(order.begin(), order.end());
-    if (order.front().first == order.back().first) return;
-    std::vector<double> cuts;
-    const std::size_t k = std::min(config_.numeric_cuts, order.size() - 1);
+    const int cur = detail::radix_sort_pairs(keys, rows, hist);
+    const auto value_at = [&](std::size_t i) {
+      return detail::split_key_value(keys[cur][i]);
+    };
+    if (keys[cur].front() == keys[cur].back()) return;
+    auto& cuts = scratch.cuts;
+    cuts.clear();
+    const std::size_t k = std::min(config_.numeric_cuts, m - 1);
     for (std::size_t t = 1; t <= k; ++t) {
-      const std::size_t pos = t * (order.size() - 1) / (k + 1);
-      cuts.push_back(order[pos].first != order[pos + 1].first
-                         ? 0.5 * (order[pos].first + order[pos + 1].first)
-                         : order[pos].first);
+      const std::size_t pos = t * (m - 1) / (k + 1);
+      cuts.push_back(value_at(pos) != value_at(pos + 1)
+                         ? 0.5 * (value_at(pos) + value_at(pos + 1))
+                         : value_at(pos));
     }
     std::sort(cuts.begin(), cuts.end());
     cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
@@ -267,13 +303,13 @@ class TreeGrower {
     double gl = 0.0, hl = 0.0;
     std::size_t nl = 0;
     for (double cut : cuts) {
-      while (nl < order.size() && order[nl].first <= cut) {
-        gl += g_[order[nl].second];
-        hl += h_[order[nl].second];
+      while (nl < m && value_at(nl) <= cut) {
+        gl += g_[rows[cur][nl]];
+        hl += h_[rows[cur][nl]];
         ++nl;
       }
       if (nl < config_.min_samples_leaf ||
-          leaf.indices.size() - nl < config_.min_samples_leaf) {
+          m - nl < config_.min_samples_leaf) {
         continue;
       }
       try_update(leaf, best, f, cut, false, gl, hl, parent_score);

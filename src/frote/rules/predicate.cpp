@@ -1,8 +1,19 @@
 #include "frote/rules/predicate.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace frote {
+
+std::string format_rule_number(double v) {
+  char buf[32];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
 
 std::string op_symbol(Op op) {
   switch (op) {
@@ -42,7 +53,7 @@ std::string Predicate::to_string(const Schema& schema) const {
   if (spec.is_categorical()) {
     os << '\'' << spec.categories[static_cast<std::size_t>(value)] << '\'';
   } else {
-    os << value;
+    os << format_rule_number(value);
   }
   return os.str();
 }

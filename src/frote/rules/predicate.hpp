@@ -15,6 +15,13 @@ enum class Op { kEq, kNe, kGt, kGe, kLt, kLe };
 /// Printable operator symbol.
 std::string op_symbol(Op op);
 
+/// Shortest decimal form of `v` that parses back to exactly the same
+/// double (tries 15 → 17 significant digits). Rule text is a persistence
+/// format (core/spec.hpp serialises rules through it), so thresholds and
+/// probabilities must survive print → parse bit-exactly — while staying
+/// human-readable for the common short-decimal case.
+std::string format_rule_number(double v);
+
 /// Reverse an operator per the paper's perturbation 1 (§5.1): = ↔ ≠ for
 /// categoricals; > ↔ <, ≥ ↔ ≤ for numerics (= maps to ≠ and back).
 Op reverse_op(Op op);

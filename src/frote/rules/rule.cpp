@@ -77,7 +77,8 @@ std::string FeedbackRule::to_string(const Schema& schema) const {
     os << "Y ~ [";
     for (std::size_t c = 0; c < pi.num_classes(); ++c) {
       if (c > 0) os << ", ";
-      os << schema.class_names()[c] << ":" << pi.probs()[c];
+      os << schema.class_names()[c] << ":"
+         << format_rule_number(pi.probs()[c]);
     }
     os << "]";
   }

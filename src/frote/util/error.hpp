@@ -30,6 +30,8 @@ enum class FroteErrorCode {
   kInvalidArgument,    // a runtime argument is unusable (e.g. empty dataset)
   kUnknownComponent,   // a registry lookup by name found nothing
   kMissingDependency,  // a component needs state the caller did not supply
+  kParseError,         // malformed serialized input (JSON, rule text)
+  kIoError,            // a file could not be read or written
 };
 
 /// Typed error value returned by fallible API-boundary operations.
@@ -48,6 +50,12 @@ struct FroteError {
   }
   static FroteError missing_dependency(std::string message) {
     return {FroteErrorCode::kMissingDependency, std::move(message)};
+  }
+  static FroteError parse_error(std::string message) {
+    return {FroteErrorCode::kParseError, std::move(message)};
+  }
+  static FroteError io_error(std::string message) {
+    return {FroteErrorCode::kIoError, std::move(message)};
   }
 };
 

@@ -1,0 +1,649 @@
+#include "frote/util/json.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+namespace frote {
+
+// ---------------------------------------------------------------------------
+// JsonValue accessors
+
+namespace {
+[[noreturn]] void type_failure(const char* wanted, JsonType got) {
+  static const char* const kNames[] = {"null",   "bool",  "int",   "uint",
+                                       "double", "string", "array", "object"};
+  throw Error(std::string("JSON value is ") +
+              kNames[static_cast<std::size_t>(got)] + ", expected " + wanted);
+}
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&node_)) return *b;
+  type_failure("bool", type());
+}
+
+double JsonValue::as_double() const {
+  switch (type()) {
+    case JsonType::kInt:
+      return static_cast<double>(std::get<std::int64_t>(node_));
+    case JsonType::kUint:
+      return static_cast<double>(std::get<std::uint64_t>(node_));
+    case JsonType::kDouble:
+      return std::get<double>(node_);
+    default:
+      type_failure("number", type());
+  }
+}
+
+std::int64_t JsonValue::as_int64() const {
+  if (const auto* i = std::get_if<std::int64_t>(&node_)) return *i;
+  if (const auto* u = std::get_if<std::uint64_t>(&node_)) {
+    if (*u <= static_cast<std::uint64_t>(
+                  std::numeric_limits<std::int64_t>::max())) {
+      return static_cast<std::int64_t>(*u);
+    }
+    throw Error("JSON integer out of int64 range");
+  }
+  type_failure("integer", type());
+}
+
+std::uint64_t JsonValue::as_uint64() const {
+  if (const auto* u = std::get_if<std::uint64_t>(&node_)) return *u;
+  if (const auto* i = std::get_if<std::int64_t>(&node_)) {
+    if (*i >= 0) return static_cast<std::uint64_t>(*i);
+    throw Error("JSON integer is negative, expected unsigned");
+  }
+  type_failure("unsigned integer", type());
+}
+
+const std::string& JsonValue::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&node_)) return *s;
+  type_failure("string", type());
+}
+
+const JsonValue::Array& JsonValue::items() const {
+  if (const auto* a = std::get_if<Array>(&node_)) return *a;
+  type_failure("array", type());
+}
+
+JsonValue::Array& JsonValue::items() {
+  if (auto* a = std::get_if<Array>(&node_)) return *a;
+  type_failure("array", type());
+}
+
+const JsonValue::Object& JsonValue::members() const {
+  if (const auto* o = std::get_if<Object>(&node_)) return *o;
+  type_failure("object", type());
+}
+
+JsonValue::Object& JsonValue::members() {
+  if (auto* o = std::get_if<Object>(&node_)) return *o;
+  type_failure("object", type());
+}
+
+void JsonValue::push_back(JsonValue value) {
+  items().push_back(std::move(value));
+}
+
+void JsonValue::set(std::string key, JsonValue value) {
+  Object& object = members();
+  for (auto& [existing, slot] : object) {
+    if (existing == key) {
+      slot = std::move(value);
+      return;
+    }
+  }
+  object.emplace_back(std::move(key), std::move(value));
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  const bool this_int =
+      type() == JsonType::kInt || type() == JsonType::kUint;
+  const bool other_int =
+      other.type() == JsonType::kInt || other.type() == JsonType::kUint;
+  if (this_int && other_int) {
+    const bool this_negative =
+        type() == JsonType::kInt && std::get<std::int64_t>(node_) < 0;
+    const bool other_negative = other.type() == JsonType::kInt &&
+                                std::get<std::int64_t>(other.node_) < 0;
+    if (this_negative != other_negative) return false;
+    if (this_negative) {
+      return std::get<std::int64_t>(node_) ==
+             std::get<std::int64_t>(other.node_);
+    }
+    return as_uint64() == other.as_uint64();
+  }
+  return node_ == other.node_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  const auto* object = std::get_if<Object>(&node_);
+  if (object == nullptr) return nullptr;
+  for (const auto& [existing, slot] : *object) {
+    if (existing == key) return &slot;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+constexpr int kMaxDepth = 256;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Expected<JsonValue, FroteError> parse() {
+    skip_whitespace();
+    JsonValue value;
+    if (!parse_value(value, 0)) return take_error();
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("trailing content after the top-level value");
+      return take_error();
+    }
+    return value;
+  }
+
+ private:
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting deeper than 256 levels");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out, depth);
+      case '[':
+        return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = JsonValue(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!consume_literal("true")) return false;
+        out = JsonValue(true);
+        return true;
+      case 'f':
+        if (!consume_literal("false")) return false;
+        out = JsonValue(false);
+        return true;
+      case 'n':
+        if (!consume_literal("null")) return false;
+        out = JsonValue(nullptr);
+        return true;
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    out = JsonValue::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_whitespace();
+      if (peek() != '"') return fail("expected '\"' to start an object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (out.find(key) != nullptr) {
+        return fail("duplicate object key \"" + key + "\"");
+      }
+      skip_whitespace();
+      if (peek() != ':') return fail("expected ':' after object key");
+      ++pos_;
+      skip_whitespace();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.members().emplace_back(std::move(key), std::move(value));
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    out = JsonValue::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_whitespace();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.items().push_back(std::move(value));
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (!parse_escape(out)) return false;
+        continue;
+      }
+      if (c < 0x20) {
+        return fail("raw control character in string (use \\u escapes)");
+      }
+      if (c < 0x80) {
+        out.push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      if (!copy_utf8_sequence(out)) return false;
+    }
+  }
+
+  bool parse_escape(std::string& out) {
+    ++pos_;  // backslash
+    if (pos_ >= text_.size()) return fail("unterminated escape");
+    const char e = text_[pos_++];
+    switch (e) {
+      case '"': out.push_back('"'); return true;
+      case '\\': out.push_back('\\'); return true;
+      case '/': out.push_back('/'); return true;
+      case 'b': out.push_back('\b'); return true;
+      case 'f': out.push_back('\f'); return true;
+      case 'n': out.push_back('\n'); return true;
+      case 'r': out.push_back('\r'); return true;
+      case 't': out.push_back('\t'); return true;
+      case 'u': {
+        unsigned code = 0;
+        if (!parse_hex4(code)) return false;
+        if (code >= 0xD800 && code <= 0xDBFF) {
+          // High surrogate: must be followed by \uDC00..\uDFFF.
+          if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+              text_[pos_ + 1] != 'u') {
+            return fail("unpaired high surrogate");
+          }
+          pos_ += 2;
+          unsigned low = 0;
+          if (!parse_hex4(low)) return false;
+          if (low < 0xDC00 || low > 0xDFFF) {
+            return fail("invalid low surrogate");
+          }
+          const unsigned cp =
+              0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          append_utf8(out, cp);
+          return true;
+        }
+        if (code >= 0xDC00 && code <= 0xDFFF) {
+          return fail("unpaired low surrogate");
+        }
+        append_utf8(out, code);
+        return true;
+      }
+      default:
+        return fail(std::string("invalid escape '\\") + e + "'");
+    }
+  }
+
+  bool parse_hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      unsigned digit;
+      if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A' + 10);
+      else return fail("invalid hex digit in \\u escape");
+      out = (out << 4) | digit;
+    }
+    return true;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  /// Validate and copy one multi-byte UTF-8 sequence starting at pos_.
+  /// Overlong encodings, surrogates and values beyond U+10FFFF are rejected.
+  bool copy_utf8_sequence(std::string& out) {
+    const unsigned char lead = static_cast<unsigned char>(text_[pos_]);
+    int continuation;
+    unsigned cp, min_cp;
+    if ((lead & 0xE0) == 0xC0) {
+      continuation = 1; cp = lead & 0x1Fu; min_cp = 0x80;
+    } else if ((lead & 0xF0) == 0xE0) {
+      continuation = 2; cp = lead & 0x0Fu; min_cp = 0x800;
+    } else if ((lead & 0xF8) == 0xF0) {
+      continuation = 3; cp = lead & 0x07u; min_cp = 0x10000;
+    } else {
+      return fail("invalid UTF-8 lead byte in string");
+    }
+    if (pos_ + static_cast<std::size_t>(continuation) >= text_.size()) {
+      return fail("truncated UTF-8 sequence in string");
+    }
+    for (int i = 1; i <= continuation; ++i) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_ + i]);
+      if ((c & 0xC0) != 0x80) {
+        return fail("invalid UTF-8 continuation byte in string");
+      }
+      cp = (cp << 6) | (c & 0x3Fu);
+    }
+    if (cp < min_cp) return fail("overlong UTF-8 encoding in string");
+    if (cp > 0x10FFFF) return fail("UTF-8 code point beyond U+10FFFF");
+    if (cp >= 0xD800 && cp <= 0xDFFF) {
+      return fail("UTF-8 encoded surrogate in string");
+    }
+    out.append(text_.substr(pos_, 1 + static_cast<std::size_t>(continuation)));
+    pos_ += 1 + static_cast<std::size_t>(continuation);
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    // Integer part: "0" alone or a non-zero-leading digit run.
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      pos_ = start;
+      return fail("invalid value");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        pos_ = start;
+        return fail("leading zeros are not allowed");
+      }
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return fail("digits required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return fail("digits required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      if (token[0] == '-') {
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno != ERANGE && end == token.c_str() + token.size()) {
+          out = JsonValue(static_cast<std::int64_t>(v));
+          return true;
+        }
+      } else {
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (errno != ERANGE && end == token.c_str() + token.size()) {
+          out = JsonValue(static_cast<std::uint64_t>(v));
+          return true;
+        }
+      }
+      // Out-of-range integer literal: fall through to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      return fail("malformed number");
+    }
+    if (!std::isfinite(v)) {
+      pos_ = start;
+      return fail("number overflows a double");
+    }
+    out = JsonValue(v);
+    return true;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::string_view expect(literal);
+    if (text_.substr(pos_, expect.size()) != expect) {
+      return fail("invalid value");
+    }
+    pos_ += expect.size();
+    return true;
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool fail(std::string what) {
+    // Only the first failure is reported (later frames unwind through it).
+    if (!error_message_.empty()) return false;
+    std::size_t line = 1, column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    error_message_ = "JSON parse error at " + std::to_string(line) + ":" +
+                     std::to_string(column) + ": " + std::move(what);
+    return false;
+  }
+
+  FroteError take_error() {
+    return FroteError::parse_error(std::move(error_message_));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_message_;
+};
+
+}  // namespace
+
+Expected<JsonValue, FroteError> json_parse(std::string_view text) {
+  return Parser(text).parse();
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+namespace {
+
+void write_escaped(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(raw);  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void write_double(double v, std::string& out) {
+  if (!std::isfinite(v)) {
+    throw Error("JSON cannot represent a non-finite double");
+  }
+  // 17 significant digits round-trip any IEEE-754 double exactly through a
+  // correctly-rounded strtod (the checkpoint bit-identity contract).
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+  // Keep the number recognisably floating-point so the parser restores the
+  // same kind (pure-integer text would come back as kInt/kUint).
+  if (out.find_first_of(".eE", out.size() - std::strlen(buf)) ==
+      std::string::npos) {
+    out += ".0";
+  }
+}
+
+bool all_scalars(const JsonValue::Array& array) {
+  for (const auto& item : array) {
+    if (item.is_array() || item.is_object()) return false;
+  }
+  return true;
+}
+
+void write_value(const JsonValue& value, int indent, int depth,
+                 std::string& out) {
+  const bool pretty = indent > 0;
+  const auto newline_indent = [&](int levels) {
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * levels), ' ');
+  };
+  switch (value.type()) {
+    case JsonType::kNull:
+      out += "null";
+      return;
+    case JsonType::kBool:
+      out += value.as_bool() ? "true" : "false";
+      return;
+    case JsonType::kInt:
+      out += std::to_string(value.as_int64());
+      return;
+    case JsonType::kUint:
+      out += std::to_string(value.as_uint64());
+      return;
+    case JsonType::kDouble:
+      write_double(value.as_double(), out);
+      return;
+    case JsonType::kString:
+      write_escaped(value.as_string(), out);
+      return;
+    case JsonType::kArray: {
+      const auto& array = value.items();
+      if (array.empty()) {
+        out += "[]";
+        return;
+      }
+      // Scalar-only arrays (rows of numbers) stay on one line even when
+      // pretty-printing; nested structures get one element per line.
+      const bool inline_array = !pretty || all_scalars(array);
+      out.push_back('[');
+      for (std::size_t i = 0; i < array.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        if (!inline_array) {
+          newline_indent(depth + 1);
+        } else if (pretty && i > 0) {
+          out.push_back(' ');
+        }
+        write_value(array[i], indent, depth + 1, out);
+      }
+      if (!inline_array) newline_indent(depth);
+      out.push_back(']');
+      return;
+    }
+    case JsonType::kObject: {
+      const auto& object = value.members();
+      if (object.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < object.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        if (pretty) newline_indent(depth + 1);
+        write_escaped(object[i].first, out);
+        out.push_back(':');
+        if (pretty) out.push_back(' ');
+        write_value(object[i].second, indent, depth + 1, out);
+      }
+      if (pretty) newline_indent(depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_dump(const JsonValue& value, int indent) {
+  std::string out;
+  write_value(value, indent, 0, out);
+  return out;
+}
+
+}  // namespace frote

@@ -1,0 +1,103 @@
+// Field-wise JSON object reader shared by every document type in the
+// declarative layer (core/spec.cpp, core/checkpoint.cpp).
+//
+// Two read modes implement the two halves of the docs/DESIGN.md §6
+// forward-compat policy: `read()` leaves the caller's default in place
+// when the key is absent (spec documents — new writers may add keys, old
+// ones omit them), `require()` records a problem (checkpoint documents —
+// state with missing pieces is unusable). Wrong-typed values accumulate
+// into one kParseError either way; unknown keys are deliberately ignored.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "frote/util/error.hpp"
+#include "frote/util/json.hpp"
+
+namespace frote {
+
+class JsonFieldReader {
+ public:
+  JsonFieldReader(const JsonValue& json, std::string what)
+      : json_(json), what_(std::move(what)) {
+    if (!json.is_object()) {
+      problems_ = what_ + " must be a JSON object";
+    }
+  }
+
+  template <typename T, typename Get>
+  void read_with(const char* key, T& out, bool required, Get&& get) {
+    if (!json_.is_object()) return;
+    const JsonValue* value = json_.find(key);
+    if (value == nullptr) {
+      if (required) add_problem(std::string("missing \"") + key + "\"");
+      return;
+    }
+    try {
+      out = get(*value);
+    } catch (const Error& e) {
+      add_problem(std::string(key) + ": " + e.what());
+    }
+  }
+
+  /// Optional field: absent keys keep the caller's default.
+  template <typename T>
+  void read(const char* key, T& out) {
+    read_field(key, out, /*required=*/false);
+  }
+  /// Required field: absent keys are a problem.
+  template <typename T>
+  void require(const char* key, T& out) {
+    read_field(key, out, /*required=*/true);
+  }
+
+  void add_problem(std::string problem) {
+    if (!problems_.empty()) problems_ += "; ";
+    problems_ += problem;
+  }
+
+  const JsonValue* find(const char* key) const { return json_.find(key); }
+
+  bool ok() const { return problems_.empty(); }
+  FroteError take_error() const {
+    return FroteError::parse_error("invalid " + what_ + ": " + problems_);
+  }
+
+ private:
+  void read_field(const char* key, bool& out, bool required) {
+    read_with(key, out, required,
+              [](const JsonValue& v) { return v.as_bool(); });
+  }
+  void read_field(const char* key, double& out, bool required) {
+    read_with(key, out, required,
+              [](const JsonValue& v) { return v.as_double(); });
+  }
+  void read_field(const char* key, std::string& out, bool required) {
+    read_with(key, out, required,
+              [](const JsonValue& v) { return v.as_string(); });
+  }
+  // std::size_t fields bind here too (same 64-bit type on this platform).
+  void read_field(const char* key, std::uint64_t& out, bool required) {
+    read_with(key, out, required,
+              [](const JsonValue& v) { return v.as_uint64(); });
+  }
+  void read_field(const char* key, int& out, bool required) {
+    read_with(key, out, required, [](const JsonValue& v) {
+      const std::int64_t raw = v.as_int64();
+      if (raw < std::numeric_limits<int>::min() ||
+          raw > std::numeric_limits<int>::max()) {
+        throw Error("integer out of int range");
+      }
+      return static_cast<int>(raw);
+    });
+  }
+
+  const JsonValue& json_;
+  std::string what_;
+  std::string problems_;
+};
+
+}  // namespace frote

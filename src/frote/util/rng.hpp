@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -30,6 +31,15 @@ inline std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
   std::uint64_t s = base ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
   return splitmix64(s);
 }
+
+/// Complete serialisable state of an Rng: the four xoshiro256** words plus
+/// the Box–Muller spare. `cached_normal` is carried as raw IEEE-754 bits so
+/// a checkpointed stream resumes bit-identically (core/checkpoint.hpp).
+struct RngState {
+  std::uint64_t words[4] = {};
+  std::uint64_t cached_normal_bits = 0;
+  bool cached_normal_valid = false;
+};
 
 /// Deterministic PRNG with the distribution helpers the library needs.
 class Rng {
@@ -112,6 +122,21 @@ class Rng {
   /// Sample `count` distinct indices from [0, n) (partial Fisher–Yates).
   std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                       std::size_t count);
+
+  /// Snapshot / restore the full generator state; set_state(state()) resumes
+  /// the stream exactly where it was, including the cached normal spare.
+  RngState state() const {
+    RngState s;
+    for (int i = 0; i < 4; ++i) s.words[i] = state_[i];
+    std::memcpy(&s.cached_normal_bits, &cached_normal_, sizeof(double));
+    s.cached_normal_valid = cached_normal_valid_;
+    return s;
+  }
+  void set_state(const RngState& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s.words[i];
+    std::memcpy(&cached_normal_, &s.cached_normal_bits, sizeof(double));
+    cached_normal_valid_ = s.cached_normal_valid;
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

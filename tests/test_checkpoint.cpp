@@ -1,0 +1,272 @@
+// core/checkpoint: a session snapshotted at ANY iteration k and restored
+// (through the JSON text round-trip) must finish bit-identically to the
+// uninterrupted run — augmented dataset, trace, and counters — for every
+// selector and thread count. This extends tests/test_determinism.cpp's
+// seed → bit-identical contract across a process boundary.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frote/core/checkpoint.hpp"
+#include "frote/core/engine.hpp"
+#include "frote/core/spec.hpp"
+#include "frote/util/parallel.hpp"
+#include "test_util.hpp"
+
+namespace frote {
+namespace {
+
+void expect_bit_identical(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.num_features(), b.num_features());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.label(i), b.label(i)) << "label of row " << i;
+    const auto row_a = a.row(i);
+    const auto row_b = b.row(i);
+    for (std::size_t f = 0; f < row_a.size(); ++f) {
+      EXPECT_EQ(row_a[f], row_b[f]) << "row " << i << " feature " << f;
+    }
+  }
+}
+
+void expect_same_trace(const std::vector<ProgressPoint>& a,
+                       const std::vector<ProgressPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].iteration, b[i].iteration) << "trace point " << i;
+    EXPECT_EQ(a[i].instances_added, b[i].instances_added) << "point " << i;
+    EXPECT_EQ(a[i].train_j_hat_bar, b[i].train_j_hat_bar) << "point " << i;
+    EXPECT_EQ(a[i].accepted, b[i].accepted) << "point " << i;
+  }
+}
+
+EngineSpec checkpoint_spec(const std::string& selector) {
+  EngineSpec spec;
+  // η = 60 lets a batch outvote the ~45 conflicting rows inside the rule
+  // region, so the depth-3 RF actually flips: the trace mixes accepted and
+  // rejected steps — both paths must survive the checkpoint.
+  spec.tau = 6;
+  spec.q = 1.5;
+  spec.eta = 60;
+  spec.k = 5;
+  spec.seed = 99;
+  spec.mod_strategy = "none";  // rule-conflicting labels stay: RNG path runs
+  spec.selector = selector;
+  spec.learner = "rf";
+  spec.learner_fast = true;
+  spec.rules = {"IF x > 7 THEN class = neg"};
+  return spec;
+}
+
+struct GoldenRun {
+  Dataset augmented;
+  std::vector<ProgressPoint> trace;
+  std::size_t instances_added = 0;
+  std::size_t iterations_run = 0;
+  std::size_t iterations_accepted = 0;
+};
+
+/// Snapshot-at-every-k: for each k, step a session k times, checkpoint it
+/// through the JSON text round-trip, restore, finish, and compare against
+/// the uninterrupted golden run.
+void check_resume_equals_uninterrupted(const std::string& selector) {
+  const auto schema = testing::mixed_schema();
+  const auto data = testing::threshold_dataset(150, 5.0, 11);
+  const EngineSpec spec = checkpoint_spec(selector);
+  const auto engine =
+      Engine::Builder::from_spec(spec, *schema).value().build().value();
+  const auto learner = make_spec_learner(spec).value();
+
+  GoldenRun golden = [&] {
+    auto session = engine.open(data, *learner).value();
+    session.run();
+    GoldenRun run;
+    run.trace = session.trace();
+    auto result = std::move(session).result();
+    run.augmented = std::move(result.augmented);
+    run.instances_added = result.instances_added;
+    run.iterations_run = result.iterations_run;
+    run.iterations_accepted = result.iterations_accepted;
+    return run;
+  }();
+  ASSERT_GT(golden.instances_added, 0u) << "scenario must actually augment";
+
+  for (std::size_t k = 0; k <= golden.iterations_run; ++k) {
+    auto session = engine.open(data, *learner).value();
+    for (std::size_t step = 0; step < k; ++step) session.step();
+
+    const std::string text = session.snapshot().to_json_text();
+    auto ckpt = SessionCheckpoint::parse(text);
+    ASSERT_TRUE(ckpt.has_value()) << "k=" << k << ": "
+                                  << ckpt.error().message;
+    // The checkpoint itself round-trips bit-exactly through JSON.
+    EXPECT_EQ(ckpt->to_json_text(), text) << "k=" << k;
+
+    auto restored = Session::restore(engine, *learner, *ckpt);
+    ASSERT_TRUE(restored.has_value()) << "k=" << k << ": "
+                                      << restored.error().message;
+    restored->run();
+    EXPECT_EQ(restored->trace().size(), golden.trace.size()) << "k=" << k;
+    expect_same_trace(restored->trace(), golden.trace);
+    auto result = std::move(*restored).result();
+    EXPECT_EQ(result.instances_added, golden.instances_added) << "k=" << k;
+    EXPECT_EQ(result.iterations_run, golden.iterations_run) << "k=" << k;
+    EXPECT_EQ(result.iterations_accepted, golden.iterations_accepted)
+        << "k=" << k;
+    expect_bit_identical(result.augmented, golden.augmented);
+  }
+}
+
+TEST(Checkpoint, ResumeEqualsUninterruptedRandomSelector) {
+  check_resume_equals_uninterrupted("random");
+}
+
+TEST(Checkpoint, ResumeEqualsUninterruptedIpSelector) {
+  // IP selection leans hardest on the workspace caches (borderline weights,
+  // prediction cache, kNN index) — all rebuilt, none serialised.
+  check_resume_equals_uninterrupted("ip");
+}
+
+TEST(Checkpoint, ResumeEqualsUninterruptedAtFourThreads) {
+  // Same contract with the deterministic thread pool engaged (the ci.sh
+  // FROTE_NUM_THREADS=4 leg re-runs this whole suite as well).
+  set_default_threads(4);
+  check_resume_equals_uninterrupted("ip");
+  set_default_threads(0);
+}
+
+TEST(Checkpoint, RestoredSessionCrossesThreadCounts) {
+  // A checkpoint written by a serial session restores bit-identically into
+  // a 4-thread process and vice versa: thread count is not session state.
+  const auto schema = testing::mixed_schema();
+  const auto data = testing::threshold_dataset(150, 5.0, 11);
+  const EngineSpec spec = checkpoint_spec("ip");
+  const auto engine =
+      Engine::Builder::from_spec(spec, *schema).value().build().value();
+  const auto learner = make_spec_learner(spec).value();
+
+  auto serial_session = engine.open(data, *learner).value();
+  serial_session.run();
+  const auto golden = std::move(serial_session).result();
+
+  auto session = engine.open(data, *learner).value();
+  session.step();
+  session.step();
+  const auto ckpt = session.snapshot();
+
+  set_default_threads(4);
+  auto restored = Session::restore(engine, *learner, ckpt);
+  ASSERT_TRUE(restored.has_value()) << restored.error().message;
+  restored->run();
+  const auto threaded = std::move(*restored).result();
+  set_default_threads(0);
+  EXPECT_EQ(threaded.instances_added, golden.instances_added);
+  expect_bit_identical(threaded.augmented, golden.augmented);
+}
+
+TEST(Checkpoint, FinishedSessionsRestoreAsFinished) {
+  const auto schema = testing::mixed_schema();
+  const auto data = testing::threshold_dataset(100, 5.0, 3);
+  const EngineSpec spec = checkpoint_spec("random");
+  const auto engine =
+      Engine::Builder::from_spec(spec, *schema).value().build().value();
+  const auto learner = make_spec_learner(spec).value();
+  auto session = engine.open(data, *learner).value();
+  session.run();
+  const auto ckpt = session.snapshot();
+  auto restored = Session::restore(engine, *learner, ckpt);
+  ASSERT_TRUE(restored.has_value()) << restored.error().message;
+  EXPECT_TRUE(restored->finished());
+  EXPECT_EQ(restored->run(), 0u);
+  const auto a = std::move(session).result();
+  const auto b = std::move(*restored).result();
+  expect_bit_identical(a.augmented, b.augmented);
+}
+
+TEST(Checkpoint, CorruptCheckpointsAreTypedErrors) {
+  const auto schema = testing::mixed_schema();
+  const auto data = testing::threshold_dataset(100, 5.0, 3);
+  const EngineSpec spec = checkpoint_spec("random");
+  const auto engine =
+      Engine::Builder::from_spec(spec, *schema).value().build().value();
+  const auto learner = make_spec_learner(spec).value();
+  auto session = engine.open(data, *learner).value();
+  session.step();
+  SessionCheckpoint ckpt = session.snapshot();
+
+  // Structurally broken: payload sizes disagree.
+  SessionCheckpoint truncated = ckpt;
+  truncated.labels.pop_back();
+  auto bad = Session::restore(engine, *learner, truncated);
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().code, FroteErrorCode::kInvalidArgument);
+
+  // Semantically broken: a tampered row no longer reproduces the recorded
+  // Ĵ̄ when the model is retrained (the consistency cross-check).
+  SessionCheckpoint tampered = ckpt;
+  for (std::size_t i = 0; i < tampered.labels.size(); ++i) {
+    tampered.labels[i] = 1 - tampered.labels[i];
+  }
+  auto inconsistent = Session::restore(engine, *learner, tampered);
+  ASSERT_FALSE(inconsistent.has_value());
+  EXPECT_EQ(inconsistent.error().code, FroteErrorCode::kInvalidArgument);
+
+  // Missing keys in the serialised form are parse errors.
+  auto json = ckpt.to_json();
+  json.members().erase(json.members().begin() + 3);  // drop "dataset"
+  auto missing = SessionCheckpoint::from_json(json);
+  ASSERT_FALSE(missing.has_value());
+  EXPECT_EQ(missing.error().code, FroteErrorCode::kParseError);
+
+  auto not_a_checkpoint = SessionCheckpoint::parse("{\"format\": \"nope\"}");
+  ASSERT_FALSE(not_a_checkpoint.has_value());
+  EXPECT_EQ(not_a_checkpoint.error().code, FroteErrorCode::kParseError);
+}
+
+TEST(Checkpoint, PreservesDatasetChangeTracking) {
+  const auto schema = testing::mixed_schema();
+  const auto data = testing::threshold_dataset(100, 5.0, 3);
+  const EngineSpec spec = checkpoint_spec("random");
+  const auto engine =
+      Engine::Builder::from_spec(spec, *schema).value().build().value();
+  const auto learner = make_spec_learner(spec).value();
+  auto session = engine.open(data, *learner).value();
+  session.step();
+  session.step();
+  const auto ckpt = session.snapshot();
+  auto restored = Session::restore(engine, *learner, ckpt).value();
+  const Dataset& original = session.augmented();
+  const Dataset& back = restored.augmented();
+  ASSERT_EQ(back.size(), original.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back.row_id(i), original.row_id(i)) << "row " << i;
+  }
+  EXPECT_EQ(back.next_row_id(), original.next_row_id());
+  EXPECT_EQ(back.version(), original.version());
+  EXPECT_EQ(back.append_epoch(), original.append_epoch());
+  // The uid is intentionally fresh: process-unique identity never revives.
+  EXPECT_NE(back.uid(), original.uid());
+}
+
+TEST(Rng, StateRoundTripResumesStreamExactly) {
+  Rng rng(4242);
+  rng.normal();  // park a cached Box–Muller spare in the state
+  const RngState state = rng.state();
+  std::vector<std::uint64_t> expected;
+  std::vector<double> expected_normals;
+  for (int i = 0; i < 64; ++i) expected.push_back(rng.next_u64());
+  for (int i = 0; i < 8; ++i) expected_normals.push_back(rng.normal());
+  Rng resumed(0);
+  resumed.set_state(state);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(resumed.next_u64(), expected[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(resumed.normal(), expected_normals[static_cast<std::size_t>(i)]);
+  }
+}
+
+}  // namespace
+}  // namespace frote

@@ -1,0 +1,225 @@
+// util/json: strict parsing, typed errors, and the bit-exact round-trip the
+// spec/checkpoint layer depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "frote/util/json.hpp"
+#include "frote/util/rng.hpp"
+
+namespace frote {
+namespace {
+
+Expected<JsonValue, FroteError> reparse(const JsonValue& value, int indent) {
+  return json_parse(json_dump(value, indent));
+}
+
+TEST(Json, ScalarRoundTrip) {
+  for (const int indent : {0, 2}) {
+    for (const char* text :
+         {"null", "true", "false", "0", "-1", "42", "\"hi\"", "[]", "{}"}) {
+      auto parsed = json_parse(text);
+      ASSERT_TRUE(parsed.has_value()) << text;
+      auto again = reparse(*parsed, indent);
+      ASSERT_TRUE(again.has_value()) << text;
+      EXPECT_TRUE(*parsed == *again) << text;
+    }
+  }
+}
+
+TEST(Json, IntegerKindsAndWidth) {
+  // Full-width integers survive: a double would round these.
+  auto parsed = json_parse("[18446744073709551615, -9223372036854775808, "
+                           "9223372036854775807]");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->items()[0].as_uint64(), 18446744073709551615ULL);
+  EXPECT_EQ(parsed->items()[1].as_int64(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(parsed->items()[2].as_int64(),
+            std::numeric_limits<std::int64_t>::max());
+  auto again = reparse(*parsed, 0);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(*parsed == *again);
+  // Integer literals beyond uint64 degrade to double rather than failing.
+  auto huge = json_parse("18446744073709551616");
+  ASSERT_TRUE(huge.has_value());
+  EXPECT_EQ(huge->type(), JsonType::kDouble);
+}
+
+TEST(Json, DoubleRoundTripIsBitExact) {
+  // The checkpoint contract: double -> text -> double must be the identity
+  // on bits, for ordinary values and for every awkward corner of IEEE-754.
+  std::vector<double> values = {0.0,
+                                -0.0,
+                                0.1,
+                                1.0 / 3.0,
+                                -1e-300,
+                                5e-324,                 // min denormal
+                                2.2250738585072014e-308,  // min normal
+                                1.7976931348623157e308,   // max double
+                                3.141592653589793,
+                                -2.718281828459045};
+  Rng rng(20260726);
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(rng.normal(0.0, 1e3));
+    values.push_back(rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.int_range(-300, 300)));
+  }
+  for (const double v : values) {
+    JsonValue array = JsonValue::array();
+    array.push_back(v);
+    auto parsed = reparse(array, 0);
+    ASSERT_TRUE(parsed.has_value());
+    const double back = parsed->items()[0].as_double();
+    std::uint64_t v_bits = 0, back_bits = 0;
+    std::memcpy(&v_bits, &v, sizeof v);
+    std::memcpy(&back_bits, &back, sizeof back);
+    EXPECT_EQ(v_bits, back_bits) << v;
+  }
+}
+
+TEST(Json, NonFiniteDoublesAreUnwritable) {
+  JsonValue array = JsonValue::array();
+  array.push_back(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW(json_dump(array), Error);
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string awkward =
+      std::string("quote\" backslash\\ slash/ \b\f\n\r\t nul(") +
+      '\0' + ") control\x01 end";
+  JsonValue value(awkward);
+  auto parsed = reparse(value, 2);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), awkward);
+}
+
+TEST(Json, Utf8RoundTrip) {
+  // 2-, 3- and 4-byte sequences pass through dump/parse verbatim.
+  const std::string text = "caf\u00e9 \u65e5\u672c\u8a9e \U0001F600";
+  JsonValue value(text);
+  auto parsed = reparse(value, 0);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), text);
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  auto parsed = json_parse("\"\\u00e9 \\u65e5 \\ud83d\\ude00\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), "\u00e9 \u65e5 \U0001F600");
+}
+
+TEST(Json, StructuredRoundTripProperty) {
+  // Randomized nested documents survive dump -> parse exactly, compact and
+  // pretty-printed.
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    JsonValue root = JsonValue::object();
+    root.set("seed", rng.next_u64());
+    root.set("flag", rng.bernoulli(0.5));
+    root.set("weight", rng.normal(0.0, 10.0));
+    JsonValue rows = JsonValue::array();
+    const std::size_t n = 1 + rng.index(8);
+    for (std::size_t i = 0; i < n; ++i) {
+      JsonValue row = JsonValue::array();
+      for (std::size_t j = 0; j < 4; ++j) row.push_back(rng.uniform());
+      rows.push_back(std::move(row));
+    }
+    root.set("rows", std::move(rows));
+    JsonValue child = JsonValue::object();
+    child.set("name", std::string("trial-") + std::to_string(trial));
+    child.set("count", static_cast<std::int64_t>(rng.index(1000)) - 500);
+    root.set("child", std::move(child));
+    for (const int indent : {0, 2, 4}) {
+      auto parsed = reparse(root, indent);
+      ASSERT_TRUE(parsed.has_value());
+      EXPECT_TRUE(root == *parsed);
+    }
+  }
+}
+
+TEST(Json, ObjectSetReplacesAndFindLooksUp) {
+  JsonValue obj = JsonValue::object();
+  obj.set("a", 1);
+  obj.set("b", 2);
+  obj.set("a", 3);
+  ASSERT_EQ(obj.members().size(), 2u);
+  EXPECT_EQ(obj.find("a")->as_int64(), 3);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(Json, MalformedInputsAreTypedErrors) {
+  const char* cases[] = {
+      "",                        // empty
+      "  ",                      // whitespace only
+      "{",                       // unterminated object
+      "[1,]",                    // trailing comma
+      "{\"a\":1,}",              // trailing comma in object
+      "[1 2]",                   // missing comma
+      "{\"a\" 1}",               // missing colon
+      "{a: 1}",                  // unquoted key
+      "{\"a\":1, \"a\":2}",      // duplicate key
+      "nul",                     // bad literal
+      "TRUE",                    // wrong case
+      "NaN",                     // non-finite literal
+      "Infinity",                // non-finite literal
+      "01",                      // leading zero
+      "-",                       // lone minus
+      ".5",                      // missing integer part
+      "5.",                      // missing fraction digits
+      "1e",                      // missing exponent digits
+      "1e999",                   // double overflow
+      "\"unterminated",          // unterminated string
+      "\"bad \\x escape\"",      // invalid escape
+      "\"\\u12g4\"",             // bad hex digit
+      "\"\\ud800\"",             // unpaired high surrogate
+      "\"\\udc00\"",             // unpaired low surrogate
+      "\"\x01\"",                // raw control character
+      "\"\xff\"",                // invalid UTF-8 lead byte
+      "\"\xc3(\"",               // invalid UTF-8 continuation
+      "\"\xc0\xaf\"",            // overlong UTF-8 encoding
+      "\"\xed\xa0\x80\"",        // UTF-8 encoded surrogate
+      "1 2",                     // trailing content
+      "[1] []",                  // trailing content after value
+  };
+  for (const char* text : cases) {
+    auto parsed = json_parse(text);
+    EXPECT_FALSE(parsed.has_value()) << "accepted: " << text;
+    if (!parsed.has_value()) {
+      EXPECT_EQ(parsed.error().code, FroteErrorCode::kParseError) << text;
+      EXPECT_NE(parsed.error().message.find("JSON parse error"),
+                std::string::npos)
+          << text;
+    }
+  }
+}
+
+TEST(Json, DepthLimitRejectsBombs) {
+  std::string deep(400, '[');
+  deep += std::string(400, ']');
+  auto parsed = json_parse(deep);
+  EXPECT_FALSE(parsed.has_value());
+}
+
+TEST(Json, ParseErrorsCarryPosition) {
+  auto parsed = json_parse("{\n  \"a\": nope\n}");
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_NE(parsed.error().message.find("2:"), std::string::npos)
+      << parsed.error().message;
+}
+
+TEST(Json, WrongTypeAccessThrows) {
+  auto parsed = json_parse("{\"s\": \"text\", \"neg\": -1}");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_THROW(parsed->find("s")->as_double(), Error);
+  EXPECT_THROW(parsed->find("s")->as_bool(), Error);
+  EXPECT_THROW(parsed->find("neg")->as_uint64(), Error);
+  EXPECT_THROW(parsed->items(), Error);
+}
+
+}  // namespace
+}  // namespace frote

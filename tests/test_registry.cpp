@@ -7,7 +7,7 @@
 #include <string>
 
 #include "frote/exp/learners.hpp"
-#include "frote/exp/registry.hpp"
+#include "frote/core/registry.hpp"
 #include "test_util.hpp"
 
 namespace frote {

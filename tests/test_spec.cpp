@@ -1,0 +1,372 @@
+// core/spec: declarative EngineSpec round-trips — JSON → Engine → to_spec()
+// must be lossless for every registry learner/selector combination — plus
+// RunPlan expansion and the concurrent driver's determinism.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frote/core/engine.hpp"
+#include "frote/core/registry.hpp"
+#include "frote/core/runplan.hpp"
+#include "frote/core/spec.hpp"
+#include "frote/util/rng.hpp"
+#include "test_util.hpp"
+
+namespace frote {
+namespace {
+
+EngineSpec small_spec() {
+  EngineSpec spec;
+  spec.tau = 4;
+  spec.q = 0.3;
+  spec.k = 5;
+  spec.eta = 10;
+  spec.seed = 17;
+  spec.mod_strategy = "none";
+  spec.learner_fast = true;
+  spec.rules = {"IF x > 7 THEN class = neg"};
+  return spec;
+}
+
+TEST(EngineSpec, JsonRoundTripPreservesEveryField) {
+  EngineSpec spec = small_spec();
+  spec.threads = 2;
+  spec.rule_confidence = 0.8;
+  spec.accept_always = true;
+  spec.selector = "ip";
+  spec.stopping.kind = "plateau";
+  spec.stopping.patience = 3;
+  spec.learner = "gbdt";
+  spec.learner_seed = 12345678901234567890ULL;  // needs full uint64 width
+  spec.dataset = DatasetSpec{"synthetic", "", "adult", 200, 9};
+  const std::string text = spec.to_json_text();
+  auto parsed = EngineSpec::parse(text);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  EXPECT_EQ(parsed->to_json_text(), text);
+  EXPECT_EQ(parsed->learner_seed, spec.learner_seed);
+  EXPECT_EQ(parsed->dataset->name, "adult");
+}
+
+TEST(EngineSpec, RoundTripsThroughEngineForEveryRegistryCombination) {
+  // The acceptance contract: spec JSON -> from_spec -> build -> to_spec
+  // reproduces the document byte-for-byte, whichever registry learner and
+  // selector the spec names.
+  const auto schema = testing::mixed_schema();
+  for (const auto& learner : registered_learner_names()) {
+    for (const auto& selector : registered_selector_names()) {
+      EngineSpec spec = small_spec();
+      spec.learner = learner;
+      spec.selector = selector;
+      const std::string text = spec.to_json_text();
+
+      auto parsed = EngineSpec::parse(text);
+      ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+      auto builder = Engine::Builder::from_spec(*parsed, *schema);
+      ASSERT_TRUE(builder.has_value())
+          << learner << "/" << selector << ": " << builder.error().message;
+      auto engine = builder->build();
+      ASSERT_TRUE(engine.has_value())
+          << learner << "/" << selector << ": " << engine.error().message;
+      auto learner_instance = make_spec_learner(*parsed);
+      ASSERT_TRUE(learner_instance.has_value())
+          << learner << ": " << learner_instance.error().message;
+
+      auto back = engine->to_spec();
+      ASSERT_TRUE(back.has_value())
+          << learner << "/" << selector << ": " << back.error().message;
+      EXPECT_EQ(back->to_json_text(), text) << learner << "/" << selector;
+      // The schema overload re-serialises the live rules and must agree
+      // with the provenance text (parse/print is a round-trip).
+      auto reserialised = engine->to_spec(*schema);
+      ASSERT_TRUE(reserialised.has_value());
+      EXPECT_EQ(reserialised->to_json_text(), text)
+          << learner << "/" << selector;
+    }
+  }
+}
+
+TEST(EngineSpec, SpecDrivenEngineMatchesImperativeEngine) {
+  // One spec-built and one builder-built engine with the same settings must
+  // produce bit-identical sessions.
+  const auto schema = testing::mixed_schema();
+  auto data = testing::threshold_dataset(120, 5.0, 11);
+  EngineSpec spec = small_spec();
+  auto engine_from_spec =
+      Engine::Builder::from_spec(spec, *schema).value().build().value();
+  auto learner = make_spec_learner(spec).value();
+
+  FeedbackRuleSet frs({testing::x_gt_rule(7.0, 0)});
+  auto imperative = Engine::Builder()
+                        .rules(frs)
+                        .tau(spec.tau)
+                        .q(spec.q)
+                        .k(spec.k)
+                        .eta(spec.eta)
+                        .seed(spec.seed)
+                        .mod_strategy(ModStrategy::kNone)
+                        .build()
+                        .value();
+
+  auto session_a = engine_from_spec.open(data, *learner).value();
+  auto session_b = imperative.open(data, *learner).value();
+  session_a.run();
+  session_b.run();
+  const auto result_a = std::move(session_a).result();
+  const auto result_b = std::move(session_b).result();
+  ASSERT_EQ(result_a.augmented.size(), result_b.augmented.size());
+  for (std::size_t i = 0; i < result_a.augmented.size(); ++i) {
+    const auto row_a = result_a.augmented.row(i);
+    const auto row_b = result_b.augmented.row(i);
+    for (std::size_t f = 0; f < row_a.size(); ++f) {
+      ASSERT_EQ(row_a[f], row_b[f]) << "row " << i << " feature " << f;
+    }
+  }
+}
+
+TEST(EngineSpec, LastSelectorChoiceWins) {
+  // The three selector setters (registry name, enum, component instance)
+  // override each other in call order; to_spec() reflects the final one.
+  const auto schema = testing::mixed_schema();
+  auto engine = Engine::Builder::from_spec(small_spec(), *schema)  // random
+                    .value()
+                    .selection(SelectionStrategy::kIp)
+                    .build()
+                    .value();
+  EXPECT_EQ(engine.to_spec()->selector, "ip");
+  auto back_to_name = Engine::Builder::from_spec(small_spec(), *schema)
+                          .value()
+                          .selection(SelectionStrategy::kIp)
+                          .selector("online-proxy")
+                          .build()
+                          .value();
+  EXPECT_EQ(back_to_name.to_spec()->selector, "online-proxy");
+}
+
+TEST(EngineSpec, UnknownComponentNamesAreTypedErrors) {
+  const auto schema = testing::mixed_schema();
+  EngineSpec spec = small_spec();
+  spec.selector = "resnet";
+  auto engine = Engine::Builder::from_spec(spec, *schema).value().build();
+  ASSERT_FALSE(engine.has_value());
+  EXPECT_EQ(engine.error().code, FroteErrorCode::kUnknownComponent);
+
+  spec = small_spec();
+  spec.learner = "transformer";
+  auto learner = make_spec_learner(spec);
+  ASSERT_FALSE(learner.has_value());
+  EXPECT_EQ(learner.error().code, FroteErrorCode::kUnknownComponent);
+
+  spec = small_spec();
+  spec.mod_strategy = "erase";
+  auto builder = Engine::Builder::from_spec(spec, *schema);
+  ASSERT_FALSE(builder.has_value());
+  EXPECT_EQ(builder.error().code, FroteErrorCode::kUnknownComponent);
+}
+
+TEST(EngineSpec, MalformedRuleTextIsAParseError) {
+  const auto schema = testing::mixed_schema();
+  EngineSpec spec = small_spec();
+  spec.rules = {"IF wingspan > 7 THEN class = pos"};  // unknown feature
+  auto builder = Engine::Builder::from_spec(spec, *schema);
+  ASSERT_FALSE(builder.has_value());
+  EXPECT_EQ(builder.error().code, FroteErrorCode::kParseError);
+}
+
+TEST(EngineSpec, ForwardCompatPolicy) {
+  // Unknown keys are ignored; a version from the future is refused.
+  auto tolerant = EngineSpec::parse(
+      "{\"format\": \"frote.engine_spec\", \"tau\": 9, "
+      "\"a_future_knob\": {\"nested\": true}}");
+  ASSERT_TRUE(tolerant.has_value()) << tolerant.error().message;
+  EXPECT_EQ(tolerant->tau, 9u);
+
+  auto future = EngineSpec::parse(
+      "{\"format\": \"frote.engine_spec\", \"version\": 999}");
+  ASSERT_FALSE(future.has_value());
+  EXPECT_EQ(future.error().code, FroteErrorCode::kParseError);
+
+  // A missing format must not parse as an all-defaults spec — feeding the
+  // wrong document type here would otherwise silently run a different
+  // experiment.
+  auto no_format = EngineSpec::parse("{\"tau\": 9}");
+  ASSERT_FALSE(no_format.has_value());
+  EXPECT_EQ(no_format.error().code, FroteErrorCode::kParseError);
+
+  // An any_of stopping rule with no children never fires; rejected.
+  auto empty_any_of = EngineSpec::parse(
+      "{\"format\": \"frote.engine_spec\", "
+      "\"stopping\": {\"kind\": \"any_of\"}}");
+  ASSERT_FALSE(empty_any_of.has_value());
+  EXPECT_EQ(empty_any_of.error().code, FroteErrorCode::kParseError);
+
+  auto wrong_type = EngineSpec::parse(
+      "{\"format\": \"frote.engine_spec\", \"tau\": \"many\"}");
+  ASSERT_FALSE(wrong_type.has_value());
+  EXPECT_EQ(wrong_type.error().code, FroteErrorCode::kParseError);
+}
+
+TEST(EngineSpec, ImperativeEnginesSynthesizeSpecsWhenRepresentable) {
+  FeedbackRuleSet frs({testing::x_gt_rule(6.0, 1)});
+  const auto engine = Engine::Builder()
+                          .rules(frs)
+                          .tau(7)
+                          .selection(SelectionStrategy::kIp)
+                          .build()
+                          .value();
+  // Rule text needs a schema on this path.
+  auto without_schema = engine.to_spec();
+  ASSERT_FALSE(without_schema.has_value());
+  auto spec = engine.to_spec(*testing::mixed_schema());
+  ASSERT_TRUE(spec.has_value()) << spec.error().message;
+  EXPECT_EQ(spec->tau, 7u);
+  EXPECT_EQ(spec->selector, "ip");
+  ASSERT_EQ(spec->rules.size(), 1u);
+  EXPECT_EQ(spec->rules[0], "IF x > 6 THEN class = pos");
+
+  // A custom component instance has no declarative name: typed refusal.
+  struct NullSelector final : BaseInstanceSelector {
+    std::vector<SelectedInstance> select(const Dataset&,
+                                         const BasePopulation&, const Model&,
+                                         std::size_t, Rng&) const override {
+      return {};
+    }
+  };
+  const auto custom = Engine::Builder()
+                          .rules(frs)
+                          .selector(std::make_shared<NullSelector>())
+                          .build()
+                          .value();
+  auto unrepresentable = custom.to_spec(*testing::mixed_schema());
+  ASSERT_FALSE(unrepresentable.has_value());
+  EXPECT_EQ(unrepresentable.error().code, FroteErrorCode::kInvalidArgument);
+}
+
+TEST(StoppingSpec, RoundTripAndBehaviour) {
+  StoppingSpec spec;
+  spec.kind = "any_of";
+  spec.children = {StoppingSpec{"budget", 25, {}},
+                   StoppingSpec{"plateau", 2, {}}};
+  auto parsed = StoppingSpec::from_json(spec.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(json_dump(parsed->to_json()), json_dump(spec.to_json()));
+
+  auto criterion = make_spec_stopping(*parsed).value();
+  SessionProgress progress;
+  progress.tau = 100;
+  progress.quota = 1000;
+  EXPECT_FALSE(criterion->should_stop(progress));
+  progress.consecutive_rejections = 2;  // the plateau child fires
+  EXPECT_TRUE(criterion->should_stop(progress));
+
+  StoppingSpec unknown;
+  unknown.kind = "never";
+  auto bad = StoppingSpec::from_json(unknown.to_json());
+  ASSERT_FALSE(bad.has_value());
+}
+
+TEST(DatasetSpec, LoadsSyntheticAndRejectsUnknown) {
+  DatasetSpec spec;
+  spec.kind = "synthetic";
+  spec.name = "adult";  // case-insensitive against the Table 1 names
+  spec.size = 60;
+  auto data = load_spec_dataset(spec);
+  ASSERT_TRUE(data.has_value()) << data.error().message;
+  EXPECT_EQ(data->size(), 60u);
+
+  spec.name = "imagenet";
+  auto missing = load_spec_dataset(spec);
+  ASSERT_FALSE(missing.has_value());
+  EXPECT_EQ(missing.error().code, FroteErrorCode::kUnknownComponent);
+
+  DatasetSpec csv;
+  csv.kind = "csv";
+  csv.path = "/nonexistent/frote.csv";
+  auto unreadable = load_spec_dataset(csv);
+  ASSERT_FALSE(unreadable.has_value());
+  EXPECT_EQ(unreadable.error().code, FroteErrorCode::kIoError);
+}
+
+RunPlan small_plan() {
+  RunPlan plan;
+  plan.base = small_spec();
+  plan.base.learner = "rf";
+  plan.base.rules = {"IF age > 45 AND education_num > 11 THEN class = >50K"};
+  plan.base.dataset = DatasetSpec{"synthetic", "", "adult", 150, 11};
+  plan.learners = {"rf", "lr"};
+  plan.seeds = {1, 2};
+  return plan;
+}
+
+TEST(RunPlan, JsonRoundTripAndDeterministicExpansion) {
+  RunPlan plan = small_plan();
+  plan.replicates = 2;
+  plan.threads = 3;
+  const std::string text = plan.to_json_text();
+  auto parsed = RunPlan::parse(text);
+  ASSERT_TRUE(parsed.has_value()) << parsed.error().message;
+  EXPECT_EQ(parsed->to_json_text(), text);
+
+  const auto runs = parsed->expand();
+  ASSERT_EQ(runs.size(), 8u);  // 2 learners x 2 seeds x 2 replicates
+  EXPECT_EQ(runs[0].name, "run-000-rf-random-s1-r0");
+  EXPECT_EQ(runs[7].name, "run-007-lr-random-s2-r1");
+  // Replicates draw independent per-run streams via derive_seed.
+  EXPECT_EQ(runs[0].spec.seed, derive_seed(1, 0));
+  EXPECT_EQ(runs[1].spec.seed, derive_seed(1, 1));
+  // Without replicates the listed seeds are used verbatim.
+  const auto plain = small_plan().expand();
+  ASSERT_EQ(plain.size(), 4u);
+  EXPECT_EQ(plain[0].spec.seed, 1u);
+  EXPECT_EQ(plain[0].spec.learner, "rf");
+  EXPECT_EQ(plain[3].spec.learner, "lr");
+}
+
+TEST(RunPlan, DriverIsDeterministicAcrossThreadCounts) {
+  RunPlan plan = small_plan();
+  RunPlanOptions options;  // in-memory: no artifacts
+  plan.threads = 1;
+  auto serial = execute_plan(plan, options);
+  ASSERT_TRUE(serial.has_value()) << serial.error().message;
+  plan.threads = 4;
+  auto threaded = execute_plan(plan, options);
+  ASSERT_TRUE(threaded.has_value()) << threaded.error().message;
+  ASSERT_EQ(serial->size(), threaded->size());
+  ASSERT_EQ(serial->size(), 4u);
+  for (std::size_t i = 0; i < serial->size(); ++i) {
+    const RunResult& a = (*serial)[i];
+    const RunResult& b = (*threaded)[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_TRUE(a.completed);
+    EXPECT_EQ(a.instances_added, b.instances_added);
+    EXPECT_EQ(a.iterations_run, b.iterations_run);
+    EXPECT_EQ(a.iterations_accepted, b.iterations_accepted);
+    EXPECT_EQ(a.final_j_bar, b.final_j_bar);
+    EXPECT_EQ(a.dataset_rows, b.dataset_rows);
+  }
+  // The grid actually edited something, or the comparison is vacuous.
+  EXPECT_GT((*serial)[0].instances_added, 0u);
+}
+
+TEST(RunPlan, DriverRequiresADatasetReference) {
+  RunPlan plan = small_plan();
+  plan.base.dataset.reset();
+  auto results = execute_plan(plan, {});
+  ASSERT_FALSE(results.has_value());
+  EXPECT_EQ(results.error().code, FroteErrorCode::kInvalidConfig);
+}
+
+TEST(ModStrategyNames, RoundTrip) {
+  for (const auto strategy :
+       {ModStrategy::kNone, ModStrategy::kRelabel, ModStrategy::kDrop}) {
+    auto parsed = parse_mod_strategy(mod_strategy_name(strategy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, strategy);
+  }
+  EXPECT_FALSE(parse_mod_strategy("erase").has_value());
+}
+
+}  // namespace
+}  // namespace frote

@@ -1,0 +1,74 @@
+// Shared strict argument-parsing machinery for the frote CLI tools.
+//
+// Both binaries promise the same contract (locked by the CTest suites in
+// tools/CMakeLists.txt): every argument is a known --flag, value-taking
+// flags are followed by a value, malformed numbers are usage errors (exit
+// 1, message + usage on stderr), nothing is silently ignored. One
+// implementation serves both so the contract cannot drift between tools.
+#pragma once
+
+#include <charconv>
+#include <iostream>
+#include <string>
+#include <type_traits>
+
+namespace frote::cli {
+
+/// Per-tool context: the tool name for error prefixes and its usage
+/// printer. All helpers return false so strict parse loops can
+/// `return usage_error(...)`.
+struct StrictArgs {
+  const char* tool;
+  void (*print_usage)(std::ostream& os);
+  int argc;
+  char** argv;
+
+  bool usage_error(const std::string& message) const {
+    std::cerr << tool << ": " << message << "\n";
+    print_usage(std::cerr);
+    return false;
+  }
+
+  /// Consume the value following --`name` (a token that is not itself a
+  /// flag); advances `i`.
+  bool value_for(int& i, const std::string& name, std::string& out) const {
+    if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+      return usage_error("missing value for --" + name);
+    }
+    out = argv[++i];
+    return true;
+  }
+
+  /// Parse `text` fully as a number of type T; partial consumption is a
+  /// usage error.
+  template <typename T>
+  bool parse_number(const std::string& name, const std::string& text,
+                    T& out) const {
+    const char* begin = text.data();
+    const char* end = begin + text.size();
+    std::from_chars_result result{};
+    if constexpr (std::is_floating_point_v<T>) {
+      // std::from_chars for doubles is still patchy across stdlibs; stod
+      // with a full-consumption check is equivalent here.
+      try {
+        std::size_t consumed = 0;
+        out = std::stod(text, &consumed);
+        result.ec = consumed == text.size() ? std::errc{}
+                                            : std::errc::invalid_argument;
+      } catch (const std::exception&) {
+        result.ec = std::errc::invalid_argument;
+      }
+    } else {
+      result = std::from_chars(begin, end, out);
+      if (result.ec == std::errc{} && result.ptr != end) {
+        result.ec = std::errc::invalid_argument;
+      }
+    }
+    if (result.ec != std::errc{}) {
+      return usage_error("invalid value '" + text + "' for --" + name);
+    }
+    return true;
+  }
+};
+
+}  // namespace frote::cli

@@ -16,16 +16,15 @@
 // malformed numbers are usage errors (exit 1), never silently ignored.
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime error (bad data/rules).
-#include <charconv>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
-#include <type_traits>
 #include <vector>
 
+#include "cli_common.hpp"
 #include "frote/frote_api.hpp"
 
 namespace {
@@ -61,48 +60,22 @@ void print_usage(std::ostream& os) {
 }
 
 bool usage_error(const std::string& message) {
-  std::cerr << "frote_edit: " << message << "\n";
-  print_usage(std::cerr);
-  return false;
+  return cli::StrictArgs{"frote_edit", print_usage, 0, nullptr}.usage_error(
+      message);
 }
 
-template <typename T>
-bool parse_number(const std::string& name, const std::string& text, T& out) {
-  const char* begin = text.data();
-  const char* end = begin + text.size();
-  std::from_chars_result result{};
-  if constexpr (std::is_floating_point_v<T>) {
-    // std::from_chars for doubles is still patchy across stdlibs; stod with
-    // a full-consumption check is equivalent here.
-    try {
-      std::size_t consumed = 0;
-      out = std::stod(text, &consumed);
-      result.ec = consumed == text.size() ? std::errc{} : std::errc::invalid_argument;
-    } catch (const std::exception&) {
-      result.ec = std::errc::invalid_argument;
-    }
-  } else {
-    result = std::from_chars(begin, end, out);
-    if (result.ec == std::errc{} && result.ptr != end) {
-      result.ec = std::errc::invalid_argument;
-    }
-  }
-  if (result.ec != std::errc{}) {
-    return usage_error("invalid value '" + text + "' for --" + name);
-  }
-  return true;
-}
-
-/// Strict flag parser: every argument must be a known --flag; value-taking
-/// flags must be followed by a value (a token that is not itself a flag).
+/// Strict flag parser (tools/cli_common.hpp): every argument must be a
+/// known --flag; value-taking flags must be followed by a value (a token
+/// that is not itself a flag).
 bool parse_args(int argc, char** argv, Options& options) {
-  auto value_for = [&](int& i, const std::string& name,
-                       std::string& out) -> bool {
-    if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
-      return usage_error("missing value for --" + name);
-    }
-    out = argv[++i];
-    return true;
+  const cli::StrictArgs args{"frote_edit", print_usage, argc, argv};
+  const auto value_for = [&](int& i, const std::string& name,
+                             std::string& out) {
+    return args.value_for(i, name, out);
+  };
+  const auto parse_number = [&](const std::string& name,
+                                const std::string& text, auto& out) {
+    return args.parse_number(name, text, out);
   };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -162,8 +135,7 @@ bool parse_args(int argc, char** argv, Options& options) {
 bool validate_names(const Options& options) {
   const auto learner = make_named_learner(options.model);
   if (!learner) return usage_error(learner.error().message);
-  if (options.mod != "relabel" && options.mod != "drop" &&
-      options.mod != "none") {
+  if (!parse_mod_strategy(options.mod).has_value()) {
     return usage_error("unknown mod strategy '" + options.mod + "'");
   }
   SelectorSpec probe;
@@ -174,15 +146,6 @@ bool validate_names(const Options& options) {
     return usage_error(selector.error().message);
   }
   return true;
-}
-
-ModStrategy parse_mod(const std::string& name) {
-  if (name == "relabel") return ModStrategy::kRelabel;
-  if (name == "drop") return ModStrategy::kDrop;
-  if (name == "none") return ModStrategy::kNone;
-  // validate_names() reports this as a usage error first; the throw keeps
-  // run() safe if it is ever called without that gate.
-  throw Error("unknown mod strategy '" + name + "'");
 }
 
 int run(const Options& options) {
@@ -204,24 +167,27 @@ int run(const Options& options) {
   std::cerr << "parsed " << frs.size() << " rule(s), resolved " << resolved
             << " conflict pair(s)\n";
 
-  LearnerSpec learner_spec;
-  learner_spec.seed = options.seed;
-  const auto learner = make_named_learner(options.model, learner_spec).value();
-  SelectorSpec selector_spec;
-  selector_spec.k = options.k;
-  selector_spec.frs = &frs;
-  const auto selector =
-      make_named_selector(options.select, selector_spec).value();
+  // Assemble the declarative spec of this run and resolve engine + learner
+  // through it — the same registry path frote_run and the harness use. The
+  // (conflict-resolved) rules go in as text: the rule grammar round-trips
+  // bit-exactly, so the engine built here is exactly engine.to_spec().
+  EngineSpec spec;
+  spec.tau = options.tau;
+  spec.q = options.q;
+  spec.k = options.k;
+  spec.eta = options.eta;
+  spec.seed = options.seed;
+  spec.mod_strategy = options.mod;
+  spec.selector = options.select;
+  spec.learner = options.model;
+  for (const auto& rule : frs.rules()) {
+    spec.rules.push_back(rule.to_string(data.schema()));
+  }
+  spec.dataset = DatasetSpec{"csv", options.data_path, "", 0, 0};
 
-  Engine::Builder builder;
-  builder.rules(frs)
-      .tau(options.tau)
-      .q(options.q)
-      .k(options.k)
-      .eta(options.eta)
-      .seed(options.seed)
-      .mod_strategy(parse_mod(options.mod))
-      .selector(selector);
+  const auto learner = make_spec_learner(spec).value();
+  Engine::Builder builder =
+      Engine::Builder::from_spec(spec, data.schema()).value();
   if (options.trace) {
     auto tracer = std::make_shared<CallbackObserver>();
     tracer->step = [](const StepReport& report) {
