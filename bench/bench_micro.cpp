@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -19,6 +20,10 @@
 #include "frote/metrics/metrics.hpp"
 #include "frote/opt/ip.hpp"
 #include "frote/smote/smote.hpp"
+
+#ifdef FROTE_SERVE_BINARY
+#include "serve_harness.hpp"  // tests/; gtest-free by design
+#endif
 
 namespace {
 
@@ -352,6 +357,69 @@ void BM_SnapshotRestore(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SnapshotRestore);
+
+#ifdef FROTE_SERVE_BINARY
+// Serving-layer costs, measured against the real frote_serve binary via
+// the same spawn/pipe harness the contract tests use. Compare with the
+// in-process rows: BM_ServeRequest vs BM_SessionStep isolates the
+// protocol + transport tax of a served step request, and
+// BM_ServeEvictRestore vs BM_ServeRequest isolates the spool-write +
+// restore (retraining-dominated, cf. BM_SnapshotRestore) added when the
+// pool evicts the session between every request.
+
+/// A daemon with one session stepped to completion (responses stay small
+/// and per-iteration work stays constant), spawned once per process.
+frote::testing::ServeProcess& serve_daemon(bool evict_every_request) {
+  static auto spawn = [](bool evict) {
+    namespace fs = std::filesystem;
+    // Scratch lives next to the daemon binary (inside the build tree), so
+    // running the bench from the source root never litters the checkout.
+    const fs::path dir = fs::path(FROTE_SERVE_BINARY).parent_path() /
+                         "bench_serve_scratch" / (evict ? "evict" : "plain");
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const fs::path csv = dir / "train.csv";
+    frote::testing::write_threshold_csv(csv.string());
+    frote::testing::ServeProcess::Options options;
+    if (evict) {
+      options.args = {"--spool", (dir / "spool").string(),
+                      "--evict-every-request"};
+    }
+    auto daemon = std::make_unique<frote::testing::ServeProcess>(options);
+    daemon->request(frote::testing::create_line(
+        "c", frote::testing::serve_spec(csv.string())));
+    daemon->request(frote::testing::step_line("warm", "s-000001", 50));
+    return daemon;
+  };
+  static auto plain = spawn(false);
+  static auto evicting = spawn(true);
+  return evict_every_request ? *evicting : *plain;
+}
+
+void BM_ServeRequest(benchmark::State& state) {
+  auto& daemon = serve_daemon(false);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const std::string response =
+        daemon.request(frote::testing::step_line("b", "s-000001"));
+    bytes += response.size();
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_ServeRequest);
+
+void BM_ServeEvictRestore(benchmark::State& state) {
+  auto& daemon = serve_daemon(true);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const std::string response =
+        daemon.request(frote::testing::step_line("b", "s-000001"));
+    bytes += response.size();
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_ServeEvictRestore);
+#endif  // FROTE_SERVE_BINARY
 
 }  // namespace
 

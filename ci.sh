@@ -31,9 +31,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
 echo "=== determinism leg: FROTE_NUM_THREADS=4 ==="
 # test_workspace includes a full IP-selection session, so the leg covers the
 # selector/generator thread plumbing as well as the retrain/eval paths;
-# test_checkpoint/test_spec add snapshot-resume and the plan driver.
+# test_checkpoint/test_spec add snapshot-resume and the plan driver;
+# test_serve drives the daemon end-to-end (its own suites re-check 1 vs 4).
 FROTE_NUM_THREADS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'test_parallel|test_determinism|test_engine_api|test_workspace|test_checkpoint|test_spec'
+  -R 'test_parallel|test_determinism|test_engine_api|test_workspace|test_checkpoint|test_spec|test_serve'
 
 # Spec-driven leg: run a small declarative plan to completion (golden),
 # then the same plan interrupted mid-run (--max-steps leaves per-run
@@ -69,6 +70,42 @@ EOF
 diff -r "$SPEC_DIR/golden" "$SPEC_DIR/resumed"
 echo "spec leg: interrupted+resumed plan is byte-identical to golden"
 
+# Serve leg: the same contract script through both frote_serve frontends.
+# A stdio daemon produces the golden responses; an HTTP daemon on an
+# ephemeral port (--port-file handshake) is driven with the built-in
+# client and must answer byte-identically. SIGTERM then stops the HTTP
+# daemon with a session still open — the clean-shutdown path must exit 0
+# and leave that session checkpointed in the spool.
+echo "=== serve leg: stdio golden vs HTTP drive -> diff; SIGTERM spools ==="
+SERVE_DIR="$BUILD_DIR/serve-leg"
+rm -rf "$SERVE_DIR"
+mkdir -p "$SERVE_DIR"
+cat > "$SERVE_DIR/script.jsonl" <<'EOF'
+{"jsonrpc":"2.0","id":"create","method":"session.create","params":{"spec":{"format":"frote.engine_spec","tau":4,"q":0.4,"eta":40,"seed":7,"mod_strategy":"none","learner":{"name":"rf","fast":true},"rules":["IF age > 45 AND education_num > 11 THEN class = >50K"],"dataset":{"kind":"synthetic","name":"adult","size":300,"seed":11}}}}
+{"jsonrpc":"2.0","id":"step","method":"session.step","params":{"session":"s-000001","steps":3}}
+{"jsonrpc":"2.0","id":"snap","method":"session.snapshot","params":{"session":"s-000001"}}
+{"jsonrpc":"2.0","id":"result","method":"session.result","params":{"session":"s-000001"}}
+{"jsonrpc":"2.0","id":"bad","method":"session.result","params":{"session":"s-999999"}}
+EOF
+"$BUILD_DIR/tools/frote_serve" < "$SERVE_DIR/script.jsonl" \
+  > "$SERVE_DIR/golden.jsonl"
+"$BUILD_DIR/tools/frote_serve" --http --port-file "$SERVE_DIR/port.txt" \
+  --spool "$SERVE_DIR/spool" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$SERVE_DIR/port.txt" ]] && break
+  sleep 0.1
+done
+[[ -s "$SERVE_DIR/port.txt" ]] || { echo "serve leg: daemon never published its port" >&2; exit 1; }
+"$BUILD_DIR/tools/frote_serve" --drive "$(cat "$SERVE_DIR/port.txt")" \
+  --script "$SERVE_DIR/script.jsonl" > "$SERVE_DIR/http.jsonl"
+diff "$SERVE_DIR/golden.jsonl" "$SERVE_DIR/http.jsonl"
+# The script leaves s-000001 open on purpose: SIGTERM must spool it.
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+test -s "$SERVE_DIR/spool/s-000001.checkpoint.json"
+echo "serve leg: HTTP responses byte-identical to stdio; SIGTERM checkpointed the open session"
+
 # Package smoke: install to a scratch prefix, then build and run a 10-line
 # external consumer that only does find_package(frote) + frote_api.hpp.
 if [[ "${FROTE_CI_SKIP_PACKAGE:-0}" != "1" ]]; then
@@ -102,7 +139,7 @@ if [[ "${FROTE_CI_SKIP_BENCH:-0}" != "1" ]]; then
       # selection, or the objective evaluation is a perf bug, not noise.
       echo "=== bench compare (strict): curated hot-path subset ==="
       python3 tools/bench_compare.py --strict \
-        --only BM_FroteIteration,BM_IpSelection,BM_ObjectiveEval \
+        --only BM_FroteIteration,BM_IpSelection,BM_ObjectiveEval,BM_ServeRequest,BM_ServeEvictRestore \
         BENCH_micro.json "$BUILD_DIR/BENCH_micro.json"
     fi
   fi

@@ -10,6 +10,7 @@
 #include "frote/core/checkpoint.hpp"
 #include "frote/core/engine.hpp"
 #include "frote/data/csv.hpp"
+#include "frote/util/fsio.hpp"
 #include "frote/util/json_reader.hpp"
 #include "frote/util/parallel.hpp"
 #include "frote/util/rng.hpp"
@@ -172,32 +173,6 @@ JsonValue RunResult::to_json() const {
 namespace {
 
 namespace fs = std::filesystem;
-
-/// Crash-consistent file write: the final name only ever holds complete
-/// content (tmp file + atomic rename).
-void write_file_atomic(const fs::path& path, const std::string& content) {
-  const fs::path tmp = path.string() + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out << content;
-    out.close();  // flush before the write check — a full disk fails here
-    if (!out.good()) {
-      std::error_code ignored;
-      fs::remove(tmp, ignored);
-      throw Error("cannot write " + tmp.string());
-    }
-  }
-  fs::rename(tmp, path);
-}
-
-bool read_file(const fs::path& path, std::string& out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.good()) return false;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  out = buffer.str();
-  return true;
-}
 
 /// Parse a previously-written result.json; false on any mismatch (the run
 /// is then simply re-executed).

@@ -1,0 +1,459 @@
+#include "frote/core/session_pool.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "frote/core/checkpoint.hpp"
+#include "frote/util/fsio.hpp"
+#include "frote/util/parallel.hpp"
+
+namespace frote {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kSpecSuffix = ".spec.json";
+constexpr const char* kCheckpointSuffix = ".checkpoint.json";
+
+/// FNV-1a 64 over the augmented dataset's observable bytes (labels, row
+/// ids, feature values bit-patterns). The cheap byte-identity witness
+/// session.result exposes: two runs answering with the same digest hold
+/// bit-identical D̂ without shipping the rows over the wire.
+std::uint64_t dataset_digest(const Dataset& data) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(data.size());
+  mix(data.num_features());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(data.label(i))));
+    mix(data.row_id(i));
+    for (const double value : data.row(i)) {
+      mix(std::bit_cast<std::uint64_t>(value));
+    }
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+FroteError no_such_session(const std::string& id) {
+  return FroteError::invalid_argument("no such session: " + id);
+}
+
+}  // namespace
+
+/// One tenant: the resolved run (spec/engine/learner are immutable after
+/// create) plus the evolving session, which is either live in memory or
+/// spooled as a checkpoint file. `m` serializes all requests addressed to
+/// this session; arrival order at the mutex is the session's request order.
+struct SessionPool::Entry {
+  Entry(std::string id_in, EngineSpec spec_in, Engine engine_in,
+        std::unique_ptr<Learner> learner_in)
+      : id(std::move(id_in)),
+        spec(std::move(spec_in)),
+        engine(std::move(engine_in)),
+        learner(std::move(learner_in)) {}
+
+  const std::string id;
+  const EngineSpec spec;
+  const Engine engine;
+  const std::unique_ptr<Learner> learner;
+
+  std::mutex m;
+  bool closed = false;
+  std::optional<Session> live;
+  bool spooled = false;  // <id>.checkpoint.json holds the current state
+  std::atomic<std::uint64_t> last_used{0};
+};
+
+SessionPool::SessionPool(SessionPoolConfig config)
+    : config_(std::move(config)) {
+  if (!config_.spool_dir.empty()) {
+    fs::create_directories(config_.spool_dir);
+  }
+}
+
+SessionPool::~SessionPool() = default;
+
+fs::path SessionPool::spool_path(const std::string& id,
+                                 const char* kind) const {
+  return fs::path(config_.spool_dir) / (id + kind);
+}
+
+std::size_t SessionPool::recover_from_spool(
+    std::vector<std::string>* problems) {
+  if (config_.spool_dir.empty()) return 0;
+  const auto note = [&](const std::string& message) {
+    if (problems != nullptr) problems->push_back(message);
+  };
+  // Deterministic recovery order: directory iteration order is
+  // filesystem-defined, so collect and sort by id first.
+  std::vector<std::string> ids;
+  for (const auto& item : fs::directory_iterator(config_.spool_dir)) {
+    const std::string name = item.path().filename().string();
+    const std::string suffix = kSpecSuffix;
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      ids.push_back(name.substr(0, name.size() - suffix.size()));
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+
+  std::size_t recovered = 0;
+  for (const std::string& id : ids) {
+    std::string spec_text;
+    if (!read_file(spool_path(id, kSpecSuffix), spec_text)) {
+      note(id + ": spec file unreadable");
+      continue;
+    }
+    auto spec = EngineSpec::parse(spec_text);
+    if (!spec) {
+      note(id + ": " + spec.error().message);
+      continue;
+    }
+    if (!fs::exists(spool_path(id, kCheckpointSuffix))) {
+      // Created but never spooled (the previous daemon died uncleanly
+      // before any eviction) — there is no state to continue from.
+      note(id + ": no checkpoint in spool");
+      continue;
+    }
+    if (!spec->dataset.has_value()) {
+      note(id + ": spec has no dataset reference");
+      continue;
+    }
+    auto dataset = load_spec_dataset(*spec->dataset);
+    if (!dataset) {
+      note(id + ": " + dataset.error().message);
+      continue;
+    }
+    auto builder = Engine::Builder::from_spec(*spec, dataset->schema());
+    if (!builder) {
+      note(id + ": " + builder.error().message);
+      continue;
+    }
+    if (config_.threads > 0) builder->threads(config_.threads);
+    auto engine = builder->build();
+    if (!engine) {
+      note(id + ": " + engine.error().message);
+      continue;
+    }
+    auto learner = make_spec_learner(*spec);
+    if (!learner) {
+      note(id + ": " + learner.error().message);
+      continue;
+    }
+    auto entry = std::make_shared<Entry>(id, std::move(*spec),
+                                         std::move(*engine),
+                                         std::move(*learner));
+    entry->spooled = true;  // hydrates lazily on first request
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    entries_.emplace(id, std::move(entry));
+    ++sessions_recovered_;
+    ++recovered;
+    // Ids must keep ascending across restarts: "s-000042" -> 43.
+    if (id.rfind("s-", 0) == 0) {
+      const std::uint64_t numeric =
+          std::strtoull(id.c_str() + 2, nullptr, 10);
+      next_session_ = std::max(next_session_, numeric + 1);
+    }
+  }
+  return recovered;
+}
+
+Expected<std::string, FroteError> SessionPool::create(const EngineSpec& spec) {
+  request_counter_.fetch_add(1);
+  if (!spec.dataset.has_value()) {
+    return FroteError::invalid_argument(
+        "spec needs a \"dataset\" reference — the daemon has no other input "
+        "channel");
+  }
+  auto dataset = load_spec_dataset(*spec.dataset);
+  if (!dataset) return dataset.error();
+  auto builder = Engine::Builder::from_spec(spec, dataset->schema());
+  if (!builder) return builder.error();
+  if (config_.threads > 0) builder->threads(config_.threads);
+  auto engine = builder->build();
+  if (!engine) return engine.error();
+  auto learner = make_spec_learner(spec);
+  if (!learner) return learner.error();
+  auto session = engine->open(*dataset, **learner);
+  if (!session) return session.error();
+
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    char buffer[16];
+    std::snprintf(buffer, sizeof buffer, "s-%06llu",
+                  static_cast<unsigned long long>(next_session_++));
+    entry = std::make_shared<Entry>(buffer, spec, std::move(*engine),
+                                    std::move(*learner));
+    entry->live.emplace(std::move(*session));
+    entry->last_used.store(request_counter_.load());
+    entries_.emplace(entry->id, entry);
+    ++sessions_created_;
+  }
+  if (!config_.spool_dir.empty()) {
+    // Persist the resolved run next to the checkpoint slot so a restarted
+    // daemon can rebuild the engine and continue this session.
+    try {
+      write_file_atomic(spool_path(entry->id, kSpecSuffix),
+                        spec.to_json_text() + "\n");
+    } catch (const Error& e) {
+      std::lock_guard<std::mutex> lock(table_mutex_);
+      entries_.erase(entry->id);
+      return FroteError::io_error(e.what());
+    }
+  }
+  enforce_capacity();
+  return entry->id;
+}
+
+Expected<std::shared_ptr<SessionPool::Entry>, FroteError>
+SessionPool::find_entry(const std::string& id) {
+  const std::uint64_t stamp = request_counter_.fetch_add(1) + 1;
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return no_such_session(id);
+  it->second->last_used.store(stamp);
+  return it->second;
+}
+
+void SessionPool::hydrate(Entry& entry) {
+  if (entry.live.has_value()) return;
+  FROTE_CHECK_MSG(entry.spooled, "session " << entry.id
+                                            << " is neither live nor spooled");
+  std::string text;
+  if (!read_file(spool_path(entry.id, kCheckpointSuffix), text)) {
+    throw Error("session " + entry.id + ": checkpoint missing from spool");
+  }
+  auto checkpoint = SessionCheckpoint::parse(text);
+  if (!checkpoint) {
+    throw Error("session " + entry.id +
+                ": spooled checkpoint unusable: " +
+                checkpoint.error().message);
+  }
+  auto restored =
+      Session::restore(entry.engine, *entry.learner, *checkpoint);
+  if (!restored) {
+    throw Error("session " + entry.id +
+                ": restore failed: " + restored.error().message);
+  }
+  entry.live.emplace(std::move(*restored));
+  restores_.fetch_add(1);
+}
+
+void SessionPool::evict(Entry& entry) {
+  if (!entry.live.has_value() || config_.spool_dir.empty()) return;
+  write_file_atomic(spool_path(entry.id, kCheckpointSuffix),
+                    entry.live->snapshot().to_json_text() + "\n");
+  entry.live.reset();
+  entry.spooled = true;
+  evictions_.fetch_add(1);
+}
+
+void SessionPool::enforce_capacity() {
+  if (config_.spool_dir.empty()) return;  // nowhere to evict to
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  if (config_.evict_every_request) {
+    for (auto& [id, entry] : entries_) {
+      std::unique_lock<std::mutex> entry_lock(entry->m, std::try_to_lock);
+      if (entry_lock.owns_lock() && !entry->closed) evict(*entry);
+    }
+    return;
+  }
+  if (config_.max_live == 0) return;
+  // LRU sweep: evict idle live sessions, oldest logical stamp first, until
+  // within the bound. Busy sessions are skipped — they are by definition
+  // the most recently used.
+  std::vector<Entry*> live;
+  for (auto& [id, entry] : entries_) {
+    if (entry->live.has_value()) live.push_back(entry.get());
+  }
+  if (live.size() <= config_.max_live) return;
+  std::sort(live.begin(), live.end(), [](const Entry* a, const Entry* b) {
+    return a->last_used.load() < b->last_used.load();
+  });
+  std::size_t excess = live.size() - config_.max_live;
+  for (Entry* entry : live) {
+    if (excess == 0) break;
+    std::unique_lock<std::mutex> entry_lock(entry->m, std::try_to_lock);
+    if (!entry_lock.owns_lock() || entry->closed) continue;
+    evict(*entry);
+    --excess;
+  }
+}
+
+Expected<SessionStepOutcome, FroteError> SessionPool::step(
+    const std::string& id, std::size_t steps) {
+  auto entry = find_entry(id);
+  if (!entry) return entry.error();
+  SessionStepOutcome outcome;
+  {
+    std::lock_guard<std::mutex> lock((*entry)->m);
+    if ((*entry)->closed) return no_such_session(id);
+    hydrate(**entry);
+    Session& session = *(*entry)->live;
+    for (std::size_t i = 0; i < steps; ++i) {
+      if (session.finished()) break;
+      const StepReport report = session.step();
+      ++outcome.steps_executed;
+      outcome.last_accepted = report.accepted();
+      if (report.terminal()) break;
+    }
+    const SessionProgress progress = session.progress();
+    outcome.finished = session.finished();
+    outcome.iterations_run = progress.iterations_run;
+    outcome.iterations_accepted = progress.iterations_accepted;
+    outcome.instances_added = progress.instances_added;
+    outcome.rows = session.augmented().size();
+    outcome.j_bar = session.best_j_hat_bar();
+  }
+  enforce_capacity();
+  return outcome;
+}
+
+Expected<JsonValue, FroteError> SessionPool::snapshot(const std::string& id) {
+  auto entry = find_entry(id);
+  if (!entry) return entry.error();
+  JsonValue checkpoint;
+  {
+    std::lock_guard<std::mutex> lock((*entry)->m);
+    if ((*entry)->closed) return no_such_session(id);
+    hydrate(**entry);
+    checkpoint = (*entry)->live->snapshot().to_json();
+  }
+  enforce_capacity();
+  JsonValue result = JsonValue::object();
+  result.set("session", id);
+  result.set("checkpoint", std::move(checkpoint));
+  return result;
+}
+
+JsonValue SessionPool::summary_json(Entry& entry) const {
+  const Session& session = *entry.live;
+  const SessionProgress progress = session.progress();
+  JsonValue out = JsonValue::object();
+  out.set("session", entry.id);
+  out.set("finished", session.finished());
+  out.set("rows", session.augmented().size());
+  out.set("instances_added", progress.instances_added);
+  out.set("iterations_run", progress.iterations_run);
+  out.set("iterations_accepted", progress.iterations_accepted);
+  out.set("j_bar", session.best_j_hat_bar());
+  out.set("dataset_digest", hex64(dataset_digest(session.augmented())));
+  return out;
+}
+
+Expected<JsonValue, FroteError> SessionPool::result(const std::string& id) {
+  auto entry = find_entry(id);
+  if (!entry) return entry.error();
+  JsonValue summary;
+  {
+    std::lock_guard<std::mutex> lock((*entry)->m);
+    if ((*entry)->closed) return no_such_session(id);
+    hydrate(**entry);
+    summary = summary_json(**entry);
+  }
+  enforce_capacity();
+  return summary;
+}
+
+Expected<JsonValue, FroteError> SessionPool::close(const std::string& id) {
+  auto entry = find_entry(id);
+  if (!entry) return entry.error();
+  JsonValue summary;
+  {
+    std::lock_guard<std::mutex> lock((*entry)->m);
+    if ((*entry)->closed) return no_such_session(id);
+    hydrate(**entry);
+    summary = summary_json(**entry);
+    summary.set("closed", true);
+    (*entry)->closed = true;
+    (*entry)->live.reset();
+  }
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    entries_.erase(id);
+    ++sessions_closed_;
+  }
+  if (!config_.spool_dir.empty()) {
+    std::error_code ignored;
+    fs::remove(spool_path(id, kSpecSuffix), ignored);
+    fs::remove(spool_path(id, kCheckpointSuffix), ignored);
+  }
+  return summary;
+}
+
+JsonValue SessionPool::stats() const {
+  request_counter_.fetch_add(1);
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  std::size_t live = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry->live.has_value()) ++live;
+  }
+  JsonValue out = JsonValue::object();
+  out.set("sessions_open", entries_.size());
+  out.set("sessions_live", live);
+  out.set("sessions_evicted", entries_.size() - live);
+  out.set("sessions_created", sessions_created_);
+  out.set("sessions_closed", sessions_closed_);
+  out.set("sessions_recovered", sessions_recovered_);
+  out.set("evictions", evictions_.load());
+  out.set("restores", restores_.load());
+  // Counts every pool request, this one included.
+  out.set("requests", request_counter_.load());
+  out.set("max_live", config_.max_live);
+  out.set("evict_every_request", config_.evict_every_request);
+  out.set("spool", !config_.spool_dir.empty());
+  out.set("threads", resolve_threads(config_.threads));
+  return out;
+}
+
+std::size_t SessionPool::checkpoint_all() {
+  if (config_.spool_dir.empty()) return 0;
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    entries.reserve(entries_.size());
+    for (const auto& [id, entry] : entries_) entries.push_back(entry);
+  }
+  std::atomic<std::size_t> written{0};
+  // The shutdown path: spool every live session concurrently (grain 1 —
+  // snapshot serialisation is per-session independent work). Blocking on
+  // the entry mutex is correct here: an in-flight request finishes, then
+  // its session is spooled.
+  parallel_for(entries.size(), 1, config_.threads, [&](std::size_t begin,
+                                                       std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Entry& entry = *entries[i];
+      std::lock_guard<std::mutex> lock(entry.m);
+      if (entry.closed || !entry.live.has_value()) continue;
+      evict(entry);
+      written.fetch_add(1);
+    }
+  });
+  return written.load();
+}
+
+bool SessionPool::contains(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(table_mutex_);
+  return entries_.find(id) != entries_.end();
+}
+
+}  // namespace frote

@@ -118,6 +118,26 @@
 //                                          print is exact)
 //   (new) util/json.hpp                  → vendored strict RFC 8259 JSON
 //                                          with bit-exact double round-trip
+//
+// PR 6 (frote_serve daemon + session pool) — additions:
+//   one Session per process              → SessionPool (core/
+//                                          session_pool.hpp): a multi-
+//                                          tenant table of sessions, each
+//                                          live in memory or LRU-evicted to
+//                                          a checkpoint spool and restored
+//                                          transparently (byte-identical
+//                                          responses either way)
+//   in-process API only                  → the frote_serve daemon: line-
+//                                          delimited JSON-RPC 2.0 over
+//                                          stdio or the vendored HTTP/1.1
+//                                          listener (frote/net/http.hpp,
+//                                          frote/net/jsonrpc.hpp); see
+//                                          docs/DESIGN.md §7 for the wire
+//                                          contract
+//   runplan.cpp-local file helpers       → util/fsio.hpp:
+//                                          write_file_atomic / read_file,
+//                                          shared by the run driver and the
+//                                          checkpoint spool
 // ---------------------------------------------------------------------------
 #pragma once
 
@@ -134,9 +154,15 @@
 #include "frote/core/online_proxy.hpp"
 #include "frote/core/runplan.hpp"
 #include "frote/core/selection.hpp"
+#include "frote/core/session_pool.hpp"
 #include "frote/core/spec.hpp"
 #include "frote/core/stages.hpp"
 #include "frote/core/workspace.hpp"
+
+// Serving layer: the JSON-RPC envelope and the vendored HTTP transport
+// behind tools/frote_serve (docs/DESIGN.md §7).
+#include "frote/net/http.hpp"
+#include "frote/net/jsonrpc.hpp"
 
 // Data handling: schema-typed datasets, CSV I/O, splits, UCI-style
 // generators.

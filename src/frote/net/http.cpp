@@ -1,0 +1,353 @@
+#include "frote/net/http.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace frote::net {
+
+namespace {
+
+std::string lower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// write() the whole buffer, retrying on EINTR/short writes. False on a
+/// broken connection (the client went away; the server just moves on).
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    default: return "Status";
+  }
+}
+
+void send_response(int fd, const HttpResponse& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     status_text(response.status) +
+                     "\r\nContent-Type: " + response.content_type +
+                     "\r\nContent-Length: " +
+                     std::to_string(response.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  if (write_all(fd, head.data(), head.size())) {
+    write_all(fd, response.body.data(), response.body.size());
+  }
+}
+
+/// Parse "METHOD target HTTP/1.1" + headers out of the raw head bytes.
+/// False on anything that is not a complete, well-formed head.
+bool parse_head(const std::string& head, HttpRequest& request) {
+  const std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) return false;
+  const std::string request_line = head.substr(0, line_end);
+  const std::size_t method_end = request_line.find(' ');
+  if (method_end == std::string::npos) return false;
+  const std::size_t target_end = request_line.find(' ', method_end + 1);
+  if (target_end == std::string::npos) return false;
+  request.method = request_line.substr(0, method_end);
+  request.target =
+      request_line.substr(method_end + 1, target_end - method_end - 1);
+  if (request_line.substr(target_end + 1).rfind("HTTP/1.", 0) != 0) {
+    return false;
+  }
+  std::size_t pos = line_end + 2;
+  while (pos < head.size()) {
+    const std::size_t end = head.find("\r\n", pos);
+    const std::string line =
+        head.substr(pos, end == std::string::npos ? std::string::npos
+                                                  : end - pos);
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) return false;
+    std::string value = line.substr(colon + 1);
+    const std::size_t first = value.find_first_not_of(" \t");
+    const std::size_t last = value.find_last_not_of(" \t");
+    value = first == std::string::npos
+                ? std::string()
+                : value.substr(first, last - first + 1);
+    request.headers.emplace_back(lower(line.substr(0, colon)),
+                                 std::move(value));
+    if (end == std::string::npos) break;
+    pos = end + 2;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+Expected<HttpServer, FroteError> HttpServer::listen(std::uint16_t port,
+                                                    int backlog) {
+  HttpServer server;
+  server.listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (server.listen_fd_ < 0) {
+    return FroteError::io_error(std::string("socket: ") +
+                                std::strerror(errno));
+  }
+  const int reuse = 1;
+  ::setsockopt(server.listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse,
+               sizeof reuse);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(server.listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return FroteError::io_error("bind 127.0.0.1:" + std::to_string(port) +
+                                ": " + std::strerror(errno));
+  }
+  if (::listen(server.listen_fd_, backlog) != 0) {
+    return FroteError::io_error(std::string("listen: ") +
+                                std::strerror(errno));
+  }
+  socklen_t addr_len = sizeof addr;
+  if (::getsockname(server.listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    return FroteError::io_error(std::string("getsockname: ") +
+                                std::strerror(errno));
+  }
+  server.port_ = ntohs(addr.sin_port);
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return FroteError::io_error(std::string("pipe: ") + std::strerror(errno));
+  }
+  server.wake_read_fd_ = pipe_fds[0];
+  server.wake_write_fd_ = pipe_fds[1];
+  return server;
+}
+
+HttpServer::HttpServer(HttpServer&& other) noexcept
+    : listen_fd_(other.listen_fd_),
+      wake_read_fd_(other.wake_read_fd_),
+      wake_write_fd_(other.wake_write_fd_),
+      port_(other.port_) {
+  other.listen_fd_ = other.wake_read_fd_ = other.wake_write_fd_ = -1;
+}
+
+HttpServer& HttpServer::operator=(HttpServer&& other) noexcept {
+  if (this != &other) {
+    close_fd(listen_fd_);
+    close_fd(wake_read_fd_);
+    close_fd(wake_write_fd_);
+    listen_fd_ = other.listen_fd_;
+    wake_read_fd_ = other.wake_read_fd_;
+    wake_write_fd_ = other.wake_write_fd_;
+    port_ = other.port_;
+    other.listen_fd_ = other.wake_read_fd_ = other.wake_write_fd_ = -1;
+  }
+  return *this;
+}
+
+HttpServer::~HttpServer() {
+  close_fd(listen_fd_);
+  close_fd(wake_read_fd_);
+  close_fd(wake_write_fd_);
+}
+
+void HttpServer::stop() {
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'x';
+    // Best-effort and async-signal-safe; a full pipe already means a
+    // pending wake-up.
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+void HttpServer::serve(
+    const std::function<HttpResponse(const HttpRequest&)>& handler,
+    std::size_t max_body_bytes) {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_read_fd_, POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // stop() was called
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    // Read the head (bounded by max_body_bytes too — a head that large is
+    // abuse, not a request), then exactly Content-Length body bytes.
+    std::string data;
+    HttpRequest request;
+    bool head_done = false;
+    std::size_t body_start = 0;
+    std::size_t content_length = 0;
+    bool bad = false;
+    bool too_large = false;
+    char buffer[4096];
+    for (;;) {
+      const ssize_t n = ::read(client, buffer, sizeof buffer);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        bad = true;
+        break;
+      }
+      if (n == 0) {
+        bad = !head_done || data.size() - body_start < content_length;
+        break;
+      }
+      data.append(buffer, static_cast<std::size_t>(n));
+      if (!head_done) {
+        const std::size_t head_end = data.find("\r\n\r\n");
+        if (head_end == std::string::npos) {
+          if (data.size() > max_body_bytes) {
+            too_large = true;
+            break;
+          }
+          continue;
+        }
+        head_done = true;
+        body_start = head_end + 4;
+        if (!parse_head(data.substr(0, head_end + 2), request)) {
+          bad = true;
+          break;
+        }
+        if (const std::string* header = request.header("content-length")) {
+          char* end = nullptr;
+          const unsigned long long parsed =
+              std::strtoull(header->c_str(), &end, 10);
+          if (end == nullptr || *end != '\0') {
+            bad = true;
+            break;
+          }
+          content_length = static_cast<std::size_t>(parsed);
+          if (content_length > max_body_bytes) {
+            too_large = true;
+            break;
+          }
+        }
+      }
+      if (head_done && data.size() - body_start >= content_length) break;
+    }
+
+    HttpResponse response;
+    if (too_large) {
+      response.status = 413;
+      response.body = "request body too large\n";
+      response.content_type = "text/plain";
+    } else if (bad) {
+      response.status = 400;
+      response.body = "malformed HTTP request\n";
+      response.content_type = "text/plain";
+    } else {
+      request.body = data.substr(body_start, content_length);
+      try {
+        response = handler(request);
+      } catch (const std::exception& e) {
+        response = HttpResponse{};
+        response.status = 500;
+        response.content_type = "text/plain";
+        response.body = std::string("internal error: ") + e.what() + "\n";
+      }
+    }
+    send_response(client, response);
+    ::shutdown(client, SHUT_RDWR);
+    ::close(client);
+  }
+}
+
+Expected<HttpResponse, FroteError> http_post(std::uint16_t port,
+                                             const std::string& target,
+                                             const std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return FroteError::io_error(std::string("socket: ") +
+                                std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd);
+    return FroteError::io_error("connect 127.0.0.1:" + std::to_string(port) +
+                                ": " + reason);
+  }
+  const std::string head = "POST " + target +
+                           " HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Type: "
+                           "application/json\r\nContent-Length: " +
+                           std::to_string(body.size()) +
+                           "\r\nConnection: close\r\n\r\n";
+  if (!write_all(fd, head.data(), head.size()) ||
+      !write_all(fd, body.data(), body.size())) {
+    ::close(fd);
+    return FroteError::io_error("send failed");
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string data;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return FroteError::io_error(std::string("read: ") +
+                                  std::strerror(errno));
+    }
+    if (n == 0) break;
+    data.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t head_end = data.find("\r\n\r\n");
+  if (head_end == std::string::npos || data.rfind("HTTP/1.", 0) != 0) {
+    return FroteError::io_error("malformed HTTP response");
+  }
+  HttpResponse response;
+  const std::size_t status_begin = data.find(' ');
+  if (status_begin == std::string::npos || status_begin > head_end) {
+    return FroteError::io_error("malformed HTTP status line");
+  }
+  response.status = std::atoi(data.c_str() + status_begin + 1);
+  // Connection: close framing — the body is everything after the head.
+  response.body = data.substr(head_end + 4);
+  return response;
+}
+
+}  // namespace frote::net

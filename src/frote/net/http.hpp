@@ -1,0 +1,99 @@
+// Minimal vendored HTTP/1.1 transport for the frote_serve daemon.
+//
+// Vendored rather than depended upon, following the minigtest /
+// minibenchmark / util/json.hpp philosophy: the serving layer must build
+// offline with no third-party packages. The dialect is the smallest slice
+// of HTTP/1.1 a lockstep JSON-RPC client needs — one request per
+// connection, Content-Length framing, no chunked encoding, no keep-alive,
+// no TLS — because the listener exists to carry the same line-delimited
+// JSON-RPC payloads the stdio frontend speaks, not to be a web server.
+//
+//   auto server = net::HttpServer::listen(0).value();   // 0 = ephemeral
+//   std::uint16_t port = server.port();                 // the bound port
+//   server.serve([](const net::HttpRequest& request) {  // blocks until
+//     net::HttpResponse response;                       // stop()
+//     response.body = handle(request.body);
+//     return response;
+//   });
+//
+// stop() only write()s one byte to an internal wake pipe, so it is
+// async-signal-safe: the daemon's SIGTERM handler calls it directly and
+// serve() returns between requests. Connections are handled one at a time
+// on the serve() thread — per-session request ordering stays deterministic
+// because there is exactly one in-flight request per transport.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "frote/util/error.hpp"
+
+namespace frote::net {
+
+struct HttpRequest {
+  std::string method;  // "POST"
+  std::string target;  // "/rpc"
+  /// Headers in arrival order, names lower-cased.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Header lookup by lower-case name; nullptr when absent.
+  const std::string* header(const std::string& name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  /// Bind and listen on 127.0.0.1:`port` (0 picks an ephemeral port; read
+  /// the result back with port()). Fails with kIoError when the port is
+  /// taken or sockets are unavailable.
+  static Expected<HttpServer, FroteError> listen(std::uint16_t port,
+                                                 int backlog = 16);
+
+  HttpServer(HttpServer&& other) noexcept;
+  HttpServer& operator=(HttpServer&& other) noexcept;
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+  ~HttpServer();
+
+  std::uint16_t port() const { return port_; }
+
+  /// Accept loop: handle one connection at a time, invoking `handler` per
+  /// request and writing its response. Malformed requests get 400, bodies
+  /// beyond `max_body_bytes` get 413, without reaching the handler.
+  /// Handler exceptions become 500 responses; the loop keeps serving.
+  /// Returns when stop() is called.
+  void serve(const std::function<HttpResponse(const HttpRequest&)>& handler,
+             std::size_t max_body_bytes = std::size_t{4} << 20);
+
+  /// Wake serve() and make it return after the in-flight request, if any.
+  /// Async-signal-safe (a single write() on a pipe) — callable from a
+  /// signal handler and from any thread.
+  void stop();
+
+ private:
+  HttpServer() = default;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// One-shot HTTP/1.1 client for the lockstep --drive mode and the serve
+/// bench: connect to 127.0.0.1:`port`, POST `body` to `target`, read the
+/// response until the peer closes. Fails with kIoError on connect/IO
+/// problems and on an unparsable status line.
+Expected<HttpResponse, FroteError> http_post(std::uint16_t port,
+                                             const std::string& target,
+                                             const std::string& body);
+
+}  // namespace frote::net

@@ -1,0 +1,36 @@
+#include "frote/util/fsio.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "frote/util/error.hpp"
+
+namespace frote {
+
+namespace fs = std::filesystem;
+
+void write_file_atomic(const fs::path& path, const std::string& content) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << content;
+    out.close();  // flush before the write check — a full disk fails here
+    if (!out.good()) {
+      std::error_code ignored;
+      fs::remove(tmp, ignored);
+      throw Error("cannot write " + tmp.string());
+    }
+  }
+  fs::rename(tmp, path);
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace frote

@@ -1,0 +1,21 @@
+// Crash-consistent small-file IO shared by every subsystem that persists
+// JSON artifacts (core/runplan.cpp run directories, core/session_pool.cpp
+// checkpoint spool). One implementation so the durability contract — a
+// final path only ever holds complete content — cannot drift.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace frote {
+
+/// Write tmp file + atomic rename: readers (including a crashed-and-
+/// restarted process) never observe a torn file. Throws frote::Error when
+/// the content cannot be written (e.g. full disk).
+void write_file_atomic(const std::filesystem::path& path,
+                       const std::string& content);
+
+/// Slurp a file; false when it does not exist or cannot be opened.
+bool read_file(const std::filesystem::path& path, std::string& out);
+
+}  // namespace frote

@@ -1,0 +1,502 @@
+// Contract tests for the frote_serve daemon, driven over its stdio
+// frontend through tests/serve_harness.hpp (the real binary, spawned).
+//
+// The locks, in order:
+//   * Lifecycle — create/step/snapshot/result/close round-trip, ids echoed,
+//     a closed id is permanently stale.
+//   * Eviction transparency — a daemon forced to spool the session to disk
+//     after *every* request answers byte-identically to one that never
+//     evicts (PR 5's bit-identical restore, observed through the protocol).
+//   * Interleaved ≡ serial — two sessions' response streams are pure
+//     functions of their own request order, whether the requests interleave
+//     or not, at FROTE_NUM_THREADS=1 and 4 (and 1 ≡ 4 byte-for-byte).
+//   * Malformed input — a table of bad requests (test_json.cpp style) each
+//     yields the documented JSON-RPC error code and never kills the daemon.
+//   * Spool recovery — EOF shutdown spools live sessions; a restarted
+//     daemon continues them byte-identically to an uninterrupted run.
+//   * HTTP ≡ stdio — the vendored HTTP/1.1 listener carries the same bytes,
+//     and SIGTERM shuts the listener down cleanly (exit 0).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "frote/net/http.hpp"
+#include "serve_harness.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using frote::JsonValue;
+using frote::testing::create_line;
+using frote::testing::parse_response;
+using frote::testing::rpc_line;
+using frote::testing::serve_spec;
+using frote::testing::ServeProcess;
+using frote::testing::session_line;
+using frote::testing::step_line;
+using frote::testing::write_threshold_csv;
+
+/// Fresh per-test scratch directory under the test working directory.
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path("serve_scratch") / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// The shared scenario: the checkpoint-suite spec pointed at a CSV in
+/// `dir`; writes the CSV on first use.
+frote::EngineSpec scenario_spec(const fs::path& dir,
+                                const std::string& selector = "random") {
+  const fs::path csv = dir / "train.csv";
+  if (!fs::exists(csv)) write_threshold_csv(csv.string());
+  return serve_spec(csv.string(), selector);
+}
+
+int error_code(const JsonValue& response) {
+  const JsonValue* error = response.find("error");
+  if (error == nullptr) return 0;
+  const JsonValue* code = error->find("code");
+  return code == nullptr ? 0 : static_cast<int>(code->as_int64());
+}
+
+const JsonValue& result_of(const JsonValue& response) {
+  const JsonValue* result = response.find("result");
+  EXPECT_NE(result, nullptr) << frote::json_dump(response, 0);
+  static const JsonValue null_value;
+  return result == nullptr ? null_value : *result;
+}
+
+TEST(ServeContract, Lifecycle) {
+  const fs::path dir = scratch_dir("lifecycle");
+  ServeProcess daemon;
+
+  const JsonValue create =
+      parse_response(daemon.request(create_line(1, scenario_spec(dir))));
+  ASSERT_EQ(error_code(create), 0);
+  EXPECT_EQ(*create.find("jsonrpc"), JsonValue("2.0"));
+  EXPECT_EQ(*create.find("id"), JsonValue(1));
+  const std::string id = result_of(create).find("session")->as_string();
+  EXPECT_EQ(id, "s-000001");
+
+  // Step to completion; the scenario mixes accepted and rejected steps.
+  bool finished = false;
+  std::size_t accepted = 0;
+  for (int i = 2; i < 60 && !finished; ++i) {
+    const JsonValue step = parse_response(daemon.request(step_line(i, id)));
+    ASSERT_EQ(error_code(step), 0);
+    EXPECT_EQ(*step.find("id"), JsonValue(i));
+    finished = result_of(step).find("finished")->as_bool();
+    accepted = result_of(step).find("iterations_accepted")->as_uint64();
+  }
+  EXPECT_TRUE(finished) << "scenario must terminate within the step budget";
+  EXPECT_GT(accepted, 0u) << "scenario must actually augment";
+
+  const JsonValue snapshot =
+      parse_response(daemon.request(session_line(100, "session.snapshot", id)));
+  ASSERT_EQ(error_code(snapshot), 0);
+  const JsonValue* checkpoint = result_of(snapshot).find("checkpoint");
+  ASSERT_NE(checkpoint, nullptr);
+  EXPECT_TRUE(checkpoint->is_object());
+  EXPECT_NE(checkpoint->find("format"), nullptr)
+      << "snapshot must carry the persistable checkpoint document";
+
+  const JsonValue result =
+      parse_response(daemon.request(session_line(101, "session.result", id)));
+  ASSERT_EQ(error_code(result), 0);
+  EXPECT_GT(result_of(result).find("rows")->as_uint64(), 150u);
+  EXPECT_EQ(result_of(result).find("dataset_digest")->as_string().size(), 16u);
+
+  const JsonValue close =
+      parse_response(daemon.request(session_line(102, "session.close", id)));
+  ASSERT_EQ(error_code(close), 0);
+  EXPECT_TRUE(result_of(close).find("closed")->as_bool());
+
+  // A closed id is permanently stale.
+  const JsonValue stale =
+      parse_response(daemon.request(step_line(103, id)));
+  EXPECT_EQ(error_code(stale), -32001);
+
+  EXPECT_EQ(daemon.close_and_wait(), 0);
+}
+
+/// The lifecycle script both transparency runs execute. server.stats is
+/// deliberately absent: it reports eviction counters and is documented as
+/// the one method outside the transparency contract.
+std::vector<std::string> transparency_script(const frote::EngineSpec& spec) {
+  std::vector<std::string> script;
+  script.push_back(create_line("c", spec));
+  for (int i = 0; i < 8; ++i) {
+    script.push_back(step_line("step-" + std::to_string(i), "s-000001"));
+  }
+  script.push_back(session_line("snap", "session.snapshot", "s-000001"));
+  script.push_back(session_line("res", "session.result", "s-000001"));
+  script.push_back(session_line("close", "session.close", "s-000001"));
+  return script;
+}
+
+TEST(ServeContract, EvictionIsByteTransparent) {
+  const fs::path dir = scratch_dir("evict");
+  const auto script = transparency_script(scenario_spec(dir));
+
+  const auto run = [&](const std::vector<std::string>& args) {
+    ServeProcess::Options options;
+    options.args = args;
+    ServeProcess daemon(options);
+    std::vector<std::string> responses;
+    for (const std::string& line : script) {
+      responses.push_back(daemon.request(line));
+    }
+    EXPECT_EQ(daemon.close_and_wait(), 0);
+    return responses;
+  };
+
+  const auto baseline = run({"--spool", (dir / "spool_a").string()});
+  const auto evicting = run({"--spool", (dir / "spool_b").string(),
+                             "--evict-every-request"});
+
+  ASSERT_EQ(baseline.size(), evicting.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(baseline[i], evicting[i])
+        << "response " << i << " diverged under forced eviction\n"
+        << "request: " << script[i];
+  }
+
+  // Sanity: the evicting run actually evicted (otherwise the comparison
+  // proves nothing). The spool keeps no files after close, so check via a
+  // stats request on a fresh evicting daemon.
+  ServeProcess::Options options;
+  options.args = {"--spool", (dir / "spool_c").string(),
+                  "--evict-every-request"};
+  ServeProcess daemon(options);
+  daemon.request(script[0]);
+  daemon.request(script[1]);
+  const JsonValue stats =
+      parse_response(daemon.request(rpc_line(9000, "server.stats")));
+  EXPECT_GE(result_of(stats).find("evictions")->as_uint64(), 1u);
+  EXPECT_GE(result_of(stats).find("restores")->as_uint64(), 1u);
+  EXPECT_EQ(daemon.close_and_wait(), 0);
+}
+
+/// Responses to one session's requests, keyed by that session's request
+/// lines appearing in `script` — order preserved.
+std::vector<std::string> run_script_filtered(
+    const std::vector<std::string>& script, const std::string& id_prefix,
+    const std::string& threads) {
+  ServeProcess::Options options;
+  options.env = {{"FROTE_NUM_THREADS", threads}};
+  ServeProcess daemon(options);
+  std::vector<std::string> filtered;
+  for (const std::string& line : script) {
+    const std::string response = daemon.request(line);
+    // Request ids are strings "<prefix><n>"; keep the ones for id_prefix.
+    const JsonValue envelope = parse_response(line);
+    const std::string& id = envelope.find("id")->as_string();
+    if (id.rfind(id_prefix, 0) == 0) filtered.push_back(response);
+  }
+  EXPECT_EQ(daemon.close_and_wait(), 0);
+  return filtered;
+}
+
+TEST(ServeContract, InterleavedSessionsMatchSerialRuns) {
+  const fs::path dir = scratch_dir("interleave");
+  // Two tenants with different selection strategies: their per-session
+  // response streams must depend only on their own request order.
+  const auto spec_a = scenario_spec(dir, "random");
+  const auto spec_b = scenario_spec(dir, "ip");
+
+  const std::string a = "s-000001";  // created first in both scripts
+  const std::string b = "s-000002";
+
+  std::vector<std::string> interleaved;
+  interleaved.push_back(create_line("a-create", spec_a));
+  interleaved.push_back(create_line("b-create", spec_b));
+  for (int i = 0; i < 6; ++i) {
+    interleaved.push_back(step_line("a-step" + std::to_string(i), a));
+    interleaved.push_back(step_line("b-step" + std::to_string(i), b));
+  }
+  interleaved.push_back(session_line("a-result", "session.result", a));
+  interleaved.push_back(session_line("b-result", "session.result", b));
+  interleaved.push_back(session_line("a-close", "session.close", a));
+  interleaved.push_back(session_line("b-close", "session.close", b));
+
+  std::vector<std::string> serial;
+  serial.push_back(create_line("a-create", spec_a));
+  for (int i = 0; i < 6; ++i) {
+    serial.push_back(step_line("a-step" + std::to_string(i), a));
+  }
+  serial.push_back(session_line("a-result", "session.result", a));
+  serial.push_back(session_line("a-close", "session.close", a));
+  serial.push_back(create_line("b-create", spec_b));
+  for (int i = 0; i < 6; ++i) {
+    serial.push_back(step_line("b-step" + std::to_string(i), b));
+  }
+  serial.push_back(session_line("b-result", "session.result", b));
+  serial.push_back(session_line("b-close", "session.close", b));
+
+  std::vector<std::string> transcripts;
+  for (const std::string threads : {"1", "4"}) {
+    for (const std::string prefix : {"a-", "b-"}) {
+      const auto from_interleaved =
+          run_script_filtered(interleaved, prefix, threads);
+      const auto from_serial = run_script_filtered(serial, prefix, threads);
+      ASSERT_EQ(from_interleaved.size(), from_serial.size());
+      for (std::size_t i = 0; i < from_serial.size(); ++i) {
+        EXPECT_EQ(from_interleaved[i], from_serial[i])
+            << "session stream '" << prefix << "' response " << i
+            << " depends on the other tenant (threads=" << threads << ")";
+      }
+      for (const std::string& line : from_serial) {
+        transcripts.push_back(threads + "|" + prefix + "|" + line);
+      }
+    }
+  }
+  // threads=1 and threads=4 transcripts must be byte-identical too
+  // (util/parallel's chunking contract, observed end-to-end).
+  const std::size_t half = transcripts.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    EXPECT_EQ(transcripts[i].substr(2), transcripts[half + i].substr(2))
+        << "FROTE_NUM_THREADS changed served bytes";
+  }
+}
+
+TEST(ServeContract, MalformedRequestsGetTypedErrorsAndNeverKillTheDaemon) {
+  const fs::path dir = scratch_dir("malformed");
+  const std::string spec_json =
+      frote::json_dump(scenario_spec(dir).to_json(), 0);
+
+  struct Case {
+    const char* label;
+    std::string line;
+    int expected_code;
+  };
+  const std::string pad(3000, 'x');
+  auto bad_spec = [&](const char* patch_key, const char* patch_value) {
+    frote::EngineSpec spec = scenario_spec(dir);
+    JsonValue json = spec.to_json();
+    json.set(patch_key, frote::json_parse(patch_value).value());
+    JsonValue params = JsonValue::object();
+    params.set("spec", std::move(json));
+    return rpc_line("bad", "session.create", std::move(params));
+  };
+
+  const Case cases[] = {
+      // ---- transport bytes that are not JSON → -32700 parse error
+      {"plain text", "not json", -32700},
+      {"lone brace", "{", -32700},
+      {"truncated object",
+       R"({"jsonrpc":"2.0","id":1,"method":"server.stats")", -32700},
+      {"truncated array", "[1,2", -32700},
+      {"duplicate key", R"({"a":1,"a":2})", -32700},
+      {"duplicate id key",
+       R"({"jsonrpc":"2.0","id":1,"id":2,"method":"server.stats"})", -32700},
+      {"unterminated string", "\"unterminated", -32700},
+      {"trailing garbage number", "123abc", -32700},
+      // ---- JSON, but not a JSON-RPC 2.0 request → -32600
+      {"bare number", "123", -32600},
+      {"bare array", "[]", -32600},
+      {"bare bool", "true", -32600},
+      {"missing jsonrpc", R"({"id":1,"method":"server.stats"})", -32600},
+      {"wrong jsonrpc version",
+       R"({"jsonrpc":"1.0","id":1,"method":"server.stats"})", -32600},
+      {"numeric jsonrpc version",
+       R"({"jsonrpc":2.0,"id":1,"method":"server.stats"})", -32600},
+      {"missing id (notification)",
+       R"({"jsonrpc":"2.0","method":"server.stats"})", -32600},
+      {"null id", R"({"jsonrpc":"2.0","id":null,"method":"server.stats"})",
+       -32600},
+      {"fractional id",
+       R"({"jsonrpc":"2.0","id":1.5,"method":"server.stats"})", -32600},
+      {"boolean id", R"({"jsonrpc":"2.0","id":true,"method":"server.stats"})",
+       -32600},
+      {"array id", R"({"jsonrpc":"2.0","id":[1],"method":"server.stats"})",
+       -32600},
+      {"missing method", R"({"jsonrpc":"2.0","id":1})", -32600},
+      {"numeric method", R"({"jsonrpc":"2.0","id":1,"method":7})", -32600},
+      {"array params",
+       R"({"jsonrpc":"2.0","id":1,"method":"server.stats","params":[1]})",
+       -32600},
+      {"string params",
+       R"({"jsonrpc":"2.0","id":1,"method":"server.stats","params":"x"})",
+       -32600},
+      // ---- oversized lines (daemon runs with --max-request-bytes 2048)
+      {"oversized junk line", pad, -32600},
+      {"oversized valid json",
+       R"({"jsonrpc":"2.0","id":1,"method":"server.stats","params":{"pad":")" +
+           pad + R"("}})",
+       -32600},
+      // ---- unknown method → -32601
+      {"unknown method",
+       R"({"jsonrpc":"2.0","id":1,"method":"session.destroy","params":{"session":"s-000001"}})",
+       -32601},
+      {"unknown short method", R"({"jsonrpc":"2.0","id":1,"method":"ping"})",
+       -32601},
+      // ---- method-level parameter failures → -32602
+      {"step without params", R"({"jsonrpc":"2.0","id":1,"method":"session.step"})",
+       -32602},
+      {"step numeric session",
+       R"({"jsonrpc":"2.0","id":1,"method":"session.step","params":{"session":42}})",
+       -32602},
+      {"step string steps",
+       R"({"jsonrpc":"2.0","id":1,"method":"session.step","params":{"session":"s-999999","steps":"three"}})",
+       -32602},
+      {"step zero steps",
+       R"({"jsonrpc":"2.0","id":1,"method":"session.step","params":{"session":"s-999999","steps":0}})",
+       -32602},
+      {"step fractional steps",
+       R"({"jsonrpc":"2.0","id":1,"method":"session.step","params":{"session":"s-999999","steps":1.5}})",
+       -32602},
+      {"create without spec",
+       R"({"jsonrpc":"2.0","id":1,"method":"session.create"})", -32602},
+      {"create numeric spec",
+       R"({"jsonrpc":"2.0","id":1,"method":"session.create","params":{"spec":7}})",
+       -32602},
+      {"spec with unknown learner", bad_spec("learner", R"("resnet")"),
+       -32602},
+      {"spec with unparsable rule", bad_spec("rules", R"(["IF THEN huh"])"),
+       -32602},
+      {"spec from the future", bad_spec("version", "999"), -32602},
+      {"spec without dataset",
+       R"({"jsonrpc":"2.0","id":1,"method":"session.create","params":{"spec":{"format":"frote.engine_spec","tau":2}}})",
+       -32602},
+      // ---- stale / never-issued session ids → -32001
+      {"step on unknown session",
+       R"({"jsonrpc":"2.0","id":1,"method":"session.step","params":{"session":"s-999999"}})",
+       -32001},
+      {"result on unknown session",
+       R"({"jsonrpc":"2.0","id":1,"method":"session.result","params":{"session":"s-999999"}})",
+       -32001},
+      {"snapshot on unknown session",
+       R"({"jsonrpc":"2.0","id":1,"method":"session.snapshot","params":{"session":"s-999999"}})",
+       -32001},
+      {"close on unknown session",
+       R"({"jsonrpc":"2.0","id":1,"method":"session.close","params":{"session":"s-999999"}})",
+       -32001},
+  };
+  static_assert(std::size(cases) >= 25,
+                "the malformed-input table must stay comprehensive");
+
+  ServeProcess::Options options;
+  options.args = {"--max-request-bytes", "2048"};
+  ServeProcess daemon(options);
+  for (const Case& c : cases) {
+    const JsonValue response = parse_response(daemon.request(c.line));
+    EXPECT_EQ(error_code(response), c.expected_code) << c.label;
+    EXPECT_EQ(*response.find("jsonrpc"), JsonValue("2.0")) << c.label;
+    const JsonValue* error = response.find("error");
+    ASSERT_NE(error, nullptr) << c.label;
+    EXPECT_NE(error->find("message"), nullptr) << c.label;
+  }
+
+  // After the whole gauntlet the daemon still serves real work.
+  const JsonValue create =
+      parse_response(daemon.request(create_line("alive", scenario_spec(dir))));
+  ASSERT_EQ(error_code(create), 0)
+      << "daemon must survive every malformed request";
+  EXPECT_EQ(result_of(create).find("session")->as_string(), "s-000001");
+  EXPECT_EQ(daemon.close_and_wait(), 0);
+}
+
+TEST(ServeContract, SpoolRecoveryContinuesByteIdentically) {
+  const fs::path dir = scratch_dir("recovery");
+  const auto spec = scenario_spec(dir);
+  const std::string spool = (dir / "spool").string();
+
+  // Golden: one uninterrupted daemon.
+  std::vector<std::string> golden;
+  {
+    ServeProcess daemon;
+    daemon.request(create_line("c", spec));
+    daemon.request(step_line("warm", "s-000001", 2));
+    golden.push_back(daemon.request(step_line("g1", "s-000001", 3)));
+    golden.push_back(
+        daemon.request(session_line("g2", "session.result", "s-000001")));
+    EXPECT_EQ(daemon.close_and_wait(), 0);
+  }
+
+  // Interrupted: same prefix, then EOF shutdown (spools the live session).
+  {
+    ServeProcess::Options options;
+    options.args = {"--spool", spool};
+    ServeProcess daemon(options);
+    daemon.request(create_line("c", spec));
+    daemon.request(step_line("warm", "s-000001", 2));
+    EXPECT_EQ(daemon.close_and_wait(), 0);
+  }
+  EXPECT_TRUE(fs::exists(fs::path(spool) / "s-000001.checkpoint.json"))
+      << "clean shutdown must leave the session in the spool";
+
+  // Restarted daemon on the same spool: the session continues, and the
+  // remaining responses are byte-identical to the uninterrupted run.
+  {
+    ServeProcess::Options options;
+    options.args = {"--spool", spool};
+    ServeProcess daemon(options);
+    EXPECT_EQ(daemon.request(step_line("g1", "s-000001", 3)), golden[0]);
+    EXPECT_EQ(
+        daemon.request(session_line("g2", "session.result", "s-000001")),
+        golden[1]);
+    // The id counter also survives: new tenants never reuse an id.
+    const JsonValue create =
+        parse_response(daemon.request(create_line("c2", spec)));
+    ASSERT_EQ(error_code(create), 0);
+    EXPECT_EQ(result_of(create).find("session")->as_string(), "s-000002");
+    EXPECT_EQ(daemon.close_and_wait(), 0);
+  }
+}
+
+TEST(ServeContract, HttpTransportCarriesIdenticalBytes) {
+  const fs::path dir = scratch_dir("http");
+  const auto spec = scenario_spec(dir);
+  const std::vector<std::string> script = {
+      create_line("c", spec),
+      step_line("s1", "s-000001", 3),
+      session_line("r", "session.result", "s-000001"),
+      session_line("x", "session.close", "s-000001"),
+  };
+
+  // Reference responses over stdio.
+  std::vector<std::string> stdio_responses;
+  {
+    ServeProcess daemon;
+    for (const std::string& line : script) {
+      stdio_responses.push_back(daemon.request(line));
+    }
+    EXPECT_EQ(daemon.close_and_wait(), 0);
+  }
+
+  const fs::path port_file = dir / "port.txt";
+  ServeProcess::Options options;
+  options.args = {"--http", "--port-file", port_file.string()};
+  ServeProcess daemon(options);
+  std::string port_text;
+  for (int i = 0; i < 100 && port_text.empty(); ++i) {
+    std::ifstream in(port_file);
+    std::getline(in, port_text);
+    if (port_text.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  ASSERT_FALSE(port_text.empty()) << "daemon never published its port";
+  const auto port = static_cast<std::uint16_t>(std::stoi(port_text));
+
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    auto response = frote::net::http_post(port, "/rpc", script[i] + "\n");
+    ASSERT_TRUE(response.has_value()) << response.error().message;
+    EXPECT_EQ(response->status, 200);
+    EXPECT_EQ(response->body, stdio_responses[i] + "\n")
+        << "HTTP and stdio transports diverged on request " << i;
+  }
+
+  // SIGTERM stops the listener between requests; clean exit.
+  daemon.terminate();
+  EXPECT_EQ(daemon.wait(), 0);
+}
+
+}  // namespace

@@ -1,0 +1,465 @@
+// frote_serve — the multi-tenant FROTE session daemon.
+//
+// Speaks line-delimited JSON-RPC 2.0 (docs/DESIGN.md §7) over one of two
+// transports per invocation: stdio (default; one request per line, one
+// response per line, lockstep) or the vendored HTTP/1.1 listener (--http;
+// one request per POST body). Both carry the same envelope, so a request
+// gets byte-identical response bytes whichever way it arrives — ci.sh
+// diffs a stdio run against an HTTP-driven run to lock that.
+//
+// Methods: session.create / session.step / session.snapshot /
+// session.result / session.close / server.stats, all backed by
+// core/session_pool.hpp. Sessions are created from EngineSpec documents
+// (dataset reference required — the daemon has no other input channel,
+// the same posture as frote_run's plans).
+//
+// Shutdown: SIGTERM/SIGINT (or stdin EOF in stdio mode) stops the
+// frontend between requests, spools every live session to the --spool
+// directory, and exits 0. A restarted daemon pointed at the same spool
+// recovers them and continues bit-identically.
+//
+// Exit codes: 0 clean shutdown / successful drive, 1 usage error,
+// 2 runtime failure. Protocol-level errors (bad requests, stale session
+// ids, specs that fail resolution) are JSON-RPC error responses, never
+// daemon exits.
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "frote/core/session_pool.hpp"
+#include "frote/core/spec.hpp"
+#include "frote/net/http.hpp"
+#include "frote/net/jsonrpc.hpp"
+#include "frote/util/fsio.hpp"
+#include "cli_common.hpp"
+
+namespace {
+
+using frote::EngineSpec;
+using frote::FroteError;
+using frote::JsonValue;
+using frote::SessionPool;
+using frote::SessionPoolConfig;
+using frote::SessionStepOutcome;
+
+struct Options {
+  bool http = false;
+  int port = 0;  // 0 = ephemeral; read back via --port-file
+  std::string port_file;
+  std::string spool;
+  std::size_t max_live = 8;
+  bool evict_every_request = false;
+  int threads = 0;
+  std::size_t max_request_bytes = std::size_t{1} << 20;
+  // Client mode: POST each line of --script to a listening daemon.
+  int drive_port = -1;
+  std::string script;
+  bool help = false;
+};
+
+void print_usage(std::ostream& os) {
+  os << "usage: frote_serve [options]             serve JSON-RPC over stdio\n"
+        "       frote_serve --http [options]      serve over HTTP/1.1\n"
+        "       frote_serve --drive PORT --script FILE\n"
+        "                                         post each script line to a\n"
+        "                                         running daemon, print the\n"
+        "                                         responses\n"
+        "\n"
+        "options:\n"
+        "  --port N               HTTP port (default 0 = ephemeral)\n"
+        "  --port-file PATH       write the bound HTTP port to PATH\n"
+        "  --spool DIR            checkpoint spool: enables eviction,\n"
+        "                         durability, and restart recovery\n"
+        "  --max-live-sessions N  live sessions kept in memory before LRU\n"
+        "                         eviction to the spool (default 8, 0 = all)\n"
+        "  --evict-every-request  spool the session after every request\n"
+        "                         (eviction-transparency verification mode)\n"
+        "  --threads N            engine threads override (default: the\n"
+        "                         spec / FROTE_NUM_THREADS)\n"
+        "  --max-request-bytes N  reject longer request lines/bodies\n"
+        "                         (default 1048576)\n"
+        "  --help                 show this message\n";
+}
+
+bool parse_args(int argc, char** argv, Options& options) {
+  const frote::cli::StrictArgs args{"frote_serve", print_usage, argc, argv};
+  bool saw_port = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help") {
+      options.help = true;
+      return true;
+    } else if (arg == "--http") {
+      options.http = true;
+    } else if (arg == "--port") {
+      if (!args.value_for(i, "port", value) ||
+          !args.parse_number("port", value, options.port)) {
+        return false;
+      }
+      saw_port = true;
+    } else if (arg == "--port-file") {
+      if (!args.value_for(i, "port-file", options.port_file)) return false;
+    } else if (arg == "--spool") {
+      if (!args.value_for(i, "spool", options.spool)) return false;
+    } else if (arg == "--max-live-sessions") {
+      if (!args.value_for(i, "max-live-sessions", value) ||
+          !args.parse_number("max-live-sessions", value, options.max_live)) {
+        return false;
+      }
+    } else if (arg == "--evict-every-request") {
+      options.evict_every_request = true;
+    } else if (arg == "--threads") {
+      if (!args.value_for(i, "threads", value) ||
+          !args.parse_number("threads", value, options.threads)) {
+        return false;
+      }
+    } else if (arg == "--max-request-bytes") {
+      if (!args.value_for(i, "max-request-bytes", value) ||
+          !args.parse_number("max-request-bytes", value,
+                             options.max_request_bytes)) {
+        return false;
+      }
+    } else if (arg == "--drive") {
+      if (!args.value_for(i, "drive", value) ||
+          !args.parse_number("drive", value, options.drive_port)) {
+        return false;
+      }
+    } else if (arg == "--script") {
+      if (!args.value_for(i, "script", options.script)) return false;
+    } else {
+      return args.usage_error("unknown option: " + arg);
+    }
+  }
+  if (options.drive_port >= 0 && options.script.empty()) {
+    return args.usage_error("--drive needs --script");
+  }
+  if (!options.script.empty() && options.drive_port < 0) {
+    return args.usage_error("--script needs --drive");
+  }
+  if ((saw_port || !options.port_file.empty()) && !options.http &&
+      options.drive_port < 0) {
+    return args.usage_error("--port/--port-file need --http");
+  }
+  if (options.port < 0 || options.port > 65535) {
+    return args.usage_error("--port must be 0..65535");
+  }
+  if (options.evict_every_request && options.spool.empty()) {
+    return args.usage_error("--evict-every-request needs --spool");
+  }
+  if (options.max_request_bytes == 0) {
+    return args.usage_error("--max-request-bytes must be positive");
+  }
+  return true;
+}
+
+/// Protocol code for a pool/engine failure. The pool reports stale ids as
+/// invalid_argument("no such session: ..."); the protocol distinguishes
+/// them (-32001) from genuinely bad params (-32602).
+int code_for(const FroteError& error) {
+  if (error.message.rfind("no such session", 0) == 0) {
+    return frote::net::kSessionNotFound;
+  }
+  return frote::net::rpc_code_for(error);
+}
+
+JsonValue step_outcome_json(const std::string& id,
+                            const SessionStepOutcome& outcome) {
+  JsonValue result = JsonValue::object();
+  result.set("session", id);
+  result.set("steps_executed", outcome.steps_executed);
+  result.set("accepted", outcome.last_accepted);
+  result.set("finished", outcome.finished);
+  result.set("iterations_run", outcome.iterations_run);
+  result.set("iterations_accepted", outcome.iterations_accepted);
+  result.set("instances_added", outcome.instances_added);
+  result.set("rows", outcome.rows);
+  result.set("j_bar", outcome.j_bar);
+  return result;
+}
+
+/// Execute one validated request against the pool; returns the response
+/// line (result or error envelope, no trailing newline).
+std::string dispatch(SessionPool& pool, const frote::net::RpcRequest& req) {
+  using frote::net::kInvalidParams;
+  using frote::net::kMethodNotFound;
+  using frote::net::rpc_error_line;
+  using frote::net::rpc_result_line;
+
+  const auto session_param = [&]() -> const std::string* {
+    const JsonValue* id = req.params.find("session");
+    if (id == nullptr || !id->is_string()) return nullptr;
+    return &id->as_string();
+  };
+
+  if (req.method == "session.create") {
+    const JsonValue* spec_json = req.params.find("spec");
+    if (spec_json == nullptr || !spec_json->is_object()) {
+      return rpc_error_line(req.id, kInvalidParams,
+                            "params.spec must be an engine-spec object");
+    }
+    auto spec = EngineSpec::from_json(*spec_json);
+    if (!spec) {
+      return rpc_error_line(req.id, kInvalidParams, spec.error().message);
+    }
+    auto id = pool.create(*spec);
+    if (!id) return rpc_error_line(req.id, code_for(id.error()), id.error().message);
+    JsonValue result = JsonValue::object();
+    result.set("session", *id);
+    return rpc_result_line(req.id, std::move(result));
+  }
+  if (req.method == "session.step") {
+    const std::string* id = session_param();
+    if (id == nullptr) {
+      return rpc_error_line(req.id, kInvalidParams,
+                            "params.session must be a session-id string");
+    }
+    std::size_t steps = 1;
+    if (const JsonValue* raw = req.params.find("steps")) {
+      if (!raw->is_number() || raw->type() == frote::JsonType::kDouble ||
+          raw->as_int64() < 1) {
+        return rpc_error_line(req.id, kInvalidParams,
+                              "params.steps must be a positive integer");
+      }
+      steps = static_cast<std::size_t>(raw->as_int64());
+    }
+    auto outcome = pool.step(*id, steps);
+    if (!outcome) {
+      return rpc_error_line(req.id, code_for(outcome.error()),
+                            outcome.error().message);
+    }
+    return rpc_result_line(req.id, step_outcome_json(*id, *outcome));
+  }
+  const auto simple = [&](auto method) -> std::string {
+    const std::string* id = session_param();
+    if (id == nullptr) {
+      return rpc_error_line(req.id, kInvalidParams,
+                            "params.session must be a session-id string");
+    }
+    auto result = (pool.*method)(*id);
+    if (!result) {
+      return rpc_error_line(req.id, code_for(result.error()),
+                            result.error().message);
+    }
+    return rpc_result_line(req.id, std::move(*result));
+  };
+  if (req.method == "session.snapshot") return simple(&SessionPool::snapshot);
+  if (req.method == "session.result") return simple(&SessionPool::result);
+  if (req.method == "session.close") return simple(&SessionPool::close);
+  if (req.method == "server.stats") {
+    return rpc_result_line(req.id, pool.stats());
+  }
+  return rpc_error_line(req.id, kMethodNotFound,
+                        "unknown method: " + req.method);
+}
+
+/// One request line/body in, one response line out (no trailing newline).
+/// Never throws, never exits: every failure becomes an error envelope.
+std::string handle_line(SessionPool& pool, const std::string& line,
+                        std::size_t max_request_bytes) {
+  using frote::net::kInternalError;
+  using frote::net::kInvalidRequest;
+  using frote::net::rpc_error_line;
+  if (line.size() > max_request_bytes) {
+    return rpc_error_line(JsonValue(), kInvalidRequest,
+                          "request exceeds --max-request-bytes (" +
+                              std::to_string(max_request_bytes) + ")");
+  }
+  auto request = frote::net::parse_rpc_request(line);
+  if (!request) {
+    return rpc_error_line(request.error().id, request.error().rpc_code,
+                          request.error().message);
+  }
+  try {
+    return dispatch(pool, *request);
+  } catch (const std::exception& e) {
+    return rpc_error_line(request->id, kInternalError, e.what());
+  }
+}
+
+// SIGTERM/SIGINT plumbing: the handler only does async-signal-safe work —
+// one write() on the self-pipe (wakes the stdio poll loop) and
+// HttpServer::stop() (itself a single write on the server's wake pipe).
+int g_signal_pipe[2] = {-1, -1};
+frote::net::HttpServer* g_http_server = nullptr;
+
+void on_stop_signal(int) {
+  const char byte = 1;
+  [[maybe_unused]] ssize_t rc = write(g_signal_pipe[1], &byte, 1);
+  if (g_http_server != nullptr) g_http_server->stop();
+}
+
+void install_signal_handlers() {
+  struct sigaction action {};
+  action.sa_handler = on_stop_signal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+  signal(SIGPIPE, SIG_IGN);  // a client hanging up must not kill the daemon
+}
+
+void respond(const std::string& line) {
+  std::fwrite(line.data(), 1, line.size(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+/// The stdio frontend: poll stdin + the signal pipe, handle complete lines
+/// in arrival order. Returns on EOF or stop signal.
+void serve_stdio(SessionPool& pool, const Options& options) {
+  std::string buffer;
+  bool discarding = false;  // inside an oversized line, already answered
+  char chunk[4096];
+  for (;;) {
+    struct pollfd fds[2] = {{STDIN_FILENO, POLLIN, 0},
+                            {g_signal_pipe[0], POLLIN, 0}};
+    const int ready = poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // the signal pipe makes this visible
+      break;
+    }
+    if (fds[1].revents != 0) break;  // stop signal
+    if (fds[0].revents == 0) continue;
+    const ssize_t n = read(STDIN_FILENO, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF: clean shutdown
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos = 0;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      if (discarding) {
+        discarding = false;  // tail of the line already rejected below
+        continue;
+      }
+      if (line.empty()) continue;  // blank lines keep scripts readable
+      respond(handle_line(pool, line, options.max_request_bytes));
+    }
+    // Reject a line that outgrew the limit before its newline arrived, so
+    // an unbounded line cannot grow the buffer without bound.
+    if (!discarding && buffer.size() > options.max_request_bytes) {
+      respond(handle_line(pool, buffer, options.max_request_bytes));
+      buffer.clear();
+      discarding = true;
+    } else if (discarding) {
+      buffer.clear();
+    }
+  }
+}
+
+int serve_http(SessionPool& pool, const Options& options) {
+  auto server =
+      frote::net::HttpServer::listen(static_cast<std::uint16_t>(options.port));
+  if (!server) {
+    std::cerr << "frote_serve: " << server.error().message << "\n";
+    return 2;
+  }
+  if (!options.port_file.empty()) {
+    try {
+      frote::write_file_atomic(options.port_file,
+                               std::to_string(server->port()) + "\n");
+    } catch (const frote::Error& e) {
+      std::cerr << "frote_serve: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  g_http_server = &*server;
+  server->serve(
+      [&](const frote::net::HttpRequest& request) {
+        frote::net::HttpResponse response;
+        // Tolerate the natural framing of line-oriented clients.
+        std::string line = request.body;
+        while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+          line.pop_back();
+        }
+        response.body = handle_line(pool, line, options.max_request_bytes) +
+                        "\n";
+        return response;
+      },
+      options.max_request_bytes);
+  g_http_server = nullptr;
+  return 0;
+}
+
+/// Client mode: POST each script line to a listening daemon, print each
+/// response. The output of driving a script over HTTP must be byte-
+/// identical to piping the same script into a stdio daemon (ci.sh diffs
+/// the two).
+int drive(const Options& options) {
+  std::ifstream script(options.script);
+  if (!script.good()) {
+    std::cerr << "frote_serve: cannot open script " << options.script << "\n";
+    return 2;
+  }
+  std::string line;
+  while (std::getline(script, line)) {
+    if (line.empty()) continue;
+    auto response = frote::net::http_post(
+        static_cast<std::uint16_t>(options.drive_port), "/rpc", line + "\n");
+    if (!response) {
+      std::cerr << "frote_serve: " << response.error().message << "\n";
+      return 2;
+    }
+    std::fwrite(response->body.data(), 1, response->body.size(), stdout);
+    if (response->body.empty() || response->body.back() != '\n') {
+      std::fputc('\n', stdout);
+    }
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) return 1;
+  if (options.help) {
+    print_usage(std::cout);
+    return 0;
+  }
+  if (options.drive_port >= 0) return drive(options);
+
+  if (pipe(g_signal_pipe) != 0) {
+    std::cerr << "frote_serve: pipe: " << std::strerror(errno) << "\n";
+    return 2;
+  }
+  install_signal_handlers();
+
+  SessionPoolConfig config;
+  config.spool_dir = options.spool;
+  config.max_live = options.max_live;
+  config.evict_every_request = options.evict_every_request;
+  config.threads = options.threads;
+  SessionPool pool(config);
+  std::vector<std::string> problems;
+  const std::size_t recovered = pool.recover_from_spool(&problems);
+  for (const std::string& note : problems) {
+    std::cerr << "frote_serve: spool: " << note << "\n";
+  }
+  if (recovered > 0) {
+    std::cerr << "frote_serve: recovered " << recovered
+              << " session(s) from spool\n";
+  }
+
+  int status = 0;
+  if (options.http) {
+    status = serve_http(pool, options);
+  } else {
+    serve_stdio(pool, options);
+  }
+  // Clean shutdown: every live session is spooled before exit, so a
+  // restarted daemon can continue them.
+  pool.checkpoint_all();
+  return status;
+}
