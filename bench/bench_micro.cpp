@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -151,8 +152,12 @@ BENCHMARK(BM_IpSelection);
 void BM_IpSelectionSized(benchmark::State& state) {
   // Cold selection cost across dataset sizes (every iteration refits the
   // distance, rebuilds the index and re-predicts — the pre-workspace
-  // per-step cost; 8000 crosses into the ball-tree engine).
-  const auto& data = adult(static_cast<std::size_t>(state.range(0)));
+  // per-step cost; 8000 crosses into the ball-tree engine). The scale
+  // points run the scale tier for real: columnar chunked storage
+  // (docs/DESIGN.md §8) and, past shard_min_rows, the sharded kNN index.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Dataset data = adult(n);
+  if (n >= 100000) data.set_storage({/*chunk_rows=*/8192, /*mmap=*/false});
   FeedbackRuleSet frs({adult_rule(data)});
   const auto bp = preselect_base_population(data, frs, 5);
   const auto learner = make_learner(LearnerKind::kRF, 42, true);
@@ -163,11 +168,24 @@ void BM_IpSelectionSized(benchmark::State& state) {
     benchmark::DoNotOptimize(selector.select(data, bp, *model, 50, rng));
   }
 }
+
+/// Scale args for BM_IpSelection: 100k always (chunked storage + sharded
+/// kNN), 1M only when FROTE_BENCH_SLOW=1 — the million-row point takes
+/// minutes and is for dedicated perf runs, not the CI trend table.
+void AddIpSelectionScaleArgs(benchmark::internal::Benchmark* bench) {
+  bench->Arg(100000);
+  const char* slow = std::getenv("FROTE_BENCH_SLOW");
+  if (slow != nullptr && slow[0] != '\0' && std::string(slow) != "0") {
+    bench->Arg(1000000);
+  }
+}
+
 BENCHMARK(BM_IpSelectionSized)
     ->Name("BM_IpSelection")
     ->Arg(1000)
     ->Arg(4000)
-    ->Arg(8000);
+    ->Arg(8000)
+    ->Apply(AddIpSelectionScaleArgs);
 
 void BM_IpSelectionWarm(benchmark::State& state) {
   // Steady-state selection through a bound SessionWorkspace: after the

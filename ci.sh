@@ -10,7 +10,8 @@
 #   ./ci.sh                 # full tier-1 verify (all labels)
 #   ./ci.sh -L unit         # extra args are forwarded to ctest
 #   FROTE_CI_VENDORED=1 ./ci.sh   # force the vendored runners (offline mode)
-#   FROTE_CI_SKIP_PACKAGE=1 / FROTE_CI_SKIP_BENCH=1 skip the extra stages
+#   FROTE_CI_SKIP_PACKAGE=1 / FROTE_CI_SKIP_BENCH=1 /
+#   FROTE_CI_SKIP_SANITIZE=1 skip the extra stages
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -34,7 +35,7 @@ echo "=== determinism leg: FROTE_NUM_THREADS=4 ==="
 # test_checkpoint/test_spec add snapshot-resume and the plan driver;
 # test_serve drives the daemon end-to-end (its own suites re-check 1 vs 4).
 FROTE_NUM_THREADS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'test_parallel|test_determinism|test_engine_api|test_workspace|test_checkpoint|test_spec|test_serve'
+  -R 'test_parallel|test_determinism|test_engine_api|test_workspace|test_checkpoint|test_spec|test_serve|test_chunks|test_sharded_knn'
 
 # Spec-driven leg: run a small declarative plan to completion (golden),
 # then the same plan interrupted mid-run (--max-steps leaves per-run
@@ -105,6 +106,21 @@ kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 test -s "$SERVE_DIR/spool/s-000001.checkpoint.json"
 echo "serve leg: HTTP responses byte-identical to stdio; SIGTERM checkpointed the open session"
+
+# Sanitizer leg: rebuild with AddressSanitizer + UBSan (-DFROTE_SANITIZE=ON,
+# separate build dir) and rerun the fast unit label. The chunked data plane
+# and the sharded index move row storage behind raw pointers and shared
+# mmap'd chunks — exactly the kind of code ASan catches regressions in that
+# functional tests cannot. Benches and examples are skipped in this build;
+# tools stay on because test_serve (label unit) drives the real daemon.
+if [[ "${FROTE_CI_SKIP_SANITIZE:-0}" != "1" ]]; then
+  echo "=== sanitizer leg: ASan+UBSan ctest -L unit ==="
+  SAN_DIR="$BUILD_DIR-asan"
+  cmake -B "$SAN_DIR" -S . "${CMAKE_ARGS[@]}" -DFROTE_SANITIZE=ON \
+    -DFROTE_BUILD_BENCHES=OFF -DFROTE_BUILD_EXAMPLES=OFF > /dev/null
+  cmake --build "$SAN_DIR" -j "$(nproc)"
+  ctest --test-dir "$SAN_DIR" --output-on-failure -j "$(nproc)" -L unit
+fi
 
 # Package smoke: install to a scratch prefix, then build and run a 10-line
 # external consumer that only does find_package(frote) + frote_api.hpp.

@@ -79,6 +79,21 @@ struct SessionPool::Entry {
   std::optional<Session> live;
   bool spooled = false;  // <id>.checkpoint.json holds the current state
   std::atomic<std::uint64_t> last_used{0};
+
+  /// Last-observed D̂ geometry, refreshed whenever the session is live in a
+  /// request. Kept outside the Session so server.stats can report every
+  /// session — evicted ones included — without hydrating it (an hydration
+  /// just to answer stats would make the stats call evict-order dependent).
+  std::atomic<std::size_t> rows{0};
+  std::atomic<std::size_t> chunks{0};
+
+  /// Refresh rows/chunks from the live session. Caller holds `m`.
+  void note_geometry() {
+    if (!live.has_value()) return;
+    const Dataset& data = live->augmented();
+    rows.store(data.size(), std::memory_order_relaxed);
+    chunks.store(data.chunk_count(), std::memory_order_relaxed);
+  }
 };
 
 SessionPool::SessionPool(SessionPoolConfig config)
@@ -204,6 +219,7 @@ Expected<std::string, FroteError> SessionPool::create(const EngineSpec& spec) {
     entry = std::make_shared<Entry>(buffer, spec, std::move(*engine),
                                     std::move(*learner));
     entry->live.emplace(std::move(*session));
+    entry->note_geometry();
     entry->last_used.store(request_counter_.load());
     entries_.emplace(entry->id, entry);
     ++sessions_created_;
@@ -255,6 +271,7 @@ void SessionPool::hydrate(Entry& entry) {
                 ": restore failed: " + restored.error().message);
   }
   entry.live.emplace(std::move(*restored));
+  entry.note_geometry();
   restores_.fetch_add(1);
 }
 
@@ -323,6 +340,7 @@ Expected<SessionStepOutcome, FroteError> SessionPool::step(
     outcome.instances_added = progress.instances_added;
     outcome.rows = session.augmented().size();
     outcome.j_bar = session.best_j_hat_bar();
+    (*entry)->note_geometry();
   }
   enforce_capacity();
   return outcome;
@@ -357,6 +375,7 @@ JsonValue SessionPool::summary_json(Entry& entry) const {
   out.set("iterations_accepted", progress.iterations_accepted);
   out.set("j_bar", session.best_j_hat_bar());
   out.set("dataset_digest", hex64(dataset_digest(session.augmented())));
+  entry.note_geometry();
   return out;
 }
 
@@ -407,6 +426,19 @@ JsonValue SessionPool::stats() const {
   for (const auto& [id, entry] : entries_) {
     if (entry->live.has_value()) ++live;
   }
+  // Per-session residency: id-ordered (entries_ is an ordered map), one row
+  // per open session with its last-observed D̂ geometry. Evicted sessions
+  // report without being hydrated — sessions recovered from a spool and
+  // never touched yet report zeros until their first request.
+  JsonValue sessions = JsonValue::array();
+  for (const auto& [id, entry] : entries_) {
+    JsonValue row = JsonValue::object();
+    row.set("session", id);
+    row.set("state", entry->live.has_value() ? "live" : "evicted");
+    row.set("rows", entry->rows.load(std::memory_order_relaxed));
+    row.set("chunks", entry->chunks.load(std::memory_order_relaxed));
+    sessions.push_back(std::move(row));
+  }
   JsonValue out = JsonValue::object();
   out.set("sessions_open", entries_.size());
   out.set("sessions_live", live);
@@ -422,6 +454,7 @@ JsonValue SessionPool::stats() const {
   out.set("evict_every_request", config_.evict_every_request);
   out.set("spool", !config_.spool_dir.empty());
   out.set("threads", resolve_threads(config_.threads));
+  out.set("sessions", std::move(sessions));
   return out;
 }
 

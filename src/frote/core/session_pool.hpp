@@ -109,9 +109,13 @@ class SessionPool {
   Expected<JsonValue, FroteError> close(const std::string& id);
 
   /// server.stats: pool counters (sessions, live/evicted, evictions,
-  /// restores, requests, threads). Deterministic for a given request
-  /// sequence — and therefore the one method whose responses *differ*
-  /// between an evicting and a non-evicting run.
+  /// restores, requests, threads) plus a per-session "sessions" array
+  /// (id-ordered) reporting each open session's residency state and
+  /// last-observed D̂ geometry — row count and columnar chunk count
+  /// (docs/DESIGN.md §8) — without hydrating evicted sessions.
+  /// Deterministic for a given request sequence — and therefore the one
+  /// method whose responses *differ* between an evicting and a
+  /// non-evicting run.
   JsonValue stats() const;
 
   /// Spool every live session (no-op without a spool dir). The shutdown

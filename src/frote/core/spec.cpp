@@ -24,6 +24,10 @@ JsonValue DatasetSpec::to_json() const {
     out.set("size", size);
     out.set("seed", seed);
   }
+  // Storage geometry is emitted only when it deviates from the flat default,
+  // so pre-chunking specs round-trip byte-identically.
+  if (chunk_rows != 0) out.set("chunk_rows", chunk_rows);
+  if (mmap) out.set("mmap", mmap);
   return out;
 }
 
@@ -36,6 +40,8 @@ Expected<DatasetSpec, FroteError> DatasetSpec::from_json(
   reader.read("name", spec.name);
   reader.read("size", spec.size);
   reader.read("seed", spec.seed);
+  reader.read("chunk_rows", spec.chunk_rows);
+  reader.read("mmap", spec.mmap);
   if (spec.kind != "csv" && spec.kind != "synthetic") {
     reader.add_problem("kind must be \"csv\" or \"synthetic\", got \"" +
                        spec.kind + "\"");
@@ -48,9 +54,17 @@ Expected<DatasetSpec, FroteError> DatasetSpec::from_json(
 }
 
 Expected<Dataset> load_spec_dataset(const DatasetSpec& spec) {
+  // Loaders build flat datasets; the spec's storage geometry is applied as
+  // one re-chunking pass afterwards. Row values/labels/ids are unchanged, so
+  // every downstream result is bit-identical across geometries.
+  const auto with_storage = [&](Dataset data) {
+    const StorageOptions storage{spec.chunk_rows, spec.mmap};
+    if (!(storage == StorageOptions{})) data.set_storage(storage);
+    return data;
+  };
   if (spec.kind == "csv") {
     try {
-      return load_csv(spec.path);
+      return with_storage(load_csv(spec.path));
     } catch (const std::exception& e) {
       return FroteError::io_error("cannot load dataset CSV '" + spec.path +
                                   "': " + e.what());
@@ -58,7 +72,8 @@ Expected<Dataset> load_spec_dataset(const DatasetSpec& spec) {
   }
   if (spec.kind == "synthetic") {
     try {
-      return make_dataset(dataset_by_name(spec.name), spec.size, spec.seed);
+      return with_storage(
+          make_dataset(dataset_by_name(spec.name), spec.size, spec.seed));
     } catch (const std::exception& e) {
       return FroteError::unknown_component(
           "cannot generate synthetic dataset '" + spec.name + "': " +

@@ -1,0 +1,137 @@
+#include "frote/data/chunks.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FROTE_CHUNK_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#endif
+
+namespace frote {
+namespace detail {
+
+namespace {
+
+#ifdef FROTE_CHUNK_HAVE_MMAP
+/// Map `bytes` of a fresh unlinked temp file. Returns nullptr on any
+/// failure — the caller falls back to the heap.
+double* map_anonymous_file(std::size_t bytes) {
+  const char* base = std::getenv("TMPDIR");
+  std::string pattern = std::string(base != nullptr && *base != '\0'
+                                        ? base
+                                        : "/tmp") +
+                        "/frote-chunk-XXXXXX";
+  std::vector<char> path(pattern.begin(), pattern.end());
+  path.push_back('\0');
+  const int fd = ::mkstemp(path.data());
+  if (fd < 0) return nullptr;
+  // Unlink immediately: the mapping keeps the storage alive, the namespace
+  // entry never outlives a crash.
+  ::unlink(path.data());
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  void* mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd,
+                     0);
+  ::close(fd);  // the mapping holds its own reference
+  if (mem == MAP_FAILED) return nullptr;
+  return static_cast<double*>(mem);
+}
+#endif
+
+}  // namespace
+
+std::shared_ptr<const Chunk> Chunk::make(const double* src, std::size_t count,
+                                         bool use_mmap) {
+  // No make_shared: the constructor is private and the control block next
+  // to an mmap-backed payload buys nothing.
+  std::shared_ptr<Chunk> chunk(new Chunk());
+#ifdef FROTE_CHUNK_HAVE_MMAP
+  if (use_mmap && count > 0) {
+    const std::size_t bytes = count * sizeof(double);
+    if (double* mem = map_anonymous_file(bytes)) {
+      std::memcpy(mem, src, bytes);
+      chunk->map_ = mem;
+      chunk->map_bytes_ = bytes;
+      chunk->data_ = mem;
+      return chunk;
+    }
+  }
+#else
+  (void)use_mmap;
+#endif
+  chunk->heap_.assign(src, src + count);
+  chunk->data_ = chunk->heap_.data();
+  return chunk;
+}
+
+Chunk::~Chunk() {
+#ifdef FROTE_CHUNK_HAVE_MMAP
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+#endif
+}
+
+}  // namespace detail
+
+void ChunkStore::configure(std::size_t width, const StorageOptions& options) {
+  FROTE_CHECK_MSG(rows_ == 0, "ChunkStore::configure on a non-empty store");
+  width_ = width;
+  options_ = options;
+}
+
+std::size_t ChunkStore::mapped_chunk_count() const {
+  std::size_t mapped = 0;
+  for (const auto& chunk : sealed_) mapped += chunk->mapped() ? 1 : 0;
+  return mapped;
+}
+
+void ChunkStore::push_row(const double* src) {
+  tail_.insert(tail_.end(), src, src + width_);
+  ++rows_;
+}
+
+void ChunkStore::seal() {
+  if (options_.chunk_rows == 0 || width_ == 0) return;
+  const std::size_t chunk_values = options_.chunk_rows * width_;
+  std::size_t sealed = 0;
+  while (tail_.size() - sealed >= chunk_values) {
+    sealed_.push_back(detail::Chunk::make(tail_.data() + sealed,
+                                          chunk_values, options_.mmap));
+    sealed += chunk_values;
+    sealed_rows_ += options_.chunk_rows;
+  }
+  if (sealed > 0) {
+    tail_.erase(tail_.begin(),
+                tail_.begin() + static_cast<std::ptrdiff_t>(sealed));
+  }
+}
+
+void ChunkStore::truncate(std::size_t new_rows) {
+  FROTE_CHECK_MSG(new_rows >= sealed_rows_ && new_rows <= rows_,
+                  "ChunkStore::truncate to " << new_rows << " with "
+                                             << sealed_rows_ << " sealed of "
+                                             << rows_ << " rows");
+  tail_.resize((new_rows - sealed_rows_) * width_);
+  rows_ = new_rows;
+}
+
+void ChunkStore::reserve_rows(std::size_t total_rows) {
+  if (total_rows <= sealed_rows_) return;
+  std::size_t tail_rows = total_rows - sealed_rows_;
+  if (options_.chunk_rows != 0) {
+    // The tail never holds more than one partial chunk plus a staged batch
+    // for long — reserving the whole table would defeat the point of
+    // chunking. Two chunks of headroom covers the steady state.
+    tail_rows = std::min(tail_rows, options_.chunk_rows * 2);
+  }
+  tail_.reserve(tail_rows * width_);
+}
+
+}  // namespace frote

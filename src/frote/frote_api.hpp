@@ -138,6 +138,38 @@
 //                                          write_file_atomic / read_file,
 //                                          shared by the run driver and the
 //                                          checkpoint spool
+//
+// PR 7 (sharded columnar data plane) — additions; all bit-identical to the
+// flat layout for every geometry, thread and shard count:
+//   one contiguous values vector         → ChunkStore (data/chunks.hpp):
+//                                          sealed immutable chunks +
+//                                          mutable tail behind Dataset;
+//                                          Dataset::set_storage(
+//                                          StorageOptions{chunk_rows,
+//                                          mmap}), storage(), chunk_count(),
+//                                          mapped_chunk_count();
+//                                          raw_values() is now gated on
+//                                          values_contiguous()
+//   DatasetSpec                          → new `chunk_rows` / `mmap` fields
+//                                          (absent from JSON at defaults;
+//                                          old specs round-trip unchanged),
+//                                          applied by load_spec_dataset and
+//                                          recorded in checkpoints
+//   KnnIndex::query (virtual)            → non-virtual query() over the new
+//                                          virtual query_squared(); engines
+//                                          compose on squared distances so
+//                                          merging cannot re-round a tie;
+//                                          new try_refit(data, distance)
+//                                          for same-rows rescale
+//   make_knn_index two-tier choice       → third tier: ShardedKnnIndex
+//                                          (knn/sharded.hpp) past
+//                                          KnnIndexConfig::shard_min_rows;
+//                                          config gains shard_min_rows /
+//                                          shard_target_rows / shards;
+//                                          make_single_knn_index() is the
+//                                          old chooser
+//   server.stats counters only           → + per-session `sessions` array:
+//                                          {session, state, rows, chunks}
 // ---------------------------------------------------------------------------
 #pragma once
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "frote/knn/sharded.hpp"
 #include "frote/util/parallel.hpp"
 
 namespace frote {
@@ -24,34 +25,6 @@ bool is_identity(const std::vector<std::size_t>& ids) {
     if (ids[i] != i) return false;
   }
   return true;
-}
-
-/// Keep a bounded max-heap of the k best neighbours (worst on top). The
-/// `distance` field holds *squared* distances until heap_finish — the
-/// ordering (and the index tie-break) is unchanged by the monotone sqrt.
-struct NeighborCmp {
-  bool operator()(const Neighbor& a, const Neighbor& b) const {
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.index < b.index;  // deterministic tie-break
-  }
-};
-
-void heap_offer(std::vector<Neighbor>& heap, std::size_t k, Neighbor cand) {
-  if (heap.size() < k) {
-    heap.push_back(cand);
-    std::push_heap(heap.begin(), heap.end(), NeighborCmp{});
-  } else if (NeighborCmp{}(cand, heap.front())) {
-    std::pop_heap(heap.begin(), heap.end(), NeighborCmp{});
-    heap.back() = cand;
-    std::push_heap(heap.begin(), heap.end(), NeighborCmp{});
-  }
-}
-
-/// Sort ascending and convert the stored squared distances to distances.
-std::vector<Neighbor> heap_finish(std::vector<Neighbor> heap) {
-  std::sort_heap(heap.begin(), heap.end(), NeighborCmp{});
-  for (auto& neighbor : heap) neighbor.distance = std::sqrt(neighbor.distance);
-  return heap;
 }
 
 }  // namespace
@@ -183,9 +156,10 @@ BruteKnn::BruteKnn(const Dataset& data, MixedDistance distance,
       threads_(threads),
       covers_prefix_(is_identity(row_ids_)) {}
 
-std::vector<Neighbor> BruteKnn::query(std::span<const double> query,
-                                      std::size_t k) const {
-  if (k == 0 || row_ids_.empty()) return {};
+void BruteKnn::query_squared(std::span<const double> query, std::size_t k,
+                             std::vector<Neighbor>& out) const {
+  out.clear();
+  if (k == 0 || row_ids_.empty()) return;
   static thread_local std::vector<double> packed_query;
   packed_.pack_query(query, packed_query);
   const double* q = packed_query.data();
@@ -198,7 +172,7 @@ std::vector<Neighbor> BruteKnn::query(std::span<const double> query,
         std::vector<Neighbor> local;
         local.reserve(k + 1);
         for (std::size_t i = begin; i < end; ++i) {
-          heap_offer(local, k, {i, packed_.squared(packed_.row(i), q)});
+          detail::heap_offer(local, k, {i, packed_.squared(packed_.row(i), q)});
         }
         return local;
       },
@@ -207,9 +181,9 @@ std::vector<Neighbor> BruteKnn::query(std::span<const double> query,
           acc = std::move(part);
           return;
         }
-        for (const Neighbor& cand : part) heap_offer(acc, k, cand);
+        for (const Neighbor& cand : part) detail::heap_offer(acc, k, cand);
       });
-  return heap_finish(std::move(heap));
+  out = detail::heap_sorted(std::move(heap));
 }
 
 bool BruteKnn::try_append(const Dataset& data, const MixedDistance& distance) {
@@ -221,6 +195,13 @@ bool BruteKnn::try_append(const Dataset& data, const MixedDistance& distance) {
   } else {
     // The refit distance rescaled at least one column: one O(n·d) repack —
     // still no engine re-selection and no per-row reallocation churn.
+    packed_.repack(data, distance, row_ids_);
+  }
+  return true;
+}
+
+bool BruteKnn::try_refit(const Dataset& data, const MixedDistance& distance) {
+  if (!packed_.scales_match(distance)) {
     packed_.repack(data, distance, row_ids_);
   }
   return true;
@@ -368,16 +349,33 @@ bool BallTreeKnn::try_append(const Dataset& data,
     return true;
   }
   if (!packed_.scales_match(distance)) {
-    // Repack every stored row (storage position p holds row order_[p]) and
-    // refresh the node radii so pruning stays exact under the new scales.
-    std::vector<std::size_t> storage_rows(old);
-    for (std::size_t pos = 0; pos < old; ++pos) {
-      storage_rows[pos] = row_ids_[order_[pos]];
-    }
-    packed_.repack(data, distance, storage_rows);
-    refresh_radii();
+    repack_storage(data, distance, old);
   }
   packed_.append(data, std::span<const std::size_t>(row_ids_).subspan(old));
+  return true;
+}
+
+void BallTreeKnn::repack_storage(const Dataset& data,
+                                 const MixedDistance& distance,
+                                 std::size_t count) {
+  // Repack the first `count` stored rows (storage position p holds row
+  // order_[p]) and refresh the node radii so pruning stays exact under the
+  // new scales. try_append passes the pre-append row count — the appended
+  // tail is packed right after under the new scales — while try_refit
+  // repacks everything.
+  std::vector<std::size_t> storage_rows(count);
+  for (std::size_t pos = 0; pos < count; ++pos) {
+    storage_rows[pos] = row_ids_[order_[pos]];
+  }
+  packed_.repack(data, distance, storage_rows);
+  refresh_radii();
+}
+
+bool BallTreeKnn::try_refit(const Dataset& data,
+                            const MixedDistance& distance) {
+  if (!packed_.scales_match(distance)) {
+    repack_storage(data, distance, order_.size());
+  }
   return true;
 }
 
@@ -393,8 +391,8 @@ void BallTreeKnn::search(int node_id, const double* query, std::size_t k,
   }
   if (node.left < 0) {
     for (std::size_t i = node.begin; i < node.end; ++i) {
-      heap_offer(heap, k,
-                 {order_[i], packed_.squared(packed_.row(i), query)});
+      detail::heap_offer(heap, k,
+                         {order_[i], packed_.squared(packed_.row(i), query)});
     }
     return;
   }
@@ -413,9 +411,10 @@ void BallTreeKnn::search(int node_id, const double* query, std::size_t k,
   }
 }
 
-std::vector<Neighbor> BallTreeKnn::query(std::span<const double> query,
-                                         std::size_t k) const {
-  if (k == 0 || row_ids_.empty()) return {};
+void BallTreeKnn::query_squared(std::span<const double> query, std::size_t k,
+                                std::vector<Neighbor>& out) const {
+  out.clear();
+  if (k == 0 || row_ids_.empty()) return;
   static thread_local std::vector<double> packed_query;
   packed_.pack_query(query, packed_query);
   const double* q = packed_query.data();
@@ -429,18 +428,19 @@ std::vector<Neighbor> BallTreeKnn::query(std::span<const double> query,
   // set under the (distance, index) total order is independent of the visit
   // order, so the result matches a fresh build bit for bit.
   for (std::size_t pos = tree_rows_; pos < order_.size(); ++pos) {
-    heap_offer(heap, k, {order_[pos], packed_.squared(packed_.row(pos), q)});
+    detail::heap_offer(heap, k,
+                       {order_[pos], packed_.squared(packed_.row(pos), q)});
   }
-  return heap_finish(std::move(heap));
+  out = detail::heap_sorted(std::move(heap));
 }
 
 // ---------------------------------------------------------------------------
 // Engine selection
 
-std::unique_ptr<KnnIndex> make_knn_index(const Dataset& data,
-                                         MixedDistance distance,
-                                         std::vector<std::size_t> indices,
-                                         const KnnIndexConfig& config) {
+std::unique_ptr<KnnIndex> make_single_knn_index(const Dataset& data,
+                                                MixedDistance distance,
+                                                std::vector<std::size_t> indices,
+                                                const KnnIndexConfig& config) {
   const std::size_t n = indices.empty() ? data.size() : indices.size();
   if (n < config.brute_crossover) {
     return std::make_unique<BruteKnn>(data, std::move(distance),
@@ -448,6 +448,24 @@ std::unique_ptr<KnnIndex> make_knn_index(const Dataset& data,
   }
   return std::make_unique<BallTreeKnn>(data, std::move(distance),
                                        std::move(indices), config.leaf_size);
+}
+
+std::unique_ptr<KnnIndex> make_knn_index(const Dataset& data,
+                                         MixedDistance distance,
+                                         std::vector<std::size_t> indices,
+                                         const KnnIndexConfig& config) {
+  const std::size_t n = indices.empty() ? data.size() : indices.size();
+  // The sharding decision is a pure function of (n, config) — never the
+  // thread count — so the engine (and therefore every distance computation)
+  // is stable across FROTE_NUM_THREADS.
+  const bool shard = config.shards >= 2 ||
+                     (config.shards == 0 && n >= config.shard_min_rows);
+  if (shard) {
+    return std::make_unique<ShardedKnnIndex>(data, std::move(distance),
+                                             std::move(indices), config);
+  }
+  return make_single_knn_index(data, std::move(distance), std::move(indices),
+                               config);
 }
 
 }  // namespace frote

@@ -1,24 +1,35 @@
 // k-nearest-neighbour search over a fixed set of rows with the SMOTE-NC
-// mixed distance. Two engines with identical results:
+// mixed distance. Three engines with identical results:
 //  - BruteKnn: flat scan over contiguous row storage, O(n) per query,
 //    chunk-parallel for large row sets;
-//  - BallTreeKnn: metric ball tree (the paper uses sklearn's ball_tree).
-// Both engines compare squared distances internally (the square root is
-// taken once per reported neighbour), and both break distance ties by row
-// index, so they agree exactly. make_knn_index() picks the engine by row
-// count: below the measured crossover the flat scan wins and the ball tree
-// never earns its build cost.
+//  - BallTreeKnn: metric ball tree (the paper uses sklearn's ball_tree);
+//  - ShardedKnnIndex (knn/sharded.hpp): contiguous shards of the row set,
+//    each backed by one of the two engines above, with a deterministic
+//    merged top-k.
+// All engines compare squared distances internally and break distance ties
+// by row index, so they agree exactly. The virtual surface is
+// query_squared() — the k best by *squared* distance — and the public
+// query() applies the square root once on top; composing engines
+// (ShardedKnnIndex's merge) work on the squared values so no intermediate
+// rounding can reorder a tie. make_knn_index() picks the engine by row
+// count: below the measured crossover the flat scan wins, above it the
+// ball tree, and past the sharding threshold the row set is partitioned
+// so builds and queries fan out on util/parallel.hpp.
 //
 // Appendable indexes (docs/DESIGN.md §5): an index built over *all* rows of
 // a dataset can absorb appended rows via try_append() instead of being
 // rebuilt from scratch. BruteKnn packs just the new rows (or repacks in one
 // pass when the refit distance changed scale); BallTreeKnn keeps appended
 // rows in a flat tail buffer that every query scans after the tree, and
-// folds the tail into the tree at a deterministic size threshold. Query
-// results after any append sequence are bit-identical to a fresh build over
+// folds the tail into the tree at a deterministic size threshold. Subset
+// indexes (the sharded engine's building blocks) support try_refit()
+// instead: same rows, re-fitted under a rescaled distance. Query results
+// after any append/refit sequence are bit-identical to a fresh build over
 // the same rows and distance.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <memory>
 #include <span>
@@ -73,6 +84,35 @@ class PackedRows {
   std::vector<std::size_t> slot_of_;  // feature -> packed slot
   std::vector<double> scale_;         // feature -> 1/σ (1 for categorical)
 };
+
+/// Total order every engine ranks by: distance, then row index — the
+/// deterministic tie-break that makes brute/tree/sharded agree exactly.
+/// Works identically on squared distances (sqrt is monotone).
+struct NeighborCmp {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.index < b.index;  // deterministic tie-break
+  }
+};
+
+/// Keep a bounded max-heap of the k best neighbours (worst on top).
+inline void heap_offer(std::vector<Neighbor>& heap, std::size_t k,
+                       Neighbor cand) {
+  if (heap.size() < k) {
+    heap.push_back(cand);
+    std::push_heap(heap.begin(), heap.end(), NeighborCmp{});
+  } else if (NeighborCmp{}(cand, heap.front())) {
+    std::pop_heap(heap.begin(), heap.end(), NeighborCmp{});
+    heap.back() = cand;
+    std::push_heap(heap.begin(), heap.end(), NeighborCmp{});
+  }
+}
+
+/// Heap -> ascending (distance, index) order; distances stay squared.
+inline std::vector<Neighbor> heap_sorted(std::vector<Neighbor> heap) {
+  std::sort_heap(heap.begin(), heap.end(), NeighborCmp{});
+  return heap;
+}
 }  // namespace detail
 
 /// Common interface for kNN engines.
@@ -80,9 +120,24 @@ class KnnIndex {
  public:
   virtual ~KnnIndex() = default;
   /// The k nearest indexed rows to `query`, ascending by distance. Ties are
-  /// broken by row index so both engines agree exactly.
-  virtual std::vector<Neighbor> query(std::span<const double> query,
-                                      std::size_t k) const = 0;
+  /// broken by row index so every engine agrees exactly. Implemented on
+  /// query_squared(): the square root is applied exactly once per reported
+  /// neighbour, after all merging, so composed engines cannot re-round.
+  std::vector<Neighbor> query(std::span<const double> query,
+                              std::size_t k) const {
+    std::vector<Neighbor> out;
+    query_squared(query, k, out);
+    for (auto& neighbor : out) {
+      neighbor.distance = std::sqrt(neighbor.distance);
+    }
+    return out;
+  }
+  /// The k nearest indexed rows with *squared* distances, ascending by
+  /// (squared distance, index). The composition primitive: a merge of
+  /// per-shard results under this order is bit-identical to a single
+  /// index over the union.
+  virtual void query_squared(std::span<const double> query, std::size_t k,
+                             std::vector<Neighbor>& out) const = 0;
   virtual std::size_t size() const = 0;
   /// Row-set index -> original dataset row index.
   virtual std::size_t dataset_index(std::size_t i) const = 0;
@@ -92,6 +147,16 @@ class KnnIndex {
   /// should rebuild instead. After a successful append, queries are
   /// bit-identical to a fresh build over data with `distance`.
   virtual bool try_append(const Dataset& data, const MixedDistance& distance) {
+    (void)data;
+    (void)distance;
+    return false;
+  }
+  /// Re-fit the index in place under `distance` over the *same* indexed
+  /// rows of `data` (which may have been rescaled by a refit). Unlike
+  /// try_append this works for subset indexes — it is how a sharded index
+  /// refreshes its shards without rebuilding them. Returns false when the
+  /// engine cannot refit in place.
+  virtual bool try_refit(const Dataset& data, const MixedDistance& distance) {
     (void)data;
     (void)distance;
     return false;
@@ -107,13 +172,14 @@ class BruteKnn : public KnnIndex {
   BruteKnn(const Dataset& data, MixedDistance distance,
            std::vector<std::size_t> indices = {}, int threads = 0);
 
-  std::vector<Neighbor> query(std::span<const double> query,
-                              std::size_t k) const override;
+  void query_squared(std::span<const double> query, std::size_t k,
+                     std::vector<Neighbor>& out) const override;
   std::size_t size() const override { return row_ids_.size(); }
   std::size_t dataset_index(std::size_t i) const override {
     return row_ids_[i];
   }
   bool try_append(const Dataset& data, const MixedDistance& distance) override;
+  bool try_refit(const Dataset& data, const MixedDistance& distance) override;
 
  private:
   std::vector<std::size_t> row_ids_;
@@ -133,8 +199,8 @@ class BallTreeKnn : public KnnIndex {
               std::vector<std::size_t> indices = {},
               std::size_t leaf_size = kDefaultLeafSize);
 
-  std::vector<Neighbor> query(std::span<const double> query,
-                              std::size_t k) const override;
+  void query_squared(std::span<const double> query, std::size_t k,
+                     std::vector<Neighbor>& out) const override;
   std::size_t size() const override { return row_ids_.size(); }
   std::size_t dataset_index(std::size_t i) const override {
     return row_ids_[i];
@@ -146,6 +212,8 @@ class BallTreeKnn : public KnnIndex {
   /// per-node radius refresh (the tree topology is kept; only the bounds
   /// must be valid for pruning).
   bool try_append(const Dataset& data, const MixedDistance& distance) override;
+  /// Same-rows refit: repack under the new scales + refresh the radii.
+  bool try_refit(const Dataset& data, const MixedDistance& distance) override;
   /// Rows covered by tree nodes (excludes the tail buffer); test hook.
   std::size_t tree_rows() const { return tree_rows_; }
 
@@ -164,6 +232,11 @@ class BallTreeKnn : public KnnIndex {
   /// Recompute every node's covering radius under the current packing — one
   /// exact pass per node, ~3x cheaper than a full rebuild.
   void refresh_radii();
+  /// Repack the first `count` stored rows under `distance` (storage
+  /// position p holds row order_[p]) and refresh the radii. The shared core
+  /// of try_append's rescale path and try_refit.
+  void repack_storage(const Dataset& data, const MixedDistance& distance,
+                      std::size_t count);
   /// `center_sq` is the squared distance from the packed query to this
   /// node's pivot, computed by the parent so no node measures its own
   /// center twice.
@@ -191,14 +264,30 @@ struct KnnIndexConfig {
   /// (BM_KnnBallTree/4000 vs BM_KnnBrute/4000) and still loses at n = 1000
   /// (see BENCH_micro.json, including BM_BallTreeBuild for the build cost).
   std::size_t brute_crossover = 4000;
-  int threads = 0;  // for BruteKnn's chunked scans; 0 ⇒ FROTE_NUM_THREADS
+  int threads = 0;  // for chunked scans / shard fan-out; 0 ⇒ FROTE_NUM_THREADS
+  /// Row sets at or above this size are sharded (ShardedKnnIndex): the set
+  /// splits into contiguous ranges of ~shard_target_rows rows, each backed
+  /// by its own single engine, built and queried on util/parallel.hpp.
+  /// The policy is a pure function of (n, config) — never the thread
+  /// count — so engine choice is stable across FROTE_NUM_THREADS.
+  std::size_t shard_min_rows = 32768;
+  std::size_t shard_target_rows = 16384;
+  /// Explicit shard count: 0 = auto (the policy above), 1 = never shard,
+  /// >= 2 = force exactly this many shards.
+  std::size_t shards = 0;
 };
 
 /// The library's default index: brute force below the measured crossover,
-/// ball tree above it. Both engines return identical neighbours.
+/// ball tree above it, sharded past shard_min_rows. All engines return
+/// identical neighbours.
 std::unique_ptr<KnnIndex> make_knn_index(const Dataset& data,
                                          MixedDistance distance,
                                          std::vector<std::size_t> indices = {},
                                          const KnnIndexConfig& config = {});
+
+/// make_knn_index without the sharding tier — the per-shard building block.
+std::unique_ptr<KnnIndex> make_single_knn_index(
+    const Dataset& data, MixedDistance distance,
+    std::vector<std::size_t> indices = {}, const KnnIndexConfig& config = {});
 
 }  // namespace frote

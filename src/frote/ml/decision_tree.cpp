@@ -80,9 +80,19 @@ class TreeBuilder {
       : data_(data),
         config_(config),
         rng_(rng),
-        raw_(data.raw_values().data()),
+        raw_(data.values_contiguous() ? data.raw_values().data() : nullptr),
         labels_(data.raw_labels().data()),
-        width_(data.num_features()) {}
+        width_(data.num_features()) {
+    if (raw_ == nullptr) {
+      // Chunked storage: no whole-table pointer exists, so snapshot one
+      // pointer per row instead. The split loops then cost one extra load
+      // per row access, only on the geometry that asked for it.
+      row_ptrs_.resize(data.size());
+      for (std::size_t i = 0; i < row_ptrs_.size(); ++i) {
+        row_ptrs_[i] = data.row_ptr(i);
+      }
+    }
+  }
 
   std::vector<DecisionTreeModel::Node> build(std::vector<std::size_t> indices) {
     nodes_.clear();
@@ -127,7 +137,7 @@ class TreeBuilder {
     std::size_t write = begin;
     for (std::size_t i = begin; i < end; ++i) {
       const std::size_t idx = order_[i];
-      const double x = raw_[idx * width_ + split.feature];
+      const double x = value_at(idx, split.feature);
       const bool go_left = split.categorical ? (x == split.threshold)
                                              : (x <= split.threshold);
       if (go_left) {
@@ -205,7 +215,7 @@ class TreeBuilder {
     code_totals_.assign(cardinality, 0.0);
     for (std::size_t i = begin; i < end; ++i) {
       const std::size_t idx = order_[i];
-      const auto code = static_cast<std::size_t>(raw_[idx * width_ + f]);
+      const auto code = static_cast<std::size_t>(value_at(idx, f));
       per_code_[code * classes + static_cast<std::size_t>(labels_[idx])] +=
           1.0;
       code_totals_[code] += 1.0;
@@ -245,7 +255,7 @@ class TreeBuilder {
     hist_.assign(8 * 256, 0);
     for (std::size_t i = 0; i < m; ++i) {
       const std::size_t idx = order_[begin + i];
-      const std::uint64_t key = detail::split_value_key(raw_[idx * width_ + f]);
+      const std::uint64_t key = detail::split_value_key(value_at(idx, f));
       keys_[0][i] = key;
       labs_[0][i] = labels_[idx];
       for (std::size_t b = 0; b < 8; ++b) {
@@ -310,10 +320,17 @@ class TreeBuilder {
     }
   }
 
+  /// Feature value of dataset row `idx`, column `f` — flat-table pointer
+  /// arithmetic when storage is contiguous, per-row pointers when chunked.
+  double value_at(std::size_t idx, std::size_t f) const {
+    return raw_ != nullptr ? raw_[idx * width_ + f] : row_ptrs_[idx][f];
+  }
+
   const Dataset& data_;
   const DecisionTreeConfig& config_;
   Rng& rng_;
-  const double* raw_;    // row-major feature storage (bounds pre-validated)
+  const double* raw_;    // whole-table pointer; nullptr on chunked storage
+  std::vector<const double*> row_ptrs_;  // chunked fallback, one per row
   const int* labels_;
   std::size_t width_;
   std::vector<DecisionTreeModel::Node> nodes_;

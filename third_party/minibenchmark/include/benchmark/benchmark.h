@@ -150,6 +150,12 @@ class Benchmark {
     name_ = name;
     return this;
   }
+  /// google-benchmark's ->Apply(): hand the registration to a function that
+  /// adds args programmatically (e.g. environment-gated scale points).
+  Benchmark* Apply(void (*custom_arguments)(Benchmark*)) {
+    custom_arguments(this);
+    return this;
+  }
   // Accepted-and-ignored tuning knobs, for source compatibility.
   Benchmark* Unit(TimeUnit) { return this; }
   Benchmark* Threads(int) { return this; }
