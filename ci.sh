@@ -107,19 +107,44 @@ wait "$SERVE_PID"
 test -s "$SERVE_DIR/spool/s-000001.checkpoint.json"
 echo "serve leg: HTTP responses byte-identical to stdio; SIGTERM checkpointed the open session"
 
+# Chaos leg: the kill-recover sweep (label "chaos" — test_chaos_serve
+# SIGKILLs daemons at every registered fsio/pool fault point and asserts
+# recovery lands on an adjacent checkpoint, never a torn third state).
+# Also part of the full ctest run above; re-run explicitly so a chaos
+# failure is unmissable in the log. The FROTE_FAULTS smoke then exercises
+# the env-var injection path: a daemon with a failing spool fsync must
+# absorb the failure (spool_failures, not a crash) and answer the contract
+# script byte-identically to the fault-free golden.
+echo "=== chaos leg: ctest -L chaos + FROTE_FAULTS smoke ==="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L chaos
+FROTE_FAULTS="fsio.fsync:nth=3" "$BUILD_DIR/tools/frote_serve" \
+  --spool "$SERVE_DIR/faults-spool" --evict-every-request \
+  < "$SERVE_DIR/script.jsonl" > "$SERVE_DIR/faults.jsonl"
+diff "$SERVE_DIR/golden.jsonl" "$SERVE_DIR/faults.jsonl"
+echo "chaos leg: injected spool failure absorbed; responses byte-identical"
+
 # Sanitizer leg: rebuild with AddressSanitizer + UBSan (-DFROTE_SANITIZE=ON,
-# separate build dir) and rerun the fast unit label. The chunked data plane
-# and the sharded index move row storage behind raw pointers and shared
-# mmap'd chunks — exactly the kind of code ASan catches regressions in that
-# functional tests cannot. Benches and examples are skipped in this build;
-# tools stay on because test_serve (label unit) drives the real daemon.
+# separate build dir) and rerun the unit + chaos labels. The chunked data
+# plane and the sharded index move row storage behind raw pointers and
+# shared mmap'd chunks — exactly the kind of code ASan catches regressions
+# in that functional tests cannot — and the chaos sweep's SIGKILL/recover
+# cycles run the spool validation and quarantine paths under the sanitizer
+# too. Benches and examples are skipped in this build; tools stay on
+# because test_serve / test_chaos_serve drive the real daemon. The
+# FROTE_FAULTS smoke at the end runs the ASan daemon through an injected
+# spool failure: the error-unwinding path (throw through evict, TmpGuard
+# cleanup) is where leaks and use-after-frees hide.
 if [[ "${FROTE_CI_SKIP_SANITIZE:-0}" != "1" ]]; then
-  echo "=== sanitizer leg: ASan+UBSan ctest -L unit ==="
+  echo "=== sanitizer leg: ASan+UBSan ctest -L unit|chaos ==="
   SAN_DIR="$BUILD_DIR-asan"
   cmake -B "$SAN_DIR" -S . "${CMAKE_ARGS[@]}" -DFROTE_SANITIZE=ON \
     -DFROTE_BUILD_BENCHES=OFF -DFROTE_BUILD_EXAMPLES=OFF > /dev/null
   cmake --build "$SAN_DIR" -j "$(nproc)"
-  ctest --test-dir "$SAN_DIR" --output-on-failure -j "$(nproc)" -L unit
+  ctest --test-dir "$SAN_DIR" --output-on-failure -j "$(nproc)" -L 'unit|chaos'
+  echo "=== sanitizer leg: FROTE_FAULTS smoke ==="
+  FROTE_FAULTS="fsio.fsync:nth=3" "$SAN_DIR/tools/frote_serve" \
+    --spool "$SAN_DIR/faults-spool" --evict-every-request \
+    < "$SERVE_DIR/script.jsonl" > /dev/null
 fi
 
 # Package smoke: install to a scratch prefix, then build and run a 10-line

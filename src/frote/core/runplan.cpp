@@ -274,9 +274,10 @@ Expected<std::vector<RunResult>> execute_plan(const RunPlan& plan,
         for (std::size_t i = begin; i < end; ++i) {
           const PreparedRun& p = prepared[i];
           RunResult& result = results[i];
-          result.name = p.run.name;
           const fs::path dir = fs::path(options.output_dir) / p.run.name;
-          try {
+          const auto run_once = [&]() {
+            result = RunResult{};
+            result.name = p.run.name;
             if (with_artifacts) {
               write_file_atomic(dir / "spec.json",
                                 p.run.spec.to_json_text() + "\n");
@@ -286,17 +287,27 @@ Expected<std::vector<RunResult>> execute_plan(const RunPlan& plan,
             if (with_artifacts && options.resume &&
                 load_run_result(dir / "result.json", result)) {
               result.name = p.run.name;
-              continue;
+              return;
             }
-            // An unusable checkpoint — unreadable, unparseable, or
-            // inconsistent with this plan's engine/learner (e.g. the plan
-            // was edited into the same output dir) — is never fatal: the
-            // run simply restarts from scratch, which is always correct
-            // for the *current* plan. Only real execution errors fail.
+            // An unusable checkpoint — validation failure (torn or
+            // bit-rotted: quarantined), unparseable, or inconsistent with
+            // this plan's engine/learner (e.g. the plan was edited into
+            // the same output dir) — is never fatal: the run simply
+            // restarts from scratch, which is always correct for the
+            // *current* plan. Only real execution errors fail.
             Session session = [&]() -> Session {
               if (with_artifacts && options.resume) {
+                const fs::path ckpt_path = dir / "checkpoint.json";
                 std::string text;
-                if (read_file(dir / "checkpoint.json", text)) {
+                const ValidatedRead read =
+                    read_file_validated(ckpt_path, text);
+                if (read == ValidatedRead::kCorrupt) {
+                  const fs::path moved = quarantine_file(ckpt_path);
+                  std::cerr << p.run.name
+                            << ": checkpoint failed validation, quarantined "
+                            << moved.filename().string()
+                            << "; starting fresh\n";
+                } else if (read == ValidatedRead::kOk) {
                   auto ckpt = SessionCheckpoint::parse(text);
                   auto restored =
                       ckpt ? Session::restore(p.engine, *p.learner, *ckpt)
@@ -315,8 +326,8 @@ Expected<std::vector<RunResult>> execute_plan(const RunPlan& plan,
 
             const auto write_checkpoint = [&]() {
               if (!with_artifacts) return;
-              write_file_atomic(dir / "checkpoint.json",
-                                session.snapshot().to_json_text() + "\n");
+              write_file_durable(dir / "checkpoint.json",
+                                 session.snapshot().to_json_text() + "\n");
             };
 
             std::size_t steps_this_invocation = 0;
@@ -346,7 +357,7 @@ Expected<std::vector<RunResult>> execute_plan(const RunPlan& plan,
               result.iterations_run = progress.iterations_run;
               result.iterations_accepted = progress.iterations_accepted;
               result.final_j_bar = session.best_j_hat_bar();
-              continue;  // no result.json: the run is resumable
+              return;  // no result.json: the run is resumable
             }
             result.completed = true;
             result.final_j_bar = session.best_j_hat_bar();
@@ -362,8 +373,21 @@ Expected<std::vector<RunResult>> execute_plan(const RunPlan& plan,
               std::error_code ignored;
               fs::remove(dir / "checkpoint.json", ignored);
             }
-          } catch (const std::exception& e) {
-            failures[i] = e.what();
+          };
+          // Bounded per-run retries: each attempt restarts the run body
+          // from scratch (clean RunResult, re-read checkpoint), so a
+          // passing retry produces the same bytes a first-try pass would.
+          // No sleep between attempts — the failures this shields are
+          // injected or transient I/O, not remote services.
+          for (int attempt = 0;; ++attempt) {
+            try {
+              run_once();
+              failures[i].clear();
+              break;
+            } catch (const std::exception& e) {
+              failures[i] = e.what();
+              if (attempt >= options.retries) break;
+            }
           }
         }
       });

@@ -82,8 +82,15 @@ struct RunPlanOptions {
   /// style smoke tests.
   std::size_t max_steps = 0;
   /// Resume incomplete runs from their checkpoint.json; completed runs
-  /// (result.json present) are not re-executed.
+  /// (result.json present) are not re-executed. Checkpoints are durable
+  /// files (integrity footer, util/fsio.hpp); one that fails validation is
+  /// quarantined to checkpoint.json.corrupt and the run restarts fresh.
   bool resume = false;
+  /// Re-attempts per run after an execution failure (transient I/O —
+  /// artifact writes hitting a full disk, injected faults). Each retry
+  /// restarts that run's body from scratch, so a retried run produces the
+  /// same bytes a first-try run would. 0 disables.
+  int retries = 2;
 };
 
 /// Summary of one expanded run. Deterministic — no wall-clock fields — so

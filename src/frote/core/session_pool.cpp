@@ -8,7 +8,9 @@
 #include <utility>
 
 #include "frote/core/checkpoint.hpp"
+#include "frote/util/faultsim.hpp"
 #include "frote/util/fsio.hpp"
+#include "frote/util/hash.hpp"
 #include "frote/util/parallel.hpp"
 
 namespace frote {
@@ -23,25 +25,22 @@ constexpr const char* kCheckpointSuffix = ".checkpoint.json";
 /// FNV-1a 64 over the augmented dataset's observable bytes (labels, row
 /// ids, feature values bit-patterns). The cheap byte-identity witness
 /// session.result exposes: two runs answering with the same digest hold
-/// bit-identical D̂ without shipping the rows over the wire.
+/// bit-identical D̂ without shipping the rows over the wire. Mixing order
+/// (u64s, little-endian-first) matches the original inline implementation
+/// — these digests are wire-visible and must stay stable.
 std::uint64_t dataset_digest(const Dataset& data) {
-  std::uint64_t h = 14695981039346656037ull;
-  const auto mix = [&h](std::uint64_t v) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (v >> (byte * 8)) & 0xffull;
-      h *= 1099511628211ull;
-    }
-  };
-  mix(data.size());
-  mix(data.num_features());
+  Fnv1a64 h;
+  h.update_u64(data.size());
+  h.update_u64(data.num_features());
   for (std::size_t i = 0; i < data.size(); ++i) {
-    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(data.label(i))));
-    mix(data.row_id(i));
+    h.update_u64(
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(data.label(i))));
+    h.update_u64(data.row_id(i));
     for (const double value : data.row(i)) {
-      mix(std::bit_cast<std::uint64_t>(value));
+      h.update_u64(std::bit_cast<std::uint64_t>(value));
     }
   }
-  return h;
+  return h.digest();
 }
 
 std::string hex64(std::uint64_t value) {
@@ -53,6 +52,21 @@ std::string hex64(std::uint64_t value) {
 
 FroteError no_such_session(const std::string& id) {
   return FroteError::invalid_argument("no such session: " + id);
+}
+
+/// The "session unrecoverable" message prefix is part of the protocol:
+/// frote_serve maps it to JSON-RPC -32002. The session's durable state is
+/// gone (corrupt and quarantined, or quarantined earlier); the daemon and
+/// every other session keep serving.
+FroteError unrecoverable(const std::string& id, const std::string& why) {
+  return FroteError::io_error("session unrecoverable: " + id + ": " + why);
+}
+
+/// "overloaded" prefix ⇒ JSON-RPC -32005 with a retry_after_ms hint.
+FroteError pool_overloaded(std::size_t limit, const char* what) {
+  return FroteError::io_error("overloaded: " + std::string(what) +
+                              " limit reached (" + std::to_string(limit) +
+                              "); retry later");
 }
 
 }  // namespace
@@ -117,10 +131,18 @@ std::size_t SessionPool::recover_from_spool(
     if (problems != nullptr) problems->push_back(message);
   };
   // Deterministic recovery order: directory iteration order is
-  // filesystem-defined, so collect and sort by id first.
+  // filesystem-defined, so collect and sort by id first. Stale ".tmp"
+  // files are uncommitted write_file_atomic leftovers — a crash landed
+  // between create and rename — and are swept here so they never
+  // accumulate or get mistaken for spool state.
   std::vector<std::string> ids;
+  std::vector<fs::path> stale_tmp;
   for (const auto& item : fs::directory_iterator(config_.spool_dir)) {
     const std::string name = item.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      stale_tmp.push_back(item.path());
+      continue;
+    }
     const std::string suffix = kSpecSuffix;
     if (name.size() > suffix.size() &&
         name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
@@ -128,12 +150,25 @@ std::size_t SessionPool::recover_from_spool(
       ids.push_back(name.substr(0, name.size() - suffix.size()));
     }
   }
+  for (const fs::path& tmp : stale_tmp) {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    note("removed stale temp file: " + tmp.filename().string());
+  }
   std::sort(ids.begin(), ids.end());
 
   std::size_t recovered = 0;
   for (const std::string& id : ids) {
     std::string spec_text;
-    if (!read_file(spool_path(id, kSpecSuffix), spec_text)) {
+    const ValidatedRead spec_read =
+        read_file_validated(spool_path(id, kSpecSuffix), spec_text);
+    if (spec_read == ValidatedRead::kCorrupt) {
+      const fs::path moved = quarantine_file(spool_path(id, kSpecSuffix));
+      note(id + ": spec file corrupt, quarantined to " +
+           moved.filename().string());
+      continue;
+    }
+    if (spec_read != ValidatedRead::kOk) {
       note(id + ": spec file unreadable");
       continue;
     }
@@ -193,6 +228,22 @@ std::size_t SessionPool::recover_from_spool(
 
 Expected<std::string, FroteError> SessionPool::create(const EngineSpec& spec) {
   request_counter_.fetch_add(1);
+  // Admission control, checked before the expensive spec resolution (and
+  // authoritatively again at insertion): a pool at capacity refuses new
+  // sessions with a typed retryable error instead of growing without
+  // bound. Without a spool, max_live is the admission limit too — there
+  // is nowhere to evict to.
+  {
+    std::lock_guard<std::mutex> lock(table_mutex_);
+    if (config_.max_sessions > 0 &&
+        entries_.size() >= config_.max_sessions) {
+      return pool_overloaded(config_.max_sessions, "open-session");
+    }
+    if (config_.spool_dir.empty() && config_.max_live > 0 &&
+        entries_.size() >= config_.max_live) {
+      return pool_overloaded(config_.max_live, "live-session");
+    }
+  }
   if (!spec.dataset.has_value()) {
     return FroteError::invalid_argument(
         "spec needs a \"dataset\" reference — the daemon has no other input "
@@ -213,6 +264,16 @@ Expected<std::string, FroteError> SessionPool::create(const EngineSpec& spec) {
   std::shared_ptr<Entry> entry;
   {
     std::lock_guard<std::mutex> lock(table_mutex_);
+    // Re-check admission under the lock that admits: concurrent creates
+    // may all have passed the early check.
+    if (config_.max_sessions > 0 &&
+        entries_.size() >= config_.max_sessions) {
+      return pool_overloaded(config_.max_sessions, "open-session");
+    }
+    if (config_.spool_dir.empty() && config_.max_live > 0 &&
+        entries_.size() >= config_.max_live) {
+      return pool_overloaded(config_.max_live, "live-session");
+    }
     char buffer[16];
     std::snprintf(buffer, sizeof buffer, "s-%06llu",
                   static_cast<unsigned long long>(next_session_++));
@@ -226,10 +287,11 @@ Expected<std::string, FroteError> SessionPool::create(const EngineSpec& spec) {
   }
   if (!config_.spool_dir.empty()) {
     // Persist the resolved run next to the checkpoint slot so a restarted
-    // daemon can rebuild the engine and continue this session.
+    // daemon can rebuild the engine and continue this session. Durable
+    // (fsync + footer): the spec is the recovery key for everything else.
     try {
-      write_file_atomic(spool_path(entry->id, kSpecSuffix),
-                        spec.to_json_text() + "\n");
+      write_file_durable(spool_path(entry->id, kSpecSuffix),
+                         spec.to_json_text() + "\n");
     } catch (const Error& e) {
       std::lock_guard<std::mutex> lock(table_mutex_);
       entries_.erase(entry->id);
@@ -250,35 +312,54 @@ SessionPool::find_entry(const std::string& id) {
   return it->second;
 }
 
-void SessionPool::hydrate(Entry& entry) {
-  if (entry.live.has_value()) return;
+std::optional<FroteError> SessionPool::hydrate(Entry& entry) {
+  if (entry.live.has_value()) return std::nullopt;
   FROTE_CHECK_MSG(entry.spooled, "session " << entry.id
                                             << " is neither live nor spooled");
+  if (faultsim::should_fail("pool.restore")) {
+    return unrecoverable(entry.id, "injected fault: pool.restore");
+  }
+  const fs::path path = spool_path(entry.id, kCheckpointSuffix);
   std::string text;
-  if (!read_file(spool_path(entry.id, kCheckpointSuffix), text)) {
-    throw Error("session " + entry.id + ": checkpoint missing from spool");
+  const ValidatedRead read = read_file_validated(path, text);
+  if (read == ValidatedRead::kMissing) {
+    // Including the post-quarantine state: a checkpoint found corrupt on
+    // an earlier request was moved aside, and this session stays a typed
+    // error for the rest of its (stale) life.
+    return unrecoverable(entry.id, "checkpoint missing from spool");
+  }
+  if (read == ValidatedRead::kCorrupt) {
+    const fs::path moved = quarantine_file(path);
+    return unrecoverable(entry.id, "spooled checkpoint corrupt, quarantined " +
+                                       moved.filename().string());
   }
   auto checkpoint = SessionCheckpoint::parse(text);
   if (!checkpoint) {
-    throw Error("session " + entry.id +
-                ": spooled checkpoint unusable: " +
-                checkpoint.error().message);
+    // Footer-valid but unparsable: written by a different frote version or
+    // hand-edited consistently. Quarantine all the same — rehydrating it
+    // will never start working on its own.
+    const fs::path moved = quarantine_file(path);
+    return unrecoverable(entry.id, "spooled checkpoint unusable (quarantined " +
+                                       moved.filename().string() +
+                                       "): " + checkpoint.error().message);
   }
   auto restored =
       Session::restore(entry.engine, *entry.learner, *checkpoint);
   if (!restored) {
-    throw Error("session " + entry.id +
-                ": restore failed: " + restored.error().message);
+    return unrecoverable(entry.id,
+                         "restore failed: " + restored.error().message);
   }
   entry.live.emplace(std::move(*restored));
   entry.note_geometry();
   restores_.fetch_add(1);
+  return std::nullopt;
 }
 
 void SessionPool::evict(Entry& entry) {
   if (!entry.live.has_value() || config_.spool_dir.empty()) return;
-  write_file_atomic(spool_path(entry.id, kCheckpointSuffix),
-                    entry.live->snapshot().to_json_text() + "\n");
+  faultsim::hit("pool.evict");
+  write_file_durable(spool_path(entry.id, kCheckpointSuffix),
+                     entry.live->snapshot().to_json_text() + "\n");
   entry.live.reset();
   entry.spooled = true;
   evictions_.fetch_add(1);
@@ -287,10 +368,21 @@ void SessionPool::evict(Entry& entry) {
 void SessionPool::enforce_capacity() {
   if (config_.spool_dir.empty()) return;  // nowhere to evict to
   std::lock_guard<std::mutex> lock(table_mutex_);
+  // A failed spool write (injected fault, full disk) must not fail the
+  // request that merely triggered capacity enforcement: the session simply
+  // stays live — memory pressure is a quality-of-service concern, losing a
+  // response is a correctness one.
+  const auto try_evict = [this](Entry& entry) {
+    try {
+      evict(entry);
+    } catch (const Error&) {
+      spool_failures_.fetch_add(1);
+    }
+  };
   if (config_.evict_every_request) {
     for (auto& [id, entry] : entries_) {
       std::unique_lock<std::mutex> entry_lock(entry->m, std::try_to_lock);
-      if (entry_lock.owns_lock() && !entry->closed) evict(*entry);
+      if (entry_lock.owns_lock() && !entry->closed) try_evict(*entry);
     }
     return;
   }
@@ -311,8 +403,8 @@ void SessionPool::enforce_capacity() {
     if (excess == 0) break;
     std::unique_lock<std::mutex> entry_lock(entry->m, std::try_to_lock);
     if (!entry_lock.owns_lock() || entry->closed) continue;
-    evict(*entry);
-    --excess;
+    try_evict(*entry);
+    if (!entry->live.has_value()) --excess;
   }
 }
 
@@ -324,7 +416,7 @@ Expected<SessionStepOutcome, FroteError> SessionPool::step(
   {
     std::lock_guard<std::mutex> lock((*entry)->m);
     if ((*entry)->closed) return no_such_session(id);
-    hydrate(**entry);
+    if (auto failure = hydrate(**entry)) return *failure;
     Session& session = *(*entry)->live;
     for (std::size_t i = 0; i < steps; ++i) {
       if (session.finished()) break;
@@ -353,7 +445,7 @@ Expected<JsonValue, FroteError> SessionPool::snapshot(const std::string& id) {
   {
     std::lock_guard<std::mutex> lock((*entry)->m);
     if ((*entry)->closed) return no_such_session(id);
-    hydrate(**entry);
+    if (auto failure = hydrate(**entry)) return *failure;
     checkpoint = (*entry)->live->snapshot().to_json();
   }
   enforce_capacity();
@@ -386,7 +478,7 @@ Expected<JsonValue, FroteError> SessionPool::result(const std::string& id) {
   {
     std::lock_guard<std::mutex> lock((*entry)->m);
     if ((*entry)->closed) return no_such_session(id);
-    hydrate(**entry);
+    if (auto failure = hydrate(**entry)) return *failure;
     summary = summary_json(**entry);
   }
   enforce_capacity();
@@ -400,8 +492,17 @@ Expected<JsonValue, FroteError> SessionPool::close(const std::string& id) {
   {
     std::lock_guard<std::mutex> lock((*entry)->m);
     if ((*entry)->closed) return no_such_session(id);
-    hydrate(**entry);
-    summary = summary_json(**entry);
+    if (auto failure = hydrate(**entry)) {
+      // An unrecoverable session can still be closed — that is how a
+      // client clears it. The summary reports the degradation in place of
+      // the run counters it no longer has.
+      summary = JsonValue::object();
+      summary.set("session", id);
+      summary.set("unrecoverable", true);
+      summary.set("error", failure->message);
+    } else {
+      summary = summary_json(**entry);
+    }
     summary.set("closed", true);
     (*entry)->closed = true;
     (*entry)->live.reset();
@@ -448,9 +549,11 @@ JsonValue SessionPool::stats() const {
   out.set("sessions_recovered", sessions_recovered_);
   out.set("evictions", evictions_.load());
   out.set("restores", restores_.load());
+  out.set("spool_failures", spool_failures_.load());
   // Counts every pool request, this one included.
   out.set("requests", request_counter_.load());
   out.set("max_live", config_.max_live);
+  out.set("max_sessions", config_.max_sessions);
   out.set("evict_every_request", config_.evict_every_request);
   out.set("spool", !config_.spool_dir.empty());
   out.set("threads", resolve_threads(config_.threads));
@@ -477,8 +580,16 @@ std::size_t SessionPool::checkpoint_all() {
       Entry& entry = *entries[i];
       std::lock_guard<std::mutex> lock(entry.m);
       if (entry.closed || !entry.live.has_value()) continue;
-      evict(entry);
-      written.fetch_add(1);
+      // One session's failed spool write must not abort the shutdown
+      // sweep for the rest; the failed one stays live (and is simply lost
+      // when the process exits — exactly what would have happened to all
+      // of them without the sweep).
+      try {
+        evict(entry);
+        written.fetch_add(1);
+      } catch (const Error&) {
+        spool_failures_.fetch_add(1);
+      }
     }
   });
   return written.load();

@@ -24,10 +24,17 @@
 //
 // Durability: when a spool directory is configured, session.create
 // persists the resolved EngineSpec next to the checkpoint slot, eviction
-// writes <id>.checkpoint.json atomically, and checkpoint_all() (the
-// SIGTERM/EOF path, parallel across sessions) spools every live session —
-// so a restarted daemon pointed at the same spool recovers every session
-// and continues them bit-identically.
+// writes <id>.checkpoint.json durably (fsync'd atomic rename + integrity
+// footer, util/fsio.hpp), and checkpoint_all() (the SIGTERM/EOF path,
+// parallel across sessions) spools every live session — so a restarted
+// daemon pointed at the same spool recovers every session and continues
+// it bit-identically. A spool file that fails validation on read (torn by
+// a crash the rename protocol didn't cover, bit-rotted, hand-edited) is
+// quarantined to <name>.corrupt and that one session degrades to a typed
+// "session unrecoverable" error; the daemon and every other session keep
+// serving. The kill-recover chaos suite (tests/test_chaos_serve.cpp)
+// SIGKILLs the daemon at every fsio fault point and asserts recovery is
+// always to the pre- or post-checkpoint state, never a third one.
 #pragma once
 
 #include <atomic>
@@ -36,6 +43,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,7 +59,13 @@ struct SessionPoolConfig {
   std::string spool_dir;
   /// Live sessions kept in memory; exceeding this evicts the
   /// least-recently-used idle session to the spool. 0 = unbounded.
+  /// Without a spool there is nowhere to evict to, so this becomes an
+  /// admission limit instead: create() beyond it is refused with an
+  /// "overloaded" typed error rather than OOM-ing the daemon.
   std::size_t max_live = 8;
+  /// Hard cap on open sessions (live + evicted). create() beyond it is
+  /// refused with an "overloaded" typed error. 0 = unbounded.
+  std::size_t max_sessions = 0;
   /// Testing/verification mode: spool the session after *every* request,
   /// so each next request pays a full restore. Client-visible responses
   /// must not change — this is the eviction-transparency lock.
@@ -134,8 +148,11 @@ class SessionPool {
   Expected<std::shared_ptr<Entry>, FroteError> find_entry(
       const std::string& id);
   /// Ensure the entry has a live Session (restore from spool if evicted).
-  /// Caller must hold the entry mutex.
-  void hydrate(Entry& entry);
+  /// Caller must hold the entry mutex. A torn/corrupt spooled checkpoint
+  /// is quarantined and reported as a "session unrecoverable" typed error
+  /// (JSON-RPC -32002) — the session is lost but the daemon keeps serving
+  /// every other session.
+  std::optional<FroteError> hydrate(Entry& entry);
   /// Spool the entry's live session and drop it. Caller must hold the
   /// entry mutex; no-op when already evicted or no spool is configured.
   void evict(Entry& entry);
@@ -161,6 +178,10 @@ class SessionPool {
   std::uint64_t sessions_recovered_ = 0;
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> restores_{0};
+  /// Evictions/checkpoints whose spool write failed (injected or real I/O
+  /// error). The session stays live — a failed spool write must never cost
+  /// state — but the counter surfaces the degradation in server.stats.
+  std::atomic<std::uint64_t> spool_failures_{0};
 };
 
 }  // namespace frote

@@ -170,6 +170,51 @@
 //                                          old chooser
 //   server.stats counters only           → + per-session `sessions` array:
 //                                          {session, state, rows, chunks}
+//
+// PR 8 (fault injection + crash-safe serving) — additions; the clean-path
+// bytes of every artifact reader/writer are unchanged except that durable
+// files carry a trailing integrity-footer line:
+//   write_file_atomic (tmp+rename only)  → + fsync(file) before and
+//                                          fsync(parent dir) after the
+//                                          rename (crash-durable commit);
+//                                          util/fsio.hpp also gains
+//                                          write_file_durable /
+//                                          read_file_validated (kOk,
+//                                          kMissing, kCorrupt) /
+//                                          quarantine_file — checkpoints
+//                                          and the serve spool validate on
+//                                          read, corrupt files move to
+//                                          <name>.corrupt
+//   (new) util/faultsim.hpp              → deterministic fault injection:
+//                                          named points, nth=K / prob=P
+//                                          schedules pure in (seed, point,
+//                                          hit), fail/kill actions, armed
+//                                          via FROTE_FAULTS or --faults;
+//                                          disarmed cost is one relaxed
+//                                          atomic load
+//   (new) util/hash.hpp                  → Fnv1a64 shared by
+//                                          dataset_digest and the
+//                                          integrity footer
+//   RpcErrorCode                         → + kSessionUnrecoverable (-32002)
+//                                          and kOverloaded (-32005, error
+//                                          data carries retry_after_ms);
+//                                          rpc_error_line gains a data
+//                                          overload
+//   net::serve(handler)                  → net::serve(handler, HttpLimits
+//                                          {max_body_bytes,
+//                                          max_header_bytes,
+//                                          read_timeout_ms}): 408 on
+//                                          stalled reads, 431/413 on
+//                                          oversized heads/bodies
+//   SessionPool::Config                  → + max_sessions (admission cap;
+//                                          max_live doubles as the cap
+//                                          when there is no spool);
+//                                          server.stats gains
+//                                          spool_failures
+//   RunPlanOptions                       → + retries (per-run restart with
+//                                          deterministic backoff; also
+//                                          frote_run --retries and
+//                                          frote_serve --drive --retries)
 // ---------------------------------------------------------------------------
 #pragma once
 

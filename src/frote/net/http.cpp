@@ -11,8 +11,11 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
+
+#include "frote/util/faultsim.hpp"
 
 namespace frote::net {
 
@@ -35,6 +38,7 @@ void close_fd(int& fd) {
 /// write() the whole buffer, retrying on EINTR/short writes. False on a
 /// broken connection (the client went away; the server just moves on).
 bool write_all(int fd, const char* data, std::size_t size) {
+  if (faultsim::should_fail("net.write")) return false;
   std::size_t written = 0;
   while (written < size) {
     const ssize_t n = ::write(fd, data + written, size - written);
@@ -53,7 +57,9 @@ const char* status_text(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     default: return "Status";
   }
@@ -198,7 +204,8 @@ void HttpServer::stop() {
 
 void HttpServer::serve(
     const std::function<HttpResponse(const HttpRequest&)>& handler,
-    std::size_t max_body_bytes) {
+    HttpLimits limits) {
+  using Clock = std::chrono::steady_clock;
   for (;;) {
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_read_fd_, POLLIN, 0}};
     const int ready = ::poll(fds, 2, -1);
@@ -210,22 +217,57 @@ void HttpServer::serve(
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
+    if (faultsim::should_fail("net.accept")) {
+      // Simulated accept failure: the connection is dropped before a
+      // single byte is read, as if the kernel ran out of fds.
+      ::close(client);
+      continue;
+    }
 
-    // Read the head (bounded by max_body_bytes too — a head that large is
-    // abuse, not a request), then exactly Content-Length body bytes.
+    // Read head + body under one whole-request deadline. Buffering is
+    // bounded at every stage: the head by max_header_bytes, the body by
+    // the (already-validated) Content-Length.
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(limits.read_timeout_ms);
     std::string data;
     HttpRequest request;
     bool head_done = false;
     std::size_t body_start = 0;
     std::size_t content_length = 0;
     bool bad = false;
+    bool dropped = false;
+    bool timed_out = false;
     bool too_large = false;
+    bool head_too_large = false;
     char buffer[4096];
     for (;;) {
+      if (limits.read_timeout_ms > 0) {
+        const auto remaining = std::chrono::duration_cast<
+            std::chrono::milliseconds>(deadline - Clock::now()).count();
+        if (remaining <= 0) {
+          timed_out = true;
+          break;
+        }
+        pollfd client_fd{client, POLLIN, 0};
+        const int got = ::poll(&client_fd, 1, static_cast<int>(remaining));
+        if (got < 0) {
+          if (errno == EINTR) continue;
+          dropped = true;
+          break;
+        }
+        if (got == 0) {
+          timed_out = true;
+          break;
+        }
+      }
+      if (faultsim::should_fail("net.read")) {
+        dropped = true;  // simulated mid-request connection loss
+        break;
+      }
       const ssize_t n = ::read(client, buffer, sizeof buffer);
       if (n < 0) {
         if (errno == EINTR) continue;
-        bad = true;
+        dropped = true;
         break;
       }
       if (n == 0) {
@@ -236,11 +278,15 @@ void HttpServer::serve(
       if (!head_done) {
         const std::size_t head_end = data.find("\r\n\r\n");
         if (head_end == std::string::npos) {
-          if (data.size() > max_body_bytes) {
-            too_large = true;
+          if (data.size() > limits.max_header_bytes) {
+            head_too_large = true;
             break;
           }
           continue;
+        }
+        if (head_end + 2 > limits.max_header_bytes) {
+          head_too_large = true;
+          break;
         }
         head_done = true;
         body_start = head_end + 4;
@@ -257,7 +303,7 @@ void HttpServer::serve(
             break;
           }
           content_length = static_cast<std::size_t>(parsed);
-          if (content_length > max_body_bytes) {
+          if (content_length > limits.max_body_bytes) {
             too_large = true;
             break;
           }
@@ -266,8 +312,22 @@ void HttpServer::serve(
       if (head_done && data.size() - body_start >= content_length) break;
     }
 
+    if (dropped) {
+      // Peer (or the fault simulator) abandoned the connection; there is
+      // nobody to answer.
+      ::close(client);
+      continue;
+    }
     HttpResponse response;
-    if (too_large) {
+    if (timed_out) {
+      response.status = 408;
+      response.body = "read deadline exceeded\n";
+      response.content_type = "text/plain";
+    } else if (head_too_large) {
+      response.status = 431;
+      response.body = "request head too large\n";
+      response.content_type = "text/plain";
+    } else if (too_large) {
       response.status = 413;
       response.body = "request body too large\n";
       response.content_type = "text/plain";

@@ -50,6 +50,18 @@ struct HttpResponse {
   std::string body;
 };
 
+/// Per-connection resource bounds for serve(). Every limit maps to a
+/// specific abuse: max_header_bytes caps head buffering (431),
+/// max_body_bytes caps declared and actual body size (413), and
+/// read_timeout_ms is a whole-request read deadline — a client that
+/// trickles bytes (slowloris) or stalls mid-body gets 408 and the
+/// connection back, instead of parking the serve loop forever.
+struct HttpLimits {
+  std::size_t max_body_bytes = std::size_t{4} << 20;
+  std::size_t max_header_bytes = std::size_t{64} << 10;
+  int read_timeout_ms = 5000;  // <= 0 means no deadline
+};
+
 class HttpServer {
  public:
   /// Bind and listen on 127.0.0.1:`port` (0 picks an ephemeral port; read
@@ -68,11 +80,13 @@ class HttpServer {
 
   /// Accept loop: handle one connection at a time, invoking `handler` per
   /// request and writing its response. Malformed requests get 400, bodies
-  /// beyond `max_body_bytes` get 413, without reaching the handler.
-  /// Handler exceptions become 500 responses; the loop keeps serving.
-  /// Returns when stop() is called.
+  /// beyond limits.max_body_bytes get 413, heads beyond
+  /// limits.max_header_bytes get 431, and connections that miss the
+  /// limits.read_timeout_ms read deadline get 408 — all without reaching
+  /// the handler. Handler exceptions become 500 responses; the loop keeps
+  /// serving. Returns when stop() is called.
   void serve(const std::function<HttpResponse(const HttpRequest&)>& handler,
-             std::size_t max_body_bytes = std::size_t{4} << 20);
+             HttpLimits limits = {});
 
   /// Wake serve() and make it return after the in-flight request, if any.
   /// Async-signal-safe (a single write() on a pipe) — callable from a

@@ -86,6 +86,19 @@ std::string rpc_error_line(const JsonValue& id, int code,
   return json_dump(envelope, 0);
 }
 
+std::string rpc_error_line(const JsonValue& id, int code,
+                           const std::string& message, JsonValue data) {
+  JsonValue error = JsonValue::object();
+  error.set("code", std::int64_t{code});
+  error.set("message", message);
+  error.set("data", std::move(data));
+  JsonValue envelope = JsonValue::object();
+  envelope.set("jsonrpc", "2.0");
+  envelope.set("id", id);
+  envelope.set("error", std::move(error));
+  return json_dump(envelope, 0);
+}
+
 int rpc_code_for(const FroteError& error) {
   switch (error.code) {
     case FroteErrorCode::kIoError:

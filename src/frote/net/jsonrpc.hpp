@@ -38,6 +38,8 @@ enum RpcErrorCode : int {
   kInvalidParams = -32602,   // params missing/mistyped/unresolvable
   kInternalError = -32603,   // unexpected failure while executing
   kSessionNotFound = -32001,  // stale, closed, or never-issued session id
+  kSessionUnrecoverable = -32002,  // spool state corrupt; session is gone
+  kOverloaded = -32005,      // admission limit hit; retry after backoff
 };
 
 /// A validated request envelope. `id` is kept as the original JsonValue
@@ -64,6 +66,10 @@ Expected<RpcRequest, RpcParseError> parse_rpc_request(std::string_view text);
 std::string rpc_result_line(const JsonValue& id, JsonValue result);
 std::string rpc_error_line(const JsonValue& id, int code,
                            const std::string& message);
+/// Error envelope with a machine-readable "data" member (e.g. the
+/// {"retry_after_ms": …} hint on kOverloaded responses).
+std::string rpc_error_line(const JsonValue& id, int code,
+                           const std::string& message, JsonValue data);
 
 /// Map a FroteError raised while executing a method onto the protocol
 /// code: every config/parse/registry/argument problem is the caller's

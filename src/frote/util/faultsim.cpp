@@ -1,0 +1,208 @@
+#include "frote/util/faultsim.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+
+#include "frote/util/env.hpp"
+#include "frote/util/hash.hpp"
+#include "frote/util/rng.hpp"
+
+namespace frote::faultsim {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+enum class Action { kFail, kKill };
+
+struct PointState {
+  std::string point;
+  bool nth_mode = false;
+  std::uint64_t nth = 0;     // 1-based hit index to fire on (nth mode)
+  double prob = 0.0;         // per-hit probability (prob mode)
+  Action action = Action::kFail;
+  Rng rng{0};                // per-point stream (prob mode)
+  std::uint64_t hits = 0;
+  std::uint64_t triggers = 0;
+};
+
+/// All slow-path state behind one mutex: fault points fire from the pool's
+/// worker threads (checkpoint_all) as well as the frontend thread.
+struct Config {
+  std::mutex m;
+  std::vector<PointState> points;
+};
+
+Config& config() {
+  static Config instance;
+  return instance;
+}
+
+PointState* find_point(Config& cfg, const char* point) {
+  for (PointState& state : cfg.points) {
+    if (state.point == point) return &state;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::vector<std::string>& fault_points() {
+  static const std::vector<std::string> points = {
+      "fsio.write", "fsio.fsync",  "fsio.close", "fsio.rename",
+      "fsio.fsync_dir", "fsio.read", "net.accept", "net.read",
+      "net.write",  "pool.evict", "pool.restore",
+  };
+  return points;
+}
+
+bool is_fault_point(const std::string& name) {
+  const auto& points = fault_points();
+  return std::find(points.begin(), points.end(), name) != points.end();
+}
+
+namespace detail {
+
+bool should_fail_slow(const char* point) {
+  Config& cfg = config();
+  Action action = Action::kFail;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(cfg.m);
+    PointState* state = find_point(cfg, point);
+    if (state == nullptr) return false;
+    ++state->hits;
+    if (state->nth_mode) {
+      fire = state->hits == state->nth;
+    } else {
+      // Schedule purity: the draw for hit N is the Nth draw of the
+      // point's own stream, whatever other points are doing.
+      fire = state->rng.uniform() < state->prob;
+    }
+    if (fire) {
+      ++state->triggers;
+      action = state->action;
+    }
+  }
+  if (fire && action == Action::kKill) {
+    // A crash, not an exit: no unwinding, no atexit, no buffered flushes —
+    // the process dies exactly at the fault point, like power loss.
+    ::kill(::getpid(), SIGKILL);
+  }
+  return fire;
+}
+
+}  // namespace detail
+
+void configure(const std::string& spec, std::uint64_t seed) {
+  std::vector<PointState> points;
+  std::size_t begin = 0;
+  while (begin <= spec.size() && !spec.empty()) {
+    const std::size_t end = std::min(spec.find(',', begin), spec.size());
+    const std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) {
+      if (end == spec.size()) break;
+      throw Error("fault spec: empty entry in \"" + spec + "\"");
+    }
+
+    // point ":" mode [":" action]
+    const std::size_t first = entry.find(':');
+    if (first == std::string::npos) {
+      throw Error("fault spec entry \"" + entry +
+                  "\" needs \"point:mode[:action]\"");
+    }
+    PointState state;
+    state.point = entry.substr(0, first);
+    if (!is_fault_point(state.point)) {
+      throw Error("fault spec: unknown fault point \"" + state.point + "\"");
+    }
+    const std::size_t second = entry.find(':', first + 1);
+    const std::string mode =
+        entry.substr(first + 1, second == std::string::npos
+                                    ? std::string::npos
+                                    : second - first - 1);
+    const std::string action =
+        second == std::string::npos ? "fail" : entry.substr(second + 1);
+
+    const auto parse_tail = [&](const std::string& prefix) -> std::string {
+      return mode.substr(prefix.size());
+    };
+    try {
+      if (mode.rfind("nth=", 0) == 0) {
+        std::size_t used = 0;
+        const std::string tail = parse_tail("nth=");
+        const unsigned long long n = std::stoull(tail, &used);
+        if (used != tail.size() || n == 0) throw Error("");
+        state.nth_mode = true;
+        state.nth = n;
+      } else if (mode.rfind("prob=", 0) == 0) {
+        std::size_t used = 0;
+        const std::string tail = parse_tail("prob=");
+        const double p = std::stod(tail, &used);
+        if (used != tail.size() || p < 0.0 || p > 1.0) throw Error("");
+        state.nth_mode = false;
+        state.prob = p;
+        state.rng = Rng(derive_seed(seed, fnv1a64(state.point)));
+      } else {
+        throw Error("");
+      }
+    } catch (const std::exception&) {
+      throw Error("fault spec entry \"" + entry +
+                  "\": mode must be nth=K (K >= 1) or prob=P (0 <= P <= 1)");
+    }
+    if (action == "fail") {
+      state.action = Action::kFail;
+    } else if (action == "kill") {
+      state.action = Action::kKill;
+    } else {
+      throw Error("fault spec entry \"" + entry +
+                  "\": action must be \"fail\" or \"kill\"");
+    }
+    for (const PointState& existing : points) {
+      if (existing.point == state.point) {
+        throw Error("fault spec: point \"" + state.point +
+                    "\" configured twice");
+      }
+    }
+    points.push_back(std::move(state));
+    if (end == spec.size()) break;
+  }
+
+  Config& cfg = config();
+  std::lock_guard<std::mutex> lock(cfg.m);
+  cfg.points = std::move(points);
+  detail::g_armed.store(!cfg.points.empty(), std::memory_order_relaxed);
+}
+
+void configure_from_env() {
+  const std::string spec = env_string("FROTE_FAULTS", "");
+  if (spec.empty()) return;
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(env_int("FROTE_FAULTS_SEED", 0));
+  configure(spec, seed);
+}
+
+void disarm() { configure("", 0); }
+
+std::uint64_t hits(const std::string& point) {
+  Config& cfg = config();
+  std::lock_guard<std::mutex> lock(cfg.m);
+  const PointState* state = find_point(cfg, point.c_str());
+  return state == nullptr ? 0 : state->hits;
+}
+
+std::uint64_t triggers(const std::string& point) {
+  Config& cfg = config();
+  std::lock_guard<std::mutex> lock(cfg.m);
+  const PointState* state = find_point(cfg, point.c_str());
+  return state == nullptr ? 0 : state->triggers;
+}
+
+}  // namespace frote::faultsim

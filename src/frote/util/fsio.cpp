@@ -1,36 +1,156 @@
 #include "frote/util/fsio.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "frote/util/error.hpp"
+#include "frote/util/faultsim.hpp"
+#include "frote/util/hash.hpp"
 
 namespace frote {
 
 namespace fs = std::filesystem;
 
-void write_file_atomic(const fs::path& path, const std::string& content) {
-  const fs::path tmp = path.string() + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out << content;
-    out.close();  // flush before the write check — a full disk fails here
-    if (!out.good()) {
+namespace {
+
+/// Owns an fd; close errors on the destructor path are ignored (the
+/// success path closes explicitly and checks).
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+  int release() {
+    const int out = fd;
+    fd = -1;
+    return out;
+  }
+};
+
+/// Removes the tmp file unless the write protocol reached the rename.
+struct TmpGuard {
+  fs::path tmp;
+  bool committed = false;
+  ~TmpGuard() {
+    if (!committed) {
       std::error_code ignored;
       fs::remove(tmp, ignored);
-      throw Error("cannot write " + tmp.string());
     }
   }
-  fs::rename(tmp, path);
+};
+
+[[noreturn]] void fail(const char* op, const fs::path& path) {
+  throw Error(std::string("cannot ") + op + " " + path.string() + ": " +
+              std::strerror(errno));
+}
+
+/// fsync the directory holding `path`, making a completed rename durable.
+void fsync_parent_dir(const fs::path& path) {
+  faultsim::hit("fsio.fsync_dir");
+  fs::path dir = path.parent_path();
+  if (dir.empty()) dir = ".";
+  Fd d;
+  d.fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (d.fd < 0) fail("open directory", dir);
+  if (::fsync(d.fd) != 0) fail("fsync directory", dir);
+  if (::close(d.release()) != 0) fail("close directory", dir);
+}
+
+constexpr const char* kFooterPrefix = "#frote-integrity v1 len=";
+
+}  // namespace
+
+void write_file_atomic(const fs::path& path, const std::string& content) {
+  const fs::path tmp = path.string() + ".tmp";
+  TmpGuard guard{tmp};
+
+  Fd f;
+  f.fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (f.fd < 0) fail("create", tmp);
+
+  faultsim::hit("fsio.write");
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        ::write(f.fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write", tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+
+  // The crash window this order closes: rename-before-fsync can surface an
+  // empty or partial file under the *final* name after power loss.
+  faultsim::hit("fsio.fsync");
+  if (::fsync(f.fd) != 0) fail("fsync", tmp);
+
+  faultsim::hit("fsio.close");
+  if (::close(f.release()) != 0) fail("close", tmp);
+
+  faultsim::hit("fsio.rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) fail("rename", tmp);
+  guard.committed = true;
+
+  // And this one makes the rename itself durable: the directory entry for
+  // `path` must reach disk before the write can be reported complete.
+  fsync_parent_dir(path);
 }
 
 bool read_file(const fs::path& path, std::string& out) {
+  if (faultsim::should_fail("fsio.read")) return false;
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) return false;
   std::ostringstream buffer;
   buffer << in.rdbuf();
   out = buffer.str();
   return true;
+}
+
+std::string integrity_footer(std::string_view content) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof buffer, "%s%zu fnv1a64=%016llx\n",
+                kFooterPrefix, content.size(),
+                static_cast<unsigned long long>(fnv1a64(content)));
+  return buffer;
+}
+
+void write_file_durable(const fs::path& path, const std::string& content) {
+  write_file_atomic(path, content + integrity_footer(content));
+}
+
+ValidatedRead read_file_validated(const fs::path& path, std::string& out) {
+  std::string stored;
+  if (!read_file(path, stored)) {
+    std::error_code ec;
+    return fs::exists(path, ec) ? ValidatedRead::kCorrupt
+                                : ValidatedRead::kMissing;
+  }
+  // The footer is the final line; it must start at a line boundary.
+  const std::size_t pos = stored.rfind(kFooterPrefix);
+  if (pos == std::string::npos || (pos != 0 && stored[pos - 1] != '\n')) {
+    return ValidatedRead::kCorrupt;
+  }
+  std::string content = stored.substr(0, pos);
+  if (stored.compare(pos, std::string::npos, integrity_footer(content)) != 0) {
+    return ValidatedRead::kCorrupt;
+  }
+  out = std::move(content);
+  return ValidatedRead::kOk;
+}
+
+fs::path quarantine_file(const fs::path& path) {
+  const fs::path target = path.string() + ".corrupt";
+  std::error_code ignored;
+  fs::rename(path, target, ignored);
+  return target;
 }
 
 }  // namespace frote

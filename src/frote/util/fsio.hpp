@@ -1,21 +1,68 @@
 // Crash-consistent small-file IO shared by every subsystem that persists
 // JSON artifacts (core/runplan.cpp run directories, core/session_pool.cpp
 // checkpoint spool). One implementation so the durability contract — a
-// final path only ever holds complete content — cannot drift.
+// final path only ever holds complete content, durably — cannot drift.
+//
+// Two tiers:
+//   * write_file_atomic / read_file — tmp + fsync(file) + rename +
+//     fsync(dir): a reader (including a crashed-and-restarted process)
+//     never observes a torn file, and a completed write survives power
+//     loss. Content bytes are exactly what the caller passed.
+//   * write_file_durable / read_file_validated — the same, plus a
+//     length+FNV-1a-64 integrity footer appended to the stored bytes and
+//     checked+stripped on read, so a reader can *prove* the file is the
+//     complete artifact one writer produced (bit rot, truncation by a
+//     broken filesystem, or a concurrent non-frote writer all surface as
+//     kCorrupt instead of as parse errors or silent garbage). The spool
+//     and frote_run checkpoints use this tier.
+//
+// Every syscall here is a registered fault point (util/faultsim.hpp:
+// fsio.write / fsio.fsync / fsio.close / fsio.rename / fsio.fsync_dir /
+// fsio.read), which is how the chaos suite crashes the daemon inside the
+// write protocol and proves the atomicity claim above.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <string>
 
 namespace frote {
 
-/// Write tmp file + atomic rename: readers (including a crashed-and-
-/// restarted process) never observe a torn file. Throws frote::Error when
-/// the content cannot be written (e.g. full disk).
+/// Write tmp file + fsync + atomic rename + directory fsync. Throws
+/// frote::Error when the content cannot be written durably (full disk,
+/// failed fsync/close — errors are surfaced, never swallowed); the
+/// destination is untouched on any failure before the rename.
 void write_file_atomic(const std::filesystem::path& path,
                        const std::string& content);
 
 /// Slurp a file; false when it does not exist or cannot be opened.
 bool read_file(const std::filesystem::path& path, std::string& out);
+
+/// The integrity footer appended by write_file_durable:
+///   "#frote-integrity v1 len=<decimal> fnv1a64=<16 hex digits>\n"
+/// over the content bytes that precede it.
+std::string integrity_footer(std::string_view content);
+
+/// write_file_atomic + integrity footer.
+void write_file_durable(const std::filesystem::path& path,
+                        const std::string& content);
+
+enum class ValidatedRead {
+  kOk,       // footer present and consistent; `out` holds the content
+  kMissing,  // no such file
+  kCorrupt,  // torn, truncated, bit-flipped, or not a durable frote file
+};
+
+/// Read a write_file_durable file: verify and strip the footer. On kOk,
+/// `out` is exactly the content the writer passed; on kCorrupt, `out` is
+/// unspecified and the caller should quarantine the file.
+ValidatedRead read_file_validated(const std::filesystem::path& path,
+                                  std::string& out);
+
+/// Move a corrupt file aside to "<path>.corrupt" (replacing any previous
+/// quarantine) so it stops poisoning readers but stays inspectable.
+/// Returns the quarantine path; best-effort — failures are swallowed, the
+/// caller is already on an error path.
+std::filesystem::path quarantine_file(const std::filesystem::path& path);
 
 }  // namespace frote

@@ -14,6 +14,7 @@
 #include <sys/wait.h>
 #include <csignal>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -41,6 +42,9 @@ class ServeProcess {
   };
 
   explicit ServeProcess(const Options& options = {}) {
+    // Chaos tests write to daemons that may be SIGKILLed mid-request; a
+    // broken pipe must surface as EPIPE on the write, not kill the test.
+    signal(SIGPIPE, SIG_IGN);
     int to_child[2];
     int from_child[2];
     if (pipe(to_child) != 0 || pipe(from_child) != 0) {
@@ -129,6 +133,40 @@ class ServeProcess {
   std::string request(const std::string& line) {
     send_line(line);
     return read_line();
+  }
+
+  /// Crash-tolerant round-trip for the kill-recover chaos suite: nullopt
+  /// when the daemon died mid-request (broken pipe on send, or EOF before
+  /// a complete response line) instead of throwing. A daemon SIGKILLed at
+  /// a fault point is an *expected* outcome there, not a harness error.
+  std::optional<std::string> request_if_alive(const std::string& line) {
+    const std::string framed = line + "\n";
+    std::size_t written = 0;
+    while (written < framed.size()) {
+      const ssize_t n =
+          write(stdin_fd_, framed.data() + written, framed.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return std::nullopt;
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    for (;;) {
+      const std::size_t pos = buffer_.find('\n');
+      if (pos != std::string::npos) {
+        std::string out = buffer_.substr(0, pos);
+        buffer_.erase(0, pos + 1);
+        return out;
+      }
+      char chunk[4096];
+      const ssize_t n = read(stdout_fd_, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return std::nullopt;
+      }
+      if (n == 0) return std::nullopt;  // daemon died before responding
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
   }
 
   /// Close the daemon's stdin: EOF is the clean-shutdown signal for the

@@ -6,12 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "frote/core/checkpoint.hpp"
 #include "frote/core/engine.hpp"
+#include "frote/core/runplan.hpp"
 #include "frote/core/spec.hpp"
+#include "frote/util/fsio.hpp"
 #include "frote/util/parallel.hpp"
 #include "test_util.hpp"
 
@@ -248,6 +252,109 @@ TEST(Checkpoint, PreservesDatasetChangeTracking) {
   EXPECT_EQ(back.append_epoch(), original.append_epoch());
   // The uid is intentionally fresh: process-unique identity never revives.
   EXPECT_NE(back.uid(), original.uid());
+}
+
+/// The durable on-disk tier under the run-plan driver: an interrupted
+/// run's checkpoint.json carries a validating integrity footer, and every
+/// flavour of on-disk corruption (truncation, bit flip, zero length) is
+/// detected on --resume, quarantined to checkpoint.json.corrupt, and the
+/// run restarts from scratch — finishing bit-identically to an
+/// uninterrupted execution rather than resuming from garbage.
+TEST(Checkpoint, CorruptOnDiskCheckpointIsQuarantinedAndRunRestartsFresh) {
+  namespace fs = std::filesystem;
+  RunPlan plan;
+  plan.base.tau = 4;
+  plan.base.q = 0.3;
+  plan.base.eta = 10;
+  plan.base.k = 5;
+  plan.base.seed = 17;
+  plan.base.mod_strategy = "none";
+  plan.base.learner_fast = true;
+  plan.base.rules = {
+      "IF age > 45 AND education_num > 11 THEN class = >50K"};
+  plan.base.dataset = DatasetSpec{"synthetic", "", "adult", 150, 11};
+  plan.learners = {"rf"};
+  plan.seeds = {1};
+
+  // Golden: the full run, in memory.
+  const auto golden = execute_plan(plan, {});
+  ASSERT_TRUE(golden.has_value()) << golden.error().message;
+  ASSERT_EQ(golden->size(), 1u);
+  ASSERT_TRUE((*golden)[0].completed);
+  ASSERT_GT((*golden)[0].iterations_run, 2u)
+      << "scenario too short to interrupt";
+
+  const auto expect_matches_golden = [&](const RunResult& result) {
+    const RunResult& want = (*golden)[0];
+    EXPECT_TRUE(result.completed);
+    EXPECT_EQ(result.instances_added, want.instances_added);
+    EXPECT_EQ(result.iterations_run, want.iterations_run);
+    EXPECT_EQ(result.iterations_accepted, want.iterations_accepted);
+    EXPECT_EQ(result.final_j_bar, want.final_j_bar);
+    EXPECT_EQ(result.dataset_rows, want.dataset_rows);
+  };
+
+  const auto interrupt = [&](const fs::path& out) -> fs::path {
+    RunPlanOptions options;
+    options.output_dir = out.string();
+    options.max_steps = 2;
+    const auto partial = execute_plan(plan, options);
+    EXPECT_TRUE(partial.has_value());
+    EXPECT_FALSE((*partial)[0].completed);
+    return out / (*partial)[0].name / "checkpoint.json";
+  };
+  const auto resume = [&](const fs::path& out) {
+    RunPlanOptions options;
+    options.output_dir = out.string();
+    options.resume = true;
+    const auto resumed = execute_plan(plan, options);
+    ASSERT_TRUE(resumed.has_value()) << resumed.error().message;
+    expect_matches_golden((*resumed)[0]);
+  };
+
+  // Clean path: the written checkpoint validates, and resuming from it
+  // reaches the golden result.
+  const fs::path clean = fs::path("checkpoint_scratch") / "clean";
+  fs::remove_all(clean);
+  const fs::path clean_ckpt = interrupt(clean);
+  ASSERT_TRUE(fs::exists(clean_ckpt));
+  std::string text;
+  EXPECT_EQ(read_file_validated(clean_ckpt, text), ValidatedRead::kOk);
+  EXPECT_TRUE(SessionCheckpoint::parse(text).has_value());
+  resume(clean);
+  EXPECT_FALSE(fs::exists(clean / "run-000-rf-random-s1-r0" /
+                          "checkpoint.json.corrupt"));
+
+  // Corruption corpus: each flavour quarantines and restarts fresh.
+  const auto corrupt_truncate = [](std::string bytes) {
+    return bytes.substr(0, bytes.size() - 20);
+  };
+  const auto corrupt_flip = [](std::string bytes) {
+    bytes[bytes.size() / 2] ^= 0x10;
+    return bytes;
+  };
+  const auto corrupt_empty = [](std::string) { return std::string(); };
+  const std::vector<std::pair<const char*, std::string (*)(std::string)>>
+      corpus = {{"truncated", corrupt_truncate},
+                {"bit-flipped", corrupt_flip},
+                {"zero-length", corrupt_empty}};
+  for (const auto& [label, corrupt] : corpus) {
+    const fs::path out = fs::path("checkpoint_scratch") / label;
+    fs::remove_all(out);
+    const fs::path ckpt = interrupt(out);
+    std::ifstream in(ckpt, std::ios::binary);
+    const std::string bytes{std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>()};
+    in.close();
+    std::ofstream rewrite(ckpt, std::ios::binary | std::ios::trunc);
+    const std::string bad = corrupt(bytes);
+    rewrite.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    rewrite.close();
+
+    resume(out);
+    EXPECT_TRUE(fs::exists(ckpt.string() + ".corrupt"))
+        << label << ": corrupt checkpoint was not quarantined";
+  }
 }
 
 TEST(Rng, StateRoundTripResumesStreamExactly) {

@@ -1,0 +1,271 @@
+// Unit tests for the deterministic fault-injection registry
+// (util/faultsim.hpp) and the durable file tier it exercises
+// (util/fsio.hpp: write_file_durable / read_file_validated / quarantine).
+//
+// The locks, in order:
+//   * Spec parsing — unknown points, malformed modes/actions, and
+//     duplicates are rejected loudly; a typo'd spec must never silently
+//     inject nothing.
+//   * Schedule purity — nth=K fires on exactly the Kth hit; prob=P is a
+//     pure function of (seed, point, hit index), so the same config
+//     replays the same trigger pattern and different seeds give a
+//     different one.
+//   * Durability protocol — injected failures at every fsio fault point
+//     surface as errors, never as a torn or half-renamed destination, and
+//     never leak a .tmp file.
+//   * Validated reads — a corruption corpus (truncation, bit flips, no
+//     footer, wrong hash, zero length) all classify as kCorrupt; the
+//     quarantine leaves the artifact inspectable under <name>.corrupt.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "frote/util/error.hpp"
+#include "frote/util/faultsim.hpp"
+#include "frote/util/fsio.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace faultsim = frote::faultsim;
+using frote::Error;
+using frote::ValidatedRead;
+
+/// Every test leaves the process disarmed — the suite shares one process
+/// with whatever test runs next.
+struct Disarm {
+  Disarm() { faultsim::disarm(); }
+  ~Disarm() { faultsim::disarm(); }
+};
+
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path("faults_scratch") / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void spit(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(FaultSim, RejectsBadSpecsLoudly) {
+  const Disarm guard;
+  EXPECT_THROW(faultsim::configure("no.such.point:nth=1"), Error);
+  EXPECT_THROW(faultsim::configure("fsio.write"), Error);          // no mode
+  EXPECT_THROW(faultsim::configure("fsio.write:sometimes"), Error);
+  EXPECT_THROW(faultsim::configure("fsio.write:nth=0"), Error);
+  EXPECT_THROW(faultsim::configure("fsio.write:nth=two"), Error);
+  EXPECT_THROW(faultsim::configure("fsio.write:prob=1.5"), Error);
+  EXPECT_THROW(faultsim::configure("fsio.write:prob=-0.1"), Error);
+  EXPECT_THROW(faultsim::configure("fsio.write:nth=1:explode"), Error);
+  EXPECT_THROW(
+      faultsim::configure("fsio.write:nth=1,fsio.write:nth=2"), Error);
+  // Nothing half-configured survives a rejected spec.
+  EXPECT_FALSE(faultsim::should_fail("fsio.write"));
+}
+
+TEST(FaultSim, CatalogNamesAreRegistered) {
+  const Disarm guard;
+  for (const std::string& point : faultsim::fault_points()) {
+    EXPECT_TRUE(faultsim::is_fault_point(point)) << point;
+    // Every catalog name round-trips through configure.
+    EXPECT_NO_THROW(faultsim::configure(point + ":nth=1")) << point;
+  }
+  EXPECT_FALSE(faultsim::is_fault_point("fsio.writ"));
+}
+
+TEST(FaultSim, NthFiresOnExactlyTheKthHit) {
+  const Disarm guard;
+  faultsim::configure("fsio.write:nth=3");
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(faultsim::should_fail("fsio.write"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(faultsim::hits("fsio.write"), 6u);
+  EXPECT_EQ(faultsim::triggers("fsio.write"), 1u);
+  // Other points are untouched.
+  EXPECT_FALSE(faultsim::should_fail("fsio.rename"));
+  EXPECT_EQ(faultsim::hits("fsio.rename"), 0u);
+}
+
+TEST(FaultSim, HitThrowsTypedErrorOnTrigger) {
+  const Disarm guard;
+  faultsim::configure("fsio.rename:nth=2");
+  EXPECT_NO_THROW(faultsim::hit("fsio.rename"));
+  try {
+    faultsim::hit("fsio.rename");
+    FAIL() << "second hit should have thrown";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()), "injected fault: fsio.rename");
+  }
+}
+
+TEST(FaultSim, ProbScheduleIsPureInSeedAndPoint) {
+  const Disarm guard;
+  const auto pattern = [](std::uint64_t seed) {
+    faultsim::configure("fsio.read:prob=0.5", seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(faultsim::should_fail("fsio.read"));
+    }
+    return fired;
+  };
+  const std::vector<bool> first = pattern(7);
+  const std::vector<bool> replay = pattern(7);
+  EXPECT_EQ(first, replay);  // same seed ⇒ same schedule, exactly
+  EXPECT_NE(first, pattern(8));
+  // Per-point streams: two points under one seed draw independently.
+  faultsim::configure("fsio.read:prob=0.5,fsio.write:prob=0.5", 7);
+  std::vector<bool> read_fired;
+  std::vector<bool> write_fired;
+  for (int i = 0; i < 64; ++i) {
+    read_fired.push_back(faultsim::should_fail("fsio.read"));
+    write_fired.push_back(faultsim::should_fail("fsio.write"));
+  }
+  EXPECT_EQ(read_fired, first);  // unaffected by the other point's draws
+  EXPECT_NE(write_fired, read_fired);
+}
+
+TEST(FaultSim, DisarmedIsInert) {
+  const Disarm guard;
+  faultsim::configure("fsio.write:nth=1");
+  faultsim::disarm();
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(faultsim::should_fail("fsio.write"));
+  EXPECT_EQ(faultsim::hits("fsio.write"), 0u);  // counters were reset
+}
+
+TEST(FaultSim, ConfiguresFromEnvironment) {
+  const Disarm guard;
+  setenv("FROTE_FAULTS", "fsio.fsync:nth=1", 1);
+  faultsim::configure_from_env();
+  unsetenv("FROTE_FAULTS");
+  EXPECT_TRUE(faultsim::should_fail("fsio.fsync"));
+  faultsim::disarm();
+  // Unset env is a no-op, not a disarm-and-rearm.
+  faultsim::configure_from_env();
+  EXPECT_FALSE(faultsim::should_fail("fsio.fsync"));
+}
+
+TEST(FsioDurable, FooterRoundTrips) {
+  const Disarm guard;
+  const fs::path dir = scratch_dir("roundtrip");
+  const std::string content = "{\"hello\": [1, 2, 3]}\n";
+  frote::write_file_durable(dir / "doc.json", content);
+
+  std::string out;
+  EXPECT_EQ(frote::read_file_validated(dir / "doc.json", out),
+            ValidatedRead::kOk);
+  EXPECT_EQ(out, content);
+  // The stored bytes are content + one footer line, nothing else.
+  EXPECT_EQ(slurp(dir / "doc.json"),
+            content + frote::integrity_footer(content));
+  // And no write-protocol leftovers.
+  EXPECT_FALSE(fs::exists(dir / "doc.json.tmp"));
+}
+
+TEST(FsioDurable, MissingFileIsMissingNotCorrupt) {
+  const Disarm guard;
+  const fs::path dir = scratch_dir("missing");
+  std::string out;
+  EXPECT_EQ(frote::read_file_validated(dir / "absent.json", out),
+            ValidatedRead::kMissing);
+}
+
+TEST(FsioDurable, CorruptionCorpusAllClassifyAsCorrupt) {
+  const Disarm guard;
+  const fs::path dir = scratch_dir("corpus");
+  const std::string content = "payload line one\npayload line two\n";
+  frote::write_file_durable(dir / "good.json", content);
+  const std::string stored = slurp(dir / "good.json");
+
+  std::string truncated = stored.substr(0, stored.size() - 10);
+  std::string flipped = stored;
+  flipped[3] ^= 0x20;  // bit-flip inside the content
+  std::string footer_flipped = stored;
+  footer_flipped[stored.size() - 3] ^= 0x01;  // bit-flip inside the hash
+  const std::vector<std::pair<const char*, std::string>> corpus = {
+      {"truncated", truncated},
+      {"bit-flipped content", flipped},
+      {"bit-flipped footer", footer_flipped},
+      {"zero length", ""},
+      {"no footer at all", content},
+      {"footer not at line boundary",
+       "abc" + frote::integrity_footer(content)},
+  };
+  for (const auto& [label, bytes] : corpus) {
+    spit(dir / "bad.json", bytes);
+    std::string out;
+    EXPECT_EQ(frote::read_file_validated(dir / "bad.json", out),
+              ValidatedRead::kCorrupt)
+        << label;
+  }
+}
+
+TEST(FsioDurable, QuarantineMovesTheFileAside) {
+  const Disarm guard;
+  const fs::path dir = scratch_dir("quarantine");
+  spit(dir / "bad.json", "torn garbage");
+  const fs::path moved = frote::quarantine_file(dir / "bad.json");
+  EXPECT_EQ(moved, dir / "bad.json.corrupt");
+  EXPECT_FALSE(fs::exists(dir / "bad.json"));
+  EXPECT_EQ(slurp(moved), "torn garbage");
+}
+
+TEST(FsioDurable, InjectedFaultsNeverTearTheDestination) {
+  const Disarm guard;
+  const fs::path dir = scratch_dir("inject");
+  const std::string original = "original durable content\n";
+  frote::write_file_durable(dir / "doc.json", original);
+
+  // Kill the write protocol at each point before the rename commits: the
+  // destination must still hold the previous version, and no .tmp file
+  // may survive the unwind.
+  for (const char* point :
+       {"fsio.write", "fsio.fsync", "fsio.close", "fsio.rename"}) {
+    faultsim::configure(std::string(point) + ":nth=1");
+    EXPECT_THROW(
+        frote::write_file_durable(dir / "doc.json", "replacement\n"), Error)
+        << point;
+    faultsim::disarm();
+    std::string out;
+    EXPECT_EQ(frote::read_file_validated(dir / "doc.json", out),
+              ValidatedRead::kOk)
+        << point;
+    EXPECT_EQ(out, original) << point;
+    EXPECT_FALSE(fs::exists(dir / "doc.json.tmp")) << point;
+  }
+
+  // fsync_dir fires *after* the rename: the new content is in place even
+  // though the writer reports the failure.
+  faultsim::configure("fsio.fsync_dir:nth=1");
+  EXPECT_THROW(
+      frote::write_file_durable(dir / "doc.json", "replacement\n"), Error);
+  faultsim::disarm();
+  std::string out;
+  EXPECT_EQ(frote::read_file_validated(dir / "doc.json", out),
+            ValidatedRead::kOk);
+  EXPECT_EQ(out, "replacement\n");
+}
+
+TEST(FsioDurable, InjectedReadFailureIsOneShot) {
+  const Disarm guard;
+  const fs::path dir = scratch_dir("readfault");
+  frote::write_file_durable(dir / "doc.json", "content\n");
+  faultsim::configure("fsio.read:nth=1");
+  std::string out;
+  EXPECT_FALSE(frote::read_file(dir / "doc.json", out));
+  EXPECT_TRUE(frote::read_file(dir / "doc.json", out));  // nth is one-shot
+}
+
+}  // namespace

@@ -16,7 +16,15 @@
 //     daemon continues them byte-identically to an uninterrupted run.
 //   * HTTP ≡ stdio — the vendored HTTP/1.1 listener carries the same bytes,
 //     and SIGTERM shuts the listener down cleanly (exit 0).
+//   * Robustness (ServeRobustness suite) — corrupt spooled checkpoints are
+//     typed -32002 errors with quarantine, admission control answers -32005
+//     with a retry hint, injected I/O faults degrade without crashing, and
+//     stalled HTTP clients get 408 instead of a wedged listener.
 #include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 
 #include <chrono>
 #include <filesystem>
@@ -505,6 +513,232 @@ TEST(ServeContract, HttpTransportCarriesIdenticalBytes) {
   }
 
   // SIGTERM stops the listener between requests; clean exit.
+  daemon.terminate();
+  EXPECT_EQ(daemon.wait(), 0);
+}
+
+/// Spool a session, corrupt its checkpoint on disk a few different ways,
+/// and restart: every corruption classifies as a typed -32002 "session
+/// unrecoverable" error, the bad file is quarantined for inspection, and
+/// the daemon itself keeps serving new tenants.
+TEST(ServeRobustness, CorruptSpooledCheckpointIsTypedErrorNotACrash) {
+  const fs::path dir = scratch_dir("corrupt_spool");
+  const auto spec = scenario_spec(dir);
+
+  const auto corrupt_truncate = [](std::string bytes) {
+    return bytes.substr(0, bytes.size() / 2);
+  };
+  const auto corrupt_flip = [](std::string bytes) {
+    bytes[bytes.size() / 3] ^= 0x04;
+    return bytes;
+  };
+  const auto corrupt_empty = [](std::string) { return std::string(); };
+  const std::vector<
+      std::pair<const char*, std::string (*)(std::string)>>
+      corpus = {{"truncated", corrupt_truncate},
+                {"bit-flipped", corrupt_flip},
+                {"zero-length", corrupt_empty}};
+
+  for (const auto& [label, corrupt] : corpus) {
+    const fs::path spool = dir / (std::string("spool-") + label);
+    fs::create_directories(spool);
+    {
+      ServeProcess::Options options;
+      options.args = {"--spool", spool.string()};
+      ServeProcess daemon(options);
+      daemon.request(create_line("c", spec));
+      daemon.request(step_line("w", "s-000001", 2));
+      EXPECT_EQ(daemon.close_and_wait(), 0);  // EOF spools the session
+    }
+    const fs::path checkpoint = spool / "s-000001.checkpoint.json";
+    ASSERT_TRUE(fs::exists(checkpoint)) << label;
+    {
+      std::ifstream in(checkpoint, std::ios::binary);
+      const std::string bytes{std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>()};
+      std::ofstream out(checkpoint, std::ios::binary | std::ios::trunc);
+      const std::string bad = corrupt(bytes);
+      out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    }
+
+    ServeProcess::Options options;
+    options.args = {"--spool", spool.string()};
+    ServeProcess daemon(options);
+    const JsonValue step =
+        parse_response(daemon.request(step_line("s", "s-000001")));
+    EXPECT_EQ(error_code(step), -32002) << label;
+    const std::string message =
+        step.find("error")->find("message")->as_string();
+    EXPECT_EQ(message.rfind("session unrecoverable", 0), 0u)
+        << label << ": " << message;
+    EXPECT_TRUE(fs::exists(spool / "s-000001.checkpoint.json.corrupt"))
+        << label << ": corrupt checkpoint was not quarantined";
+    // Still -32002 on retry (the checkpoint is gone now, not corrupt).
+    EXPECT_EQ(error_code(parse_response(
+                  daemon.request(step_line("s2", "s-000001")))),
+              -32002)
+        << label;
+    // The daemon is unharmed: a fresh session works end to end.
+    const JsonValue create =
+        parse_response(daemon.request(create_line("c2", spec)));
+    ASSERT_EQ(error_code(create), 0) << label;
+    const std::string fresh =
+        result_of(create).find("session")->as_string();
+    EXPECT_EQ(error_code(parse_response(
+                  daemon.request(step_line("s3", fresh)))),
+              0)
+        << label;
+    EXPECT_EQ(daemon.close_and_wait(), 0) << label;
+  }
+}
+
+/// Admission control: --max-sessions refuses create with -32005
+/// "overloaded" plus a machine-readable retry hint, and closing a session
+/// frees the slot.
+TEST(ServeRobustness, OverloadedCreateGetsTypedErrorWithRetryHint) {
+  const fs::path dir = scratch_dir("overload");
+  const auto spec = scenario_spec(dir);
+  ServeProcess::Options options;
+  options.args = {"--max-sessions", "2"};
+  ServeProcess daemon(options);
+
+  EXPECT_EQ(error_code(parse_response(
+                daemon.request(create_line("a", spec)))),
+            0);
+  EXPECT_EQ(error_code(parse_response(
+                daemon.request(create_line("b", spec)))),
+            0);
+  const JsonValue refused =
+      parse_response(daemon.request(create_line("c", spec)));
+  EXPECT_EQ(error_code(refused), -32005);
+  const JsonValue* error = refused.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->find("message")->as_string().rfind("overloaded", 0), 0u);
+  const JsonValue* data = error->find("data");
+  ASSERT_NE(data, nullptr) << "overloaded error carries no data";
+  EXPECT_EQ(data->find("retry_after_ms")->as_int64(), 50);
+
+  // Existing sessions keep working while the pool is full…
+  EXPECT_EQ(error_code(parse_response(
+                daemon.request(step_line("s", "s-000001")))),
+            0);
+  // …and closing one frees an admission slot.
+  EXPECT_EQ(error_code(parse_response(daemon.request(
+                session_line("x", "session.close", "s-000002")))),
+            0);
+  EXPECT_EQ(error_code(parse_response(
+                daemon.request(create_line("d", spec)))),
+            0);
+  EXPECT_EQ(daemon.close_and_wait(), 0);
+}
+
+/// Injected non-fatal faults degrade, not crash: a failed spool write is
+/// absorbed (the request still succeeds, byte-identically; the session
+/// stays live), and a failed restore is a typed -32002 that clears once
+/// the one-shot fault has fired.
+TEST(ServeRobustness, InjectedFaultsDegradeGracefully) {
+  const fs::path dir = scratch_dir("inject");
+  const auto spec = scenario_spec(dir);
+
+  // Golden responses: no faults, no spool.
+  std::vector<std::string> golden;
+  {
+    ServeProcess daemon;
+    golden.push_back(daemon.request(create_line("c", spec)));
+    golden.push_back(daemon.request(step_line("s1", "s-000001")));
+    golden.push_back(daemon.request(step_line("s2", "s-000001")));
+    EXPECT_EQ(daemon.close_and_wait(), 0);
+  }
+
+  // fsync fails on the 3rd hit — during the first step's eviction (hits 1
+  // and 2 are the create's spec + checkpoint writes). The step response
+  // must be byte-identical anyway; the failure lands in spool_failures.
+  {
+    const fs::path spool = dir / "spool-fsync";
+    fs::create_directories(spool);
+    ServeProcess::Options options;
+    options.args = {"--spool", spool.string(), "--evict-every-request",
+                    "--faults", "fsio.fsync:nth=3"};
+    ServeProcess daemon(options);
+    EXPECT_EQ(daemon.request(create_line("c", spec)), golden[0]);
+    EXPECT_EQ(daemon.request(step_line("s1", "s-000001")), golden[1]);
+    EXPECT_EQ(daemon.request(step_line("s2", "s-000001")), golden[2]);
+    const JsonValue stats = parse_response(
+        daemon.request(frote::testing::rpc_line("st", "server.stats")));
+    EXPECT_EQ(result_of(stats).find("spool_failures")->as_int64(), 1);
+    EXPECT_EQ(daemon.close_and_wait(), 0);
+  }
+
+  // A restore fault is typed and transient: -32002 while it fires, then
+  // the session hydrates fine (and matches golden bytes).
+  {
+    const fs::path spool = dir / "spool-restore";
+    fs::create_directories(spool);
+    ServeProcess::Options options;
+    options.args = {"--spool", spool.string(), "--evict-every-request",
+                    "--faults", "pool.restore:nth=1"};
+    ServeProcess daemon(options);
+    EXPECT_EQ(daemon.request(create_line("c", spec)), golden[0]);
+    const JsonValue failed =
+        parse_response(daemon.request(step_line("s1", "s-000001")));
+    EXPECT_EQ(error_code(failed), -32002);
+    EXPECT_EQ(daemon.request(step_line("s1", "s-000001")), golden[1]);
+    EXPECT_EQ(daemon.request(step_line("s2", "s-000001")), golden[2]);
+    EXPECT_EQ(daemon.close_and_wait(), 0);
+  }
+}
+
+/// The HTTP listener's read deadline: a client that connects and then
+/// stalls mid-header is answered with 408 (not held forever, not dropped
+/// silently), and the daemon goes on serving fast clients.
+TEST(ServeRobustness, SlowClientGetsRequestTimeout) {
+  const fs::path dir = scratch_dir("slowloris");
+  const auto spec = scenario_spec(dir);
+  const fs::path port_file = dir / "port.txt";
+  ServeProcess::Options options;
+  options.args = {"--http", "--port-file", port_file.string(),
+                  "--read-timeout-ms", "200"};
+  ServeProcess daemon(options);
+  std::string port_text;
+  for (int i = 0; i < 100 && port_text.empty(); ++i) {
+    std::ifstream in(port_file);
+    std::getline(in, port_text);
+    if (port_text.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  ASSERT_FALSE(port_text.empty()) << "daemon never published its port";
+  const auto port = static_cast<std::uint16_t>(std::stoi(port_text));
+
+  // Raw slow client: half a request line, then silence.
+  const int sock = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(sock, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(connect(sock, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  const char partial[] = "POST /rpc HT";
+  ASSERT_EQ(write(sock, partial, sizeof partial - 1),
+            static_cast<ssize_t>(sizeof partial - 1));
+  std::string response;
+  char chunk[512];
+  for (;;) {
+    const ssize_t n = read(sock, chunk, sizeof chunk);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  close(sock);
+  EXPECT_EQ(response.rfind("HTTP/1.1 408", 0), 0u)
+      << "stalled client got: " << response.substr(0, 64);
+
+  // The listener survives: a normal request still round-trips.
+  const auto ok =
+      frote::net::http_post(port, "/rpc", create_line("c", spec) + "\n");
+  ASSERT_TRUE(ok.has_value()) << ok.error().message;
+  EXPECT_EQ(ok->status, 200);
+
   daemon.terminate();
   EXPECT_EQ(daemon.wait(), 0);
 }

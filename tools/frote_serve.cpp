@@ -36,10 +36,14 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <thread>
+
 #include "frote/core/session_pool.hpp"
 #include "frote/core/spec.hpp"
 #include "frote/net/http.hpp"
 #include "frote/net/jsonrpc.hpp"
+#include "frote/util/faultsim.hpp"
 #include "frote/util/fsio.hpp"
 #include "cli_common.hpp"
 
@@ -58,12 +62,19 @@ struct Options {
   std::string port_file;
   std::string spool;
   std::size_t max_live = 8;
+  std::size_t max_sessions = 0;
   bool evict_every_request = false;
   int threads = 0;
   std::size_t max_request_bytes = std::size_t{1} << 20;
+  int read_timeout_ms = 5000;
+  // Deterministic fault injection (util/faultsim.hpp), merged with the
+  // FROTE_FAULTS environment variable.
+  std::string faults;
+  std::size_t faults_seed = 0;
   // Client mode: POST each line of --script to a listening daemon.
   int drive_port = -1;
   std::string script;
+  int retries = 3;  // --drive connect retries (deterministic backoff)
   bool help = false;
 };
 
@@ -88,6 +99,19 @@ void print_usage(std::ostream& os) {
         "                         spec / FROTE_NUM_THREADS)\n"
         "  --max-request-bytes N  reject longer request lines/bodies\n"
         "                         (default 1048576)\n"
+        "  --max-sessions N       refuse session.create beyond N open\n"
+        "                         sessions with an \"overloaded\" error\n"
+        "                         (default 0 = unbounded)\n"
+        "  --read-timeout-ms N    HTTP per-request read deadline; slow or\n"
+        "                         stalled clients get 408 (default 5000,\n"
+        "                         0 = no deadline)\n"
+        "  --faults SPEC          deterministic fault injection, e.g.\n"
+        "                         \"fsio.rename:nth=2:kill\" (see also the\n"
+        "                         FROTE_FAULTS environment variable)\n"
+        "  --faults-seed N        seed for prob= fault schedules (default 0)\n"
+        "  --retries N            --drive: connect retries with\n"
+        "                         deterministic exponential backoff\n"
+        "                         (default 3)\n"
         "  --help                 show this message\n";
 }
 
@@ -130,6 +154,29 @@ bool parse_args(int argc, char** argv, Options& options) {
                              options.max_request_bytes)) {
         return false;
       }
+    } else if (arg == "--max-sessions") {
+      if (!args.value_for(i, "max-sessions", value) ||
+          !args.parse_number("max-sessions", value, options.max_sessions)) {
+        return false;
+      }
+    } else if (arg == "--read-timeout-ms") {
+      if (!args.value_for(i, "read-timeout-ms", value) ||
+          !args.parse_number("read-timeout-ms", value,
+                             options.read_timeout_ms)) {
+        return false;
+      }
+    } else if (arg == "--faults") {
+      if (!args.value_for(i, "faults", options.faults)) return false;
+    } else if (arg == "--faults-seed") {
+      if (!args.value_for(i, "faults-seed", value) ||
+          !args.parse_number("faults-seed", value, options.faults_seed)) {
+        return false;
+      }
+    } else if (arg == "--retries") {
+      if (!args.value_for(i, "retries", value) ||
+          !args.parse_number("retries", value, options.retries)) {
+        return false;
+      }
     } else if (arg == "--drive") {
       if (!args.value_for(i, "drive", value) ||
           !args.parse_number("drive", value, options.drive_port)) {
@@ -160,17 +207,44 @@ bool parse_args(int argc, char** argv, Options& options) {
   if (options.max_request_bytes == 0) {
     return args.usage_error("--max-request-bytes must be positive");
   }
+  if (options.read_timeout_ms < 0) {
+    return args.usage_error("--read-timeout-ms must be >= 0");
+  }
+  if (options.retries < 0) {
+    return args.usage_error("--retries must be >= 0");
+  }
   return true;
 }
 
-/// Protocol code for a pool/engine failure. The pool reports stale ids as
-/// invalid_argument("no such session: ..."); the protocol distinguishes
-/// them (-32001) from genuinely bad params (-32602).
+/// Protocol code for a pool/engine failure. The pool reports typed
+/// conditions as message prefixes; the protocol distinguishes stale ids
+/// (-32001), lost durable state (-32002), and admission refusals (-32005)
+/// from genuinely bad params (-32602) / internal faults (-32603).
 int code_for(const FroteError& error) {
   if (error.message.rfind("no such session", 0) == 0) {
     return frote::net::kSessionNotFound;
   }
+  if (error.message.rfind("session unrecoverable", 0) == 0) {
+    return frote::net::kSessionUnrecoverable;
+  }
+  if (error.message.rfind("overloaded", 0) == 0) {
+    return frote::net::kOverloaded;
+  }
   return frote::net::rpc_code_for(error);
+}
+
+/// Error envelope for a pool failure. Overloaded responses carry a
+/// machine-readable retry hint so clients can back off without parsing
+/// the message text.
+std::string pool_error_line(const JsonValue& id, const FroteError& error) {
+  const int code = code_for(error);
+  if (code == frote::net::kOverloaded) {
+    JsonValue data = JsonValue::object();
+    data.set("retry_after_ms", std::int64_t{50});
+    return frote::net::rpc_error_line(id, code, error.message,
+                                      std::move(data));
+  }
+  return frote::net::rpc_error_line(id, code, error.message);
 }
 
 JsonValue step_outcome_json(const std::string& id,
@@ -213,7 +287,7 @@ std::string dispatch(SessionPool& pool, const frote::net::RpcRequest& req) {
       return rpc_error_line(req.id, kInvalidParams, spec.error().message);
     }
     auto id = pool.create(*spec);
-    if (!id) return rpc_error_line(req.id, code_for(id.error()), id.error().message);
+    if (!id) return pool_error_line(req.id, id.error());
     JsonValue result = JsonValue::object();
     result.set("session", *id);
     return rpc_result_line(req.id, std::move(result));
@@ -234,10 +308,7 @@ std::string dispatch(SessionPool& pool, const frote::net::RpcRequest& req) {
       steps = static_cast<std::size_t>(raw->as_int64());
     }
     auto outcome = pool.step(*id, steps);
-    if (!outcome) {
-      return rpc_error_line(req.id, code_for(outcome.error()),
-                            outcome.error().message);
-    }
+    if (!outcome) return pool_error_line(req.id, outcome.error());
     return rpc_result_line(req.id, step_outcome_json(*id, *outcome));
   }
   const auto simple = [&](auto method) -> std::string {
@@ -247,10 +318,7 @@ std::string dispatch(SessionPool& pool, const frote::net::RpcRequest& req) {
                             "params.session must be a session-id string");
     }
     auto result = (pool.*method)(*id);
-    if (!result) {
-      return rpc_error_line(req.id, code_for(result.error()),
-                            result.error().message);
-    }
+    if (!result) return pool_error_line(req.id, result.error());
     return rpc_result_line(req.id, std::move(*result));
   };
   if (req.method == "session.snapshot") return simple(&SessionPool::snapshot);
@@ -386,7 +454,11 @@ int serve_http(SessionPool& pool, const Options& options) {
                         "\n";
         return response;
       },
-      options.max_request_bytes);
+      frote::net::HttpLimits{
+          /*max_body_bytes=*/options.max_request_bytes,
+          /*max_header_bytes=*/std::size_t{64} << 10,
+          /*read_timeout_ms=*/options.read_timeout_ms,
+      });
   g_http_server = nullptr;
   return 0;
 }
@@ -404,8 +476,18 @@ int drive(const Options& options) {
   std::string line;
   while (std::getline(script, line)) {
     if (line.empty()) continue;
+    // Bounded deterministic backoff on transport failures (daemon still
+    // starting, listen queue momentarily full): fixed 10ms << attempt
+    // delays, no jitter — retry timing is part of the reproducible
+    // behaviour, and response *bytes* stay identical to the stdio run
+    // because only transport errors are retried, never responses.
     auto response = frote::net::http_post(
         static_cast<std::uint16_t>(options.drive_port), "/rpc", line + "\n");
+    for (int attempt = 0; !response && attempt < options.retries; ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10 << attempt));
+      response = frote::net::http_post(
+          static_cast<std::uint16_t>(options.drive_port), "/rpc", line + "\n");
+    }
     if (!response) {
       std::cerr << "frote_serve: " << response.error().message << "\n";
       return 2;
@@ -430,6 +512,20 @@ int main(int argc, char** argv) {
   }
   if (options.drive_port >= 0) return drive(options);
 
+  // Fault injection arms only from explicit configuration — the env var
+  // or the flag (the flag wins). A malformed spec is a usage error: a
+  // typo'd spec that silently injected nothing would fake the coverage
+  // its user asked for.
+  try {
+    frote::faultsim::configure_from_env();
+    if (!options.faults.empty()) {
+      frote::faultsim::configure(options.faults, options.faults_seed);
+    }
+  } catch (const frote::Error& e) {
+    std::cerr << "frote_serve: " << e.what() << "\n";
+    return 1;
+  }
+
   if (pipe(g_signal_pipe) != 0) {
     std::cerr << "frote_serve: pipe: " << std::strerror(errno) << "\n";
     return 2;
@@ -439,6 +535,7 @@ int main(int argc, char** argv) {
   SessionPoolConfig config;
   config.spool_dir = options.spool;
   config.max_live = options.max_live;
+  config.max_sessions = options.max_sessions;
   config.evict_every_request = options.evict_every_request;
   config.threads = options.threads;
   SessionPool pool(config);
