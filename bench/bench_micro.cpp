@@ -16,6 +16,7 @@
 #include "frote/core/engine.hpp"
 #include "frote/core/frote.hpp"
 #include "frote/core/generate.hpp"
+#include "frote/core/registry.hpp"
 #include "frote/data/generators.hpp"
 #include "frote/exp/learners.hpp"
 #include "frote/metrics/metrics.hpp"
@@ -123,6 +124,32 @@ BENCHMARK(BM_TrainModel)
     ->Arg(static_cast<int>(LearnerKind::kLR))
     ->Arg(static_cast<int>(LearnerKind::kRF))
     ->Arg(static_cast<int>(LearnerKind::kLGBM));
+
+void BM_ModelUpdate(benchmark::State& state) {
+  // Learner::update() on a dataset grown by one accepted batch (η = 20 rows):
+  // the accept-path retrain cost the session pays per committed edit, vs the
+  // from-scratch cost BM_TrainModel measures. "rf" is the exact incremental
+  // override (bitwise ≡ train); lr_warm / gbdt_additive are the opt-in
+  // approximate warm starts (docs/DESIGN.md §10).
+  static constexpr const char* kNames[] = {"rf", "lr_warm", "gbdt_additive"};
+  const char* name = kNames[state.range(0)];
+  const auto& base = adult(1000);
+  LearnerSpec spec;
+  spec.seed = 42;
+  spec.fast = true;
+  const auto learner = make_named_learner(name, spec).value();
+  Dataset data(base);
+  const std::size_t trained_rows = data.size();
+  const auto previous = learner->train(data);
+  for (std::size_t i = 0; i < 20; ++i) {
+    data.add_row(base.row(i), base.label(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(learner->update(*previous, data, trained_rows));
+  }
+  state.SetLabel(name);
+}
+BENCHMARK(BM_ModelUpdate)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_ObjectiveEval(benchmark::State& state) {
   const auto& data = adult(2000);

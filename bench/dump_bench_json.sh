@@ -4,17 +4,26 @@
 # in BENCH_micro.json; ci.sh refreshes a build-local copy every run).
 #
 # Works against both benchmark runners: the real google-benchmark and the
-# vendored minibenchmark shim accept --benchmark_format=json.
+# vendored minibenchmark shim accept --benchmark_format=json and
+# --benchmark_filter=<regex>.
 #
 # Usage:
 #   bench/dump_bench_json.sh [build-dir] [out.json]
 #   MINIBENCH_MIN_TIME=0.05 bench/dump_bench_json.sh build BENCH_micro.json
+#
+# Multicore leg: FROTE_BENCH_THREADS="1 2 4" reruns the thread-sensitive hot
+# paths (BM_FroteIteration / BM_IpSelection / BM_SessionStepAccept) once per
+# count and merges them into the output as "<name>/threads:<n>" rows, next to
+# the main (default-threads) table. bench_compare.py diffs those rows by name
+# like any other benchmark, so the committed BENCH_micro.json carries a
+# per-thread-count baseline — the scaling table.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${1:-build}
 OUT=${2:-BENCH_micro.json}
 BIN="$BUILD_DIR/bench/bench_micro"
+SWEEP_FILTER='^(BM_FroteIteration|BM_IpSelection|BM_SessionStepAccept)'
 
 if [[ ! -x "$BIN" ]]; then
   echo "dump_bench_json: $BIN not built (run cmake --build $BUILD_DIR first)" >&2
@@ -27,4 +36,35 @@ fi
 export MINIBENCH_MIN_TIME=${MINIBENCH_MIN_TIME:-0.05}
 
 "$BIN" --benchmark_format=json > "$OUT"
+
+if [[ -n "${FROTE_BENCH_THREADS:-}" ]]; then
+  SWEEP_DIR=$(mktemp -d)
+  trap 'rm -rf "$SWEEP_DIR"' EXIT
+  for count in $FROTE_BENCH_THREADS; do
+    FROTE_NUM_THREADS=$count "$BIN" --benchmark_format=json \
+      --benchmark_filter="$SWEEP_FILTER" > "$SWEEP_DIR/threads_$count.json"
+  done
+  python3 - "$OUT" "$SWEEP_DIR" <<'PY'
+import json
+import pathlib
+import sys
+
+out_path, sweep_dir = sys.argv[1], pathlib.Path(sys.argv[2])
+with open(out_path) as fh:
+    doc = json.load(fh)
+for path in sorted(sweep_dir.glob("threads_*.json"),
+                   key=lambda p: int(p.stem.split("_")[1])):
+    count = path.stem.split("_")[1]
+    with open(path) as fh:
+        sweep = json.load(fh)
+    for bench in sweep.get("benchmarks", []):
+        row = dict(bench)
+        row["name"] = f"{row['name']}/threads:{count}"
+        doc["benchmarks"].append(row)
+with open(out_path, "w") as fh:
+    json.dump(doc, fh, indent=2)
+    fh.write("\n")
+PY
+fi
+
 echo "dump_bench_json: wrote $(grep -c '"name"' "$OUT") benchmark entries to $OUT" >&2

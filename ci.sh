@@ -33,9 +33,11 @@ echo "=== determinism leg: FROTE_NUM_THREADS=4 ==="
 # test_workspace includes a full IP-selection session, so the leg covers the
 # selector/generator thread plumbing as well as the retrain/eval paths;
 # test_checkpoint/test_spec add snapshot-resume and the plan driver;
+# test_incremental_learners locks update() ≡ train() and the certified
+# neighborhood cache under the pool;
 # test_serve drives the daemon end-to-end (its own suites re-check 1 vs 4).
 FROTE_NUM_THREADS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'test_parallel|test_determinism|test_engine_api|test_workspace|test_checkpoint|test_spec|test_serve|test_chunks|test_sharded_knn'
+  -R 'test_parallel|test_determinism|test_engine_api|test_workspace|test_checkpoint|test_spec|test_serve|test_chunks|test_sharded_knn|test_incremental_learners'
 
 # Spec-driven leg: run a small declarative plan to completion (golden),
 # then the same plan interrupted mid-run (--max-steps leaves per-run
@@ -169,7 +171,11 @@ fi
 # failing; investigate any "<< REGRESSION" line before merging.
 if [[ "${FROTE_CI_SKIP_BENCH:-0}" != "1" ]]; then
   echo "=== bench baseline: bench_micro -> $BUILD_DIR/BENCH_micro.json ==="
-  bench/dump_bench_json.sh "$BUILD_DIR" "$BUILD_DIR/BENCH_micro.json"
+  # The threads sweep re-times the thread-sensitive hot paths at 1/2/4
+  # workers as <name>/threads:n rows, so the baseline diff also covers the
+  # multicore scaling table the committed BENCH_micro.json records.
+  FROTE_BENCH_THREADS="${FROTE_BENCH_THREADS:-1 2 4}" \
+    bench/dump_bench_json.sh "$BUILD_DIR" "$BUILD_DIR/BENCH_micro.json"
   if command -v python3 > /dev/null; then
     echo "=== bench compare: committed BENCH_micro.json vs fresh run ==="
     python3 tools/bench_compare.py BENCH_micro.json "$BUILD_DIR/BENCH_micro.json"
@@ -177,10 +183,12 @@ if [[ "${FROTE_CI_SKIP_BENCH:-0}" != "1" ]]; then
       # Opt-in hard gate over the load-bearing loop benchmarks. The default
       # leg above stays warn-only: shared runners are too noisy to gate the
       # whole table, but a >25% regression on the FROTE iteration, IP
-      # selection, or the objective evaluation is a perf bug, not noise.
+      # selection, the objective evaluation, the accept path (session step,
+      # incremental model update, snapshot restore), or the serving loop is
+      # a perf bug, not noise.
       echo "=== bench compare (strict): curated hot-path subset ==="
       python3 tools/bench_compare.py --strict \
-        --only BM_FroteIteration,BM_IpSelection,BM_ObjectiveEval,BM_ServeRequest,BM_ServeEvictRestore \
+        --only BM_FroteIteration,BM_IpSelection,BM_ObjectiveEval,BM_SessionStepAccept,BM_SnapshotRestore,BM_ModelUpdate,BM_ServeRequest,BM_ServeEvictRestore \
         BENCH_micro.json "$BUILD_DIR/BENCH_micro.json"
     fi
   fi

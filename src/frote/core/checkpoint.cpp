@@ -1,6 +1,7 @@
 #include "frote/core/checkpoint.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -8,6 +9,7 @@
 #include "frote/core/base_population.hpp"
 #include "frote/core/engine_impl.hpp"
 #include "frote/metrics/metrics.hpp"
+#include "frote/util/hash.hpp"
 #include "frote/util/json_reader.hpp"
 
 namespace frote {
@@ -146,7 +148,9 @@ JsonValue SessionCheckpoint::to_json() const {
   state.set("iterations_accepted", iterations_accepted);
   state.set("instances_added", instances_added);
   state.set("consecutive_rejections", consecutive_rejections);
+  state.set("model_updates", model_updates);
   state.set("done", done);
+  if (dataset_digest != 0) state.set("digest", dataset_digest);
   out.set("state", std::move(state));
 
   JsonValue trace_json = JsonValue::array();
@@ -253,6 +257,10 @@ Expected<SessionCheckpoint, FroteError> SessionCheckpoint::from_json(
     state_reader.require("consecutive_rejections",
                          ckpt.consecutive_rejections);
     state_reader.require("done", ckpt.done);
+    // v2 additions — optional so v1 checkpoints keep restoring (they take
+    // the full verification path and report zero incremental updates).
+    state_reader.read("model_updates", ckpt.model_updates);
+    state_reader.read("digest", ckpt.dataset_digest);
     if (!state_reader.ok()) return state_reader.take_error();
 
     auto trace = require(json, "trace");
@@ -272,6 +280,27 @@ Expected<SessionCheckpoint, FroteError> SessionCheckpoint::from_json(
     return FroteError::parse_error(std::string("invalid checkpoint: ") +
                                    e.what());
   }
+}
+
+std::uint64_t SessionCheckpoint::compute_digest(
+    std::string_view learner_name) const {
+  // Bit patterns, not numeric values: the digest is a *byte*-identity
+  // witness, so -0.0 vs 0.0 or NaN payloads must not collide.
+  Fnv1a64 h;
+  h.update(learner_name);
+  h.update_u64(static_cast<std::uint64_t>(labels.size()));
+  for (const double v : values) h.update_u64(std::bit_cast<std::uint64_t>(v));
+  for (const int label : labels) {
+    h.update_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(label)));
+  }
+  for (const std::uint64_t id : row_ids) h.update_u64(id);
+  h.update_u64(next_row_id);
+  h.update_u64(dataset_version);
+  h.update_u64(append_epoch);
+  h.update_u64(model_version);
+  h.update_u64(std::bit_cast<std::uint64_t>(best_j_bar));
+  const std::uint64_t digest = h.digest();
+  return digest != 0 ? digest : 1;  // 0 is reserved for "absent"
 }
 
 std::string SessionCheckpoint::to_json_text(int indent) const {
@@ -329,14 +358,22 @@ SessionCheckpoint Session::snapshot() const {
   ckpt.iterations_accepted = iterations_accepted_;
   ckpt.instances_added = added_;
   ckpt.consecutive_rejections = consecutive_rejections_;
+  ckpt.model_updates = model_updates_;
   ckpt.done = done_;
   ckpt.trace = trace_;
+  ckpt.dataset_digest = ckpt.compute_digest(learner_->name());
   return ckpt;
 }
 
 Expected<Session, FroteError> Session::restore(
     const Engine& engine, const Learner& learner,
     const SessionCheckpoint& ckpt) {
+  return restore(engine, learner, ckpt, SessionRestoreOptions{});
+}
+
+Expected<Session, FroteError> Session::restore(
+    const Engine& engine, const Learner& learner,
+    const SessionCheckpoint& ckpt, SessionRestoreOptions options) {
   if (ckpt.schema == nullptr) {
     return FroteError::invalid_argument("checkpoint has no schema");
   }
@@ -381,6 +418,7 @@ Expected<Session, FroteError> Session::restore(
   session.iterations_accepted_ = ckpt.iterations_accepted;
   session.added_ = ckpt.instances_added;
   session.consecutive_rejections_ = ckpt.consecutive_rejections;
+  session.model_updates_ = ckpt.model_updates;
   session.trace_ = ckpt.trace;
   session.done_ = ckpt.done;
 
@@ -389,31 +427,51 @@ Expected<Session, FroteError> Session::restore(
   // is locked bit-identical to the incremental state the original session
   // carried (update_base_population ≡ preselect_base_population; every
   // workspace cache read ≡ recomputing; retraining ≡ the accepted model).
-  session.model_ = learner.train(session.active_);
+  //
+  // A verified digest (the v2 byte-identity witness over dataset payload +
+  // learner name + recorded Ĵ̄) proves the checkpoint still binds the exact
+  // bytes snapshot() saw, which licenses the two warm shortcuts:
+  //   - install a stashed model instead of retraining, when the caller can
+  //     prove it is the snapshotting session's own model (version match);
+  //   - trust the recorded best_j_bar without the verification sweep —
+  //     recomputing it would reproduce the same value by the determinism
+  //     contract. v1 checkpoints (digest 0), hand-edited files, or digest
+  //     mismatches all take the original recompute-and-cross-check path,
+  //     so corruption detection is never weaker than before.
+  const bool digest_ok =
+      ckpt.dataset_digest != 0 &&
+      ckpt.dataset_digest == ckpt.compute_digest(learner.name());
+  const bool warm_model_ok = digest_ok && options.warm_model != nullptr &&
+                             options.warm_model_version == ckpt.model_version;
+  session.model_ = warm_model_ok ? std::move(options.warm_model)
+                                 : learner.train(session.active_);
   session.ws_ = std::make_unique<SessionWorkspace>(config.threads);
   session.ws_->set_model_stamp(session.model_version_);
   if (!frs.empty() && config.q != 0.0) {
     session.bp_ = preselect_base_population(session.active_, frs, config.k);
     session.ws_->bind(session.active_);
   }
-  const double recomputed_j_bar =
-      train_j_hat_bar(*session.model_, frs, session.active_, config.threads,
-                      session.ws_->predictions(), session.model_version_);
-  // Consistency cross-check. Within one binary the recomputation is
-  // bit-identical, but a checkpoint restored under different FP codegen
-  // (another arch / compiler / contraction policy) may legitimately drift
-  // by ulps — so tolerate tiny relative error rather than falsely
-  // rejecting a good checkpoint. Real corruption (wrong dataset, wrong
-  // learner, tampered rows) moves Ĵ̄ by orders of magnitude more. The
-  // session proceeds from the *recorded* value either way, preserving
-  // exact resume within a binary.
-  const double tolerance =
-      1e-9 * std::max(1.0, std::abs(ckpt.best_j_bar));
-  if (!(std::abs(recomputed_j_bar - ckpt.best_j_bar) <= tolerance)) {
-    return FroteError::invalid_argument(
-        "checkpoint is inconsistent: Ĵ̄ of the model retrained on the "
-        "restored D̂ does not match the recorded best_j_bar — the checkpoint "
-        "was corrupted or belongs to a different engine/learner");
+  if (!digest_ok) {
+    const double recomputed_j_bar =
+        train_j_hat_bar(*session.model_, frs, session.active_, config.threads,
+                        session.ws_->predictions(), session.model_version_);
+    // Consistency cross-check. Within one binary the recomputation is
+    // bit-identical, but a checkpoint restored under different FP codegen
+    // (another arch / compiler / contraction policy) may legitimately drift
+    // by ulps — so tolerate tiny relative error rather than falsely
+    // rejecting a good checkpoint. Real corruption (wrong dataset, wrong
+    // learner, tampered rows) moves Ĵ̄ by orders of magnitude more. The
+    // session proceeds from the *recorded* value either way, preserving
+    // exact resume within a binary.
+    const double tolerance =
+        1e-9 * std::max(1.0, std::abs(ckpt.best_j_bar));
+    if (!(std::abs(recomputed_j_bar - ckpt.best_j_bar) <= tolerance)) {
+      return FroteError::invalid_argument(
+          "checkpoint is inconsistent: Ĵ̄ of the model retrained on the "
+          "restored D̂ does not match the recorded best_j_bar — the "
+          "checkpoint was corrupted or belongs to a different "
+          "engine/learner");
+    }
   }
   return session;
 }

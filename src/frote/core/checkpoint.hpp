@@ -44,7 +44,11 @@
 namespace frote {
 
 struct SessionCheckpoint {
-  static constexpr std::uint64_t kFormatVersion = 1;
+  /// v2 adds state.digest (the dataset/learner/Ĵ̄ binding witness that lets
+  /// restore skip the verification retrain sweep) and state.model_updates.
+  /// Both are optional on read, so v1 checkpoints restore unchanged — they
+  /// just pay the full verification path.
+  static constexpr std::uint64_t kFormatVersion = 2;
 
   // -- D̂ ---------------------------------------------------------------
   std::shared_ptr<const Schema> schema;
@@ -73,8 +77,22 @@ struct SessionCheckpoint {
   std::size_t iterations_accepted = 0;
   std::size_t instances_added = 0;
   std::size_t consecutive_rejections = 0;
+  std::uint64_t model_updates = 0;
   bool done = false;
   std::vector<ProgressPoint> trace;
+
+  /// FNV-1a over the dataset payload bytes, the loop identity (model
+  /// version, best Ĵ̄ bits) and the learner name — written by
+  /// Session::snapshot(). 0 = absent (v1 checkpoint or hand-built struct).
+  /// When restore() recomputes the same value it may trust the recorded
+  /// best_j_bar without the verification sweep; any mismatch (or absence)
+  /// falls back to the full recompute-and-cross-check path, so tampering
+  /// detection is never weaker than v1.
+  std::uint64_t dataset_digest = 0;
+
+  /// The digest over this checkpoint's own fields plus `learner_name`;
+  /// what snapshot() stores in dataset_digest and restore() verifies.
+  std::uint64_t compute_digest(std::string_view learner_name) const;
 
   JsonValue to_json() const;
   static Expected<SessionCheckpoint, FroteError> from_json(

@@ -393,7 +393,13 @@ StepReport Session::step() {
   // candidate's per-row predictions fill the workspace cache under the
   // next model stamp — if the batch is accepted they are exactly the new
   // model's predictions over the new D̂, ready for the next selection.
-  auto candidate_model = learner_->train(active_);
+  // The retrain goes through Learner::update with the previous model and
+  // the size of the unchanged prefix: exact learners prove bit-identity to
+  // train(D′) and reuse what the append cannot have changed; the default
+  // update IS train(D′); approximate warm variants are opt-in registry
+  // names (docs/DESIGN.md §10).
+  auto candidate_model = learner_->update(*model_, active_, staged_at);
+  ++model_updates_;
   const std::uint64_t candidate_stamp = ++model_stamp_counter_;
   const double j_bar = train_j_hat_bar(*candidate_model, engine_->frs,
                                        active_, engine_->config.threads,

@@ -153,6 +153,17 @@ class Engine::Builder {
   std::string spec_gap_;
 };
 
+/// Optional warm-start inputs for Session::restore(). The pool stashes an
+/// evicted session's model (Session::release_model) and passes it back on
+/// rehydration: when `warm_model_version` equals the checkpoint's recorded
+/// model version — and the checkpoint's dataset digest verifies — the model
+/// is installed as-is instead of being retrained. Exact by object identity:
+/// it is literally the model the snapshotting session carried.
+struct SessionRestoreOptions {
+  std::unique_ptr<Model> warm_model;
+  std::uint64_t warm_model_version = 0;
+};
+
 /// One live edit over a dataset. Move-only; create via Engine::open().
 class Session {
  public:
@@ -212,6 +223,21 @@ class Session {
   static Expected<Session, FroteError> restore(
       const Engine& engine, const Learner& learner,
       const SessionCheckpoint& checkpoint);
+  /// Warm-path overload: may install options.warm_model instead of
+  /// retraining (see SessionRestoreOptions for the exactness argument).
+  static Expected<Session, FroteError> restore(
+      const Engine& engine, const Learner& learner,
+      const SessionCheckpoint& checkpoint, SessionRestoreOptions options);
+
+  /// How many times the accept path has routed a retrain through
+  /// Learner::update() (server.stats observability; survives checkpoints).
+  std::uint64_t model_updates() const { return model_updates_; }
+  /// Version stamp of the current model — pairs with release_model() so a
+  /// pool can prove a stashed model still matches a checkpoint.
+  std::uint64_t model_version() const { return model_version_; }
+  /// Hand the trained model out of a session about to be dropped (pool
+  /// eviction); the session must not be used afterwards.
+  std::unique_ptr<Model> release_model() && { return std::move(model_); }
 
   /// Finalize into the classic FroteResult, handing over the model and the
   /// augmented dataset. Consumes the session: `std::move(session).result()`.
@@ -252,6 +278,7 @@ class Session {
   std::size_t iterations_accepted_ = 0;
   std::size_t added_ = 0;
   std::size_t consecutive_rejections_ = 0;
+  std::uint64_t model_updates_ = 0;
   std::vector<ProgressPoint> trace_;
   std::vector<std::shared_ptr<ProgressObserver>> observers_;
   bool done_ = false;  // exhausted, or nothing to do (empty F / q == 0)

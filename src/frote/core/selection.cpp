@@ -54,17 +54,21 @@ std::vector<double> subset_weights(const Dataset& data, const Model& model,
                                    const std::vector<std::size_t>& rows,
                                    const IpSelectorConfig& config,
                                    SessionWorkspace* ws) {
-  // Workspace path: the fitted distance and the full-dataset index come
-  // from the session caches (bit-identical to fitting/building here — see
-  // ColumnMoments / KnnIndex::try_append); standalone callers fit locally.
+  // Workspace path: the (k+1)-neighbourhoods come from the session's
+  // incremental cache — bit-identical to querying a fresh index, but an
+  // accepted batch only rescores candidates against (kept list ∪ appended
+  // rows) for rows whose certificate holds (SessionWorkspace::
+  // neighborhoods). Standalone callers fit and query locally; that path is
+  // the from-scratch reference the equivalence tests compare against.
   std::optional<MixedDistance> local_distance;
   std::unique_ptr<KnnIndex> local_knn;
   const std::size_t k = std::min(config.borderline_k, data.size() - 1);
   std::vector<double> weights(rows.size(), config.other_weight);
   if (k == 0) return weights;
   KnnIndex* knn = nullptr;
+  std::vector<const RowNeighborhood*> hoods;
   if (ws != nullptr) {
-    knn = &ws->index();
+    hoods = ws->neighborhoods(rows, k);
   } else {
     local_distance = MixedDistance::fit(data);
     KnnIndexConfig index_config;
@@ -108,13 +112,25 @@ std::vector<double> subset_weights(const Dataset& data, const Model& model,
           model.predict_proba_into(data.row(j), proba);
           return argmax_class(proba);
         };
+        std::vector<Neighbor> local_neighbors;
         for (std::size_t s = begin; s < end; ++s) {
           const std::size_t i = rows[s];
           const int own = predict_row(i);
-          auto neighbors = knn->query(data.row(i), k + 1);
+          // Both sources are the same (squared distance, dataset row)
+          // ascending order, so the counting loop sees identical rows.
+          const std::vector<Neighbor>* neighbors;
+          if (ws != nullptr) {
+            neighbors = &hoods[s]->list;
+          } else {
+            local_neighbors = knn->query(data.row(i), k + 1);
+            for (auto& nb : local_neighbors) {
+              nb.index = knn->dataset_index(nb.index);
+            }
+            neighbors = &local_neighbors;
+          }
           std::size_t same = 0, diff = 0;
-          for (const auto& nb : neighbors) {
-            const std::size_t j = knn->dataset_index(nb.index);
+          for (const auto& nb : *neighbors) {
+            const std::size_t j = nb.index;
             if (j == i) continue;
             if (same + diff == k) break;
             (predict_row(j) == own ? same : diff) += 1;

@@ -94,19 +94,37 @@ struct SessionPool::Entry {
   bool spooled = false;  // <id>.checkpoint.json holds the current state
   std::atomic<std::uint64_t> last_used{0};
 
-  /// Last-observed D̂ geometry, refreshed whenever the session is live in a
-  /// request. Kept outside the Session so server.stats can report every
-  /// session — evicted ones included — without hydrating it (an hydration
-  /// just to answer stats would make the stats call evict-order dependent).
+  /// Warm-restore stash: the model the session carried when it was last
+  /// evicted, plus its version stamp. hydrate() hands both to
+  /// Session::restore(), which installs the model instead of retraining iff
+  /// the checkpoint's digest verifies and the version matches — exact by
+  /// object identity (it is literally the evicted session's model). Guarded
+  /// by `m`, like `live`.
+  std::unique_ptr<Model> warm_model;
+  std::uint64_t warm_model_version = 0;
+
+  /// Last-observed D̂ geometry and loop counters, refreshed whenever the
+  /// session is live in a request. Kept outside the Session so server.stats
+  /// can report every session — evicted ones included — without hydrating
+  /// it (an hydration just to answer stats would make the stats call
+  /// evict-order dependent).
   std::atomic<std::size_t> rows{0};
   std::atomic<std::size_t> chunks{0};
+  std::atomic<std::uint64_t> accepts{0};
+  std::atomic<std::uint64_t> rejects{0};
+  std::atomic<std::uint64_t> model_updates{0};
 
-  /// Refresh rows/chunks from the live session. Caller holds `m`.
+  /// Refresh rows/chunks/counters from the live session. Caller holds `m`.
   void note_geometry() {
     if (!live.has_value()) return;
     const Dataset& data = live->augmented();
     rows.store(data.size(), std::memory_order_relaxed);
     chunks.store(data.chunk_count(), std::memory_order_relaxed);
+    const SessionProgress progress = live->progress();
+    accepts.store(progress.iterations_accepted, std::memory_order_relaxed);
+    rejects.store(progress.iterations_run - progress.iterations_accepted,
+                  std::memory_order_relaxed);
+    model_updates.store(live->model_updates(), std::memory_order_relaxed);
   }
 };
 
@@ -343,8 +361,15 @@ std::optional<FroteError> SessionPool::hydrate(Entry& entry) {
                                        moved.filename().string() +
                                        "): " + checkpoint.error().message);
   }
-  auto restored =
-      Session::restore(entry.engine, *entry.learner, *checkpoint);
+  // Hand back the model stashed at eviction. restore() installs it only if
+  // the checkpoint's digest verifies and the stamp matches — otherwise it
+  // retrains as before and the stash is simply dropped (it is a cache, not
+  // state: the checkpoint alone stays sufficient for recovery).
+  SessionRestoreOptions options;
+  options.warm_model = std::move(entry.warm_model);
+  options.warm_model_version = entry.warm_model_version;
+  auto restored = Session::restore(entry.engine, *entry.learner, *checkpoint,
+                                   std::move(options));
   if (!restored) {
     return unrecoverable(entry.id,
                          "restore failed: " + restored.error().message);
@@ -360,6 +385,13 @@ void SessionPool::evict(Entry& entry) {
   faultsim::hit("pool.evict");
   write_file_durable(spool_path(entry.id, kCheckpointSuffix),
                      entry.live->snapshot().to_json_text() + "\n");
+  entry.note_geometry();
+  // Keep the trained model in memory across the eviction: rehydration
+  // installs it instead of retraining when the checkpoint still matches
+  // (see hydrate). Stashed only after the checkpoint write succeeded — a
+  // failed spool leaves the session live and the old stash untouched.
+  entry.warm_model_version = entry.live->model_version();
+  entry.warm_model = std::move(*entry.live).release_model();
   entry.live.reset();
   entry.spooled = true;
   evictions_.fetch_add(1);
@@ -538,6 +570,10 @@ JsonValue SessionPool::stats() const {
     row.set("state", entry->live.has_value() ? "live" : "evicted");
     row.set("rows", entry->rows.load(std::memory_order_relaxed));
     row.set("chunks", entry->chunks.load(std::memory_order_relaxed));
+    row.set("accepts", entry->accepts.load(std::memory_order_relaxed));
+    row.set("rejects", entry->rejects.load(std::memory_order_relaxed));
+    row.set("model_updates",
+            entry->model_updates.load(std::memory_order_relaxed));
     sessions.push_back(std::move(row));
   }
   JsonValue out = JsonValue::object();

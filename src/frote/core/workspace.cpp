@@ -1,6 +1,58 @@
 #include "frote/core/workspace.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "frote/util/parallel.hpp"
+
 namespace frote {
+
+namespace {
+
+/// min over columns of (new_scale / old_scale)²: multiplying an old squared
+/// distance by this lower-bounds its value under the new fit, because every
+/// per-column squared term rescales by exactly its own ratio². Returns 0.0
+/// (bound degenerates, forcing requeries) when the fits are not comparable
+/// or a scale is non-positive.
+double min_scale_ratio_sq(const MixedDistance& old_fit,
+                          const MixedDistance& new_fit) {
+  if (old_fit.num_columns() != new_fit.num_columns()) return 0.0;
+  double min_r2 = std::numeric_limits<double>::infinity();
+  for (std::size_t f = 0; f < new_fit.num_columns(); ++f) {
+    if (old_fit.column_categorical(f) != new_fit.column_categorical(f)) {
+      return 0.0;
+    }
+    const double old_scale = new_fit.column_categorical(f)
+                                 ? old_fit.categorical_penalty()
+                                 : old_fit.column_inv_std(f);
+    const double new_scale = new_fit.column_categorical(f)
+                                 ? new_fit.categorical_penalty()
+                                 : new_fit.column_inv_std(f);
+    if (!(old_scale > 0.0) || !(new_scale > 0.0)) return 0.0;
+    const double r = new_scale / old_scale;
+    min_r2 = std::min(min_r2, r * r);
+  }
+  if (!std::isfinite(min_r2)) return min_r2 > 0.0 ? 1.0 : 0.0;
+  return min_r2;
+}
+
+/// Margin the certification shaves off its bound: the analytic inequality
+/// new_sq ≥ min_r2 · old_sq is exact over the reals but each side carries
+/// O(d·ε) float rounding, so the strict comparison keeps a relative safety
+/// gap rather than trusting the last few ulps.
+constexpr double kBoundSafety = 1.0 - 1e-9;
+
+/// Candidate entries kept beyond the served (k+1)-prefix. The certificate
+/// only has to prove no row OUTSIDE the stored list reaches the prefix, so
+/// a longer stored list starts `outside_bound` at the (k+1+pad+1)-th
+/// distance instead of the (k+2)-th — far more headroom before accepted
+/// batches decay the bound past the (k+1)-th distance and force a requery.
+/// Exactness is claimed (and tested) for the prefix only; the tail is an
+/// internal candidate set.
+constexpr std::size_t kNbrPad = 8;
+
+}  // namespace
 
 void SessionWorkspace::bind(const Dataset& data) {
   // Staged rows are revocable: absorbing them would leave the caches
@@ -29,6 +81,10 @@ void SessionWorkspace::bind(const Dataset& data) {
     predictions_.invalidate();
     generators_.clear();
     generators_snapshot_ = {};
+    nbr_valid_ = false;
+    nbr_entries_.clear();
+    nbr_packed_.reset();
+    nbr_packed_ids_.clear();
   }
   if (!data.empty() &&
       (moments_.absorbed_rows() != snap.rows || !distance_valid_)) {
@@ -79,6 +135,170 @@ void SessionWorkspace::store_weights(const std::vector<std::size_t>& rows,
   weights_snapshot_ = bound_;
   weights_model_stamp_ = model_stamp_;
   weights_valid_ = true;
+}
+
+std::vector<const RowNeighborhood*> SessionWorkspace::neighborhoods(
+    const std::vector<std::size_t>& rows, std::size_t k) {
+  FROTE_CHECK_MSG(data_ != nullptr && distance_valid_,
+                  "workspace neighborhoods requested before bind");
+  FROTE_CHECK(k > 0 && bound_.rows > 0);
+  const std::size_t n = bound_.rows;
+  const std::size_t cap = std::min(k + 1, n);  // exact prefix, self included
+  const std::size_t stored = std::min(cap + kNbrPad, n);  // kept candidates
+
+  const bool same_snapshot =
+      nbr_valid_ && nbr_k_ == k && nbr_snapshot_ == bound_;
+  const bool extends = nbr_valid_ && nbr_k_ == k && !same_snapshot &&
+                       nbr_snapshot_.uid == bound_.uid &&
+                       nbr_snapshot_.append_epoch == bound_.append_epoch &&
+                       nbr_snapshot_.rows <= bound_.rows;
+  if (!same_snapshot && !extends) nbr_entries_.clear();
+  if (!same_snapshot) ++nbr_stamp_;
+  const std::size_t old_rows = extends ? nbr_snapshot_.rows : n;
+  const double min_r2 =
+      extends ? min_scale_ratio_sq(nbr_distance_, distance_) : 1.0;
+
+  // Keep the private packed mirror in sync with (bound_, distance_) —
+  // same append-or-repack policy as the engines themselves.
+  if (nbr_packed_ids_.size() < n) {
+    const std::size_t have = nbr_packed_ids_.size();
+    nbr_packed_ids_.resize(n);
+    std::iota(nbr_packed_ids_.begin() + static_cast<std::ptrdiff_t>(have),
+              nbr_packed_ids_.end(), have);
+  }
+  nbr_packed_ids_.resize(n);
+  if (nbr_packed_ == nullptr) {
+    nbr_packed_ = std::make_unique<detail::PackedRows>(*data_, distance_,
+                                                       nbr_packed_ids_);
+  } else if (!nbr_packed_->scales_match(distance_) ||
+             nbr_packed_->rows() > n) {
+    nbr_packed_->repack(*data_, distance_, nbr_packed_ids_);
+  } else if (nbr_packed_->rows() < n) {
+    nbr_packed_->append(*data_,
+                        std::span<const std::size_t>(nbr_packed_ids_)
+                            .subspan(nbr_packed_->rows()));
+  }
+
+  // Pass 1 (serial): create slots and classify each distinct row as
+  // already-current, incrementally updatable, or needing a real query.
+  std::vector<const RowNeighborhood*> out(rows.size());
+  std::vector<std::pair<std::size_t, NbrSlot*>> incremental, fresh;
+  for (std::size_t s = 0; s < rows.size(); ++s) {
+    FROTE_CHECK(rows[s] < n);
+    auto [it, inserted] = nbr_entries_.try_emplace(rows[s]);
+    out[s] = &it->second.hood;
+    if (it->second.stamp == nbr_stamp_) continue;  // duplicate / current
+    if (!inserted && extends) {
+      incremental.emplace_back(rows[s], &it->second);
+    } else {
+      fresh.emplace_back(rows[s], &it->second);
+    }
+    it->second.stamp = nbr_stamp_;
+  }
+
+  // Pass 2: certified incremental updates — score only (kept list ∪
+  // appended rows) with the packed mirror and keep the result only when the
+  // rescaled bound proves no other row can reach the new top (cap). Rows
+  // whose certificate fails degrade to a real query (exact either way).
+  if (!incremental.empty()) {
+    std::vector<std::uint8_t> failed(incremental.size(), 0);
+    parallel_for(
+        incremental.size(), 4, threads_,
+        [&](std::size_t begin, std::size_t end) {
+          std::vector<Neighbor> pool;
+          for (std::size_t w = begin; w < end; ++w) {
+            auto& [row, slot] = incremental[w];
+            RowNeighborhood& hood = slot->hood;
+            const double* q = nbr_packed_->row(row);
+            pool.clear();
+            for (const Neighbor& nb : hood.list) {
+              pool.push_back(
+                  {nb.index, nbr_packed_->squared(q, nbr_packed_->row(nb.index))});
+            }
+            for (std::size_t j = old_rows; j < n; ++j) {
+              pool.push_back({j, nbr_packed_->squared(q, nbr_packed_->row(j))});
+            }
+            std::sort(pool.begin(), pool.end(), detail::NeighborCmp{});
+            const bool covered_all =
+                !(hood.outside_bound < std::numeric_limits<double>::infinity());
+            if (covered_all) {
+              // The old list held every old row, so the pool holds every
+              // row: the new top (stored) is exact unconditionally.
+              hood.outside_bound =
+                  pool.size() > stored
+                      ? pool[stored].distance
+                      : std::numeric_limits<double>::infinity();
+              hood.list.assign(
+                  pool.begin(),
+                  pool.begin() + static_cast<std::ptrdiff_t>(
+                                     std::min(stored, pool.size())));
+              continue;
+            }
+            const double bound =
+                min_r2 * hood.outside_bound * kBoundSafety;
+            if (!(min_r2 > 0.0) || pool.size() < cap ||
+                !(pool[cap - 1].distance < bound)) {
+              failed[w] = 1;
+              continue;
+            }
+            // Rows outside the new list are either outside the old
+            // list ∪ appended (≥ bound) or dropped pool entries
+            // (≥ pool[stored]); the min of the two keeps the invariant.
+            hood.outside_bound =
+                pool.size() > stored ? std::min(bound, pool[stored].distance)
+                                     : bound;
+            hood.list.assign(
+                pool.begin(),
+                pool.begin() + static_cast<std::ptrdiff_t>(
+                                   std::min(stored, pool.size())));
+          }
+        });
+    for (std::size_t w = 0; w < incremental.size(); ++w) {
+      if (failed[w]) fresh.push_back(incremental[w]);
+    }
+  }
+
+  // Pass 3: real index queries for new and uncertified rows. stored+1
+  // results: the first stored entries are the list, the next distance (if
+  // any) is the exact outside bound the next accept certifies against.
+  if (!fresh.empty()) {
+    KnnIndex& knn = index();  // lazy build must happen outside parallel_for
+    nbr_queries_ += fresh.size();
+    parallel_for(fresh.size(), 1, threads_,
+                 [&](std::size_t begin, std::size_t end) {
+                   std::vector<Neighbor> scratch;
+                   for (std::size_t w = begin; w < end; ++w) {
+                     auto& [row, slot] = fresh[w];
+                     knn.query_squared(data_->row(row), stored + 1, scratch);
+                     RowNeighborhood& hood = slot->hood;
+                     hood.list.clear();
+                     const std::size_t keep = std::min(stored, scratch.size());
+                     for (std::size_t e = 0; e < keep; ++e) {
+                       hood.list.push_back({knn.dataset_index(scratch[e].index),
+                                            scratch[e].distance});
+                     }
+                     hood.outside_bound =
+                         scratch.size() > stored
+                             ? scratch[stored].distance
+                             : std::numeric_limits<double>::infinity();
+                   }
+                 });
+  }
+
+  // Entries that were not requested this refresh would silently go stale
+  // (their distances reference the pre-refresh fit) — drop them.
+  if (extends) {
+    for (auto it = nbr_entries_.begin(); it != nbr_entries_.end();) {
+      it = it->second.stamp != nbr_stamp_ ? nbr_entries_.erase(it)
+                                          : std::next(it);
+    }
+  }
+
+  nbr_snapshot_ = bound_;
+  nbr_distance_ = distance_;
+  nbr_k_ = k;
+  nbr_valid_ = true;
+  return out;
 }
 
 RuleConstrainedGenerator& SessionWorkspace::generator(

@@ -23,7 +23,9 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "frote/core/generate.hpp"
@@ -31,6 +33,20 @@
 #include "frote/metrics/metrics.hpp"
 
 namespace frote {
+
+/// One row's cached neighbourhood (docs/DESIGN.md §10): the first
+/// min(k+1, n) entries of `list` are bit-identical to
+/// index().query_squared(row, k+1) — ascending (squared distance, dataset
+/// row index) — and every dataset row NOT in the list is provably at least
+/// `outside_bound` away (squared). The bound is what lets an accepted batch
+/// update the list by scoring only (list ∪ appended rows) instead of
+/// re-querying the whole index. `list` keeps a few candidate entries past
+/// the exact prefix (certification headroom — the bound starts further
+/// out); consumers must treat entries beyond k+1 as internal.
+struct RowNeighborhood {
+  std::vector<Neighbor> list;
+  double outside_bound = std::numeric_limits<double>::infinity();
+};
 
 /// Cheap identity of a dataset state: same uid + append_epoch + row count
 /// implies every row a consumer absorbed is still byte-identical (staging a
@@ -95,6 +111,24 @@ class SessionWorkspace {
   void store_weights(const std::vector<std::size_t>& rows,
                      std::vector<double> weights);
 
+  /// Exact (k+1)-nearest neighbourhoods of each `rows[i]` over the bound
+  /// dataset — the first min(k+1, n) entries of out[i]->list are
+  /// bit-identical to index().query_squared(data().row(rows[i]), k+1); the
+  /// list may carry extra candidate entries (see RowNeighborhood).
+  /// Maintained incrementally: after an accepted
+  /// batch, a row whose certified bound still separates its kept list from
+  /// the rest of the dataset is updated by scoring only list ∪ appended
+  /// rows; rows whose certificate fails (or that are new to the cache) pay
+  /// one real index query. Returned pointers stay valid until the next
+  /// neighborhoods()/bind() call. `rows` may contain duplicates.
+  std::vector<const RowNeighborhood*> neighborhoods(
+      const std::vector<std::size_t>& rows, std::size_t k);
+
+  /// How many real index queries neighborhoods() has issued since this
+  /// workspace was constructed — the observability hook the incremental
+  /// tests use to prove the fast path actually ran.
+  std::uint64_t neighborhood_queries() const { return nbr_queries_; }
+
   /// Per-rule constrained generator, cached until the bound snapshot moves.
   /// `rule` / `bp` must be the same objects across calls for a given bound
   /// snapshot (the Session's rule set and base population).
@@ -124,6 +158,27 @@ class SessionWorkspace {
   DatasetSnapshot weights_snapshot_;
   std::uint64_t weights_model_stamp_ = 0;
   bool weights_valid_ = false;
+
+  /// Neighbourhood cache (see neighborhoods()). The slot stamp marks which
+  /// refresh generation last touched an entry, so one pass can tell
+  /// duplicates, already-current entries, and stale entries apart without a
+  /// per-call set. The private PackedRows mirrors the bound dataset under
+  /// nbr_distance_ — packing and squared() are byte-for-byte the engines'
+  /// own, which is what makes incrementally computed distances bit-identical
+  /// to index queries.
+  struct NbrSlot {
+    RowNeighborhood hood;
+    std::uint64_t stamp = 0;
+  };
+  std::unordered_map<std::size_t, NbrSlot> nbr_entries_;
+  DatasetSnapshot nbr_snapshot_;
+  MixedDistance nbr_distance_;
+  std::unique_ptr<detail::PackedRows> nbr_packed_;
+  std::vector<std::size_t> nbr_packed_ids_;  // identity [0, rows)
+  std::size_t nbr_k_ = 0;
+  std::uint64_t nbr_stamp_ = 0;
+  std::uint64_t nbr_queries_ = 0;
+  bool nbr_valid_ = false;
 
   std::vector<std::unique_ptr<RuleConstrainedGenerator>> generators_;
   DatasetSnapshot generators_snapshot_;

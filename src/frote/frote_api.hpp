@@ -215,6 +215,45 @@
 //                                          deterministic backoff; also
 //                                          frote_run --retries and
 //                                          frote_serve --drive --retries)
+//
+// PR 9 (incremental learners) — the accept path is O(appended), not
+// O(retrain); exact names stay bitwise exact (docs/DESIGN.md §10):
+//   retrain-per-candidate: train(data)   → Learner::update(previous, data,
+//                                          trained_rows); base-class default
+//                                          is train(data), the RF override
+//                                          clones trees whose replayed
+//                                          bootstrap stream is provably
+//                                          unchanged — update ≡ train
+//                                          bitwise for exact learner names
+//   (new) registry names                 → "lr_warm" / "gbdt_additive":
+//                                          opt-in *approximate* warm starts
+//                                          (previous weights / additive
+//                                          rounds); exact names never
+//                                          change behaviour
+//   per-accept kNN re-query              → SessionWorkspace::neighborhoods():
+//                                          certified, padded k+1 neighbor
+//                                          lists that survive accepted appends
+//                                          (decaying outside-distance bound;
+//                                          failures fall back to real
+//                                          queries); neighborhood_queries()
+//                                          is the observable
+//   SessionCheckpoint v1                 → v2: + model_updates +
+//                                          dataset_digest; a verified digest
+//                                          skips the restore-time Ĵ̄
+//                                          recompute (mismatch falls back to
+//                                          the v1 cross-check); v1 files
+//                                          still parse
+//   Session::restore(engine, l, ckpt)    → + overload taking
+//                                          SessionRestoreOptions{warm_model,
+//                                          warm_model_version}: installed
+//                                          only when digest and version
+//                                          match — pool evict/hydrate
+//                                          round-trips retrain nothing;
+//                                          Session gains model_updates() /
+//                                          model_version() /
+//                                          release_model() &&
+//   server.stats sessions rows           → + accepts / rejects /
+//                                          model_updates per session
 // ---------------------------------------------------------------------------
 #pragma once
 

@@ -53,6 +53,12 @@ class DecisionTreeModel : public Model {
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t depth() const;
 
+  /// Deep copy — how RandomForestLearner::update() re-emits a tree whose
+  /// bootstrap stream provably did not change.
+  std::unique_ptr<DecisionTreeModel> clone() const {
+    return std::make_unique<DecisionTreeModel>(nodes_, num_classes());
+  }
+
  private:
   std::vector<Node> nodes_;
 };

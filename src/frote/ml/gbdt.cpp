@@ -322,25 +322,24 @@ class TreeGrower {
   const GbdtConfig& config_;
 };
 
-}  // namespace
-
-std::unique_ptr<Model> GbdtLearner::train(const Dataset& data) const {
-  FROTE_CHECK_MSG(!data.empty(), "cannot train on empty dataset");
+/// The boosting loop shared by GbdtLearner::train and
+/// GbdtAdditiveLearner::update: grow `rounds` further rounds of trees
+/// against the current `scores` (row-major n x dims), appending to `trees`
+/// and keeping `scores` in sync. Starting from zeroed scores and an empty
+/// ensemble this IS the full training loop.
+void boost_rounds(const Dataset& data, const GbdtConfig& config,
+                  std::size_t dims, std::size_t rounds,
+                  std::vector<double>& scores, std::vector<GbdtTree>& trees) {
   const std::size_t n = data.size();
-  const std::size_t classes = data.num_classes();
-  const std::size_t dims = classes == 2 ? 1 : classes;
-
-  std::vector<double> scores(n * dims, 0.0);
-  std::vector<GbdtTree> trees;
-  trees.reserve(config_.num_rounds * dims);
+  trees.reserve(trees.size() + rounds * dims);
 
   std::vector<double> g(n), h(n);
-  for (std::size_t round = 0; round < config_.num_rounds; ++round) {
+  for (std::size_t round = 0; round < rounds; ++round) {
     for (std::size_t k = 0; k < dims; ++k) {
       // Gradients/hessians of logistic (binary) or softmax (multiclass)
       // loss. Every row is independent, so the sweep fans out over fixed
       // row chunks with no effect on the result.
-      parallel_for(n, kRowGrain, config_.threads,
+      parallel_for(n, kRowGrain, config.threads,
                    [&](std::size_t begin, std::size_t end) {
                      std::vector<double> probs(dims);
                      for (std::size_t i = begin; i < end; ++i) {
@@ -365,9 +364,9 @@ std::unique_ptr<Model> GbdtLearner::train(const Dataset& data) const {
                        }
                      }
                    });
-      TreeGrower grower(data, g, h, config_);
+      TreeGrower grower(data, g, h, config);
       GbdtTree tree = grower.grow();
-      parallel_for(n, kRowGrain, config_.threads,
+      parallel_for(n, kRowGrain, config.threads,
                    [&](std::size_t begin, std::size_t end) {
                      for (std::size_t i = begin; i < end; ++i) {
                        scores[i * dims + k] += tree.predict(data.row(i));
@@ -376,6 +375,62 @@ std::unique_ptr<Model> GbdtLearner::train(const Dataset& data) const {
       trees.push_back(std::move(tree));
     }
   }
+}
+
+std::unique_ptr<Model> gbdt_full_train(const Dataset& data,
+                                       const GbdtConfig& config) {
+  FROTE_CHECK_MSG(!data.empty(), "cannot train on empty dataset");
+  const std::size_t classes = data.num_classes();
+  const std::size_t dims = classes == 2 ? 1 : classes;
+  std::vector<double> scores(data.size() * dims, 0.0);
+  std::vector<GbdtTree> trees;
+  boost_rounds(data, config, dims, config.num_rounds, scores, trees);
+  return std::make_unique<GbdtModel>(std::move(trees), classes, dims, 0.0);
+}
+
+}  // namespace
+
+std::unique_ptr<Model> GbdtLearner::train(const Dataset& data) const {
+  return gbdt_full_train(data, config_);
+}
+
+std::unique_ptr<Model> GbdtAdditiveLearner::train(const Dataset& data) const {
+  return gbdt_full_train(data, config_);
+}
+
+std::unique_ptr<Model> GbdtAdditiveLearner::update(
+    const Model& previous, const Dataset& data,
+    std::size_t trained_rows) const {
+  (void)trained_rows;
+  FROTE_CHECK_MSG(!data.empty(), "cannot train on empty dataset");
+  const std::size_t n = data.size();
+  const std::size_t classes = data.num_classes();
+  const std::size_t dims = classes == 2 ? 1 : classes;
+  const auto* prev = dynamic_cast<const GbdtModel*>(&previous);
+  if (prev == nullptr || prev->num_classes() != classes ||
+      prev->score_dims() != dims || prev->base_score() != 0.0) {
+    return gbdt_full_train(data, config_);
+  }
+
+  // Replay the previous ensemble's scores over the grown dataset (one
+  // predict sweep — far cheaper than the rounds it stands in for), then
+  // boost a few corrective rounds against the residuals.
+  std::vector<GbdtTree> trees = prev->trees();
+  std::vector<double> scores(n * dims, 0.0);
+  const std::size_t rounds = trees.size() / dims;
+  parallel_for(n, kRowGrain, config_.threads,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   const auto row = data.row(i);
+                   for (std::size_t r = 0; r < rounds; ++r) {
+                     for (std::size_t k = 0; k < dims; ++k) {
+                       scores[i * dims + k] +=
+                           trees[r * dims + k].predict(row);
+                     }
+                   }
+                 }
+               });
+  boost_rounds(data, config_, dims, config_.update_rounds, scores, trees);
   return std::make_unique<GbdtModel>(std::move(trees), classes, dims, 0.0);
 }
 

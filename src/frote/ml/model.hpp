@@ -67,6 +67,24 @@ class Learner {
  public:
   virtual ~Learner() = default;
   virtual std::unique_ptr<Model> train(const Dataset& data) const = 0;
+
+  /// Incremental retrain after `data` grew by appended rows: `previous` was
+  /// produced by this learner on the first `trained_rows` rows of `data`
+  /// (byte-identical prefix — the FROTE accept path stages batches at the
+  /// tail and never mutates committed rows). The default is a full
+  /// from-scratch train, so every learner is update-correct by construction.
+  /// Exact learners override this only where they can prove the result is
+  /// bit-identical to train(data) (docs/DESIGN.md §10); approximate warm
+  /// starts live in opt-in registry variants ("lr_warm", "gbdt_additive")
+  /// and never behind a default learner name.
+  virtual std::unique_ptr<Model> update(const Model& previous,
+                                        const Dataset& data,
+                                        std::size_t trained_rows) const {
+    (void)previous;
+    (void)trained_rows;
+    return train(data);
+  }
+
   /// Short name used in experiment tables ("LR", "RF", "GBDT").
   virtual std::string name() const = 0;
 };

@@ -39,6 +39,10 @@ struct RngState {
   std::uint64_t words[4] = {};
   std::uint64_t cached_normal_bits = 0;
   bool cached_normal_valid = false;
+
+  /// Exact state identity — how incremental learners prove a derived stream
+  /// was unaffected by a dataset append (RandomForestLearner::update).
+  friend bool operator==(const RngState&, const RngState&) = default;
 };
 
 /// Deterministic PRNG with the distribution helpers the library needs.

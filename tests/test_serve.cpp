@@ -199,6 +199,17 @@ TEST(ServeContract, EvictionIsByteTransparent) {
   EXPECT_EQ(entry.find("state")->as_string(), "evicted");
   EXPECT_GE(entry.find("rows")->as_uint64(), 1u);
   EXPECT_GE(entry.find("chunks")->as_uint64(), 1u);
+  // Loop counters ride along since PR 9 and survive eviction the same way:
+  // one step request ran, so the accept/reject split accounts for every
+  // iteration and each candidate retrain was counted as a model update.
+  ASSERT_NE(entry.find("accepts"), nullptr);
+  ASSERT_NE(entry.find("rejects"), nullptr);
+  ASSERT_NE(entry.find("model_updates"), nullptr);
+  EXPECT_GE(entry.find("accepts")->as_uint64() +
+                entry.find("rejects")->as_uint64(),
+            1u);
+  EXPECT_GE(entry.find("model_updates")->as_uint64(),
+            entry.find("accepts")->as_uint64());
   EXPECT_EQ(daemon.close_and_wait(), 0);
 }
 

@@ -12,6 +12,9 @@
 //   --benchmark_format=console|json and --benchmark_out=<file> (the JSON
 //   mirrors google-benchmark's schema subset: name/iterations/real_time/
 //   cpu_time/time_unit/label — enough for bench/dump_bench_json.sh trends)
+//   --benchmark_filter=<regex> (partial match against the run name, same as
+//   google-benchmark — bench/dump_bench_json.sh uses it for the
+//   FROTE_BENCH_THREADS sweep so either runner serves the filtered legs)
 //
 // Timing model: each (benchmark, arg) pair is calibrated with a short probe
 // run, then iterated until ~MINIBENCH_MIN_TIME seconds (env, default 0.2)
@@ -25,6 +28,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <regex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -208,6 +212,7 @@ struct RunResult {
 struct OutputOptions {
   std::string format = "console";  // "console" or "json"
   std::string out_path;            // when set, JSON is also written here
+  std::string filter;              // regex; empty = run everything
 };
 
 inline OutputOptions& Options() {
@@ -259,10 +264,13 @@ inline void Initialize(int* argc, char** argv) {
     const std::string arg = argv[i];
     const std::string format_flag = "--benchmark_format=";
     const std::string out_flag = "--benchmark_out=";
+    const std::string filter_flag = "--benchmark_filter=";
     if (arg.rfind(format_flag, 0) == 0) {
       internal::Options().format = arg.substr(format_flag.size());
     } else if (arg.rfind(out_flag, 0) == 0) {
       internal::Options().out_path = arg.substr(out_flag.size());
+    } else if (arg.rfind(filter_flag, 0) == 0) {
+      internal::Options().filter = arg.substr(filter_flag.size());
     }
   }
 }
@@ -278,8 +286,25 @@ inline int RunSpecifiedBenchmarks() {
     std::printf("%s\n", std::string(80, '-').c_str());
   }
   std::vector<internal::RunResult> results;
+  // Partial-match filter, same semantics as google-benchmark's
+  // --benchmark_filter.
+  const std::string& filter = internal::Options().filter;
+  std::regex filter_re;
+  if (!filter.empty()) {
+    try {
+      filter_re = std::regex(filter);
+    } catch (const std::regex_error&) {
+      std::fprintf(stderr, "minibenchmark: bad --benchmark_filter=%s\n",
+                   filter.c_str());
+      return 1;
+    }
+  }
   for (const auto* bench : internal::Registry()) {
     for (const auto& args : bench->runs()) {
+      if (!filter.empty() &&
+          !std::regex_search(internal::RunName(*bench, args), filter_re)) {
+        continue;
+      }
       // Calibration probe: one iteration to estimate per-op cost.
       State probe(args, 1);
       bench->fn()(probe);

@@ -15,6 +15,11 @@ shared runners are noisy, so regressions warn loudly instead of
 hard-failing — plus (behind FROTE_BENCH_STRICT=1 in ci.sh) a strict pass
 over a curated subset of load-bearing benchmarks via --only. A perf PR that
 moves numbers on purpose refreshes the committed baseline.
+
+Per-thread-count baselines: bench/dump_bench_json.sh's FROTE_BENCH_THREADS
+sweep records "<name>/threads:<n>" rows; they diff by name like any other
+benchmark (an --only base name also matches its /threads:n variants), and
+the fresh run's variants are summarised as a thread-scaling table.
 """
 
 import argparse
@@ -40,6 +45,32 @@ def fmt_ns(ns):
         if ns >= scale:
             return f"{ns / scale:.2f}{unit}"
     return f"{ns:.0f}ns"
+
+
+def print_thread_scaling(fresh):
+    """Summarise /threads:n variants as speedup-vs-1-thread per benchmark."""
+    groups = {}
+    for name, ns in fresh.items():
+        if "/threads:" not in name:
+            continue
+        base_name, _, count = name.rpartition("/threads:")
+        try:
+            groups.setdefault(base_name, {})[int(count)] = ns
+        except ValueError:
+            continue
+    if not groups:
+        return
+    print("\nthread scaling (fresh run):")
+    for base_name in sorted(groups):
+        by_count = groups[base_name]
+        one = by_count.get(1)
+        cells = []
+        for count in sorted(by_count):
+            cell = f"{count}t={fmt_ns(by_count[count])}"
+            if one is not None and count != 1:
+                cell += f" ({one / by_count[count]:.2f}x)"
+            cells.append(cell)
+        print(f"  {base_name}: {'  '.join(cells)}")
 
 
 def main():
@@ -102,6 +133,8 @@ def main():
     for name in sorted(set(base) - set(fresh)):
         print(f"{name:<{width}}  {fmt_ns(base[name]):>10}  {'—':>10}  "
               f"(missing from fresh run)")
+
+    print_thread_scaling(fresh)
 
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed more than "
