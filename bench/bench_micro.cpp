@@ -17,6 +17,7 @@
 #include "frote/core/frote.hpp"
 #include "frote/core/generate.hpp"
 #include "frote/core/registry.hpp"
+#include "frote/core/scenario.hpp"
 #include "frote/data/generators.hpp"
 #include "frote/exp/learners.hpp"
 #include "frote/metrics/metrics.hpp"
@@ -367,6 +368,42 @@ void BM_SessionStepReject(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SessionStepReject);
+
+void scenario_replay(benchmark::State& state, const char* name) {
+  // Whole-workload replay through run_scenario (generator → engine →
+  // rules → expected-outcome check), amortised per engine step via
+  // items_processed. Recorded in BENCH_micro.json as a trajectory baseline
+  // for the three scenario families; not strict-gated.
+  const ScenarioSpec spec = make_named_scenario(name).value();
+  ScenarioRunOptions options;
+  options.seed = 42;
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    auto report = run_scenario(spec, options);
+    if (!report) {
+      state.SetLabel(report.error().message);
+      break;
+    }
+    steps += static_cast<std::int64_t>(report->iterations_run);
+    benchmark::DoNotOptimize(report->final_j_bar);
+  }
+  state.SetItemsProcessed(steps);
+}
+
+void BM_ScenarioStepMulticlass(benchmark::State& state) {
+  scenario_replay(state, "multiclass_wine");
+}
+BENCHMARK(BM_ScenarioStepMulticlass)->Name("BM_ScenarioStep/multiclass");
+
+void BM_ScenarioStepDrift(benchmark::State& state) {
+  scenario_replay(state, "drift_adult");
+}
+BENCHMARK(BM_ScenarioStepDrift)->Name("BM_ScenarioStep/drift");
+
+void BM_ScenarioStepFairness(benchmark::State& state) {
+  scenario_replay(state, "fairness_adult");
+}
+BENCHMARK(BM_ScenarioStepFairness)->Name("BM_ScenarioStep/fairness");
 
 void BM_SnapshotSave(benchmark::State& state) {
   // Serialise a live mid-edit session to checkpoint JSON (the periodic

@@ -37,7 +37,7 @@ echo "=== determinism leg: FROTE_NUM_THREADS=4 ==="
 # neighborhood cache under the pool;
 # test_serve drives the daemon end-to-end (its own suites re-check 1 vs 4).
 FROTE_NUM_THREADS=4 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'test_parallel|test_determinism|test_engine_api|test_workspace|test_checkpoint|test_spec|test_serve|test_chunks|test_sharded_knn|test_incremental_learners'
+  -R 'test_parallel|test_determinism|test_engine_api|test_workspace|test_checkpoint|test_spec|test_scenario|test_serve|test_chunks|test_sharded_knn|test_incremental_learners'
 
 # Spec-driven leg: run a small declarative plan to completion (golden),
 # then the same plan interrupted mid-run (--max-steps leaves per-run
@@ -72,6 +72,25 @@ EOF
   --out "$SPEC_DIR/resumed" --resume > /dev/null
 diff -r "$SPEC_DIR/golden" "$SPEC_DIR/resumed"
 echo "spec leg: interrupted+resumed plan is byte-identical to golden"
+
+# Scenario leg: the committed scenario grid (all three families × 2 seeds,
+# tests/goldens/scenario/plan.json) replayed through frote_run with the
+# thread pool engaged, each run's result.json diffed against the committed
+# golden. This locks the whole scenario path — registry resolution, the
+# generator, drift snapshot/restore, per-group deltas and the
+# expected-outcome bundle — to the byte, across machines and thread counts.
+# Regenerate the goldens (see that directory's README) only when a PR
+# changes scenario semantics on purpose.
+echo "=== scenario leg: frote_run scenario grid -> diff vs committed goldens ==="
+SCEN_DIR="$BUILD_DIR/scenario-leg"
+rm -rf "$SCEN_DIR"
+FROTE_NUM_THREADS=4 "$BUILD_DIR/tools/frote_run" \
+  --plan tests/goldens/scenario/plan.json --out "$SCEN_DIR" > /dev/null
+for golden in tests/goldens/scenario/*.result.json; do
+  run=$(basename "$golden" .result.json)
+  diff "$golden" "$SCEN_DIR/$run/result.json"
+done
+echo "scenario leg: all scenario results byte-identical to committed goldens"
 
 # Serve leg: the same contract script through both frote_serve frontends.
 # A stdio daemon produces the golden responses; an HTTP daemon on an

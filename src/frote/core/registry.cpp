@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "frote/core/online_proxy.hpp"
+#include "frote/core/scenario.hpp"
 #include "frote/ml/gbdt.hpp"
 #include "frote/ml/knn_classifier.hpp"
 #include "frote/ml/logistic_regression.hpp"
@@ -24,6 +25,11 @@ std::string known_names_suffix(const Map& entries) {
 struct Registry {
   std::map<std::string, LearnerFactory> learners;
   std::map<std::string, SelectorFactory> selectors;
+  /// Scenarios are stored as their JSON document text — the registry entry
+  /// IS the artifact (core/scenario.hpp): registering a new workload means
+  /// writing JSON, and make_named_scenario parses + validates on lookup so
+  /// a stale entry surfaces as a typed error, never a half-built scenario.
+  std::map<std::string, std::string> scenarios;
 
   Registry() {
     // The paper's three classification algorithms (§5.1) — scikit-learn RF
@@ -107,6 +113,10 @@ struct Registry {
       return std::shared_ptr<const BaseInstanceSelector>(
           std::make_shared<OnlineProxySelector>(*spec.frs, config));
     };
+
+    for (const auto& [name, document] : builtin_scenario_documents()) {
+      scenarios[name] = document;
+    }
   }
 };
 
@@ -159,6 +169,28 @@ void register_learner(const std::string& name, LearnerFactory factory) {
 
 void register_selector(const std::string& name, SelectorFactory factory) {
   registry().selectors[name] = std::move(factory);
+}
+
+Expected<ScenarioSpec> make_named_scenario(const std::string& name) {
+  const auto& scenarios = registry().scenarios;
+  const auto it = scenarios.find(name);
+  if (it == scenarios.end()) {
+    return FroteError::unknown_component("unknown scenario '" + name + "'" +
+                                         known_names_suffix(scenarios));
+  }
+  return ScenarioSpec::parse(it->second);
+}
+
+std::vector<std::string> registered_scenario_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, document] : registry().scenarios) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void register_scenario(const std::string& name, std::string scenario_json) {
+  registry().scenarios[name] = std::move(scenario_json);
 }
 
 }  // namespace frote

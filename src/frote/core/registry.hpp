@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "frote/core/scenario.hpp"
 #include "frote/core/selection.hpp"
 #include "frote/ml/model.hpp"
 #include "frote/rules/ruleset.hpp"
@@ -73,5 +74,19 @@ std::vector<std::string> registered_selector_names();
 /// Extend the registry. Re-registering an existing name replaces it.
 void register_learner(const std::string& name, LearnerFactory factory);
 void register_selector(const std::string& name, SelectorFactory factory);
+
+/// Resolve a scenario by registered name: the stored JSON document is
+/// parsed and fully validated (core/scenario.hpp) on every lookup, so the
+/// result is either a runnable ScenarioSpec or a typed error
+/// (kUnknownComponent for the name, kParseError for a bad document).
+/// Built-ins: "multiclass_wine", "drift_adult", "fairness_adult".
+Expected<ScenarioSpec> make_named_scenario(const std::string& name);
+
+/// Registered scenario names, sorted.
+std::vector<std::string> registered_scenario_names();
+
+/// Register (or replace) a scenario as its JSON document text — the whole
+/// extension surface: a new workload is JSON plus this one call.
+void register_scenario(const std::string& name, std::string scenario_json);
 
 }  // namespace frote

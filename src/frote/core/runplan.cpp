@@ -1,14 +1,17 @@
 #include "frote/core/runplan.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <utility>
 
 #include "frote/core/checkpoint.hpp"
 #include "frote/core/engine.hpp"
+#include "frote/core/registry.hpp"
 #include "frote/data/csv.hpp"
 #include "frote/util/fsio.hpp"
 #include "frote/util/json_reader.hpp"
@@ -24,13 +27,15 @@ JsonValue RunPlan::to_json() const {
   JsonValue out = JsonValue::object();
   out.set("format", "frote.run_plan");
   out.set("version", kFormatVersion);
-  out.set("base", base.to_json());
+  // Scenario plans carry no base spec — the scenarios are the runs.
+  if (scenarios.empty()) out.set("base", base.to_json());
   JsonValue grid = JsonValue::object();
   const auto string_list = [](const std::vector<std::string>& values) {
     JsonValue list = JsonValue::array();
     for (const auto& value : values) list.push_back(value);
     return list;
   };
+  if (!scenarios.empty()) grid.set("scenarios", string_list(scenarios));
   if (!learners.empty()) grid.set("learners", string_list(learners));
   if (!selectors.empty()) grid.set("selectors", string_list(selectors));
   if (!seeds.empty()) {
@@ -64,16 +69,14 @@ Expected<RunPlan, FroteError> RunPlan::from_json(const JsonValue& json) {
       }
     }
     RunPlan plan;
-    const JsonValue* base = json.find("base");
-    if (base == nullptr) {
-      return FroteError::parse_error("run plan is missing \"base\"");
-    }
-    auto spec = EngineSpec::from_json(*base);
-    if (!spec) return spec.error();
-    plan.base = std::move(*spec);
     if (const JsonValue* grid = json.find("grid")) {
       if (!grid->is_object()) {
         return FroteError::parse_error("run plan \"grid\" must be an object");
+      }
+      if (const JsonValue* scenarios = grid->find("scenarios")) {
+        for (const auto& name : scenarios->items()) {
+          plan.scenarios.push_back(name.as_string());
+        }
       }
       if (const JsonValue* learners = grid->find("learners")) {
         for (const auto& name : learners->items()) {
@@ -94,6 +97,16 @@ Expected<RunPlan, FroteError> RunPlan::from_json(const JsonValue& json) {
         plan.replicates =
             static_cast<std::size_t>(replicates->as_uint64());
       }
+    }
+    const JsonValue* base = json.find("base");
+    if (base != nullptr) {
+      auto spec = EngineSpec::from_json(*base);
+      if (!spec) return spec.error();
+      plan.base = std::move(*spec);
+    } else if (plan.scenarios.empty()) {
+      return FroteError::parse_error(
+          "run plan is missing \"base\" (only scenario plans — non-empty "
+          "\"grid.scenarios\" — may omit it)");
     }
     if (json.find("threads") != nullptr) {
       JsonFieldReader reader(json, "run plan");
@@ -121,12 +134,50 @@ Expected<RunPlan, FroteError> RunPlan::parse(std::string_view json_text) {
 }
 
 std::vector<RunPlan::Run> RunPlan::expand() const {
+  const std::vector<std::uint64_t> seed_axis =
+      seeds.empty() ? std::vector<std::uint64_t>{base.seed} : seeds;
+
+  if (!scenarios.empty()) {
+    // Scenario grid: empty learner/selector axes mean "the scenario's own
+    // components" (an empty override string), not the base spec's — each
+    // scenario document carries its own engine configuration.
+    const std::vector<std::string> learner_axis =
+        learners.empty() ? std::vector<std::string>{""} : learners;
+    const std::vector<std::string> selector_axis =
+        selectors.empty() ? std::vector<std::string>{""} : selectors;
+    std::vector<Run> runs;
+    runs.reserve(scenarios.size() * learner_axis.size() *
+                 selector_axis.size() * seed_axis.size() * replicates);
+    for (const auto& scenario : scenarios) {
+      for (const auto& learner : learner_axis) {
+        for (const auto& selector : selector_axis) {
+          for (const std::uint64_t seed : seed_axis) {
+            for (std::size_t r = 0; r < replicates; ++r) {
+              Run run;
+              run.scenario = scenario;
+              run.learner_override = learner;
+              run.selector_override = selector;
+              run.seed = replicates > 1 ? derive_seed(seed, r) : seed;
+              char prefix[16];
+              std::snprintf(prefix, sizeof prefix, "run-%03zu", runs.size());
+              run.name = std::string(prefix) + "-" + scenario;
+              if (!learner.empty()) run.name += "-" + learner;
+              if (!selector.empty()) run.name += "-" + selector;
+              run.name += "-s" + std::to_string(seed);
+              if (replicates > 1) run.name += "-r" + std::to_string(r);
+              runs.push_back(std::move(run));
+            }
+          }
+        }
+      }
+    }
+    return runs;
+  }
+
   const std::vector<std::string> learner_axis =
       learners.empty() ? std::vector<std::string>{base.learner} : learners;
   const std::vector<std::string> selector_axis =
       selectors.empty() ? std::vector<std::string>{base.selector} : selectors;
-  const std::vector<std::uint64_t> seed_axis =
-      seeds.empty() ? std::vector<std::uint64_t>{base.seed} : seeds;
 
   std::vector<Run> runs;
   runs.reserve(learner_axis.size() * selector_axis.size() * seed_axis.size() *
@@ -212,46 +263,132 @@ bool load_run_result(const fs::path& path, RunResult& out) {
   }
 }
 
+/// Scenario-run counterpart of load_run_result: a previously-written
+/// ScenarioReport for the same scenario counts as a completed run. Same
+/// refusal policy on a newer result version.
+bool load_scenario_result(const fs::path& path, const std::string& scenario,
+                          RunResult& out) {
+  std::string text;
+  if (!read_file(path, text)) return false;
+  auto json = json_parse(text);
+  if (!json) return false;
+  const JsonValue* format = json->find("format");
+  if (format == nullptr || !format->is_string() ||
+      format->as_string() != "frote.scenario_result") {
+    return false;
+  }
+  const JsonValue* version = json->find("version");
+  if (version != nullptr && version->is_number() &&
+      version->as_uint64() > 1) {
+    throw Error(path.string() + " has result version " +
+                std::to_string(version->as_uint64()) +
+                ", newer than this reader");
+  }
+  try {
+    const JsonValue* name = json->find("scenario");
+    if (name == nullptr || !name->is_string() ||
+        name->as_string() != scenario) {
+      return false;
+    }
+    out.completed = true;
+    out.dataset_rows =
+        static_cast<std::size_t>(json->find("rows_final")->as_uint64());
+    out.instances_added =
+        static_cast<std::size_t>(json->find("instances_added")->as_uint64());
+    out.iterations_run =
+        static_cast<std::size_t>(json->find("iterations_run")->as_uint64());
+    out.iterations_accepted = static_cast<std::size_t>(
+        json->find("iterations_accepted")->as_uint64());
+    out.final_j_bar = json->find("final_j_bar")->as_double();
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
 struct PreparedRun {
   RunPlan::Run run;
-  Engine engine;
+  /// Engine runs carry a built engine + learner; scenario runs carry the
+  /// fully-resolved ScenarioSpec (overrides folded in) instead.
+  std::optional<Engine> engine;
   std::unique_ptr<Learner> learner;
+  std::optional<ScenarioSpec> scenario;
 };
 
 }  // namespace
 
 Expected<std::vector<RunResult>> execute_plan(const RunPlan& plan,
                                               const RunPlanOptions& options) {
-  if (!plan.base.dataset.has_value()) {
-    return FroteError::invalid_config(
-        "run plan base spec needs a \"dataset\" reference — the driver has "
-        "no other input channel");
+  const bool scenario_plan = !plan.scenarios.empty();
+  std::optional<Dataset> dataset;
+  if (!scenario_plan) {
+    if (!plan.base.dataset.has_value()) {
+      return FroteError::invalid_config(
+          "run plan base spec needs a \"dataset\" reference — the driver "
+          "has no other input channel");
+    }
+    auto loaded = load_spec_dataset(*plan.base.dataset);
+    if (!loaded) return loaded.error();
+    dataset.emplace(std::move(*loaded));
   }
-  auto dataset = load_spec_dataset(*plan.base.dataset);
-  if (!dataset) return dataset.error();
-  const Dataset& data = *dataset;
 
   // Resolve every run up front (fail fast, before any artifact is written):
   // registry lookups and rule parsing happen here, serially.
   std::vector<PreparedRun> prepared;
   for (auto& run : plan.expand()) {
-    auto builder = Engine::Builder::from_spec(run.spec, data.schema());
-    if (!builder) {
-      return FroteError{builder.error().code,
-                        run.name + ": " + builder.error().message};
+    PreparedRun p;
+    p.run = std::move(run);
+    if (!p.run.scenario.empty()) {
+      auto spec = make_named_scenario(p.run.scenario);
+      if (!spec) {
+        return FroteError{spec.error().code,
+                          p.run.name + ": " + spec.error().message};
+      }
+      ScenarioRunOptions overrides;
+      overrides.seed = p.run.seed;
+      overrides.learner = p.run.learner_override;
+      overrides.selector = p.run.selector_override;
+      auto resolved = resolve_scenario(*spec, overrides);
+      if (!resolved) {
+        return FroteError{resolved.error().code,
+                          p.run.name + ": " + resolved.error().message};
+      }
+      // Override names resolve through the registry now, not mid-plan —
+      // the scenario document itself was already fully validated by
+      // ScenarioSpec::from_json inside make_named_scenario.
+      auto learner = make_spec_learner(resolved->engine);
+      if (!learner) {
+        return FroteError{learner.error().code,
+                          p.run.name + ": " + learner.error().message};
+      }
+      const auto selector_names = registered_selector_names();
+      if (std::find(selector_names.begin(), selector_names.end(),
+                    resolved->engine.selector) == selector_names.end()) {
+        return FroteError::unknown_component(
+            p.run.name + ": unknown selector '" + resolved->engine.selector +
+            "'");
+      }
+      p.scenario = std::move(*resolved);
+    } else {
+      auto builder = Engine::Builder::from_spec(p.run.spec, dataset->schema());
+      if (!builder) {
+        return FroteError{builder.error().code,
+                          p.run.name + ": " + builder.error().message};
+      }
+      auto engine = builder->build();
+      if (!engine) {
+        return FroteError{engine.error().code,
+                          p.run.name + ": " + engine.error().message};
+      }
+      auto learner = make_spec_learner(p.run.spec);
+      if (!learner) {
+        return FroteError{learner.error().code,
+                          p.run.name + ": " + learner.error().message};
+      }
+      p.engine.emplace(std::move(*engine));
+      p.learner = std::move(*learner);
     }
-    auto engine = builder->build();
-    if (!engine) {
-      return FroteError{engine.error().code,
-                        run.name + ": " + engine.error().message};
-    }
-    auto learner = make_spec_learner(run.spec);
-    if (!learner) {
-      return FroteError{learner.error().code,
-                        run.name + ": " + learner.error().message};
-    }
-    prepared.push_back(
-        {std::move(run), std::move(*engine), std::move(*learner)});
+    prepared.push_back(std::move(p));
   }
 
   const bool with_artifacts = !options.output_dir.empty();
@@ -278,6 +415,36 @@ Expected<std::vector<RunResult>> execute_plan(const RunPlan& plan,
           const auto run_once = [&]() {
             result = RunResult{};
             result.name = p.run.name;
+            if (p.scenario.has_value()) {
+              // Scenario run: spec.json is the fully-resolved ScenarioSpec,
+              // result.json the ScenarioReport. A scenario replays in one
+              // piece — no checkpoint.json (its drift schedule exercises
+              // snapshot/restore internally) and no augmented.csv (the
+              // report carries the D̂ digest instead).
+              if (with_artifacts) {
+                write_file_atomic(dir / "spec.json",
+                                  p.scenario->to_json_text() + "\n");
+              }
+              if (with_artifacts && options.resume &&
+                  load_scenario_result(dir / "result.json",
+                                       p.scenario->name, result)) {
+                result.name = p.run.name;
+                return;
+              }
+              auto report = run_scenario(*p.scenario);
+              if (!report) throw Error(report.error().message);
+              result.completed = true;
+              result.dataset_rows = report->rows_final;
+              result.instances_added = report->instances_added;
+              result.iterations_run = report->iterations_run;
+              result.iterations_accepted = report->iterations_accepted;
+              result.final_j_bar = report->final_j_bar;
+              if (with_artifacts) {
+                write_file_atomic(dir / "result.json",
+                                  report->to_json_text() + "\n");
+              }
+              return;
+            }
             if (with_artifacts) {
               write_file_atomic(dir / "spec.json",
                                 p.run.spec.to_json_text() + "\n");
@@ -310,7 +477,7 @@ Expected<std::vector<RunResult>> execute_plan(const RunPlan& plan,
                 } else if (read == ValidatedRead::kOk) {
                   auto ckpt = SessionCheckpoint::parse(text);
                   auto restored =
-                      ckpt ? Session::restore(p.engine, *p.learner, *ckpt)
+                      ckpt ? Session::restore(*p.engine, *p.learner, *ckpt)
                            : Expected<Session, FroteError>(ckpt.error());
                   if (restored) {
                     result.resumed = true;
@@ -321,7 +488,7 @@ Expected<std::vector<RunResult>> execute_plan(const RunPlan& plan,
                             << "); starting fresh\n";
                 }
               }
-              return p.engine.open(data, *p.learner).value();
+              return p.engine->open(*dataset, *p.learner).value();
             }();
 
             const auto write_checkpoint = [&]() {

@@ -29,6 +29,21 @@
 // incomplete runs back up from their checkpoint — and because restore is
 // bit-identical, an interrupted-and-resumed plan produces byte-identical
 // artifacts to an uninterrupted one (ci.sh proves this on every run).
+//
+// A scenario plan swaps the base spec for a list of registered scenarios
+// (core/scenario.hpp) — "base" becomes optional and the grid's learner /
+// selector axes override the scenarios' own components:
+//
+//   {
+//     "format": "frote.run_plan", "version": 1,
+//     "grid": {"scenarios": ["multiclass_wine", "drift_adult"],
+//              "seeds": [42, 7]},
+//     "threads": 4
+//   }
+//
+// Scenario runs write spec.json (the fully-resolved ScenarioSpec document)
+// and result.json (the ScenarioReport) — no checkpoint.json/augmented.csv —
+// and completed runs are still skipped under resume.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +51,7 @@
 #include <string_view>
 #include <vector>
 
+#include "frote/core/scenario.hpp"
 #include "frote/core/spec.hpp"
 
 namespace frote {
@@ -45,12 +61,22 @@ struct RunPlan {
 
   /// Template spec; every expanded run starts from a copy of it. Must carry
   /// a dataset reference for execute_plan (the driver has no other input).
+  /// Ignored (and not required in the JSON) for scenario plans.
   EngineSpec base;
 
   /// Grid axes; an empty axis means "use the base spec's value".
   std::vector<std::string> learners;
   std::vector<std::string> selectors;
   std::vector<std::uint64_t> seeds;
+  /// Scenario grid ("grid.scenarios"): registry names resolved through
+  /// make_named_scenario. When non-empty the plan expands to scenario runs
+  /// only — scenarios × learners × selectors × seeds × replicates, where an
+  /// empty learner/selector axis means "the scenario's own" rather than the
+  /// base spec's, and the run seed reseeds the whole scenario
+  /// (ScenarioRunOptions). checkpoint_every / max_steps do not apply to
+  /// scenario runs: a scenario replays in one piece (its drift schedule
+  /// already exercises snapshot/restore internally).
+  std::vector<std::string> scenarios;
   /// Runs per grid point. Replicate r of seed s runs with derive_seed(s, r)
   /// (replicates == 1 uses s itself).
   std::size_t replicates = 1;
@@ -61,6 +87,13 @@ struct RunPlan {
   struct Run {
     std::string name;  // "run-012-rf-ip-s42" (index prefix fixes the order)
     EngineSpec spec;
+    /// Scenario runs only: the registry name, the per-run overrides handed
+    /// to run_scenario ("" = the scenario's own component) and the run
+    /// seed. `spec` is unused for these.
+    std::string scenario;
+    std::string learner_override;
+    std::string selector_override;
+    std::uint64_t seed = 0;
   };
   /// Deterministic cross-product expansion.
   std::vector<Run> expand() const;

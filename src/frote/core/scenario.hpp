@@ -1,0 +1,228 @@
+// ScenarioSpec — a complete, replayable workload as one JSON document.
+//
+// The harness exercised one shape of problem; a scenario packages the whole
+// experiment — generator config, engine knobs, feedback-rule text, an
+// optional drift schedule and an expected-outcome bundle — behind the spec
+// path, resolved through the string→scenario registry (core/registry.hpp),
+// so opening a new workload is a JSON document plus one registry entry:
+//
+//   {
+//     "format": "frote.scenario_spec", "version": 1,
+//     "name": "multiclass_wine", "kind": "static",
+//     "generator": {"name": "wine quality (white)", "size": 300, "seed": 42},
+//     "engine": { ... frote.engine_spec (no dataset; rules = rule text) ... },
+//     "group_report": {"feature": "sex", "favorable": ">50K"},
+//     "expected": {"min_j_bar_gain": 0.0, "min_instances_added": 1}
+//   }
+//
+// `kind` selects the replay shape. "static" runs one Session over the
+// generated dataset. "drift" replays a stream: `phases` arrive one at a
+// time, each appending freshly generated rows and activating additional
+// rules, driven through Session::step with snapshot()/restore() exercised
+// at every drift point (restore is bit-identical, so a drifting run equals
+// its uninterrupted twin — tests/test_scenario.cpp locks this).
+//
+// Everything downstream of the document is deterministic: the same spec +
+// seed produces a byte-identical ScenarioReport JSON at any thread count
+// (util/parallel.hpp substrate). Version / unknown-keys policy is inherited
+// from docs/DESIGN.md §6: unknown keys ignored, missing keys take defaults,
+// a newer "version" is refused with a typed error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "frote/core/spec.hpp"
+#include "frote/util/json.hpp"
+
+namespace frote {
+
+/// Synthetic-generator configuration — DatasetSpec "synthetic" generalized.
+/// `label_noise` / `class_weights` override the named dataset's blueprint
+/// (data/generators.hpp); unset means the blueprint default, and the JSON
+/// writer omits them, so default-configured generators round-trip
+/// byte-identically with plain DatasetSpec synthetic references.
+struct GeneratorSpec {
+  std::string name = "adult";
+  std::size_t size = 0;            // 0 = the paper's instance count
+  std::uint64_t seed = 42;
+  std::optional<double> label_noise;    // [0, 1)
+  std::vector<double> class_weights;    // empty = blueprint default
+
+  JsonValue to_json() const;
+  static Expected<GeneratorSpec, FroteError> from_json(const JsonValue& json);
+};
+
+/// Materialise the generator. Typed errors: kUnknownComponent for an
+/// unregistered dataset name, kInvalidConfig for override violations.
+Expected<Dataset> generate_dataset(const GeneratorSpec& spec);
+
+/// The schema the generator would produce, without generating rows — the
+/// cheap surface ScenarioSpec::from_json validates rule text against.
+Expected<Schema> generator_schema(const GeneratorSpec& spec);
+
+/// One drift step: `arrive_rows` freshly generated rows are appended to D̂
+/// (an independent batch drawn from the generator's blueprint under a
+/// derived seed — a stream prefix would re-standardize and relabel) and
+/// `rules` join the active feedback-rule set, then the session advances
+/// `steps` iterations (0 = until the engine's stopping criterion fires).
+struct ScenarioPhase {
+  std::size_t arrive_rows = 0;
+  std::vector<std::string> rules;
+  std::size_t steps = 0;
+};
+
+/// Ask the report for per-group deltas: for every category of the (nominal)
+/// `feature`, the rate at which the baseline model (trained on the raw
+/// input dataset) and the final edited model predict the `favorable` class.
+struct GroupReportSpec {
+  std::string feature;
+  std::string favorable;
+
+  JsonValue to_json() const;
+};
+
+/// Expected-outcome bundle: bounds the report is checked against. Unset
+/// fields are not checked. Failures do not fail run_scenario — they are
+/// recorded in ScenarioReport::expected_failures so a grid over scenarios
+/// reports every miss instead of aborting on the first.
+struct ExpectedOutcome {
+  std::optional<double> min_final_j_bar;
+  std::optional<double> min_j_bar_gain;        // final − initial Ĵ̄
+  std::optional<std::uint64_t> min_instances_added;
+  std::optional<double> max_group_gap;         // favorable-rate spread after
+
+  bool any() const {
+    return min_final_j_bar.has_value() || min_j_bar_gain.has_value() ||
+           min_instances_added.has_value() || max_group_gap.has_value();
+  }
+  JsonValue to_json() const;
+};
+
+struct ScenarioSpec {
+  static constexpr std::uint64_t kFormatVersion = 1;
+
+  std::string name;
+  std::string kind = "static";     // "static" | "drift"
+  std::string description;
+  GeneratorSpec generator;
+  /// Engine knobs + the (initial) feedback rules, as an embedded
+  /// frote.engine_spec document. Its `dataset` field must be unset — the
+  /// generator is the scenario's only input channel.
+  EngineSpec engine;
+  /// Drift schedule; required non-empty for kind "drift", forbidden for
+  /// "static".
+  std::vector<ScenarioPhase> phases;
+  /// Exercise snapshot()/restore() at every drift point (default). Both
+  /// settings produce byte-identical reports — restore is exact.
+  bool restore_at_drift = true;
+  std::optional<GroupReportSpec> group_report;
+  ExpectedOutcome expected;
+
+  /// from_json validates the whole document — kind/phase shape, rule text
+  /// parsed against the generator's schema, group feature/class existence,
+  /// override bounds — so a spec that parses is a spec that runs.
+  JsonValue to_json() const;
+  static Expected<ScenarioSpec, FroteError> from_json(const JsonValue& json);
+
+  std::string to_json_text(int indent = 2) const;
+  static Expected<ScenarioSpec, FroteError> parse(std::string_view json_text);
+};
+
+/// Per-run overrides, the RunPlan grid axes: `seed` reseeds the whole
+/// scenario (generator and engine), `learner`/`selector` swap the engine's
+/// components by registry name, `threads` overrides the engine thread count
+/// (never the bytes of the result).
+struct ScenarioRunOptions {
+  std::optional<std::uint64_t> seed;
+  std::string learner;     // "" = the spec's
+  std::string selector;    // "" = the spec's
+  int threads = -1;        // -1 = the spec's; 0 ⇒ FROTE_NUM_THREADS
+};
+
+struct ScenarioRuleReport {
+  std::string rule;          // textual form
+  std::size_t covered = 0;   // |cov(s, D̂_final)|
+  double mra = 0.0;          // agreement of the final model on the cover
+};
+
+struct ScenarioPhaseReport {
+  std::size_t rows_arrived = 0;
+  std::size_t rules_active = 0;
+  std::size_t steps_run = 0;
+  std::size_t iterations_accepted = 0;
+  std::size_t rows_total = 0;    // |D̂| at phase end
+  double j_bar = 0.0;            // best Ĵ̄ within the phase
+};
+
+struct ScenarioGroupReport {
+  std::string group;
+  std::size_t rows = 0;              // group size in the input dataset
+  double favorable_before = 0.0;     // baseline model's favorable rate
+  double favorable_after = 0.0;      // final model's favorable rate
+};
+
+/// The result document (format "frote.scenario_result"): deterministic —
+/// no wall-clock, no environment — so grids diff byte-for-byte against
+/// goldens and threads 1 ≡ threads N holds all the way to the file.
+struct ScenarioReport {
+  std::string scenario;
+  std::string kind;
+  std::uint64_t seed = 0;
+  std::size_t rows_initial = 0;
+  std::size_t rows_final = 0;
+  std::size_t instances_added = 0;
+  std::size_t iterations_run = 0;
+  std::size_t iterations_accepted = 0;
+  double initial_j_bar = 0.0;    // Ĵ̄ of the initial model on D̂_0
+  double final_j_bar = 0.0;      // best Ĵ̄ reached
+  std::vector<ScenarioRuleReport> rules;
+  std::vector<ScenarioPhaseReport> phases;   // drift runs
+  std::vector<ScenarioGroupReport> groups;   // group_report scenarios
+  /// Spread of favorable_after across groups (max − min); 0 without groups.
+  double group_gap = 0.0;
+  bool expected_ok = true;
+  std::vector<std::string> expected_failures;
+  /// FNV-1a 64 of the final D̂ (hex) — the byte-identity witness.
+  std::string dataset_digest;
+
+  JsonValue to_json() const;
+  std::string to_json_text(int indent = 2) const;
+};
+
+/// The spec run_scenario actually executes after per-run overrides are
+/// folded in — exposed so drivers (core/runplan.cpp) can write the fully
+/// resolved document (spec.json) next to the report.
+Expected<ScenarioSpec> resolve_scenario(const ScenarioSpec& spec,
+                                        const ScenarioRunOptions& options);
+
+/// Replay the scenario end-to-end. The run is pure: same spec + options →
+/// byte-identical report at any thread count.
+Expected<ScenarioReport> run_scenario(const ScenarioSpec& spec,
+                                      const ScenarioRunOptions& options = {});
+
+/// The EngineSpec a serving daemon opens a session from (`session.create`
+/// scenario ref): the scenario's engine with the generator expressed as a
+/// DatasetSpec synthetic reference — the spec survives the pool's durable
+/// spool and recovers after a crash like any other session. Drift scenarios
+/// serve their phase-0 state (the arrival schedule is a replay-side
+/// concept; `scenario.run` executes the full schedule). Fails with
+/// kInvalidArgument when the generator uses blueprint overrides a
+/// DatasetSpec cannot express.
+Expected<EngineSpec, FroteError> scenario_session_spec(
+    const ScenarioSpec& spec, std::optional<std::uint64_t> seed = {});
+
+/// The built-in scenario families (name → ScenarioSpec JSON document),
+/// seeded into the registry on first use: "multiclass_wine" (7-class
+/// feedback rules through GBDT + IP selection), "drift_adult" (rows and
+/// rules arriving over time through the online-proxy selector), and
+/// "fairness_adult" (group-conditional relabel rules with per-group deltas
+/// in the report).
+const std::vector<std::pair<std::string, std::string>>&
+builtin_scenario_documents();
+
+}  // namespace frote

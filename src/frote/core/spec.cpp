@@ -4,6 +4,7 @@
 
 #include "frote/core/engine_impl.hpp"
 #include "frote/core/registry.hpp"
+#include "frote/core/scenario.hpp"
 #include "frote/data/csv.hpp"
 #include "frote/data/generators.hpp"
 #include "frote/rules/parser.hpp"
@@ -71,14 +72,16 @@ Expected<Dataset> load_spec_dataset(const DatasetSpec& spec) {
     }
   }
   if (spec.kind == "synthetic") {
-    try {
-      return with_storage(
-          make_dataset(dataset_by_name(spec.name), spec.size, spec.seed));
-    } catch (const std::exception& e) {
-      return FroteError::unknown_component(
-          "cannot generate synthetic dataset '" + spec.name + "': " +
-          e.what());
-    }
+    // One generator path for every synthetic reference: DatasetSpec is the
+    // override-free subset of GeneratorSpec (core/scenario.hpp), so specs
+    // and scenarios materialise bit-identical datasets for the same knobs.
+    GeneratorSpec generator;
+    generator.name = spec.name;
+    generator.size = spec.size;
+    generator.seed = spec.seed;
+    auto data = generate_dataset(generator);
+    if (!data) return data.error();
+    return with_storage(std::move(*data));
   }
   return FroteError::invalid_config("unknown dataset kind '" + spec.kind +
                                     "'");

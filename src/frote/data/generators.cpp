@@ -189,15 +189,46 @@ double sample_numeric(const NumBlueprint& nb, Rng& rng) {
   return 0.0;
 }
 
-Dataset generate(const DatasetBlueprint& bp, std::size_t size,
-                 std::uint64_t seed) {
-  FROTE_CHECK(size > 0);
+std::vector<FeatureSpec> schema_specs(const DatasetBlueprint& bp) {
   std::vector<FeatureSpec> specs;
   for (const auto& nb : bp.numeric) specs.push_back(FeatureSpec::numeric(nb.name));
   for (const auto& cb : bp.categorical) {
     specs.push_back(FeatureSpec::categorical(cb.name, cb.values));
   }
-  auto schema = std::make_shared<Schema>(std::move(specs), bp.classes);
+  return specs;
+}
+
+/// Apply scenario overrides to a blueprint copy; throws on out-of-range
+/// values so declarative callers surface a typed error, not a bad dataset.
+DatasetBlueprint with_overrides(DatasetBlueprint bp,
+                                const GeneratorOverrides& overrides) {
+  if (overrides.label_noise.has_value()) {
+    if (*overrides.label_noise < 0.0 || *overrides.label_noise >= 1.0) {
+      throw Error("label_noise must be in [0, 1)");
+    }
+    bp.label_noise = *overrides.label_noise;
+  }
+  if (!overrides.class_weights.empty()) {
+    if (overrides.class_weights.size() != bp.classes.size()) {
+      throw Error("class_weights must have " +
+                  std::to_string(bp.classes.size()) + " entries, got " +
+                  std::to_string(overrides.class_weights.size()));
+    }
+    double total = 0.0;
+    for (double w : overrides.class_weights) {
+      if (!(w >= 0.0)) throw Error("class_weights must be non-negative");
+      total += w;
+    }
+    if (!(total > 0.0)) throw Error("class_weights must sum to > 0");
+    bp.class_weights = overrides.class_weights;
+  }
+  return bp;
+}
+
+Dataset generate(const DatasetBlueprint& bp, std::size_t size,
+                 std::uint64_t seed) {
+  FROTE_CHECK(size > 0);
+  auto schema = std::make_shared<Schema>(schema_specs(bp), bp.classes);
 
   Rng rng(derive_seed(seed, 0));
   // Sample raw feature rows.
@@ -483,14 +514,25 @@ UciDataset dataset_by_name(const std::string& name) {
 }
 
 Dataset make_dataset(UciDataset id, std::size_t size, std::uint64_t seed) {
+  return make_dataset(id, size, seed, GeneratorOverrides{});
+}
+
+Dataset make_dataset(UciDataset id, std::size_t size, std::uint64_t seed,
+                     const GeneratorOverrides& overrides) {
   const auto& info = dataset_info(id);
   const std::size_t n = size == 0 ? info.paper_size : size;
-  Dataset data = generate(blueprint_for(id), n, seed);
+  Dataset data = generate(with_overrides(blueprint_for(id), overrides), n,
+                          seed);
   // Invariants promised by Table 1.
   FROTE_CHECK(data.schema().num_numeric() == info.num_numeric);
   FROTE_CHECK(data.schema().num_categorical() == info.num_categorical);
   FROTE_CHECK(data.num_classes() == info.num_classes);
   return data;
+}
+
+Schema dataset_schema(UciDataset id) {
+  const DatasetBlueprint& bp = blueprint_for(id);
+  return Schema(schema_specs(bp), bp.classes);
 }
 
 std::vector<UciDataset> binary_datasets() {

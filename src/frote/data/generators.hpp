@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,24 @@ UciDataset dataset_by_name(const std::string& name);
 /// experiments pass a scaled size to bound runtime (FROTE_SCALE).
 Dataset make_dataset(UciDataset id, std::size_t size = 0,
                      std::uint64_t seed = 42);
+
+/// Blueprint overrides for scenario generators (core/scenario.hpp): an
+/// unset/empty field keeps the dataset's blueprint default. Schema and
+/// Table 1 invariants are unaffected — overrides only reshape labels.
+struct GeneratorOverrides {
+  std::optional<double> label_noise;    // [0, 1)
+  std::vector<double> class_weights;    // one weight per class; empty = keep
+};
+
+/// Override-taking form of make_dataset; the no-override call is
+/// bit-identical to the plain form. Throws frote::Error on out-of-range
+/// overrides (wrong class_weights arity, label_noise outside [0, 1)).
+Dataset make_dataset(UciDataset id, std::size_t size, std::uint64_t seed,
+                     const GeneratorOverrides& overrides);
+
+/// The schema `make_dataset(id, ...)` would produce, without generating any
+/// rows — the cheap surface declarative validation parses rule text against.
+Schema dataset_schema(UciDataset id);
 
 /// Binary datasets used in the Overlay comparison (§5.2 / Table 2): Breast
 /// Cancer, Mushroom, Adult.

@@ -254,6 +254,43 @@
 //                                          release_model() &&
 //   server.stats sessions rows           → + accepts / rejects /
 //                                          model_updates per session
+//
+// PR 10 (scenario registry) — whole workloads behind the spec path:
+//   (new) core/scenario.hpp              → ScenarioSpec (format
+//                                          "frote.scenario_spec"): generator
+//                                          config + engine knobs + rule text
+//                                          + optional drift schedule /
+//                                          group report / expected-outcome
+//                                          bundle in one JSON document;
+//                                          run_scenario() replays it
+//                                          deterministically into a
+//                                          ScenarioReport (format
+//                                          "frote.scenario_result", byte-
+//                                          identical at every thread count)
+//   ad-hoc workload wiring               → make_named_scenario /
+//                                          register_scenario /
+//                                          registered_scenario_names
+//                                          (core/registry.hpp): a new
+//                                          workload is a JSON document plus
+//                                          one registry entry
+//   DatasetSpec "synthetic" ad-hoc path  → GeneratorSpec is the one
+//                                          synthesis path (load_spec_dataset
+//                                          delegates to generate_dataset);
+//                                          generators gain optional
+//                                          label_noise / class_weights
+//                                          overrides and dataset_schema()
+//   RunPlan base-spec grids only         → grid.scenarios axis ("base"
+//                                          becomes optional): scenario runs
+//                                          write the resolved scenario
+//                                          spec.json + ScenarioReport
+//                                          result.json; RunPlan::Run gains
+//                                          scenario / learner_override /
+//                                          selector_override / seed
+//   frote_serve spec-only creation       → session.create accepts
+//                                          {"scenario": name, "seed": N}
+//                                          (via scenario_session_spec); new
+//                                          scenario.list / scenario.run
+//                                          methods
 // ---------------------------------------------------------------------------
 #pragma once
 
@@ -269,6 +306,7 @@
 #include "frote/core/inflection.hpp"
 #include "frote/core/online_proxy.hpp"
 #include "frote/core/runplan.hpp"
+#include "frote/core/scenario.hpp"
 #include "frote/core/selection.hpp"
 #include "frote/core/session_pool.hpp"
 #include "frote/core/spec.hpp"

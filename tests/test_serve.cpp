@@ -26,6 +26,7 @@
 #include <netinet/in.h>
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -130,6 +131,84 @@ TEST(ServeContract, Lifecycle) {
   const JsonValue stale =
       parse_response(daemon.request(step_line(103, id)));
   EXPECT_EQ(error_code(stale), -32001);
+
+  EXPECT_EQ(daemon.close_and_wait(), 0);
+}
+
+TEST(ServeContract, ScenarioRefsCreateSessionsAndReplayDeterministically) {
+  ServeProcess daemon;
+
+  // scenario.list names the registered workloads, sorted.
+  const JsonValue list =
+      parse_response(daemon.request(rpc_line(1, "scenario.list")));
+  ASSERT_EQ(error_code(list), 0);
+  const JsonValue* names = result_of(list).find("scenarios");
+  ASSERT_NE(names, nullptr);
+  std::vector<std::string> sorted;
+  for (const JsonValue& name : names->items()) {
+    sorted.push_back(name.as_string());
+  }
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  EXPECT_NE(std::find(sorted.begin(), sorted.end(), "fairness_adult"),
+            sorted.end());
+
+  // session.create from a scenario ref: the scenario's generator + engine
+  // become a live session, steppable like any spec-created one.
+  JsonValue create_params = JsonValue::object();
+  create_params.set("scenario", "fairness_adult");
+  create_params.set("seed", 42);
+  const JsonValue create = parse_response(daemon.request(
+      rpc_line(2, "session.create", std::move(create_params))));
+  ASSERT_EQ(error_code(create), 0) << frote::json_dump(create, 0);
+  const std::string id = result_of(create).find("session")->as_string();
+  EXPECT_EQ(result_of(create).find("scenario")->as_string(),
+            "fairness_adult");
+  const JsonValue step = parse_response(daemon.request(step_line(3, id)));
+  ASSERT_EQ(error_code(step), 0);
+  EXPECT_NE(result_of(step).find("finished"), nullptr);
+
+  // scenario.run replays the whole workload in-process and returns the
+  // report document; the same seed answers byte-identically.
+  JsonValue run_params = JsonValue::object();
+  run_params.set("scenario", "fairness_adult");
+  run_params.set("seed", 42);
+  const std::string run_line =
+      rpc_line(4, "scenario.run", std::move(run_params));
+  const std::string first = daemon.request(run_line);
+  const JsonValue run = parse_response(first);
+  ASSERT_EQ(error_code(run), 0) << frote::json_dump(run, 0);
+  EXPECT_EQ(result_of(run).find("format")->as_string(),
+            "frote.scenario_result");
+  EXPECT_EQ(result_of(run).find("scenario")->as_string(), "fairness_adult");
+  EXPECT_GT(result_of(run).find("instances_added")->as_uint64(), 0u);
+  EXPECT_NE(result_of(run).find("groups"), nullptr)
+      << "fairness scenarios report per-group deltas";
+  EXPECT_EQ(daemon.request(run_line), first)
+      << "scenario.run must be deterministic for a fixed seed";
+
+  // Typed -32602 errors: unknown name, spec+scenario together, bad seed.
+  JsonValue unknown_params = JsonValue::object();
+  unknown_params.set("scenario", "nope");
+  const JsonValue unknown = parse_response(daemon.request(
+      rpc_line(5, "session.create", std::move(unknown_params))));
+  EXPECT_EQ(error_code(unknown), -32602);
+  EXPECT_NE(unknown.find("error")->find("message")->as_string().find(
+                "unknown scenario 'nope'"),
+            std::string::npos);
+
+  JsonValue both_params = JsonValue::object();
+  both_params.set("scenario", "fairness_adult");
+  both_params.set("spec", JsonValue::object());
+  const JsonValue both = parse_response(daemon.request(
+      rpc_line(6, "session.create", std::move(both_params))));
+  EXPECT_EQ(error_code(both), -32602);
+
+  JsonValue bad_seed = JsonValue::object();
+  bad_seed.set("scenario", "fairness_adult");
+  bad_seed.set("seed", -1);
+  const JsonValue rejected = parse_response(daemon.request(
+      rpc_line(7, "scenario.run", std::move(bad_seed))));
+  EXPECT_EQ(error_code(rejected), -32602);
 
   EXPECT_EQ(daemon.close_and_wait(), 0);
 }

@@ -6,6 +6,10 @@
 // artifacts (spec.json, checkpoint.json, result.json, augmented.csv) under
 // --out. Interrupted plans resume bit-identically with --resume.
 //
+// A plan whose grid lists "scenarios" (core/scenario.hpp) runs registered
+// scenarios instead: each run writes the fully-resolved scenario spec.json
+// and the deterministic ScenarioReport result.json.
+//
 // Usage:
 //   frote_run --plan plan.json [--out DIR] [--threads N]
 //             [--checkpoint-every N] [--max-steps N] [--resume]
@@ -158,6 +162,17 @@ int run(const Options& options) {
     std::cout << "plan: " << options.plan_path << " (" << runs.size()
               << " run" << (runs.size() == 1 ? "" : "s") << ")\n";
     for (const auto& run : runs) {
+      if (!run.scenario.empty()) {
+        std::cout << run.name << ": scenario=" << run.scenario;
+        if (!run.learner_override.empty()) {
+          std::cout << " learner=" << run.learner_override;
+        }
+        if (!run.selector_override.empty()) {
+          std::cout << " selector=" << run.selector_override;
+        }
+        std::cout << " seed=" << run.seed << "\n";
+        continue;
+      }
       std::cout << run.name << ": learner=" << run.spec.learner
                 << " selector=" << run.spec.selector
                 << " seed=" << run.spec.seed << " tau=" << run.spec.tau

@@ -9,9 +9,12 @@
 //
 // Methods: session.create / session.step / session.snapshot /
 // session.result / session.close / server.stats, all backed by
-// core/session_pool.hpp. Sessions are created from EngineSpec documents
+// core/session_pool.hpp, plus scenario.list and scenario.run
+// (core/scenario.hpp). Sessions are created from EngineSpec documents
 // (dataset reference required — the daemon has no other input channel,
-// the same posture as frote_run's plans).
+// the same posture as frote_run's plans) or from a registered scenario
+// ref ({"scenario": "name", "seed": N}), which resolves to such a spec
+// via scenario_session_spec.
 //
 // Shutdown: SIGTERM/SIGINT (or stdin EOF in stdio mode) stops the
 // frontend between requests, spools every live session to the --spool
@@ -39,6 +42,8 @@
 #include <chrono>
 #include <thread>
 
+#include "frote/core/registry.hpp"
+#include "frote/core/scenario.hpp"
 #include "frote/core/session_pool.hpp"
 #include "frote/core/spec.hpp"
 #include "frote/net/http.hpp"
@@ -276,8 +281,67 @@ std::string dispatch(SessionPool& pool, const frote::net::RpcRequest& req) {
     return &id->as_string();
   };
 
+  // Optional params.seed: a non-negative integer reseeding a scenario.
+  const auto seed_param =
+      [&](std::optional<std::uint64_t>& out) -> const char* {
+    const JsonValue* raw = req.params.find("seed");
+    if (raw == nullptr) return nullptr;
+    if (raw->type() != frote::JsonType::kInt &&
+        raw->type() != frote::JsonType::kUint) {
+      return "params.seed must be a non-negative integer";
+    }
+    if (raw->type() == frote::JsonType::kInt && raw->as_int64() < 0) {
+      return "params.seed must be a non-negative integer";
+    }
+    out = raw->as_uint64();
+    return nullptr;
+  };
+  // Resolve params.scenario through the registry (typed errors for an
+  // unknown name or a document that no longer validates).
+  const auto scenario_param = [&](const JsonValue* name,
+                                  frote::Expected<frote::ScenarioSpec>& out)
+      -> const char* {
+    if (!name->is_string()) return "params.scenario must be a scenario name";
+    out = frote::make_named_scenario(name->as_string());
+    return nullptr;
+  };
+
   if (req.method == "session.create") {
     const JsonValue* spec_json = req.params.find("spec");
+    const JsonValue* scenario_name = req.params.find("scenario");
+    if (scenario_name != nullptr) {
+      // Scenario ref: the registered document becomes the session's
+      // EngineSpec (generator expressed as a DatasetSpec synthetic
+      // reference), so the session spools/recovers like any other.
+      if (spec_json != nullptr) {
+        return rpc_error_line(
+            req.id, kInvalidParams,
+            "params.spec and params.scenario are mutually exclusive");
+      }
+      frote::Expected<frote::ScenarioSpec> scenario =
+          FroteError::invalid_argument("unresolved");
+      if (const char* problem = scenario_param(scenario_name, scenario)) {
+        return rpc_error_line(req.id, kInvalidParams, problem);
+      }
+      if (!scenario) {
+        return rpc_error_line(req.id, kInvalidParams,
+                              scenario.error().message);
+      }
+      std::optional<std::uint64_t> seed;
+      if (const char* problem = seed_param(seed)) {
+        return rpc_error_line(req.id, kInvalidParams, problem);
+      }
+      auto spec = frote::scenario_session_spec(*scenario, seed);
+      if (!spec) {
+        return rpc_error_line(req.id, kInvalidParams, spec.error().message);
+      }
+      auto id = pool.create(*spec);
+      if (!id) return pool_error_line(req.id, id.error());
+      JsonValue result = JsonValue::object();
+      result.set("session", *id);
+      result.set("scenario", scenario->name);
+      return rpc_result_line(req.id, std::move(result));
+    }
     if (spec_json == nullptr || !spec_json->is_object()) {
       return rpc_error_line(req.id, kInvalidParams,
                             "params.spec must be an engine-spec object");
@@ -291,6 +355,40 @@ std::string dispatch(SessionPool& pool, const frote::net::RpcRequest& req) {
     JsonValue result = JsonValue::object();
     result.set("session", *id);
     return rpc_result_line(req.id, std::move(result));
+  }
+  if (req.method == "scenario.list") {
+    JsonValue names = JsonValue::array();
+    for (const auto& name : frote::registered_scenario_names()) {
+      names.push_back(name);
+    }
+    JsonValue result = JsonValue::object();
+    result.set("scenarios", std::move(names));
+    return rpc_result_line(req.id, std::move(result));
+  }
+  if (req.method == "scenario.run") {
+    // Full replay in-process (drift schedule included — unlike
+    // session.create, which serves the phase-0 state); the result is the
+    // deterministic ScenarioReport document.
+    const JsonValue* scenario_name = req.params.find("scenario");
+    if (scenario_name == nullptr) {
+      return rpc_error_line(req.id, kInvalidParams,
+                            "params.scenario must be a scenario name");
+    }
+    frote::Expected<frote::ScenarioSpec> scenario =
+        FroteError::invalid_argument("unresolved");
+    if (const char* problem = scenario_param(scenario_name, scenario)) {
+      return rpc_error_line(req.id, kInvalidParams, problem);
+    }
+    if (!scenario) {
+      return rpc_error_line(req.id, kInvalidParams, scenario.error().message);
+    }
+    frote::ScenarioRunOptions run_options;
+    if (const char* problem = seed_param(run_options.seed)) {
+      return rpc_error_line(req.id, kInvalidParams, problem);
+    }
+    auto report = frote::run_scenario(*scenario, run_options);
+    if (!report) return pool_error_line(req.id, report.error());
+    return rpc_result_line(req.id, report->to_json());
   }
   if (req.method == "session.step") {
     const std::string* id = session_param();
